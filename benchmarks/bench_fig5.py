@@ -1,0 +1,79 @@
+"""E10-E12 — Figure 5: 20% free-riders with targeted attacks.
+
+Runs the sweep with each mechanism facing its most effective attack
+(simple free-riding; plus collusion for T-Chain, whitewashing for
+FairTorrent) and checks the paper's Figure 5 claims, averaged over
+three seeds:
+
+* 5a (susceptibility): altruism > FairTorrent > BitTorrent >
+  reputation > T-Chain ~ reciprocity ~ 0;
+* 5b (efficiency): every susceptible mechanism slows down relative to
+  Figure 4; T-Chain degrades the least among the hybrids;
+* 5c (fairness): T-Chain and BitTorrent stay the most fair;
+  FairTorrent's fairness is visibly hurt.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from benchmarks.conftest import FIGURE_SEEDS, mean_stat, run_once
+from repro.experiments.figures import FigureResult, figure5
+from repro.experiments.scenarios import default_scale
+from repro.names import Algorithm
+
+
+def check_fig5a_susceptibility(figs: Sequence[FigureResult]) -> None:
+    susc = {a: mean_stat(figs, a, "susceptibility") for a in figs[0].series}
+    assert susc[Algorithm.RECIPROCITY] == 0.0
+    assert susc[Algorithm.TCHAIN] < 0.04
+    assert susc[Algorithm.ALTRUISM] > susc[Algorithm.FAIRTORRENT]
+    assert susc[Algorithm.FAIRTORRENT] > susc[Algorithm.BITTORRENT]
+    assert susc[Algorithm.BITTORRENT] > susc[Algorithm.REPUTATION]
+    assert susc[Algorithm.REPUTATION] > susc[Algorithm.TCHAIN]
+
+
+def check_fig5b_efficiency(clean: Sequence[FigureResult],
+                           figs: Sequence[FigureResult]) -> None:
+    def slowdown(algorithm: Algorithm) -> float:
+        return (mean_stat(figs, algorithm, "mean_completion_time")
+                / mean_stat(clean, algorithm, "mean_completion_time"))
+
+    for algorithm in (Algorithm.ALTRUISM, Algorithm.FAIRTORRENT,
+                      Algorithm.BITTORRENT):
+        assert slowdown(algorithm) > 1.0, algorithm
+
+    # T-Chain, nearly immune to free-riding, degrades least.
+    assert slowdown(Algorithm.TCHAIN) < slowdown(Algorithm.FAIRTORRENT)
+    assert slowdown(Algorithm.TCHAIN) < slowdown(Algorithm.BITTORRENT) + 0.02
+
+
+def check_fig5c_fairness(figs: Sequence[FigureResult]) -> None:
+    def deviation(algorithm: Algorithm) -> float:
+        return abs(mean_stat(figs, algorithm, "final_fairness") - 1.0)
+
+    assert deviation(Algorithm.TCHAIN) < deviation(Algorithm.FAIRTORRENT)
+    assert deviation(Algorithm.TCHAIN) < deviation(Algorithm.ALTRUISM)
+    assert deviation(Algorithm.BITTORRENT) < deviation(Algorithm.ALTRUISM)
+
+
+def test_figure5_sweep(benchmark, figure_sweeps):
+    result = run_once(benchmark, figure5,
+                      default_scale(seed=FIGURE_SEEDS[0]))
+    print()
+    print(result.to_text())
+    check_fig5a_susceptibility(figure_sweeps["fig5"])
+    check_fig5b_efficiency(figure_sweeps["fig4"], figure_sweeps["fig5"])
+    check_fig5c_fairness(figure_sweeps["fig5"])
+
+
+def test_fig5a_susceptibility(figure_sweeps):
+    check_fig5a_susceptibility(figure_sweeps["fig5"])
+
+
+def test_fig5b_efficiency_degrades(figure_sweeps):
+    check_fig5b_efficiency(figure_sweeps["fig4"], figure_sweeps["fig5"])
+
+
+def test_fig5c_fairness(figure_sweeps):
+    check_fig5c_fairness(figure_sweeps["fig5"])

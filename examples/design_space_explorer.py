@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Exploring the incentive-mechanism design space analytically.
+
+Uses only the paper's closed-form models (no simulation) to let a
+mechanism designer ask what-if questions:
+
+* Where does each mechanism sit on the fairness-efficiency frontier
+  (Lemma 1, Table I)?
+* How do BitTorrent's ``alpha_BT`` and the reputation system's
+  ``alpha_R`` trade bootstrap speed against exploitable bandwidth
+  (Tables II-III)?
+* How badly can a skewed reputation vector hurt a reputation system
+  (Proposition 3)?
+
+Run:  python examples/design_space_explorer.py
+"""
+
+import numpy as np
+
+from repro.core import bootstrapping, equilibrium, freeriding, metrics
+from repro.core import reputation_model, tradeoff
+from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.utils import format_table
+
+CAPACITIES = [6.0] * 2 + [3.0] * 6 + [1.0] * 8 + [0.5] * 4
+
+
+def frontier() -> None:
+    rows = [[r["theta"], r["fairness"], r["efficiency"]]
+            for r in tradeoff.fairness_efficiency_frontier(
+                CAPACITIES, np.linspace(0.0, 1.0, 6))]
+    print(format_table(
+        ["theta (0=fair, 1=efficient)", "F (Eq. 3)", "E (Eq. 2)"], rows,
+        title="Lemma 1 frontier: fairness vs. efficiency",
+        float_format=".4f"))
+
+    params = equilibrium.EquilibriumParameters(CAPACITIES)
+    rows = []
+    for algorithm in ALL_ALGORITHMS:
+        result = equilibrium.equilibrium(algorithm, params)
+        rows.append([algorithm.display_name, result.fairness,
+                     result.efficiency])
+    print(format_table(["Mechanism", "F", "E"], rows,
+                       title="\nWhere each mechanism lands (Table I)",
+                       float_format=".4f"))
+
+
+def alpha_sweeps() -> None:
+    rows = []
+    for alpha in (0.05, 0.1, 0.2, 0.4):
+        boot = bootstrapping.BootstrapParameters(n_users=1000)
+        fr = freeriding.FreeRidingParameters(CAPACITIES, alpha_bt=alpha)
+        # Table II's BitTorrent row models the optimistic slot count,
+        # not alpha directly; exploitable bandwidth scales with alpha.
+        p_boot = bootstrapping.bootstrap_probability(Algorithm.BITTORRENT,
+                                                     boot)
+        rows.append([alpha,
+                     freeriding.exploitable_resources(Algorithm.BITTORRENT,
+                                                      fr),
+                     p_boot])
+    print(format_table(
+        ["alpha_BT", "exploitable bandwidth", "P(bootstrap)"], rows,
+        title="\nBitTorrent: altruism fraction trades exposure for "
+              "bootstrapping", float_format=".3f"))
+
+    rows = []
+    for altruists in (0.25, 0.5, 1.0):
+        boot = bootstrapping.BootstrapParameters(n_users=1000,
+                                                 altruist_fraction=altruists)
+        rows.append([altruists,
+                     bootstrapping.bootstrap_probability(
+                         Algorithm.REPUTATION, boot)])
+    print(format_table(
+        ["altruist fraction", "P(bootstrap)"], rows,
+        title="\nReputation: bootstrap depends entirely on the altruism "
+              "reserve (Table II)", float_format=".3f"))
+
+
+def reputation_pathology() -> None:
+    capacities = np.array([4.0, 2.0, 2.0, 1.0])
+    fair_reps = reputation_model.capacity_proportional_reputations(capacities)
+    skewed = np.array([0.02, 0.38, 0.35, 0.25])  # fast user under-rated
+    rows = []
+    for label, reps in (("proportional", fair_reps), ("skewed", skewed)):
+        eq = reputation_model.reputation_equilibrium(capacities, reps)
+        rows.append([label, eq.fairness, eq.efficiency])
+    print(format_table(
+        ["reputation vector", "F", "E"], rows,
+        title="\nProposition 3: one under-rated fast user wrecks both "
+              "metrics", float_format=".4f"))
+    print(f"(optimal efficiency for these capacities: "
+          f"{metrics.optimal_efficiency(capacities):.4f})")
+
+
+def fluid_view() -> None:
+    """Feed Prop. 2's feasibilities through the Qiu-Srikant fluid model."""
+    from repro.core import fluid, piece_availability as pa
+    from repro.core.tradeoff import mean_exchange_probability
+
+    dist = pa.PieceCountDistribution.uniform(32)
+    rows = []
+    for algorithm in (Algorithm.ALTRUISM, Algorithm.TCHAIN,
+                      Algorithm.BITTORRENT):
+        eta = mean_exchange_probability(algorithm, dist, 200)
+        p = fluid.FluidParameters(arrival_rate=10.0, upload_rate=1.0,
+                                  effectiveness=eta,
+                                  seed_departure_rate=2.0)
+        rows.append([algorithm.display_name, eta,
+                     fluid.mean_download_time(p)])
+    print(format_table(
+        ["Mechanism", "effectiveness eta", "fluid mean T"], rows,
+        title="\nFluid-model view: exchange feasibility -> download time",
+        float_format=".4f"))
+
+
+def main() -> None:
+    frontier()
+    alpha_sweeps()
+    reputation_pathology()
+    fluid_view()
+
+
+if __name__ == "__main__":
+    main()

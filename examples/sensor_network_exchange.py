@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Sensor-network measurement exchange with churn and steady arrivals.
+
+The paper's second motivating scenario (Section I): sensors in the
+Internet of Things exchanging measurement data with each other. Unlike
+a software-update flash crowd, sensors join *gradually* (a Poisson
+stream) and are flaky — some power down before collecting the full
+data set (churn). This example uses the extensions built for exactly
+this regime:
+
+* ``arrival_process="poisson"`` — a steady 5 sensors/s join stream;
+* ``abort_rate`` — 1% of incomplete sensors drop out per second;
+* ``run_replicates`` — results quoted as mean +/- 95% CI over seeds;
+* ``ascii_chart`` — collection progress drawn in the terminal.
+
+It shows the paper's orderings are not flash-crowd artifacts: altruism
+still collects fastest, T-Chain still keeps fairness ~1 with near-zero
+leakage to compromised (free-riding) sensors, and churn hurts the
+reciprocity-heavy mechanisms most (their pairwise histories evaporate
+with the departed).
+
+Run:  python examples/sensor_network_exchange.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.replicates import run_replicates
+from repro.names import Algorithm
+from repro.sim import SimulationConfig, run_simulation, targeted_attack_for
+from repro.utils import ascii_chart, format_table
+
+SEEDS = (7, 8, 9)
+MECHANISMS = (Algorithm.ALTRUISM, Algorithm.TCHAIN, Algorithm.BITTORRENT,
+              Algorithm.FAIRTORRENT)
+
+
+def sensor_config(algorithm: Algorithm,
+                  freeriders: float = 0.0) -> SimulationConfig:
+    config = SimulationConfig(
+        algorithm=algorithm,
+        n_users=150,
+        n_pieces=48,          # the measurement set to collect
+        seeder_capacity=3.0,  # the gateway node
+        arrival_process="poisson",
+        arrival_rate=5.0,
+        abort_rate=0.01,      # flaky sensors
+        freerider_fraction=freeriders,
+        max_rounds=400,
+    )
+    if freeriders > 0:
+        config = config.with_attack(targeted_attack_for(algorithm),
+                                    freerider_fraction=freeriders)
+    return config
+
+
+def replicated_table(freeriders: float) -> None:
+    rows = []
+    for algorithm in MECHANISMS:
+        result = run_replicates(sensor_config(algorithm, freeriders), SEEDS)
+        rows.append([
+            algorithm.display_name,
+            result["mean_completion_time"].mean,
+            result["mean_completion_time"].std,
+            result["completion_fraction"].mean,
+            result["final_fairness"].mean,
+            result["susceptibility"].mean,
+        ])
+    title = (f"Sensor fleet, {freeriders:.0%} compromised sensors "
+             f"(mean over {len(SEEDS)} seeds)")
+    print(format_table(
+        ["Mechanism", "collect T", "std", "collected", "fairness",
+         "leak"],
+        rows, title=title, float_format=".3g"))
+    print()
+
+
+def progress_chart() -> None:
+    series = {}
+    for algorithm in (Algorithm.ALTRUISM, Algorithm.TCHAIN,
+                      Algorithm.BITTORRENT):
+        metrics = run_simulation(sensor_config(algorithm).with_seed(7)).metrics
+        series[algorithm.display_name] = [
+            (s.time, s.completed_fraction) for s in metrics.samples]
+    print(ascii_chart(series, width=64, height=12,
+                      title="Fraction of sensors with the full data set"))
+
+
+def main() -> None:
+    replicated_table(0.0)
+    replicated_table(0.2)
+    progress_chart()
+    print("""
+Reading the output:
+ * With a steady join stream and churn the flash-crowd orderings
+   persist: altruism collects fastest, the hybrids are comparable,
+   and T-Chain's leak to compromised sensors stays near zero while
+   altruism hands them a full share.
+ * 'collected' < 1 reflects churn, not protocol failure: flaky
+   sensors power down before finishing.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Choosing an incentive mechanism for IoT software-update dissemination.
+
+The paper's motivating scenario (Section I): a cloud server must push
+a large software update to a fleet of devices, and dissemination is
+far faster when devices forward pieces to each other. The operator
+must pick the incentive mechanism — and the right choice depends on
+whether devices can be compromised into free-riding.
+
+This example runs the full mechanism sweep twice (all-compliant fleet,
+then a fleet with 20% free-riding devices mounting targeted attacks)
+and prints an operator-facing recommendation table, illustrating the
+paper's headline conclusion: altruism wins only in a trusted fleet;
+T-Chain keeps both efficiency and fairness when trust is absent.
+
+Run:  python examples/software_update_dissemination.py
+"""
+
+from repro.experiments.scenarios import default_scale, run_all_algorithms
+from repro.names import ALL_ALGORITHMS
+from repro.utils import format_table
+
+
+def sweep(freerider_fraction: float):
+    base = default_scale(seed=11)
+    results = run_all_algorithms(base,
+                                 freerider_fraction=freerider_fraction)
+    rows = []
+    for algorithm in ALL_ALGORITHMS:
+        m = results[algorithm].metrics
+        rows.append([
+            algorithm.display_name,
+            m.mean_completion_time(),
+            m.completion_fraction(),
+            m.final_fairness(),
+            m.mean_bootstrap_time(),
+            m.susceptibility(),
+        ])
+    return rows
+
+
+def main() -> None:
+    headers = ["Mechanism", "mean update time (s)", "devices updated",
+               "fairness (u/d)", "time to 1st piece (s)", "leaked to rogues"]
+
+    print("Scenario A: all devices trustworthy")
+    print(format_table(headers, sweep(0.0), float_format=".3g"))
+
+    print("\nScenario B: 20% compromised (free-riding) devices,"
+          " targeted attacks")
+    print(format_table(headers, sweep(0.2), float_format=".3g"))
+
+    print("""
+Reading the tables:
+ * Trusted fleet  -> altruism (random push) updates the fleet fastest;
+   every mechanism except pure reciprocity completes.
+ * Untrusted fleet -> altruism and FairTorrent leak the most bandwidth
+   to rogue devices; T-Chain leaks almost nothing while keeping
+   fairness ~1 and completion times comparable to the other hybrids —
+   the paper's recommendation for adversarial deployments.
+ * Pure reciprocity never disseminates at all (Lemma 2): no device can
+   initiate an exchange.""")
+
+
+if __name__ == "__main__":
+    main()

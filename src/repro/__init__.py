@@ -1,0 +1,20 @@
+"""repro: reproduction of *A Performance Analysis of Incentive
+Mechanisms for Cooperative Computing* (Joe-Wong, Im, Shin, Ha —
+IEEE ICDCS 2016).
+
+The package has two layers joined by the :class:`repro.names.Algorithm`
+enumeration:
+
+* :mod:`repro.core` — the paper's analytical models (Tables I-III,
+  Lemmas 1-3, Propositions 1-4, Corollaries 1-2);
+* :mod:`repro.sim` + :mod:`repro.algorithms` + :mod:`repro.attacks` —
+  the event-driven swarm simulator validating them (Figures 4-6);
+* :mod:`repro.experiments` — scenario presets and runners that
+  regenerate every table and figure of the evaluation.
+"""
+
+from repro.names import Algorithm  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = ["Algorithm", "__version__"]

@@ -1,0 +1,57 @@
+"""The six incentive mechanisms as pluggable peer strategies.
+
+Use :func:`create_strategy` to instantiate the policy for a given
+:class:`~repro.names.Algorithm`; the simulator attaches one instance
+per peer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Type
+
+from repro.algorithms.altruism import AltruismStrategy
+from repro.algorithms.base import SeederStrategy, Strategy
+from repro.algorithms.bittorrent import BitTorrentStrategy
+from repro.algorithms.fairtorrent import FairTorrentStrategy
+from repro.algorithms.reciprocity import ReciprocityStrategy
+from repro.algorithms.propshare import PropShareStrategy
+from repro.algorithms.reputation import ReputationStrategy
+from repro.algorithms.tchain import TChainStrategy
+from repro.errors import UnknownAlgorithmError
+from repro.names import Algorithm
+from repro.sim.config import StrategyParameters
+
+__all__ = [
+    "Strategy",
+    "SeederStrategy",
+    "ReciprocityStrategy",
+    "AltruismStrategy",
+    "ReputationStrategy",
+    "PropShareStrategy",
+    "BitTorrentStrategy",
+    "FairTorrentStrategy",
+    "TChainStrategy",
+    "STRATEGY_CLASSES",
+    "create_strategy",
+]
+
+STRATEGY_CLASSES: Dict[Algorithm, Type[Strategy]] = {
+    Algorithm.RECIPROCITY: ReciprocityStrategy,
+    Algorithm.ALTRUISM: AltruismStrategy,
+    Algorithm.REPUTATION: ReputationStrategy,
+    Algorithm.BITTORRENT: BitTorrentStrategy,
+    Algorithm.FAIRTORRENT: FairTorrentStrategy,
+    Algorithm.TCHAIN: TChainStrategy,
+    Algorithm.PROPSHARE: PropShareStrategy,
+}
+
+
+def create_strategy(algorithm: Algorithm, params: StrategyParameters,
+                    rng: random.Random) -> Strategy:
+    """Instantiate the strategy implementing ``algorithm``."""
+    try:
+        cls = STRATEGY_CLASSES[Algorithm.parse(algorithm)]
+    except (KeyError, ValueError) as exc:
+        raise UnknownAlgorithmError(str(algorithm)) from exc
+    return cls(params, rng)

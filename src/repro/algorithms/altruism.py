@@ -1,0 +1,26 @@
+"""Pure altruism (Section III-A).
+
+Users upload their full capacity to uniformly random neighbors that
+need pieces, with no attempt at reciprocity. The most efficient and
+fastest-bootstrapping mechanism — and the most exploitable: every
+upload slot is equally available to free-riders (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+
+__all__ = ["AltruismStrategy"]
+
+
+class AltruismStrategy(Strategy):
+    """Spray pieces at random needy neighbors until the budget is gone."""
+
+    algorithm = Algorithm.ALTRUISM
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        while ctx.budget() > 0:
+            if not self._send_random(ctx):
+                return

@@ -1,0 +1,65 @@
+"""Strategy interface: incentive mechanisms as per-peer policies.
+
+A :class:`Strategy` instance is attached to exactly one peer and is
+invoked once per round with a :class:`~repro.sim.context.StrategyContext`.
+The strategy decides how to spend the peer's upload budget by calling
+the context's guarded send methods; everything else (ledgers, piece
+selection, metrics, T-Chain key management) is handled by the runner,
+so the strategy code reads like the paper's algorithm descriptions.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import ClassVar, List, Optional
+
+from repro.names import Algorithm
+from repro.sim.config import StrategyParameters
+from repro.sim.context import StrategyContext
+
+__all__ = ["Strategy", "SeederStrategy"]
+
+
+class Strategy(abc.ABC):
+    """Base class for per-peer upload policies."""
+
+    #: The mechanism this strategy implements; None for special roles
+    #: (seeder, free-rider) that exist under every mechanism.
+    algorithm: ClassVar[Optional[Algorithm]] = None
+
+    def __init__(self, params: StrategyParameters, rng: random.Random) -> None:
+        self.params = params
+        self.rng = rng
+
+    @abc.abstractmethod
+    def on_round(self, ctx: StrategyContext) -> None:
+        """Spend this round's upload budget through ``ctx``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _send_random(self, ctx: StrategyContext,
+                     candidates: Optional[List[int]] = None) -> bool:
+        """Send one plain piece to a uniformly random needy neighbor."""
+        pool = ctx.needy_neighbors() if candidates is None else candidates
+        if not pool:
+            return False
+        target = self.rng.choice(pool)
+        return ctx.send_piece(target)
+
+
+class SeederStrategy(Strategy):
+    """The seeder's policy, identical under every mechanism.
+
+    The seeder altruistically uploads to uniformly random users that
+    need pieces — the ``u_S / N`` expected seeder bandwidth of Eq. 1
+    and the ``n_S`` bootstrap channel of Table II. Seeder pieces are
+    always plain (usable immediately), including under T-Chain, where
+    the seeder's job is precisely to start reciprocation chains.
+    """
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        while ctx.budget() > 0:
+            if not self._send_random(ctx):
+                break

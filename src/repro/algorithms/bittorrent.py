@@ -1,0 +1,80 @@
+"""BitTorrent: the reciprocity/altruism hybrid (Section III-A).
+
+A fraction ``1 - alpha_BT`` of upload bandwidth is tit-for-tat: each
+round the peer unchokes the ``n_BT`` neighbors from which it received
+the most data in the previous round and round-robins pieces to them.
+Tit-for-tat requires the partner to have something to trade, so when
+no positive contributors exist this bandwidth flows to piece-holding
+neighbors — never to empty newcomers. The remaining ``alpha_BT``
+fraction is optimistic unchoking: uploads to uniformly random needy
+neighbors *including newcomers*, which per Cohen's original design is
+the only bootstrap channel (and, per Table III, exactly the resource
+free-riders can exploit). The paper's experiments use
+``alpha_BT = 0.2``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+
+__all__ = ["BitTorrentStrategy"]
+
+
+class BitTorrentStrategy(Strategy):
+    """Tit-for-tat toward last round's top contributors, plus optimism."""
+
+    algorithm = Algorithm.BITTORRENT
+
+    def _unchoked(self, ctx: StrategyContext) -> List[int]:
+        """Top ``n_BT`` last-round contributors we can still serve."""
+        me = ctx.peer
+        contributors = [pid for pid in ctx.needy_neighbors()
+                        if me.received_last_round.get(pid, 0) > 0]
+        contributors.sort(
+            key=lambda pid: (-me.received_last_round.get(pid, 0), pid))
+        return contributors[: self.params.n_bt]
+
+    def _past_contributors(self, ctx: StrategyContext) -> List[int]:
+        """Needy neighbors that have ever uploaded to us.
+
+        Tit-for-tat bandwidth only ever flows toward peers with a
+        record of reciprocation — a free-rider never appears here, so
+        its intake is capped at the optimistic ``alpha_BT`` share
+        (Table III's exploitable-resources row).
+        """
+        me = ctx.peer
+        return [pid for pid in ctx.needy_neighbors()
+                if me.received_from.get(pid, 0) > 0]
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        unchoked = self._unchoked(ctx)
+        # One attempt per available piece; a tit-for-tat slot with no
+        # tradeable partner is *wasted* (reserved bandwidth idles), it
+        # is never redirected to newcomers.
+        for _ in range(ctx.budget()):
+            if ctx.budget() == 0:
+                return
+            if self.rng.random() < self.params.alpha_bt:
+                # Optimistic unchoke: anyone needy, newcomers included.
+                if not self._send_random(ctx):
+                    return
+                continue
+            # Tit-for-tat share: round-robin the unchoke set, pruning
+            # targets we can no longer serve and rotating the served
+            # one to the back.
+            sent_index = None
+            for idx, target in enumerate(unchoked):
+                if ctx.is_active(target) and ctx.send_piece(target):
+                    sent_index = idx
+                    break
+            if sent_index is not None:
+                unchoked = unchoked[sent_index + 1:] + [unchoked[sent_index]]
+                continue
+            # No last-round partner is servable: fall back to a random
+            # all-time contributor. Never hand tit-for-tat bandwidth to
+            # peers that have given us nothing.
+            self._send_random(ctx, self._past_contributors(ctx))

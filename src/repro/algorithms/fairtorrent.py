@@ -1,0 +1,40 @@
+"""FairTorrent: the reputation/altruism hybrid (Section III-A).
+
+Each user keeps a *deficit counter* per peer — pieces uploaded to that
+peer minus pieces received from it. These counters act as local
+reputation scores: every piece goes to the servable neighbor with the
+smallest (most negative) deficit, i.e. the peer to whom we owe the
+most. When no neighbor is owed anything (all counters >= 0), the piece
+goes to a uniformly random neighbor with a zero counter — including
+newcomers — which is the altruism component that bootstraps the swarm
+and, per Table III, the ``(1 - omega)`` exposure free-riders exploit.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+
+__all__ = ["FairTorrentStrategy"]
+
+
+class FairTorrentStrategy(Strategy):
+    """Serve the lowest-deficit neighbor; random among zero deficits."""
+
+    algorithm = Algorithm.FAIRTORRENT
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        me = ctx.peer
+        while ctx.budget() > 0:
+            candidates = ctx.needy_neighbors()
+            if not candidates:
+                return
+            min_deficit = min(me.deficit(pid) for pid in candidates)
+            lowest = [pid for pid in candidates
+                      if me.deficit(pid) == min_deficit]
+            # Smallest deficit wins; ties (notably the all-zero
+            # newcomer pool) are broken uniformly at random.
+            target = lowest[0] if len(lowest) == 1 else self.rng.choice(lowest)
+            if not ctx.send_piece(target):
+                return

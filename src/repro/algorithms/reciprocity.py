@@ -1,0 +1,47 @@
+"""Pure direct reciprocity (Section III-A).
+
+Users upload *only* to repay data already received: a peer is a valid
+target only if it has given us more than we have returned, and among
+valid targets we repay the largest contributor first. Nobody ever
+initiates an exchange, so — exactly as Lemma 2 predicts — the only
+dissemination channel is the seeder, and the swarm stalls.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+
+__all__ = ["ReciprocityStrategy"]
+
+
+class ReciprocityStrategy(Strategy):
+    """Upload only to creditors, largest contributor first."""
+
+    algorithm = Algorithm.RECIPROCITY
+
+    def _creditors(self, ctx: StrategyContext) -> List[int]:
+        """Neighbors we owe (received more than we repaid) and can serve."""
+        me = ctx.peer
+        creditors = []
+        for pid in ctx.needy_neighbors():
+            if me.received_from.get(pid, 0) > me.uploaded_to.get(pid, 0):
+                creditors.append(pid)
+        return creditors
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        me = ctx.peer
+        while ctx.budget() > 0:
+            creditors = self._creditors(ctx)
+            if not creditors:
+                return
+            # Repay the neighbor that has contributed the most overall
+            # (the paper's simulation rule: upload to the neighbor that
+            # has contributed the most to them).
+            target = max(creditors,
+                         key=lambda pid: (me.received_from.get(pid, 0), -pid))
+            if not ctx.send_piece(target):
+                return

@@ -1,0 +1,53 @@
+"""Global reputation system (Section III-A, EigenTrust-style).
+
+Reputations are global knowledge: each user's score is the total
+amount of data it has (reportedly) uploaded to anyone. Uploaders pick
+receivers probabilistically, with probability proportional to
+reputation — "the probability of uploading to another user is
+proportional to the total number of pieces uploaded by that user".
+A reserved fraction ``alpha_R`` of bandwidth is spent altruistically
+on uniformly random users, which is the only way zero-reputation
+newcomers get bootstrapped (Table II's ``z(t)/2`` row reflects half
+the users making one altruistic upload per slot).
+
+The score lives on the swarm's :class:`~repro.sim.swarm.ReputationBoard`,
+which accepts *reports* — making the mechanism structurally vulnerable
+to the false-praise collusion of Section IV-C.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+from repro.sim.rng import weighted_choice
+
+__all__ = ["ReputationStrategy"]
+
+
+class ReputationStrategy(Strategy):
+    """Reputation-weighted uploads plus an altruism fraction."""
+
+    algorithm = Algorithm.REPUTATION
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        attempts = ctx.budget()
+        for _ in range(attempts):
+            if ctx.budget() == 0:
+                return
+            candidates = ctx.needy_neighbors()
+            if not candidates:
+                return
+            if self.rng.random() < self.params.alpha_r:
+                target = self.rng.choice(candidates)
+            else:
+                weights = [ctx.reputation_of(pid) for pid in candidates]
+                if sum(weights) <= 0:
+                    # The reserved (1 - alpha_R) bandwidth is unusable
+                    # while every candidate has zero reputation — this
+                    # is precisely why reputation systems bootstrap
+                    # slowly (Table II's reputation row).
+                    continue
+                target = weighted_choice(self.rng, candidates, weights)
+            if not ctx.send_piece(target):
+                return

@@ -1,0 +1,49 @@
+"""T-Chain: the reciprocity/reputation hybrid (Section III-A, [8]).
+
+Uploads are *encrypted*: the receiver gets the data but not the key.
+The key is released only after the receiver reciprocates — either
+**directly** (uploading a piece back to the uploader) or **indirectly**
+(forwarding a piece to a third user the uploader designates). Through
+indirect reciprocity a newcomer can reciprocate with the very piece it
+just received, so T-Chain bootstraps nearly as fast as altruism while
+giving free-riders nothing usable.
+
+The strategy per round:
+
+1. Fulfil pending obligations, oldest first — a compliant user always
+   reciprocates as soon as it can (the runner tries direct repayment,
+   then forwarding to the designated or any other needy user).
+2. Spend remaining budget on *opportunistic seeding*: encrypted
+   uploads to random needy neighbors, skipping peers with stale unmet
+   obligations (the mechanism's zero-tolerance for free-riders).
+
+This realises Lemma 2's observation that T-Chain reaches full upload
+utilisation: every user can initiate as many exchanges as capacity
+allows, because reciprocation is guaranteed by the key escrow.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Strategy
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+
+__all__ = ["TChainStrategy"]
+
+
+class TChainStrategy(Strategy):
+    """Reciprocate first, then opportunistically seed encrypted pieces."""
+
+    algorithm = Algorithm.TCHAIN
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        # 1. Honour our own obligations before anything else.
+        for pending in ctx.pending_obligations():
+            if ctx.budget() == 0:
+                return
+            ctx.fulfill_obligation(pending)
+
+        # 2. Opportunistic seeding with the remaining capacity.
+        while ctx.budget() > 0:
+            if not ctx.send_encrypted_random():
+                return

@@ -1,0 +1,21 @@
+"""Free-riding attack behaviours (Section IV-C / V-B2).
+
+The attack *configuration* lives in
+:class:`repro.sim.config.AttackConfig`; this package provides the
+free-rider strategy and documents how each attack is wired into the
+simulator:
+
+==============  ====================================================
+Attack          Where it acts
+==============  ====================================================
+simple          :class:`FreeRiderStrategy` (uploads nothing)
+false praise    :class:`FreeRiderStrategy` (fake reputation reports)
+collusion       runner's T-Chain key-release path
+whitewashing    runner round hook -> ``Swarm.reset_identity``
+large view      ``Swarm._build_view`` (peer flag ``large_view``)
+==============  ====================================================
+"""
+
+from repro.attacks.freerider import FreeRiderStrategy  # noqa: F401
+
+__all__ = ["FreeRiderStrategy"]

@@ -1,0 +1,52 @@
+"""Free-rider behaviour (Section IV-C, V-B2).
+
+A free-rider requests and accepts pieces like everyone else but never
+uploads — the *simple* (non-collusive) attack. The targeted attack
+flags of :class:`~repro.sim.config.AttackConfig` layer the stronger
+attacks on top:
+
+* **false praise** (reputation systems): each round, each colluder
+  injects a fake upload report crediting a fellow colluder, inflating
+  the coalition's reputations so legitimate users prefer them;
+* **collusion** (T-Chain): colluders falsely confirm indirect
+  reciprocations for each other — handled in the runner's key-release
+  path, since it is the *uploader's* protocol being subverted;
+* **whitewashing** (FairTorrent): periodic identity resets — executed
+  by the runner via :meth:`repro.sim.swarm.Swarm.reset_identity`;
+* **large view**: a wider neighbor view — applied when the peer is
+  created (see :mod:`repro.sim.swarm`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.algorithms.base import Strategy
+from repro.sim.config import AttackConfig
+from repro.sim.context import StrategyContext
+
+__all__ = ["FreeRiderStrategy"]
+
+
+class FreeRiderStrategy(Strategy):
+    """Never uploads; optionally performs false-praise collusion."""
+
+    algorithm = None
+
+    def __init__(self, params, rng: random.Random,
+                 attack: Optional[AttackConfig] = None) -> None:
+        super().__init__(params, rng)
+        self.attack = attack or AttackConfig()
+
+    def on_round(self, ctx: StrategyContext) -> None:
+        if not self.attack.false_praise:
+            return
+        # Credit a fellow colluder with fictitious uploads. Reports are
+        # unattributed on the global board, so legitimate users cannot
+        # tell them from genuine ones (footnote 6 of the paper).
+        colluders = [pid for pid in ctx.peer.colluders if ctx.is_active(pid)]
+        if not colluders:
+            return
+        beneficiary = self.rng.choice(colluders)
+        ctx.report_fake_upload(beneficiary, self.attack.fake_praise_amount)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print Tables I-III and the Figure 2/3 rankings (analytical; fast).
+``figure4`` / ``figure5`` / ``figure6``
+    Run the corresponding simulation sweep and print its summary table.
+``run``
+    Run a single simulation and print (or export) its metrics.
+``report``
+    The full reproduction report: all tables plus all three sweeps.
+
+Examples
+--------
+::
+
+    python -m repro tables
+    python -m repro run --algorithm tchain --users 200 --pieces 64
+    python -m repro run --algorithm altruism --freeriders 0.2 --json out.json
+    python -m repro figure5 --scale smoke --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures, report, scenarios, tables
+from repro.experiments.export import result_to_json, summary_dict
+from repro.names import EXTENDED_ALGORITHMS, Algorithm
+from repro.sim import SimulationConfig, run_simulation, targeted_attack_for
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "paper": scenarios.paper_scale,
+    "default": scenarios.default_scale,
+    "smoke": scenarios.smoke_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Performance Analysis of Incentive "
+                    "Mechanisms for Cooperative Computing' (ICDCS 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I-III and Fig. 2/3 rankings")
+
+    for name in ("figure4", "figure5", "figure6"):
+        fig = sub.add_parser(name, help=f"run the {name} simulation sweep")
+        fig.add_argument("--scale", choices=sorted(_SCALES), default="default")
+        fig.add_argument("--seed", type=int, default=0)
+        fig.add_argument("--plot", action="store_true",
+                         help="render the figure panels as text charts")
+        fig.add_argument("--processes", type=int, default=1,
+                         help="parallel worker processes for the sweep")
+
+    rep = sub.add_parser("report", help="full reproduction report")
+    rep.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--no-figures", action="store_true",
+                     help="analytical tables only")
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--algorithm", required=True,
+                     choices=[a.value for a in EXTENDED_ALGORITHMS])
+    run.add_argument("--users", type=int, default=200)
+    run.add_argument("--pieces", type=int, default=64)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--freeriders", type=float, default=0.0,
+                     help="free-rider fraction (targeted attacks applied)")
+    run.add_argument("--large-view", action="store_true",
+                     help="free-riders use the large-view exploit")
+    run.add_argument("--arrivals", choices=["flash", "poisson"],
+                     default="flash")
+    run.add_argument("--max-rounds", type=int, default=600)
+    run.add_argument("--json", metavar="PATH",
+                     help="write full result JSON to PATH ('-' for stdout)")
+    return parser
+
+
+def _print_summary(result) -> None:
+    for key, value in summary_dict(result).items():
+        print(f"  {key:24s} {value}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    algorithm = Algorithm.parse(args.algorithm)
+    config = SimulationConfig(
+        algorithm=algorithm,
+        n_users=args.users,
+        n_pieces=args.pieces,
+        seed=args.seed,
+        freerider_fraction=args.freeriders,
+        attack=targeted_attack_for(algorithm, large_view=args.large_view),
+        arrival_process=args.arrivals,
+        max_rounds=args.max_rounds,
+    )
+    result = run_simulation(config)
+    if args.json:
+        payload = result_to_json(result)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"wrote {args.json}")
+    else:
+        print(f"{algorithm.display_name}: {args.users} users, "
+              f"{args.pieces} pieces, seed {args.seed}")
+        _print_summary(result)
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(report.full_report(include_figures=False))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, which: str) -> int:
+    base = _SCALES[args.scale](seed=args.seed)
+    runner = getattr(figures, which)
+    result = runner(base, processes=args.processes)
+    print(result.to_text())
+    if args.plot:
+        print()
+        print(result.to_charts())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    base = _SCALES[args.scale](seed=args.seed)
+    print(report.full_report(base, include_figures=not args.no_figures))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    if args.command in ("figure4", "figure5", "figure6"):
+        return _cmd_figure(args, args.command)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

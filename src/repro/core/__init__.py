@@ -1,0 +1,79 @@
+"""Analytical models from the paper (Sections III-IV).
+
+This subpackage is the paper's primary contribution: closed-form models
+of fairness, efficiency, bootstrapping, and free-riding susceptibility
+for six incentive mechanisms, plus the design-space classification.
+
+Modules
+-------
+:mod:`repro.core.metrics`
+    Efficiency (Eq. 2), fairness (Eq. 3), Lemma 1's optimum.
+:mod:`repro.core.equilibrium`
+    Table I equilibrium rates and Corollary 1 rankings.
+:mod:`repro.core.piece_availability`
+    Exchange feasibility under imperfect piece availability
+    (Eqs. 4-8, Proposition 2, Corollary 2).
+:mod:`repro.core.reputation_model`
+    Proposition 3: reputation-driven fairness/efficiency.
+:mod:`repro.core.bootstrapping`
+    Lemma 3, Table II, Proposition 4.
+:mod:`repro.core.freeriding`
+    Table III: exploitable resources and collusion.
+:mod:`repro.core.classification`
+    Figure 1's taxonomy and qualitative expectations.
+:mod:`repro.core.tradeoff`
+    Fairness-efficiency frontier and the Figure 2/3 rankings.
+:mod:`repro.core.fluid`
+    Qiu-Srikant fluid swarm model — the substrate behind the paper's
+    BitTorrent-efficiency arguments (refs [10], [27]).
+"""
+
+from repro.core import (  # noqa: F401
+    bootstrapping,
+    classification,
+    equilibrium,
+    fluid,
+    freeriding,
+    metrics,
+    piece_availability,
+    reputation_model,
+    tradeoff,
+)
+from repro.core.bootstrapping import (  # noqa: F401
+    BootstrapParameters,
+    bootstrap_probability,
+    expected_bootstrap_time,
+    table2,
+)
+from repro.core.equilibrium import (  # noqa: F401
+    EquilibriumParameters,
+    EquilibriumResult,
+    equilibrium as equilibrium_for,
+    table1,
+)
+from repro.core.freeriding import FreeRidingParameters, table3  # noqa: F401
+from repro.core.metrics import efficiency, fairness  # noqa: F401
+
+__all__ = [
+    "bootstrapping",
+    "classification",
+    "equilibrium",
+    "fluid",
+    "freeriding",
+    "metrics",
+    "piece_availability",
+    "reputation_model",
+    "tradeoff",
+    "BootstrapParameters",
+    "bootstrap_probability",
+    "expected_bootstrap_time",
+    "table2",
+    "EquilibriumParameters",
+    "EquilibriumResult",
+    "equilibrium_for",
+    "table1",
+    "FreeRidingParameters",
+    "table3",
+    "efficiency",
+    "fairness",
+]

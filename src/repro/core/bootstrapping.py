@@ -1,0 +1,297 @@
+"""Bootstrapping model (Section IV-B: Lemma 3, Table II, Proposition 4).
+
+A flash crowd of ``P`` newcomers arrives with no pieces; an algorithm's
+**bootstrapping time** ``T_B(P)`` is the time until each newcomer holds
+at least one piece. Lemma 3 reduces the expected bootstrapping time to
+the per-timeslot probability ``p_B(t)`` that a single newcomer is
+bootstrapped::
+
+    E[T_B(P)] = sum_{n >= 1} (1 - (1 - prod_{t <= n} (1 - p_B(t)))^P)
+
+Every algorithm's ``p_B`` has the form ``1 - (N - n_S)/N * x`` where
+``n_S`` is the number of users the seeder bootstraps per timeslot and
+``x`` is the probability that no *peer* bootstraps the newcomer
+(Table II). This module provides ``x`` and ``p_B`` for all six
+algorithms, the Lemma-3 expectation, and Proposition 4's ordering
+checks, including the paper's example column (N = 1000, n_S = 1,
+K = 5, z = 500, pi_DR = 0.5, n_BT = 4, omega = 0.75, n_FT = 500,
+giving 0.1%, 71.4%, 39.6%, 71.4%, 22.2%, 91.8%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Union
+
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+__all__ = [
+    "BootstrapParameters",
+    "no_peer_bootstrap_probability",
+    "bootstrap_probability",
+    "table2",
+    "expected_bootstrap_time",
+    "bootstrap_trajectory",
+    "proposition4_ordering",
+    "fairtorrent_altruism_condition",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapParameters:
+    """Parameters of the flash-crowd bootstrapping model.
+
+    Attributes
+    ----------
+    n_users:
+        Total number of users ``N`` in the swarm.
+    n_seeder:
+        ``n_S`` — users bootstrapped by the seeder per timeslot.
+    pieces_per_slot:
+        ``K`` — average pieces each user can upload in one timeslot.
+    bootstrapped:
+        ``z(t)`` — number of already-bootstrapped users (piece holders)
+        at the time being evaluated.
+    pi_dr:
+        Probability of direct reciprocity between two users (T-Chain).
+    n_bt:
+        BitTorrent's number of reciprocal unchoke slots.
+    omega:
+        FairTorrent: probability that a user has a negative deficit
+        with at least one other user (and hence will not serve
+        zero-deficit newcomers).
+    n_ft:
+        FairTorrent: number of users with zero deficits from which the
+        uploader picks uniformly.
+    altruist_fraction:
+        Reputation algorithm: fraction of bootstrapped users that
+        altruistically upload to one user per timeslot (EigenTrust's
+        suggestion, one half).
+    """
+
+    n_users: int
+    n_seeder: int = 1
+    pieces_per_slot: int = 5
+    bootstrapped: int = 500
+    pi_dr: float = 0.5
+    n_bt: int = 4
+    omega: float = 0.75
+    n_ft: int = 500
+    altruist_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_users < 3:
+            raise ModelParameterError("n_users must be at least 3")
+        if not 0 <= self.n_seeder <= self.n_users:
+            raise ModelParameterError("n_seeder must lie in [0, n_users]")
+        if self.pieces_per_slot < 1:
+            raise ModelParameterError("pieces_per_slot must be at least 1")
+        if self.bootstrapped < 0:
+            raise ModelParameterError("bootstrapped must be non-negative")
+        for name in ("pi_dr", "omega", "altruist_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelParameterError(f"{name} must lie in [0, 1], got {value}")
+        if self.n_bt < 1 or self.n_bt > self.n_users - 3:
+            raise ModelParameterError(
+                "n_bt must lie in [1, n_users - 3] for the Table II formula")
+        if self.n_ft < self.pieces_per_slot + 2:
+            raise ModelParameterError(
+                "n_ft must exceed pieces_per_slot + 1 for the Table II formula")
+
+    def with_bootstrapped(self, z: int) -> "BootstrapParameters":
+        """Copy with a different number of bootstrapped users."""
+        return replace(self, bootstrapped=z)
+
+
+def _reciprocity_x(p: BootstrapParameters) -> float:
+    # Reciprocity peers never initiate uploads: only the seeder helps.
+    return 1.0
+
+
+def _tchain_x(p: BootstrapParameters) -> float:
+    # Each of the K*z uploads either goes to direct reciprocity (never
+    # a newcomer) with probability pi_DR, or to a random other user.
+    base = (p.n_users - 2 + p.pi_dr) / (p.n_users - 1)
+    return base ** (p.pieces_per_slot * p.bootstrapped)
+
+
+def _bittorrent_x(p: BootstrapParameters) -> float:
+    # Each bootstrapped user optimistically unchokes one of the
+    # N - n_BT - 1 users outside its reciprocity set.
+    base = (p.n_users - p.n_bt - 2) / (p.n_users - p.n_bt - 1)
+    return base ** p.bootstrapped
+
+
+def _fairtorrent_x(p: BootstrapParameters) -> float:
+    # A user serves newcomers only when none of its deficits are
+    # negative (probability 1 - omega), then picks K of the n_FT
+    # zero-deficit users uniformly.
+    base = p.omega + (1.0 - p.omega) * (
+        (p.n_ft - p.pieces_per_slot - 1) / (p.n_ft - 1))
+    return base ** p.bootstrapped
+
+
+def _reputation_x(p: BootstrapParameters) -> float:
+    # Newcomers have zero reputation, so only the altruist fraction of
+    # bootstrapped users (each uploading to one random user) can help.
+    base = (p.n_users - 2) / (p.n_users - 1)
+    return base ** (p.altruist_fraction * p.bootstrapped)
+
+
+def _altruism_x(p: BootstrapParameters) -> float:
+    # Every bootstrapped user sprays K pieces uniformly at random.
+    base = (p.n_users - 2) / (p.n_users - 1)
+    return base ** (p.pieces_per_slot * p.bootstrapped)
+
+
+_X_FUNCTIONS: Dict[Algorithm, Callable[[BootstrapParameters], float]] = {
+    # PropShare (extension): newcomers are reached only through the
+    # optimistic slot, exactly like BitTorrent's Table II row.
+    Algorithm.PROPSHARE: _bittorrent_x,
+    Algorithm.RECIPROCITY: _reciprocity_x,
+    Algorithm.TCHAIN: _tchain_x,
+    Algorithm.BITTORRENT: _bittorrent_x,
+    Algorithm.FAIRTORRENT: _fairtorrent_x,
+    Algorithm.REPUTATION: _reputation_x,
+    Algorithm.ALTRUISM: _altruism_x,
+}
+
+
+def no_peer_bootstrap_probability(algorithm: Algorithm,
+                                  params: BootstrapParameters) -> float:
+    """The factor ``x``: probability that no peer bootstraps a newcomer."""
+    return _X_FUNCTIONS[Algorithm.parse(algorithm)](params)
+
+
+def bootstrap_probability(algorithm: Algorithm,
+                          params: BootstrapParameters) -> float:
+    """Table II: probability a newcomer is bootstrapped in a timeslot::
+
+        p_B = 1 - (N - n_S)/N * x
+    """
+    x = no_peer_bootstrap_probability(algorithm, params)
+    return 1.0 - (params.n_users - params.n_seeder) / params.n_users * x
+
+
+def table2(params: BootstrapParameters,
+           algorithms: Optional[Iterable[Algorithm]] = None,
+           ) -> Dict[Algorithm, float]:
+    """Reproduce Table II's probability column for every algorithm."""
+    selected = tuple(Algorithm.parse(a) for a in (algorithms or ALL_ALGORITHMS))
+    return {a: bootstrap_probability(a, params) for a in selected}
+
+
+def expected_bootstrap_time(
+        p_b: Union[float, Callable[[int], float]],
+        newcomers: int,
+        max_slots: int = 100_000,
+        tol: float = 1e-12) -> float:
+    """Expected time for ``P`` newcomers to bootstrap (Lemma 3, Eq. 10).
+
+    Parameters
+    ----------
+    p_b:
+        Either a constant per-slot bootstrap probability or a callable
+        ``p_b(t)`` for timeslots ``t = 1, 2, ...``.
+    newcomers:
+        ``P``, the flash-crowd size.
+    max_slots:
+        Safety cap on the series; the sum is truncated when terms fall
+        below ``tol`` or the cap is reached. If ``p_b`` is identically
+        zero the expectation is infinite and ``math.inf`` is returned.
+
+    Note: Eq. 10 as printed sums ``P(T_B > n)`` from ``n = 1``, which
+    evaluates to ``E[T_B] - 1`` (e.g. 0 when ``p_B = 1``, though the
+    crowd needs one slot). We include the ``n = 0`` term, so this
+    function returns the true expectation: ``1/p`` for a single
+    newcomer with constant ``p``.
+    """
+    if newcomers < 1:
+        raise ModelParameterError("newcomers must be at least 1")
+    if callable(p_b):
+        prob = p_b
+    else:
+        constant = float(p_b)
+        if not 0.0 <= constant <= 1.0:
+            raise ModelParameterError("p_b must lie in [0, 1]")
+        def prob(_t: int, _c: float = constant) -> float:
+            return _c
+
+    total = 1.0  # the n = 0 term: the crowd always needs >= 1 slot
+    survival = 1.0  # prod_{t <= n} (1 - p_B(t)): P(still not bootstrapped)
+    for n in range(1, max_slots + 1):
+        p_n = float(prob(n))
+        if not 0.0 <= p_n <= 1.0:
+            raise ModelParameterError(f"p_b({n}) = {p_n} outside [0, 1]")
+        survival *= 1.0 - p_n
+        term = 1.0 - (1.0 - survival) ** newcomers
+        total += term
+        if term < tol:
+            return total
+    return float("inf")
+
+
+def bootstrap_trajectory(algorithm: Algorithm,
+                         params: BootstrapParameters,
+                         n_slots: int = 100,
+                         initial_bootstrapped: int = 0,
+                         ) -> List[Dict[str, float]]:
+    """Mean-field bootstrap curve implied by Table II (Figure 4c's shape).
+
+    Table II gives the per-slot probability ``p_B`` as a function of
+    the *current* number of bootstrapped users ``z(t)``; iterating the
+    expected-value dynamics::
+
+        z(t+1) = z(t) + (N - z(t)) * p_B(z(t))
+
+    yields the deterministic curve the stochastic swarm tracks. The
+    self-reinforcement (more bootstrapped users, faster bootstrapping)
+    is what makes Fig. 4c's curves S-shaped; ``pi_DR`` and ``omega``
+    are held at their configured values (a documented simplification —
+    both drift as pieces disperse).
+
+    Returns ``{"slot", "bootstrapped", "fraction"}`` rows.
+    """
+    algorithm = Algorithm.parse(algorithm)
+    if n_slots < 1:
+        raise ModelParameterError("n_slots must be at least 1")
+    if not 0 <= initial_bootstrapped <= params.n_users:
+        raise ModelParameterError(
+            "initial_bootstrapped must lie in [0, n_users]")
+    z = float(initial_bootstrapped)
+    n = params.n_users
+    rows: List[Dict[str, float]] = []
+    for slot in range(1, n_slots + 1):
+        p = bootstrap_probability(
+            algorithm, params.with_bootstrapped(int(round(z))))
+        z = min(float(n), z + (n - z) * p)
+        rows.append({"slot": float(slot), "bootstrapped": z,
+                     "fraction": z / n})
+    return rows
+
+
+def proposition4_ordering(params: BootstrapParameters) -> List[Algorithm]:
+    """Algorithms ordered fastest-bootstrapping first under ``params``.
+
+    With the paper's example parameters this reproduces Proposition 4:
+    altruism first; T-Chain and FairTorrent close behind (and tied with
+    altruism when ``pi_DR = omega = 0``); then BitTorrent, reputation,
+    and reciprocity last.
+    """
+    probs = table2(params)
+    return sorted(probs, key=lambda a: (-probs[a], a.value))
+
+
+def fairtorrent_altruism_condition(params: BootstrapParameters) -> bool:
+    """Proposition 4's condition (Eq. 14) for altruism to beat FairTorrent::
+
+        (1 - omega) (N - 1)/(n_FT - 1) <= (1 - 1/(N - 1))^(K - 1)
+
+    When ``omega`` is large enough that this holds, FairTorrent cannot
+    bootstrap faster than altruism.
+    """
+    lhs = (1.0 - params.omega) * (params.n_users - 1) / (params.n_ft - 1)
+    rhs = (1.0 - 1.0 / (params.n_users - 1)) ** (params.pieces_per_slot - 1)
+    return lhs <= rhs

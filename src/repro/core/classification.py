@@ -1,0 +1,162 @@
+"""Design-space classification of incentive mechanisms (Fig. 1, Sec. III).
+
+The paper organises incentive mechanisms along three basic exchange
+classes — reciprocity, altruism, and reputation — and places the six
+analysed algorithms in that space: three pure class representatives and
+three pairwise hybrids. Figure 1 also records the paper's *qualitative*
+performance expectations, which Sections IV-V then sharpen; we encode
+both so tests and reports can compare expectation against analysis and
+simulation.
+
+Ordinal scores run from 1 (worst) to 5 (best) within each metric; only
+the *ordering* is meaningful, matching the qualitative nature of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+__all__ = [
+    "ExchangeClass",
+    "Metric",
+    "AlgorithmProfile",
+    "PROFILES",
+    "components",
+    "hybrids_of",
+    "expected_ranking",
+    "is_hybrid",
+]
+
+
+class ExchangeClass(str, Enum):
+    """The three basic exchange classes of Section III-A."""
+
+    RECIPROCITY = "reciprocity"
+    ALTRUISM = "altruism"
+    REPUTATION = "reputation"
+
+
+class Metric(str, Enum):
+    """The four performance dimensions of Section III-B / Figure 1."""
+
+    FAIRNESS = "fairness"
+    EFFICIENCY = "efficiency"
+    BOOTSTRAPPING = "bootstrapping"
+    FREERIDING_RESISTANCE = "freeriding_resistance"
+
+
+@dataclass(frozen=True)
+class AlgorithmProfile:
+    """An algorithm's position in the design space plus expectations.
+
+    Attributes
+    ----------
+    algorithm:
+        Which of the six mechanisms this profile describes.
+    classes:
+        The basic exchange classes the mechanism combines; singleton
+        for the three pure algorithms.
+    exemplar:
+        The real system the paper cites as the class representative.
+    expectations:
+        Ordinal 1-5 score per metric, encoding Figure 1's qualitative
+        expectations (5 = best on that metric).
+    """
+
+    algorithm: Algorithm
+    classes: FrozenSet[ExchangeClass]
+    exemplar: str
+    expectations: Dict[Metric, int]
+
+    @property
+    def is_hybrid(self) -> bool:
+        return len(self.classes) > 1
+
+
+def _profile(algorithm: Algorithm, classes: Tuple[ExchangeClass, ...],
+             exemplar: str, fairness: int, efficiency: int,
+             bootstrapping: int, freeriding: int) -> AlgorithmProfile:
+    return AlgorithmProfile(
+        algorithm=algorithm,
+        classes=frozenset(classes),
+        exemplar=exemplar,
+        expectations={
+            Metric.FAIRNESS: fairness,
+            Metric.EFFICIENCY: efficiency,
+            Metric.BOOTSTRAPPING: bootstrapping,
+            Metric.FREERIDING_RESISTANCE: freeriding,
+        },
+    )
+
+
+#: Figure 1's layout: pure classes and hybrids with their exemplars and
+#: the paper's qualitative expectations (Section III-B).
+PROFILES: Dict[Algorithm, AlgorithmProfile] = {
+    Algorithm.RECIPROCITY: _profile(
+        Algorithm.RECIPROCITY, (ExchangeClass.RECIPROCITY,),
+        exemplar="pure tit-for-tat",
+        fairness=5, efficiency=1, bootstrapping=1, freeriding=5),
+    Algorithm.ALTRUISM: _profile(
+        Algorithm.ALTRUISM, (ExchangeClass.ALTRUISM,),
+        exemplar="random push / gossip",
+        fairness=1, efficiency=5, bootstrapping=5, freeriding=1),
+    Algorithm.REPUTATION: _profile(
+        Algorithm.REPUTATION, (ExchangeClass.REPUTATION,),
+        exemplar="EigenTrust",
+        fairness=3, efficiency=3, bootstrapping=2, freeriding=2),
+    Algorithm.BITTORRENT: _profile(
+        Algorithm.BITTORRENT,
+        (ExchangeClass.RECIPROCITY, ExchangeClass.ALTRUISM),
+        exemplar="BitTorrent",
+        fairness=4, efficiency=4, bootstrapping=3, freeriding=3),
+    Algorithm.FAIRTORRENT: _profile(
+        Algorithm.FAIRTORRENT,
+        (ExchangeClass.REPUTATION, ExchangeClass.ALTRUISM),
+        exemplar="FairTorrent",
+        fairness=5, efficiency=4, bootstrapping=5, freeriding=3),
+    Algorithm.TCHAIN: _profile(
+        Algorithm.TCHAIN,
+        (ExchangeClass.RECIPROCITY, ExchangeClass.REPUTATION),
+        exemplar="T-Chain",
+        fairness=5, efficiency=4, bootstrapping=4, freeriding=5),
+    # Extension beyond the paper's six (cited in Corollary 2's proof):
+    # proportional-share reciprocity plus optimistic unchoking.
+    Algorithm.PROPSHARE: _profile(
+        Algorithm.PROPSHARE,
+        (ExchangeClass.RECIPROCITY, ExchangeClass.ALTRUISM),
+        exemplar="PropShare",
+        fairness=5, efficiency=4, bootstrapping=3, freeriding=3),
+}
+
+
+def components(algorithm: Algorithm) -> FrozenSet[ExchangeClass]:
+    """The basic exchange classes a mechanism is built from."""
+    return PROFILES[Algorithm.parse(algorithm)].classes
+
+
+def is_hybrid(algorithm: Algorithm) -> bool:
+    """True for the three two-class hybrids."""
+    return PROFILES[Algorithm.parse(algorithm)].is_hybrid
+
+
+def hybrids_of(exchange_class: ExchangeClass) -> List[Algorithm]:
+    """All hybrid algorithms that include ``exchange_class``."""
+    return [a for a in ALL_ALGORITHMS
+            if PROFILES[a].is_hybrid and exchange_class in PROFILES[a].classes]
+
+
+def expected_ranking(metric: Metric) -> List[Algorithm]:
+    """Algorithms ordered best-first on ``metric`` per Figure 1.
+
+    Ties are broken by the paper's table row order, which keeps the
+    ranking deterministic for tests.
+    """
+    order = {a: i for i, a in enumerate(ALL_ALGORITHMS)}
+    return sorted(
+        ALL_ALGORITHMS,
+        key=lambda a: (-PROFILES[a].expectations[metric], order[a]),
+    )

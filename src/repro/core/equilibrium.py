@@ -1,0 +1,303 @@
+"""Equilibrium download rates (Table I, Proposition 1, Corollary 1).
+
+With perfect piece availability and no free-riders, Lemma 2 says every
+algorithm drives users to full upload utilisation ``u_i = U_i`` —
+except pure reciprocity, where nobody can initiate an exchange and
+``u_i = 0``. Proposition 1 (Table I) then gives each user's equilibrium
+*download utilisation*, i.e. the download rate received from other
+users, excluding the seeder's contribution ``u_S / N``:
+
+=============  =====================================================
+Algorithm      Download utilisation ``d_i - u_S/N``
+=============  =====================================================
+Reciprocity    ``0``
+T-Chain        ``U_i``
+BitTorrent     tit-for-tat share of its capacity group plus the
+               optimistic-unchoke (altruism) share ``alpha_BT``
+FairTorrent    ``U_i``
+Reputation     reputation-weighted share plus altruism ``alpha_R``
+Altruism       ``sum_{k != i} U_k / (N - 1)``
+=============  =====================================================
+
+BitTorrent's tit-for-tat term follows the Fan-Lui-Chiu model [10]: in
+equilibrium peers cluster into groups of ``n_BT`` users with adjacent
+upload capacities and exchange within the group, so user ``i`` receives
+the group's average capacity. We realise the paper's index set
+``j = floor(mod(i, n_BT)) + 1 .. mod(i, n_BT) + n_BT`` as the block of
+``n_BT`` capacity-adjacent users containing ``i`` (users sorted by
+descending capacity); under the corollary's standing assumption
+``U_i ~= U_{i + n_BT}`` every consistent windowing yields the same
+rates, and block grouping is the one that makes the clustering explicit.
+
+Corollary 1 compares the six algorithms: only T-Chain and FairTorrent
+achieve optimal fairness (``F = 0``); altruism achieves the highest
+(though still sub-optimal) efficiency when capacities are similar;
+BitTorrent and reputation lie between altruism and T-Chain/FairTorrent;
+and reciprocity is degenerate (no downloads at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import metrics
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+__all__ = [
+    "EquilibriumParameters",
+    "EquilibriumResult",
+    "reciprocity_download_utilization",
+    "tchain_download_utilization",
+    "bittorrent_download_utilization",
+    "fairtorrent_download_utilization",
+    "reputation_download_utilization",
+    "altruism_download_utilization",
+    "propshare_download_utilization",
+    "download_utilization",
+    "upload_rates",
+    "equilibrium",
+    "table1",
+    "corollary1_efficiency_ranking",
+    "corollary1_fair_algorithms",
+]
+
+
+@dataclass(frozen=True)
+class EquilibriumParameters:
+    """Parameters of the idealised-equilibrium model (Section IV-A1).
+
+    Attributes
+    ----------
+    capacities:
+        Upload capacities ``U_1 >= ... >= U_N`` (any order accepted;
+        sorted internally).
+    seeder_rate:
+        Aggregate seeder upload bandwidth ``u_S``; each user receives
+        an expected ``u_S / N`` from the seeder on top of the
+        peer-to-peer download utilisation.
+    alpha_bt:
+        Fraction of BitTorrent bandwidth used for optimistic unchoking
+        (altruism). The paper's experiments use 0.2.
+    alpha_r:
+        Fraction of reputation-system bandwidth reserved for altruism
+        (bootstrapping), as in EigenTrust.
+    n_bt:
+        Number of simultaneous tit-for-tat (unchoked) partners in
+        BitTorrent; the classic client uses 4.
+    """
+
+    capacities: Sequence[float]
+    seeder_rate: float = 0.0
+    alpha_bt: float = 0.2
+    alpha_r: float = 0.1
+    n_bt: int = 4
+
+    def __post_init__(self) -> None:
+        caps = metrics.validate_capacities(self.capacities)
+        object.__setattr__(self, "capacities", tuple(float(c) for c in caps))
+        if self.seeder_rate < 0:
+            raise ModelParameterError("seeder_rate must be non-negative")
+        for name in ("alpha_bt", "alpha_r"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelParameterError(f"{name} must lie in [0, 1], got {value}")
+        if self.n_bt < 1:
+            raise ModelParameterError("n_bt must be at least 1")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.capacities)
+
+    def capacity_array(self) -> np.ndarray:
+        return np.asarray(self.capacities, dtype=float)
+
+
+@dataclass(frozen=True)
+class EquilibriumResult:
+    """Equilibrium rates and headline metrics for one algorithm."""
+
+    algorithm: Algorithm
+    upload_rates: np.ndarray
+    download_rates: np.ndarray
+    efficiency: float = field(init=False)
+    fairness: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "efficiency",
+                           metrics.efficiency(self.download_rates))
+        object.__setattr__(self, "fairness",
+                           metrics.fairness(self.download_rates, self.upload_rates))
+
+
+def _require_two_users(caps: np.ndarray) -> None:
+    if caps.size < 2:
+        raise ModelParameterError("equilibrium model requires at least two users")
+
+
+def reciprocity_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """Pure reciprocity: nobody can initiate, so utilisation is zero."""
+    return np.zeros(params.n_users)
+
+
+def tchain_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """T-Chain: with perfect availability every upload is reciprocated,
+    so each user downloads exactly its upload capacity ``U_i``."""
+    return params.capacity_array()
+
+
+def fairtorrent_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """FairTorrent: zero deficits in equilibrium force ``d_i = U_i``."""
+    return params.capacity_array()
+
+
+def altruism_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """Altruism: each user receives the mean capacity of the others."""
+    caps = params.capacity_array()
+    _require_two_users(caps)
+    total = caps.sum()
+    return (total - caps) / (caps.size - 1)
+
+
+def bittorrent_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """BitTorrent: tit-for-tat within capacity groups plus altruism.
+
+    Users (sorted by descending capacity) are partitioned into blocks
+    of ``n_bt``; the tit-for-tat share of user ``i``'s download rate is
+    the mean capacity of its block scaled by ``1 - alpha_bt``, and the
+    optimistic-unchoke share spreads everyone's ``alpha_bt`` fraction
+    uniformly, mirroring the altruism row.
+    """
+    caps = params.capacity_array()
+    _require_two_users(caps)
+    n = caps.size
+    n_bt = min(params.n_bt, n)
+    tit_for_tat = np.empty(n)
+    for start in range(0, n, n_bt):
+        block = caps[start:start + n_bt]
+        tit_for_tat[start:start + n_bt] = block.mean()
+    altruistic = (caps.sum() - caps) / (n - 1)
+    return (1.0 - params.alpha_bt) * tit_for_tat + params.alpha_bt * altruistic
+
+
+def reputation_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """Reputation: reputations proportional to capacity in equilibrium.
+
+    User ``i`` receives ``U_i * sum_{j != i} (1 - alpha_R) U_j /
+    sum_{k != j} U_k`` from reputation-weighted uploads, plus the
+    uniform altruism share of everyone's ``alpha_R`` fraction.
+    """
+    caps = params.capacity_array()
+    _require_two_users(caps)
+    n = caps.size
+    total = caps.sum()
+    # weight_j = U_j / sum_{k != j} U_k, i.e. uploader j's bandwidth
+    # normalised by the total reputation of its candidate receivers.
+    weights = caps / (total - caps)
+    reputation_share = np.empty(n)
+    for i in range(n):
+        reputation_share[i] = caps[i] * (1.0 - params.alpha_r) * (
+            weights.sum() - weights[i]
+        )
+    altruistic = (total - caps) / (n - 1)
+    return reputation_share + params.alpha_r * altruistic
+
+
+def propshare_download_utilization(params: EquilibriumParameters) -> np.ndarray:
+    """PropShare (extension, [5]): proportional reciprocity.
+
+    In equilibrium a proportional allocation returns each user's
+    contribution exactly, so the reciprocal share gives ``U_i`` and the
+    remaining ``alpha_BT`` fraction is the uniform altruism share —
+    PropShare interpolates between FairTorrent/T-Chain's perfect
+    return and altruism, without BitTorrent's capacity-group mixing.
+    """
+    caps = params.capacity_array()
+    _require_two_users(caps)
+    altruistic = (caps.sum() - caps) / (caps.size - 1)
+    return (1.0 - params.alpha_bt) * caps + params.alpha_bt * altruistic
+
+
+_UTILIZATION_FUNCTIONS = {
+    Algorithm.PROPSHARE: propshare_download_utilization,
+    Algorithm.RECIPROCITY: reciprocity_download_utilization,
+    Algorithm.TCHAIN: tchain_download_utilization,
+    Algorithm.BITTORRENT: bittorrent_download_utilization,
+    Algorithm.FAIRTORRENT: fairtorrent_download_utilization,
+    Algorithm.REPUTATION: reputation_download_utilization,
+    Algorithm.ALTRUISM: altruism_download_utilization,
+}
+
+
+def download_utilization(algorithm: Algorithm,
+                         params: EquilibriumParameters) -> np.ndarray:
+    """Table I row for ``algorithm``: ``d_i - u_S/N`` per user."""
+    return _UTILIZATION_FUNCTIONS[Algorithm.parse(algorithm)](params)
+
+
+def upload_rates(algorithm: Algorithm,
+                 params: EquilibriumParameters) -> np.ndarray:
+    """Equilibrium upload rates from Lemma 2.
+
+    Everyone uploads at full capacity except reciprocity users, who
+    cannot initiate any exchange and upload nothing.
+    """
+    if Algorithm.parse(algorithm) is Algorithm.RECIPROCITY:
+        return np.zeros(params.n_users)
+    return params.capacity_array()
+
+
+def equilibrium(algorithm: Algorithm,
+                params: EquilibriumParameters) -> EquilibriumResult:
+    """Full equilibrium (rates + metrics) for one algorithm.
+
+    Download rates include the seeder share ``u_S / N``.
+    """
+    algorithm = Algorithm.parse(algorithm)
+    utilisation = download_utilization(algorithm, params)
+    seeder_share = params.seeder_rate / params.n_users
+    return EquilibriumResult(
+        algorithm=algorithm,
+        upload_rates=upload_rates(algorithm, params),
+        download_rates=utilisation + seeder_share,
+    )
+
+
+def table1(params: EquilibriumParameters,
+           algorithms: Optional[Iterable[Algorithm]] = None,
+           ) -> Dict[Algorithm, EquilibriumResult]:
+    """Reproduce Table I: equilibrium results for every algorithm."""
+    selected = tuple(Algorithm.parse(a) for a in (algorithms or ALL_ALGORITHMS))
+    return {a: equilibrium(a, params) for a in selected}
+
+
+def corollary1_efficiency_ranking(params: EquilibriumParameters,
+                                  ) -> List[Algorithm]:
+    """Algorithms sorted most-efficient first (smallest ``E``).
+
+    Under Corollary 1's similarity assumptions this yields altruism
+    first, then BitTorrent and reputation, then T-Chain and
+    FairTorrent, with reciprocity last (infinite download time).
+    """
+    results = table1(params)
+    return sorted(results, key=lambda a: (results[a].efficiency, a.value))
+
+
+def corollary1_fair_algorithms(params: EquilibriumParameters,
+                               tol: float = 1e-9) -> List[Algorithm]:
+    """Algorithms achieving optimal fairness ``F = 0`` in equilibrium.
+
+    Per Corollary 1 this is exactly T-Chain and FairTorrent (their
+    download and upload rates coincide). The seeder share is excluded
+    from this check, matching the paper's utilisation-based argument.
+    """
+    fair: List[Algorithm] = []
+    for algorithm in ALL_ALGORITHMS:
+        utilisation = download_utilization(algorithm, params)
+        uploads = upload_rates(algorithm, params)
+        if np.all(uploads > 0) and np.all(np.abs(utilisation - uploads) <= tol):
+            fair.append(algorithm)
+    return fair

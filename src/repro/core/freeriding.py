@@ -1,0 +1,200 @@
+"""Free-riding susceptibility model (Section IV-C, Table III).
+
+The paper quantifies the potential for free-riding through two
+channels:
+
+* **Exploitable resources** — upload bandwidth handed out without an
+  enforceable expectation of return. Altruism gives away everything;
+  BitTorrent and reputation give away their altruism fractions
+  (``alpha_BT``, ``alpha_R``); FairTorrent gives away the
+  ``1 - omega`` fraction of time in which users have no outstanding
+  negative deficits; reciprocity and T-Chain give away nothing.
+* **Collusion** — tricking legitimate users via third parties.
+  Reputation systems are fully vulnerable (colluders inflate each
+  other's scores); T-Chain is vulnerable only when an indirect
+  reciprocation happens to be routed through a colluding pair, with
+  probability ``pi_IR * m(m-1) / (N(N-1))`` for ``m`` colluders;
+  the rest have no third-party channel at all.
+
+FairTorrent's exposure is additionally bounded: a compliant user's
+deficit with any peer stays ``O(log N)`` pieces (Sherman et al. [7]),
+which caps what a free-rider — even a whitewashing one — can ever
+extract from a single victim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core import metrics
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+__all__ = [
+    "FreeRidingParameters",
+    "exploitable_resources",
+    "collusion_probability",
+    "table3",
+    "fairtorrent_deficit_bound",
+    "fairtorrent_expected_free_pieces",
+    "susceptibility_ranking",
+]
+
+
+@dataclass(frozen=True)
+class FreeRidingParameters:
+    """Parameters of the free-riding susceptibility model.
+
+    Attributes
+    ----------
+    capacities:
+        Compliant users' upload capacities ``U_i``; the total system
+        resource is their sum.
+    alpha_bt / alpha_r:
+        Altruism fractions of BitTorrent and the reputation system.
+    omega:
+        FairTorrent: probability a user holds a negative deficit with
+        at least one peer (so its bandwidth is *not* up for grabs).
+    pi_ir:
+        T-Chain: probability of indirect reciprocity between a given
+        user pair (see :func:`repro.core.piece_availability.pi_indirect_reciprocity`).
+    n_colluders:
+        ``m`` — size of the colluding free-rider group.
+    """
+
+    capacities: Sequence[float]
+    alpha_bt: float = 0.2
+    alpha_r: float = 0.1
+    omega: float = 0.75
+    pi_ir: float = 0.05
+    n_colluders: int = 0
+
+    def __post_init__(self) -> None:
+        caps = metrics.validate_capacities(self.capacities)
+        object.__setattr__(self, "capacities", tuple(float(c) for c in caps))
+        for name in ("alpha_bt", "alpha_r", "omega", "pi_ir"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelParameterError(f"{name} must lie in [0, 1], got {value}")
+        if self.n_colluders < 0:
+            raise ModelParameterError("n_colluders must be non-negative")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.capacities)
+
+    @property
+    def total_capacity(self) -> float:
+        return float(sum(self.capacities))
+
+
+def exploitable_resources(algorithm: Algorithm,
+                          params: FreeRidingParameters) -> float:
+    """Table III: upload bandwidth exploitable by non-collusive free-riders."""
+    algorithm = Algorithm.parse(algorithm)
+    total = params.total_capacity
+    if algorithm in (Algorithm.RECIPROCITY, Algorithm.TCHAIN):
+        return 0.0
+    if algorithm in (Algorithm.BITTORRENT, Algorithm.PROPSHARE):
+        # PropShare (extension) exposes the same optimistic share.
+        return params.alpha_bt * total
+    if algorithm is Algorithm.FAIRTORRENT:
+        return (1.0 - params.omega) * total
+    if algorithm is Algorithm.REPUTATION:
+        return params.alpha_r * total
+    return total  # altruism: everything is free
+
+
+def collusion_probability(algorithm: Algorithm,
+                          params: FreeRidingParameters) -> Optional[float]:
+    """Table III: probability that a collusive attack succeeds.
+
+    Returns ``None`` for algorithms where collusion is meaningless
+    (altruism already gives everything away — the paper marks it
+    "n/a"). Reciprocity, BitTorrent and FairTorrent have no
+    third-party channel, so their probability is 0. The reputation
+    system is fully gameable (probability 1). T-Chain's exposure is
+    ``pi_IR * m(m-1) / (N(N-1))``: an indirect reciprocation must
+    occur *and* both its receiver and its designated third party must
+    be colluders.
+    """
+    algorithm = Algorithm.parse(algorithm)
+    if algorithm is Algorithm.ALTRUISM:
+        return None
+    if algorithm is Algorithm.REPUTATION:
+        return 1.0
+    if algorithm is Algorithm.TCHAIN:
+        n = params.n_users
+        m = params.n_colluders
+        if n < 2 or m < 2:
+            return 0.0
+        return params.pi_ir * (m - 1) * m / ((n - 1) * n)
+    return 0.0
+
+
+def table3(params: FreeRidingParameters,
+           algorithms: Optional[Iterable[Algorithm]] = None,
+           ) -> Dict[Algorithm, Dict[str, Optional[float]]]:
+    """Reproduce Table III for every algorithm.
+
+    Each entry maps to ``{"exploitable": ..., "collusion": ...}`` where
+    ``collusion`` is ``None`` for altruism (marked n/a in the paper).
+    """
+    selected = tuple(Algorithm.parse(a) for a in (algorithms or ALL_ALGORITHMS))
+    return {
+        a: {
+            "exploitable": exploitable_resources(a, params),
+            "collusion": collusion_probability(a, params),
+        }
+        for a in selected
+    }
+
+
+def fairtorrent_deficit_bound(n_users: int, constant: float = 1.0) -> float:
+    """FairTorrent's ``O(log N)`` bound on any pairwise deficit [7].
+
+    ``constant`` scales the bound; the asymptotic shape is what the
+    paper relies on to argue a free-rider's take is capped even under
+    whitewashing.
+    """
+    if n_users < 2:
+        raise ModelParameterError("n_users must be at least 2")
+    return constant * math.log(n_users)
+
+
+def fairtorrent_expected_free_pieces(n_users: int, n_freeriders: int,
+                                     omega: float = 0.0) -> float:
+    """Expected pieces per timeslot obtained by FairTorrent free-riders.
+
+    In the most favourable case (``omega = 0``) ``m`` free-riders
+    collect an expected ``m / N`` pieces per timeslot from each
+    uploading user; the general form scales by ``1 - omega``.
+    """
+    if n_users < 1 or not 0 <= n_freeriders <= n_users:
+        raise ModelParameterError("need 0 <= n_freeriders <= n_users, n_users >= 1")
+    if not 0.0 <= omega <= 1.0:
+        raise ModelParameterError("omega must lie in [0, 1]")
+    return (1.0 - omega) * n_freeriders / n_users
+
+
+def susceptibility_ranking(params: FreeRidingParameters) -> list:
+    """Algorithms ordered least-susceptible first.
+
+    Orders primarily by exploitable resources, breaking ties by
+    collusion probability (``None`` sorts last). With the default
+    parameters this reproduces the paper's ordering: reciprocity and
+    T-Chain (zero exploitable; T-Chain carries the tiny collusion
+    term), then reputation and BitTorrent, then FairTorrent, with
+    altruism most susceptible.
+    """
+    rows = table3(params)
+
+    def key(algorithm: Algorithm):
+        entry = rows[algorithm]
+        collusion = entry["collusion"]
+        collusion_key = math.inf if collusion is None else collusion
+        return (entry["exploitable"], collusion_key, algorithm.value)
+
+    return sorted(rows, key=key)

@@ -1,0 +1,283 @@
+"""Fairness and efficiency metrics (Section IV-A, Eqs. 1-3, Lemma 1).
+
+The paper measures system performance with two headline metrics:
+
+* **Efficiency** ``E`` — the average download time over all users for a
+  unit-size file, approximated from equilibrium download rates ``d_i``
+  (Eq. 2)::
+
+      E = sum_i 1 / (N * d_i)
+
+  Lower is better (it is a *time*). Some helpers in this module also
+  expose the reciprocal convention (rates) where noted.
+
+* **Fairness** ``F`` — the mean absolute log download/upload ratio
+  (Eq. 3)::
+
+      F = (1/N) * sum_i | log(d_i / u_i) |
+
+  ``F = 0`` iff every user downloads exactly as much as it uploads.
+
+Lemma 1 states the fundamental tension: perfect fairness requires
+``u_i = d_i`` per user, while maximum efficiency requires everyone to
+upload at full capacity *and* all users to share one equal download
+rate ``d_i = (sum_k U_k + u_S) / N`` — the two coincide only for
+homogeneous capacities.
+
+The module also implements the **average fairness** statistic
+``(1/N) * sum_i u_i / d_i`` used in the paper's experiments
+(Section V), and Jain's index as a conventional cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+
+__all__ = [
+    "validate_rates",
+    "validate_capacities",
+    "efficiency",
+    "average_download_time",
+    "per_user_fairness",
+    "fairness",
+    "average_fairness",
+    "jain_index",
+    "alpha_fair_utility",
+    "optimal_download_rates",
+    "optimal_efficiency",
+    "check_conservation",
+    "is_perfectly_fair",
+]
+
+#: Tolerance used for floating-point feasibility checks.
+_EPS = 1e-9
+
+
+def _as_float_array(values: Iterable[float], name: str) -> np.ndarray:
+    """Convert ``values`` to a 1-D float array, validating shape."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=float)
+    if arr.ndim != 1:
+        raise ModelParameterError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ModelParameterError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ModelParameterError(f"{name} must contain only finite values")
+    return arr
+
+
+def validate_rates(rates: Iterable[float], name: str = "rates",
+                   strictly_positive: bool = False) -> np.ndarray:
+    """Validate a vector of bandwidth rates and return it as an array.
+
+    Parameters
+    ----------
+    rates:
+        Upload or download rates, one per user.
+    name:
+        Used in error messages.
+    strictly_positive:
+        If true, zeros are rejected (needed e.g. when dividing by the
+        rates to compute download times).
+    """
+    arr = _as_float_array(rates, name)
+    if strictly_positive:
+        if np.any(arr <= 0):
+            raise ModelParameterError(f"{name} must be strictly positive")
+    elif np.any(arr < 0):
+        raise ModelParameterError(f"{name} must be non-negative")
+    return arr
+
+
+def validate_capacities(capacities: Iterable[float],
+                        enforce_balance: bool = False) -> np.ndarray:
+    """Validate an upload-capacity vector ``U`` and sort it descending.
+
+    The paper indexes users so that ``U_1 >= U_2 >= ... >= U_N`` and
+    assumes no single user owns a disproportionate share of capacity:
+    ``U_i <= sum_{j != i} U_j`` for every ``i``.
+
+    Parameters
+    ----------
+    capacities:
+        Upload capacities, any order; returned sorted descending.
+    enforce_balance:
+        If true, raise :class:`ModelParameterError` when the balance
+        assumption ``U_i <= sum_{j != i} U_j`` fails (it can only fail
+        for the largest user).
+    """
+    arr = validate_rates(capacities, "capacities")
+    arr = np.sort(arr)[::-1]
+    if enforce_balance and arr.size > 1:
+        if arr[0] > arr[1:].sum() + _EPS:
+            raise ModelParameterError(
+                "capacity balance violated: U_1 = %g > sum of others = %g"
+                % (arr[0], arr[1:].sum())
+            )
+    return arr
+
+
+def efficiency(download_rates: Iterable[float]) -> float:
+    """Average download time ``E`` for a unit file (Eq. 2).
+
+    ``E = sum_i 1 / (N d_i)``. A user with a zero download rate never
+    finishes, so the result is ``inf`` if any rate is zero — this is
+    exactly the paper's verdict on pure reciprocity.
+    """
+    d = validate_rates(download_rates, "download_rates")
+    if np.any(d == 0):
+        return math.inf
+    return float(np.mean(1.0 / d))
+
+
+def average_download_time(download_rates: Iterable[float],
+                          file_size: float = 1.0) -> float:
+    """Average time to download a file of ``file_size`` at rates ``d_i``."""
+    if file_size <= 0:
+        raise ModelParameterError("file_size must be positive")
+    return file_size * efficiency(download_rates)
+
+
+def per_user_fairness(download_rates: Iterable[float],
+                      upload_rates: Iterable[float]) -> np.ndarray:
+    """Per-user fairness ratios ``f_i = d_i / u_i``.
+
+    A ratio of 1 means the user received exactly what it contributed.
+    Users with ``u_i = 0`` get ``inf`` (pure consumers) unless
+    ``d_i = 0`` too, in which case the ratio is defined as 1 (the user
+    neither gave nor received — vacuously fair, as for reciprocity
+    users in equilibrium).
+    """
+    d = validate_rates(download_rates, "download_rates")
+    u = validate_rates(upload_rates, "upload_rates")
+    if d.shape != u.shape:
+        raise ModelParameterError("download and upload vectors must have equal length")
+    out = np.empty_like(d)
+    both_zero = (u == 0) & (d == 0)
+    consumer = (u == 0) & (d > 0)
+    normal = u > 0
+    out[both_zero] = 1.0
+    out[consumer] = math.inf
+    out[normal] = d[normal] / u[normal]
+    return out
+
+
+def fairness(download_rates: Iterable[float],
+             upload_rates: Iterable[float]) -> float:
+    """System fairness ``F`` (Eq. 3): mean of ``|log(d_i/u_i)|``.
+
+    ``F = 0`` iff ``d_i = u_i`` for all users; larger is less fair.
+    Returns ``inf`` when some user is a pure consumer or pure producer
+    (one of the rates is zero while the other is not).
+    """
+    ratios = per_user_fairness(download_rates, upload_rates)
+    if np.any(np.isinf(ratios)) or np.any(ratios == 0):
+        return math.inf
+    return float(np.mean(np.abs(np.log(ratios))))
+
+
+def average_fairness(download_rates: Iterable[float],
+                     upload_rates: Iterable[float]) -> float:
+    """Experimental fairness statistic ``(1/N) sum_i u_i / d_i``.
+
+    This is the convenience measure used in Section V's experiments in
+    place of ``F``; it approaches 1 as the system becomes fair. Users
+    with ``d_i = 0`` and ``u_i = 0`` contribute a ratio of 1; a user
+    that uploads without downloading makes the statistic ``inf``.
+    """
+    d = validate_rates(download_rates, "download_rates")
+    u = validate_rates(upload_rates, "upload_rates")
+    if d.shape != u.shape:
+        raise ModelParameterError("download and upload vectors must have equal length")
+    ratios = np.empty_like(d)
+    both_zero = (d == 0) & (u == 0)
+    producer = (d == 0) & (u > 0)
+    normal = d > 0
+    ratios[both_zero] = 1.0
+    ratios[producer] = math.inf
+    ratios[normal] = u[normal] / d[normal]
+    return float(np.mean(ratios))
+
+
+def alpha_fair_utility(rates: Iterable[float], alpha: float) -> float:
+    """The alpha-fairness utility of an allocation (Lan et al. [35]).
+
+    ``sum_i x_i^(1-alpha) / (1-alpha)`` for ``alpha != 1``, and
+    ``sum_i log(x_i)`` at ``alpha = 1``. Corollary 1's proof uses the
+    fact that Eq. 2's average download time is (up to sign and scale)
+    alpha-fairness with ``alpha = 2``: maximising this utility at
+    ``alpha = 2`` is exactly minimising ``sum 1/d_i``.
+    """
+    x = validate_rates(rates, "rates", strictly_positive=True)
+    if alpha < 0:
+        raise ModelParameterError("alpha must be non-negative")
+    if abs(alpha - 1.0) < 1e-12:
+        return float(np.sum(np.log(x)))
+    return float(np.sum(np.power(x, 1.0 - alpha)) / (1.0 - alpha))
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector.
+
+    ``J = (sum x)^2 / (N * sum x^2)`` ranges from ``1/N`` (one user
+    gets everything) to 1 (perfectly equal). Included as a conventional
+    cross-check metric; the paper's own statistic is :func:`fairness`.
+    """
+    x = validate_rates(values, "values")
+    total_sq = float(x.sum()) ** 2
+    denom = float(x.size * np.square(x).sum())
+    if denom == 0:
+        return 1.0
+    return total_sq / denom
+
+
+def optimal_download_rates(capacities: Iterable[float],
+                           seeder_rate: float = 0.0) -> np.ndarray:
+    """Efficiency-optimal download rates from Lemma 1.
+
+    Maximising efficiency subject to the conservation constraint
+    (Eq. 1) gives every user the *same* rate
+    ``d_i = (sum_k U_k + u_S) / N`` — the KKT solution derived in the
+    appendix. No algorithm in the paper achieves this exactly.
+    """
+    if seeder_rate < 0:
+        raise ModelParameterError("seeder_rate must be non-negative")
+    caps = validate_rates(capacities, "capacities")
+    rate = (float(caps.sum()) + seeder_rate) / caps.size
+    return np.full(caps.size, rate)
+
+
+def optimal_efficiency(capacities: Iterable[float],
+                       seeder_rate: float = 0.0) -> float:
+    """The minimum achievable average download time (Lemma 1)."""
+    return efficiency(optimal_download_rates(capacities, seeder_rate))
+
+
+def check_conservation(upload_rates: Sequence[float],
+                       download_rates: Sequence[float],
+                       seeder_rate: float = 0.0,
+                       tol: float = 1e-6) -> bool:
+    """Check the flow-conservation constraint (Eq. 1).
+
+    Total upload (including the seeder) must equal total download:
+    ``u_S + sum_i u_i == sum_i d_i``.
+    """
+    u = validate_rates(upload_rates, "upload_rates")
+    d = validate_rates(download_rates, "download_rates")
+    return bool(abs(seeder_rate + float(u.sum()) - float(d.sum())) <= tol)
+
+
+def is_perfectly_fair(download_rates: Iterable[float],
+                      upload_rates: Iterable[float],
+                      tol: float = 1e-9) -> bool:
+    """True iff ``d_i == u_i`` for every user (so ``F == 0``)."""
+    d = validate_rates(download_rates, "download_rates")
+    u = validate_rates(upload_rates, "upload_rates")
+    if d.shape != u.shape:
+        raise ModelParameterError("download and upload vectors must have equal length")
+    return bool(np.all(np.abs(d - u) <= tol))

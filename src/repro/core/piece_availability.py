@@ -1,0 +1,268 @@
+"""Piece-availability model (Section IV-A2, Eqs. 4-8, Prop. 2, Cor. 2).
+
+Perfect piece availability never holds in real swarms: whether user
+``j`` *can* upload to user ``i`` depends on whether ``i`` still needs a
+piece that ``j`` holds. Following the paper (and the file-sharing
+effectiveness analysis of Qiu & Srikant [27]), we assume each user's
+pieces are a uniformly random subset of the ``M`` file pieces — the
+regime achieved by local-rarest-first selection — and compute, for each
+algorithm, the probability that an exchange between two users is
+*feasible*.
+
+Notation: user ``i`` holds ``m_i`` pieces, user ``j`` holds ``m_j``
+pieces, out of ``M`` total; ``p_l`` is the probability that a random
+user holds exactly ``l`` pieces.
+
+A note on Eq. 5: the paper prints the "needs at least one piece"
+probability as ``1 - C(M - m_j, m_i - m_j) / C(M, m_j)``. With
+uniformly random piece sets the subset probability is
+``C(m_i, m_j) / C(M, m_j)`` (equivalently
+``C(M - m_j, m_i - m_j) / C(M, m_i)``) — the printed denominator is a
+typo. We implement the corrected form; it is the unique choice
+consistent with the closed form of Eq. 4, which we verified reduces to
+``1 - C(M - min, max - min) / C(M, max)`` exactly.
+
+Eq. 4's product ``q(i,j) q(j,i)`` treats the two "needs" events as
+independent, which fails only when ``m_i == m_j`` (the events then
+coincide). The closed form on the right-hand side of Eq. 4 is the exact
+joint probability in every case, so :func:`pi_direct_reciprocity` uses
+it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+
+__all__ = [
+    "needs_piece_probability",
+    "pi_direct_reciprocity",
+    "indirect_redirect_probability",
+    "pi_indirect_reciprocity",
+    "pi_tchain",
+    "pi_bittorrent",
+    "pi_altruism",
+    "tchain_dominates_bittorrent_alpha_bound",
+    "PieceCountDistribution",
+]
+
+
+def _validate_counts(M: int, *counts: int) -> None:
+    if M < 1:
+        raise ModelParameterError(f"M must be a positive integer, got {M}")
+    for m in counts:
+        if not 0 <= m <= M:
+            raise ModelParameterError(
+                f"piece count must lie in [0, {M}], got {m}")
+
+
+def needs_piece_probability(m_needer: int, m_holder: int, M: int) -> float:
+    """Probability ``q`` that one user needs at least one piece of another.
+
+    This is Eq. 5 (with the denominator typo corrected): the
+    probability that a user holding ``m_needer`` uniformly random
+    pieces lacks at least one of the ``m_holder`` uniformly random
+    pieces held by the other user::
+
+        q = 1 - C(m_needer, m_holder) / C(M, m_holder)
+
+    Edge cases fall out naturally: ``q = 0`` when the holder has no
+    pieces or the needer has everything, and ``q = 1`` when
+    ``m_needer < m_holder`` (pigeonhole).
+    """
+    _validate_counts(M, m_needer, m_holder)
+    if m_holder == 0:
+        return 0.0
+    if m_needer < m_holder:
+        return 1.0
+    # math.comb(m_needer, m_holder) can be astronomically large for big
+    # M; compute the ratio in log space for numerical robustness.
+    log_ratio = (_log_comb(m_needer, m_holder) - _log_comb(M, m_holder))
+    return float(1.0 - math.exp(log_ratio))
+
+
+def _log_comb(n: int, k: int) -> float:
+    """``log C(n, k)`` computed via lgamma; ``-inf`` when ``k > n``."""
+    if k < 0 or k > n:
+        return -math.inf
+    return (math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1))
+
+
+def pi_direct_reciprocity(m_i: int, m_j: int, M: int) -> float:
+    """Exact probability that users ``i`` and ``j`` can exchange pieces
+    with direct reciprocation (Eq. 4, closed form)::
+
+        pi_DR = 1 - C(M - min, max - min) / C(M, max)
+
+    Both users must need at least one of the other's pieces. The
+    result is 0 whenever either user holds no pieces — a flash-crowd
+    newcomer cannot engage in direct reciprocity at all.
+    """
+    _validate_counts(M, m_i, m_j)
+    lo, hi = min(m_i, m_j), max(m_i, m_j)
+    if lo == 0 or hi == 0:
+        return 0.0
+    log_ratio = _log_comb(M - lo, hi - lo) - _log_comb(M, hi)
+    return float(1.0 - math.exp(log_ratio))
+
+
+@dataclass(frozen=True)
+class PieceCountDistribution:
+    """Distribution ``p_l`` of per-user piece counts, ``l = 0 .. M``.
+
+    The T-Chain exchange probability (Eq. 6) needs the distribution of
+    piece counts across the swarm to evaluate the chance that a
+    suitable third user exists for indirect reciprocity.
+    """
+
+    M: int
+    probabilities: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if self.M < 1:
+            raise ModelParameterError("M must be positive")
+        p = np.asarray(self.probabilities, dtype=float)
+        if p.ndim != 1 or p.size != self.M + 1:
+            raise ModelParameterError(
+                f"probabilities must have length M + 1 = {self.M + 1}, got {p.size}")
+        if np.any(p < -1e-12) or abs(float(p.sum()) - 1.0) > 1e-9:
+            raise ModelParameterError("probabilities must be a distribution")
+        object.__setattr__(self, "probabilities", tuple(float(x) for x in np.clip(p, 0.0, 1.0)))
+
+    @classmethod
+    def uniform(cls, M: int, include_zero: bool = True) -> "PieceCountDistribution":
+        """Uniform over piece counts (0..M or 1..M)."""
+        start = 0 if include_zero else 1
+        p = np.zeros(M + 1)
+        p[start:] = 1.0 / (M + 1 - start)
+        return cls(M, p)
+
+    @classmethod
+    def degenerate(cls, M: int, count: int) -> "PieceCountDistribution":
+        """Every user holds exactly ``count`` pieces."""
+        p = np.zeros(M + 1)
+        p[count] = 1.0
+        return cls(M, p)
+
+    @classmethod
+    def binomial(cls, M: int, completion: float) -> "PieceCountDistribution":
+        """Each piece held independently with probability ``completion``.
+
+        Models a steady-state swarm whose average progress is
+        ``completion``; the count distribution is Binomial(M, c).
+        """
+        if not 0.0 <= completion <= 1.0:
+            raise ModelParameterError("completion must lie in [0, 1]")
+        counts = np.arange(M + 1)
+        log_p = np.array([
+            _log_comb(M, int(k))
+            + (k * math.log(completion) if completion > 0 else (0.0 if k == 0 else -math.inf))
+            + ((M - k) * math.log1p(-completion) if completion < 1 else (0.0 if k == M else -math.inf))
+            for k in counts
+        ])
+        p = np.exp(log_p)
+        p /= p.sum()
+        return cls(M, p)
+
+    @classmethod
+    def flash_crowd(cls, M: int, bootstrapped_fraction: float,
+                    pieces_if_bootstrapped: int = 1) -> "PieceCountDistribution":
+        """Right after a flash crowd: most users hold 0 or a few pieces."""
+        if not 0.0 <= bootstrapped_fraction <= 1.0:
+            raise ModelParameterError("bootstrapped_fraction must lie in [0, 1]")
+        p = np.zeros(M + 1)
+        p[0] = 1.0 - bootstrapped_fraction
+        p[min(pieces_if_bootstrapped, M)] += bootstrapped_fraction
+        return cls(M, p)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.probabilities, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.dot(np.arange(self.M + 1), self.as_array()))
+
+
+def indirect_redirect_probability(m_j: int, distribution: PieceCountDistribution,
+                                  n_users: int) -> float:
+    """Probability that at least one third user can trigger indirect
+    reciprocity for uploader ``j`` (the trailing factor of Eq. 6)::
+
+        1 - (1 - sum_l p_l q(j, l) (1 - q(l, j)))^(N - 2)
+
+    A third user ``l`` qualifies when ``j`` needs a piece from ``l``
+    (``q(j, l)``) but ``l`` needs nothing from ``j`` (``1 - q(l, j)``),
+    so ``l`` redirects ``j``'s reciprocation to the original receiver.
+    """
+    if n_users < 2:
+        raise ModelParameterError("n_users must be at least 2")
+    M = distribution.M
+    _validate_counts(M, m_j)
+    p = distribution.as_array()
+    per_user = 0.0
+    for l, p_l in enumerate(p):
+        if p_l == 0.0:
+            continue
+        per_user += p_l * needs_piece_probability(m_j, l, M) * (
+            1.0 - needs_piece_probability(l, m_j, M))
+    per_user = min(max(per_user, 0.0), 1.0)
+    return float(1.0 - (1.0 - per_user) ** (n_users - 2))
+
+
+def pi_indirect_reciprocity(m_i: int, m_j: int, M: int,
+                            distribution: PieceCountDistribution,
+                            n_users: int) -> float:
+    """Probability ``pi_IR`` that ``j`` uploads to ``i`` via *indirect*
+    reciprocity (Section IV-C): ``i`` needs a piece from ``j``, ``j``
+    needs nothing from ``i``, and a third user exists to redirect."""
+    q_ij = needs_piece_probability(m_i, m_j, M)
+    q_ji = needs_piece_probability(m_j, m_i, M)
+    return q_ij * (1.0 - q_ji) * indirect_redirect_probability(
+        m_j, distribution, n_users)
+
+
+def pi_tchain(m_i: int, m_j: int, M: int,
+              distribution: PieceCountDistribution, n_users: int) -> float:
+    """T-Chain exchange feasibility (Eq. 6): direct plus indirect."""
+    q_ij = needs_piece_probability(m_i, m_j, M)
+    q_ji = needs_piece_probability(m_j, m_i, M)
+    direct = q_ij * q_ji
+    indirect = q_ij * (1.0 - q_ji) * indirect_redirect_probability(
+        m_j, distribution, n_users)
+    return float(min(direct + indirect, 1.0))
+
+
+def pi_bittorrent(m_i: int, m_j: int, M: int, alpha_bt: float) -> float:
+    """BitTorrent exchange feasibility (Eq. 7)::
+
+        pi_BT = q(i,j) * ((1 - alpha_BT) q(j,i) + alpha_BT)
+
+    Tit-for-tat needs mutual interest; optimistic unchoking (fraction
+    ``alpha_BT``) only needs ``i`` to want something from ``j``.
+    """
+    if not 0.0 <= alpha_bt <= 1.0:
+        raise ModelParameterError("alpha_bt must lie in [0, 1]")
+    q_ij = needs_piece_probability(m_i, m_j, M)
+    q_ji = needs_piece_probability(m_j, m_i, M)
+    return q_ij * ((1.0 - alpha_bt) * q_ji + alpha_bt)
+
+
+def pi_altruism(m_i: int, m_j: int, M: int) -> float:
+    """Altruism exchange feasibility: ``i`` merely needs a piece of ``j``."""
+    return needs_piece_probability(m_i, m_j, M)
+
+
+def tchain_dominates_bittorrent_alpha_bound(
+        m_j: int, distribution: PieceCountDistribution, n_users: int) -> float:
+    """The Eq. 8 threshold on ``alpha_BT``.
+
+    For any ``alpha_BT`` below this bound, ``pi_TC >= pi_BT``: T-Chain's
+    indirect-reciprocity channel reaches more peers than BitTorrent's
+    optimistic unchoking. The bound tends to 1 as ``N`` grows, so for
+    large swarms T-Chain dominates for every practical ``alpha_BT``.
+    """
+    return indirect_redirect_probability(m_j, distribution, n_users)

@@ -1,0 +1,144 @@
+"""Reputation-equilibrium model (Proposition 3).
+
+Section IV-A2 observes that a reputation system's performance hinges on
+the reputation vector ``r`` actually realised, which may *not* be
+proportional to upload capacity — e.g. a high-capacity user that
+received few pieces early keeps a low reputation. Proposition 3 gives
+fairness and efficiency in a perfect-piece-availability equilibrium for
+an arbitrary reputation vector (with ``sum_k r_k >> r_i``)::
+
+    d_i / u_i = r_i * sum_k U_k / (U_i * sum_k r_k)
+    F = sum_i | log(d_i / u_i) |                (paper's normalisation)
+    E = sum_i sum_k r_k / (N * r_i)
+
+so a single low-reputation, moderate-capacity user can drag down both
+metrics at once — reputation systems are *not* automatically in the
+middle of the fairness/efficiency tradeoff.
+
+Note on normalisation: Proposition 3 prints ``F`` both with and without
+the ``1/N`` factor; we expose ``normalize=True`` (mean, consistent with
+Eq. 3) as the default and ``normalize=False`` for the printed sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core import metrics
+from repro.errors import ModelParameterError
+
+__all__ = [
+    "ReputationEquilibrium",
+    "reputation_download_rates",
+    "reputation_fairness",
+    "reputation_efficiency",
+    "reputation_equilibrium",
+    "capacity_proportional_reputations",
+]
+
+
+def _validate(capacities: Iterable[float],
+              reputations: Iterable[float]) -> "tuple[np.ndarray, np.ndarray]":
+    caps = metrics.validate_rates(capacities, "capacities", strictly_positive=True)
+    reps = metrics.validate_rates(reputations, "reputations", strictly_positive=True)
+    if caps.shape != reps.shape:
+        raise ModelParameterError(
+            "capacities and reputations must have equal length")
+    if caps.size < 2:
+        raise ModelParameterError("need at least two users")
+    return caps, reps
+
+
+@dataclass(frozen=True)
+class ReputationEquilibrium:
+    """Rates and metrics of a reputation equilibrium (Proposition 3)."""
+
+    capacities: np.ndarray
+    reputations: np.ndarray
+    download_rates: np.ndarray
+    fairness: float
+    efficiency: float
+
+
+def reputation_download_rates(capacities: Iterable[float],
+                              reputations: Iterable[float]) -> np.ndarray:
+    """Equilibrium download rates under reputation-weighted uploads.
+
+    Every user ``j`` splits its capacity ``U_j`` across the other
+    users in proportion to their reputations, so
+    ``u(j, i) = U_j * r_i / sum_{k != j} r_k``; summing over ``j``
+    gives ``d_i``. Under Proposition 3's assumption
+    ``sum_k r_k >> r_i`` this reduces to
+    ``d_i ~= r_i * sum_k U_k / sum_k r_k``.
+    """
+    caps, reps = _validate(capacities, reputations)
+    total_reps = reps.sum()
+    rates = np.zeros_like(caps)
+    for j in range(caps.size):
+        denom = total_reps - reps[j]
+        if denom <= 0:
+            raise ModelParameterError(
+                "reputation mass must not be concentrated on one user")
+        share = caps[j] * reps / denom
+        share[j] = 0.0
+        rates += share
+    return rates
+
+
+def reputation_fairness(capacities: Iterable[float],
+                        reputations: Iterable[float],
+                        normalize: bool = True) -> float:
+    """Proposition 3's fairness::
+
+        F = (1/N) sum_i | log( r_i sum_k U_k / (N^0 U_i sum_k r_k) ) |
+
+    using the asymptotic rates ``d_i = r_i sum U / sum r`` and
+    ``u_i = U_i``. Set ``normalize=False`` for the un-averaged sum as
+    printed in the proposition.
+    """
+    caps, reps = _validate(capacities, reputations)
+    ratios = (reps * caps.sum()) / (caps * reps.sum())
+    total = float(np.abs(np.log(ratios)).sum())
+    return total / caps.size if normalize else total
+
+
+def reputation_efficiency(capacities: Iterable[float],
+                          reputations: Iterable[float]) -> float:
+    """Proposition 3's efficiency ``E = sum_i sum_k r_k / (N r_i)``.
+
+    This is Eq. 2 evaluated at the asymptotic download rates with unit
+    total capacity scale; it diverges as any ``r_i -> 0`` — the
+    low-reputation-user pathology the paper highlights. The returned
+    value is normalised by ``sum_k U_k`` so it is exactly
+    ``sum_i 1 / (N d_i)``.
+    """
+    caps, reps = _validate(capacities, reputations)
+    d = reps * caps.sum() / reps.sum()
+    return metrics.efficiency(d)
+
+
+def reputation_equilibrium(capacities: Iterable[float],
+                           reputations: Iterable[float]) -> ReputationEquilibrium:
+    """Full Proposition-3 equilibrium for a given reputation vector."""
+    caps, reps = _validate(capacities, reputations)
+    return ReputationEquilibrium(
+        capacities=caps,
+        reputations=reps,
+        download_rates=reputation_download_rates(caps, reps),
+        fairness=reputation_fairness(caps, reps),
+        efficiency=reputation_efficiency(caps, reps),
+    )
+
+
+def capacity_proportional_reputations(capacities: Iterable[float]) -> np.ndarray:
+    """The benign case: reputations proportional to upload capacity.
+
+    This is the assumption behind Table I's reputation row; plugging it
+    into :func:`reputation_fairness` gives ``F = 0`` and recovers the
+    idealized analysis.
+    """
+    caps = metrics.validate_rates(capacities, "capacities", strictly_positive=True)
+    return caps / caps.sum()

@@ -1,0 +1,198 @@
+"""Fairness-efficiency tradeoff helpers (Lemma 1, Figures 2 and 3).
+
+Two rankings summarise the analysis of Section IV-A:
+
+* **Figure 2** (idealized equilibrium): fairness order
+  ``{T-Chain, FairTorrent} > BitTorrent > {reputation, altruism}``
+  and efficiency order
+  ``altruism > {BitTorrent, reputation} > {T-Chain, FairTorrent} >
+  reciprocity``.
+* **Figure 3** (piece availability): efficiency order
+  ``altruism > T-Chain > FairTorrent > BitTorrent > reciprocity``,
+  obtained from the per-pair exchange-feasibility probabilities of
+  Proposition 2.
+
+This module computes both orderings from the quantitative models, plus
+a parametric fairness-efficiency frontier and the "Robin Hood"
+(progressive transfer) operation used in Corollary 1's proof.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import equilibrium as eq
+from repro.core import metrics
+from repro.core import piece_availability as pa
+from repro.errors import ModelParameterError
+from repro.names import Algorithm
+
+__all__ = [
+    "figure2_efficiency_ranking",
+    "figure2_fairness_ranking",
+    "mean_exchange_probability",
+    "figure3_efficiency_ranking",
+    "fairness_efficiency_frontier",
+    "robin_hood_transfer",
+]
+
+
+def figure2_efficiency_ranking(params: eq.EquilibriumParameters) -> List[Algorithm]:
+    """Idealized-equilibrium efficiency ranking (most efficient first)."""
+    return eq.corollary1_efficiency_ranking(params)
+
+
+def figure2_fairness_ranking(params: eq.EquilibriumParameters) -> List[Algorithm]:
+    """Idealized-equilibrium fairness ranking (most fair first).
+
+    Reciprocity is placed last: with zero rates in both directions its
+    fairness is undefined (the paper notes it is "so inefficient that
+    fairness cannot be defined"), which we encode as least-fair.
+    """
+    results = eq.table1(params)
+
+    def key(algorithm: Algorithm) -> Tuple[float, str]:
+        if algorithm is Algorithm.RECIPROCITY:
+            return (float("inf"), algorithm.value)
+        r = results[algorithm]
+        value = metrics.fairness(
+            eq.download_utilization(algorithm, params),
+            r.upload_rates,
+        )
+        return (value, algorithm.value)
+
+    return sorted(results, key=key)
+
+
+def mean_exchange_probability(
+        algorithm: Algorithm,
+        distribution: pa.PieceCountDistribution,
+        n_users: int,
+        alpha_bt: float = 0.2,
+        max_support: Optional[int] = None) -> float:
+    """Average exchange feasibility between two random users.
+
+    Averages the Proposition-2 probabilities ``pi(j, i)`` over piece
+    counts ``m_i, m_j`` drawn independently from ``distribution``. This
+    is the quantity behind Figure 3: a higher mean feasibility means a
+    higher achievable efficiency under piece-availability constraints.
+
+    ``max_support`` optionally truncates the support for speed (counts
+    with zero probability are always skipped).
+    """
+    algorithm = Algorithm.parse(algorithm)
+    M = distribution.M
+    p = distribution.as_array()
+    support = [l for l, pl in enumerate(p) if pl > 0.0]
+    if max_support is not None:
+        support = support[:max_support]
+    total = 0.0
+    mass = 0.0
+    for m_i in support:
+        for m_j in support:
+            weight = p[m_i] * p[m_j]
+            if weight == 0.0:
+                continue
+            if algorithm is Algorithm.ALTRUISM:
+                prob = pa.pi_altruism(m_i, m_j, M)
+            elif algorithm is Algorithm.TCHAIN:
+                prob = pa.pi_tchain(m_i, m_j, M, distribution, n_users)
+            elif algorithm is Algorithm.BITTORRENT:
+                prob = pa.pi_bittorrent(m_i, m_j, M, alpha_bt)
+            elif algorithm is Algorithm.FAIRTORRENT:
+                # FairTorrent needs only one-sided interest, but the
+                # uploader must currently favour the receiver's deficit
+                # class; availability-wise it matches altruism.
+                prob = pa.pi_altruism(m_i, m_j, M)
+            elif algorithm is Algorithm.RECIPROCITY:
+                prob = 0.0  # exchanges can never be initiated
+            elif algorithm is Algorithm.REPUTATION:
+                prob = pa.pi_altruism(m_i, m_j, M)
+            else:  # pragma: no cover - exhaustive above
+                raise ModelParameterError(f"unsupported algorithm {algorithm}")
+            total += weight * prob
+            mass += weight
+    return total / mass if mass > 0 else 0.0
+
+
+def figure3_efficiency_ranking(
+        distribution: pa.PieceCountDistribution,
+        n_users: int,
+        alpha_bt: float = 0.2) -> List[Algorithm]:
+    """Piece-availability efficiency ranking (Figure 3), best first.
+
+    Altruism, T-Chain, BitTorrent, and reciprocity are ranked by their
+    mean exchange feasibility (Proposition 2). FairTorrent's raw
+    feasibility equals altruism's — any one-sided interest suffices —
+    but its lowest-deficit-first rule constrains *which* feasible
+    exchange may be used, so, following Section IV-A2's argument, it
+    is placed immediately below T-Chain rather than ranked by its
+    unconstrained feasibility.
+    """
+    scored = [Algorithm.ALTRUISM, Algorithm.TCHAIN, Algorithm.BITTORRENT,
+              Algorithm.RECIPROCITY]
+    probs = {
+        a: mean_exchange_probability(a, distribution, n_users, alpha_bt)
+        for a in scored
+    }
+    rank_hint = {a: i for i, a in enumerate(scored)}
+    ranking = sorted(scored, key=lambda a: (-probs[a], rank_hint[a]))
+    ranking.insert(ranking.index(Algorithm.TCHAIN) + 1, Algorithm.FAIRTORRENT)
+    return ranking
+
+
+def fairness_efficiency_frontier(
+        capacities: Iterable[float],
+        mix_levels: Iterable[float],
+        seeder_rate: float = 0.0) -> List[Dict[str, float]]:
+    """Parametric frontier between perfect fairness and peak efficiency.
+
+    For each mix ``theta`` in ``mix_levels``, download rates are the
+    convex combination ``(1 - theta) * U + theta * d_star`` of the
+    perfectly fair allocation (``d = U``, F = 0) and Lemma 1's
+    efficiency-optimal equal-rate allocation ``d_star``. Returns a list
+    of ``{"theta", "fairness", "efficiency"}`` rows; efficiency is the
+    average download time (lower = more efficient), which decreases
+    monotonically in ``theta`` while fairness ``F`` increases — the
+    Lemma 1 tension made quantitative.
+    """
+    caps = metrics.validate_rates(capacities, "capacities", strictly_positive=True)
+    d_star = metrics.optimal_download_rates(caps, seeder_rate)
+    rows: List[Dict[str, float]] = []
+    for theta in mix_levels:
+        theta = float(theta)
+        if not 0.0 <= theta <= 1.0:
+            raise ModelParameterError("mix levels must lie in [0, 1]")
+        d = (1.0 - theta) * caps + theta * d_star
+        rows.append({
+            "theta": theta,
+            "fairness": metrics.fairness(d, caps),
+            "efficiency": metrics.efficiency(d),
+        })
+    return rows
+
+
+def robin_hood_transfer(rates: Iterable[float], amount: float,
+                        rich: int, poor: int) -> np.ndarray:
+    """One progressive (Robin Hood) transfer used in Corollary 1's proof.
+
+    Moves ``amount`` of download rate from a better-off user to a
+    worse-off one; by the Schur-concavity of Eq. 2's objective, any
+    such transfer weakly improves efficiency. Raises if the transfer
+    would overshoot (make the rich user poorer than the poor one ends
+    up), since that would not be progressive.
+    """
+    r = metrics.validate_rates(rates, "rates").astype(float).copy()
+    if not (0 <= rich < r.size and 0 <= poor < r.size) or rich == poor:
+        raise ModelParameterError("rich and poor must be distinct valid indices")
+    if amount < 0:
+        raise ModelParameterError("amount must be non-negative")
+    if r[rich] < r[poor]:
+        raise ModelParameterError("source must be at least as rich as target")
+    if amount > (r[rich] - r[poor]) / 2.0:
+        raise ModelParameterError("transfer overshoots: not progressive")
+    r[rich] -= amount
+    r[poor] += amount
+    return r

@@ -1,0 +1,52 @@
+"""Experiment harness: scenarios and per-table/figure runners.
+
+* :mod:`repro.experiments.scenarios` — canonical configurations
+  (paper scale and scaled-down variants) and algorithm sweeps;
+* :mod:`repro.experiments.tables` — Tables I-III and the Figure 2/3
+  analytic rankings;
+* :mod:`repro.experiments.figures` — the Figure 4-6 simulation sweeps;
+* :mod:`repro.experiments.report` — everything, rendered as one text
+  report.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    export,
+    figures,
+    replicates,
+    report,
+    scenarios,
+    tables,
+    trace_analysis,
+    validation,
+)
+from repro.experiments.figures import figure4, figure5, figure6  # noqa: F401
+from repro.experiments.report import full_report  # noqa: F401
+from repro.experiments.scenarios import (  # noqa: F401
+    default_scale,
+    paper_scale,
+    run_all_algorithms,
+    smoke_scale,
+    with_freeriders,
+)
+
+__all__ = [
+    "ablations",
+    "export",
+    "figures",
+    "replicates",
+    "report",
+    "scenarios",
+    "tables",
+    "trace_analysis",
+    "validation",
+    "figure4",
+    "figure5",
+    "figure6",
+    "full_report",
+    "default_scale",
+    "paper_scale",
+    "run_all_algorithms",
+    "smoke_scale",
+    "with_freeriders",
+]

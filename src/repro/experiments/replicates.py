@@ -1,0 +1,117 @@
+"""Replicated runs: means, deviations, and confidence intervals.
+
+A single seed is an anecdote. This module runs a configuration across
+several seeds and aggregates the headline metrics — what a careful
+reproduction (and the seed-averaged benchmark assertions) should quote.
+
+Confidence intervals use the normal approximation
+``mean ± z * std / sqrt(n)``; with the typical 3-10 replicates this is
+a pragmatic error bar, not a exact small-sample interval — callers
+needing exactness can take the raw ``values`` and do their own
+statistics (scipy's t-distribution, bootstrap, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.runner import run_simulation
+
+__all__ = ["MetricSummary", "ReplicateResult", "run_replicates",
+           "HEADLINE_METRICS"]
+
+#: Metric name -> extractor used by :func:`run_replicates`.
+HEADLINE_METRICS: Dict[str, Callable[[SimulationMetrics], Optional[float]]] = {
+    "mean_completion_time": lambda m: m.mean_completion_time(),
+    "completion_fraction": lambda m: m.completion_fraction(),
+    "final_fairness": lambda m: m.final_fairness(),
+    "mean_bootstrap_time": lambda m: m.mean_bootstrap_time(),
+    "susceptibility": lambda m: m.susceptibility(),
+}
+
+#: Two-sided z value for a 95% normal interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric across replicates."""
+
+    name: str
+    values: tuple
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def _summarise(name: str, values: Sequence[float]) -> MetricSummary:
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        nan = float("nan")
+        return MetricSummary(name, tuple(values), math.inf, nan,
+                             math.inf, math.inf)
+    mean = sum(finite) / len(finite)
+    if len(finite) > 1:
+        var = sum((v - mean) ** 2 for v in finite) / (len(finite) - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    half = _Z95 * std / math.sqrt(len(finite))
+    return MetricSummary(name, tuple(values), mean, std,
+                         mean - half, mean + half)
+
+
+@dataclass(frozen=True)
+class ReplicateResult:
+    """All replicate summaries for one configuration."""
+
+    config: SimulationConfig
+    seeds: tuple
+    metrics: Dict[str, MetricSummary]
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """Table-friendly rows: one per metric."""
+        return [{
+            "metric": s.name,
+            "mean": s.mean,
+            "std": s.std,
+            "ci_low": s.ci_low,
+            "ci_high": s.ci_high,
+            "n": s.n,
+        } for s in self.metrics.values()]
+
+
+def run_replicates(config: SimulationConfig,
+                   seeds: Iterable[int],
+                   extractors: Optional[Dict[str, Callable]] = None,
+                   ) -> ReplicateResult:
+    """Run ``config`` once per seed and aggregate the metrics.
+
+    ``extractors`` defaults to :data:`HEADLINE_METRICS`; pass your own
+    mapping to aggregate anything a :class:`SimulationMetrics` exposes.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    chosen = extractors or HEADLINE_METRICS
+    collected: Dict[str, List[Optional[float]]] = {
+        name: [] for name in chosen}
+    for seed in seeds:
+        metrics = run_simulation(config.with_seed(seed)).metrics
+        for name, extract in chosen.items():
+            collected[name].append(extract(metrics))
+    summaries = {name: _summarise(name, values)
+                 for name, values in collected.items()}
+    return ReplicateResult(config=config, seeds=seeds, metrics=summaries)

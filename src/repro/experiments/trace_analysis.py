@@ -1,0 +1,100 @@
+"""Analysis over per-transfer traces (``record_transfers=True`` runs).
+
+The trace is the ground truth behind several of the paper's claims;
+this module turns it into checkable quantities:
+
+* **pairwise deficits** — `uploaded(a -> b) - uploaded(b -> a)` per
+  ordered pair. Sherman et al. [7] prove FairTorrent keeps every
+  pairwise deficit ``O(log N)``; Section IV-C leans on that bound to
+  cap what a (whitewashing) free-rider can extract per victim. With a
+  trace we can *measure* the worst deficit any compliant pair ever
+  reached and compare mechanisms.
+* **reciprocity matrix** — who ultimately paid whom, for fairness
+  forensics beyond the aggregate `u/d` statistic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.metrics import TransferRecord
+
+__all__ = [
+    "pairwise_upload_counts",
+    "pairwise_deficits",
+    "max_deficit_trajectory",
+    "worst_pairwise_deficit",
+]
+
+Pair = Tuple[int, int]
+
+
+def pairwise_upload_counts(transfers: Iterable[TransferRecord],
+                           exclude: Optional[Set[int]] = None,
+                           ) -> Dict[Pair, int]:
+    """Pieces sent per ordered ``(uploader, target)`` pair.
+
+    ``exclude`` drops any transfer touching those peer ids — typically
+    the seeders, whose one-way giving is by design, not a fairness
+    defect.
+    """
+    excluded = exclude or set()
+    counts: Dict[Pair, int] = defaultdict(int)
+    for record in transfers:
+        if record.uploader_id in excluded or record.target_id in excluded:
+            continue
+        counts[(record.uploader_id, record.target_id)] += 1
+    return dict(counts)
+
+
+def pairwise_deficits(transfers: Iterable[TransferRecord],
+                      exclude: Optional[Set[int]] = None) -> Dict[Pair, int]:
+    """Net deficit per unordered pair, keyed by the owed direction.
+
+    A positive value under key ``(a, b)`` means ``a`` sent that many
+    more pieces to ``b`` than it got back; each unordered pair appears
+    once, keyed by its creditor.
+    """
+    counts = pairwise_upload_counts(transfers, exclude)
+    deficits: Dict[Pair, int] = {}
+    for (a, b), sent in counts.items():
+        if (b, a) in deficits or (a, b) in deficits:
+            continue
+        net = sent - counts.get((b, a), 0)
+        if net >= 0:
+            deficits[(a, b)] = net
+        else:
+            deficits[(b, a)] = -net
+    return deficits
+
+
+def max_deficit_trajectory(transfers: Sequence[TransferRecord],
+                           exclude: Optional[Set[int]] = None,
+                           ) -> List[Dict[str, float]]:
+    """The running worst pairwise deficit over time.
+
+    One row per transfer that set a new maximum — the shape [7]'s
+    bound constrains (it must flatten, not grow linearly).
+    """
+    excluded = exclude or set()
+    ledger: Dict[Pair, int] = defaultdict(int)
+    worst = 0
+    rows: List[Dict[str, float]] = []
+    for record in transfers:
+        if record.uploader_id in excluded or record.target_id in excluded:
+            continue
+        a, b = record.uploader_id, record.target_id
+        ledger[(a, b)] += 1
+        net = abs(ledger[(a, b)] - ledger.get((b, a), 0))
+        if net > worst:
+            worst = net
+            rows.append({"time": record.time, "max_deficit": float(worst)})
+    return rows
+
+
+def worst_pairwise_deficit(transfers: Sequence[TransferRecord],
+                           exclude: Optional[Set[int]] = None) -> int:
+    """The largest pairwise imbalance ever reached during the run."""
+    trajectory = max_deficit_trajectory(transfers, exclude)
+    return int(trajectory[-1]["max_deficit"]) if trajectory else 0

@@ -1,0 +1,149 @@
+"""Cross-layer validation: analytical model vs. simulator.
+
+The paper validates its Section IV models with Section V's simulator;
+this module makes that comparison a first-class, repeatable artifact:
+
+* :func:`empirical_bootstrap_probability` — recover the per-round
+  probability ``p_B(t)`` that a not-yet-bootstrapped user gets its
+  first piece, directly from a run's bootstrap time series (the
+  quantity Table II models);
+* :func:`bootstrap_model_vs_simulation` — run one simulation per
+  mechanism and compare the measured mean ``p_B`` against the Table II
+  prediction evaluated at the swarm's state, checking that the model
+  ranks the mechanisms the same way the simulator does;
+* :func:`ranking_agreement` — Kendall-style pairwise agreement between
+  two rankings, the summary statistic we report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core import bootstrapping as boot
+from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.runner import run_simulation
+
+__all__ = [
+    "empirical_bootstrap_probability",
+    "mean_empirical_bootstrap_probability",
+    "bootstrap_model_vs_simulation",
+    "ranking_agreement",
+]
+
+
+def empirical_bootstrap_probability(metrics: SimulationMetrics,
+                                    ) -> List[Dict[str, float]]:
+    """Per-round ``p_B(t)`` measured from a run.
+
+    For each consecutive sample pair, the probability that one of the
+    users still waiting for its first piece got bootstrapped::
+
+        p_B = (bootstrapped_{t+1} - bootstrapped_t) / waiting_t
+
+    where ``waiting_t`` counts arrived-but-unbootstrapped users.
+    Rounds with nobody waiting are skipped.
+    """
+    rows: List[Dict[str, float]] = []
+    samples = metrics.samples
+    for before, after in zip(samples, samples[1:]):
+        # Users at risk of bootstrapping during this round: those
+        # already waiting plus anyone who arrived within the round
+        # (a mid-round arrival can be bootstrapped in the same round).
+        waiting = after.arrived - before.bootstrapped
+        if waiting <= 0:
+            continue
+        newly = after.bootstrapped - before.bootstrapped
+        rows.append({
+            "time": after.time,
+            "waiting": float(waiting),
+            "p_b": min(1.0, max(0.0, newly / waiting)),
+        })
+    return rows
+
+
+def mean_empirical_bootstrap_probability(metrics: SimulationMetrics,
+                                         ) -> Optional[float]:
+    """Waiting-user-weighted mean of the empirical ``p_B(t)``."""
+    rows = empirical_bootstrap_probability(metrics)
+    total_waiting = sum(r["waiting"] for r in rows)
+    if total_waiting == 0:
+        return None
+    return sum(r["p_b"] * r["waiting"] for r in rows) / total_waiting
+
+
+def _model_probability(algorithm: Algorithm,
+                       config: SimulationConfig,
+                       bootstrapped: int) -> float:
+    """Table II evaluated at this simulation's shape.
+
+    ``K`` is the mean per-user capacity in pieces/round; ``z`` the
+    supplied bootstrapped count; FairTorrent's zero-deficit pool is
+    approximated by the bootstrapped population.
+    """
+    mean_capacity = sum(c.fraction * c.capacity
+                        for c in config.capacity_classes)
+    params = boot.BootstrapParameters(
+        n_users=max(config.n_users, 3),
+        n_seeder=1,
+        pieces_per_slot=max(1, round(mean_capacity)),
+        bootstrapped=bootstrapped,
+        pi_dr=0.2,
+        n_bt=config.strategy_params.n_bt,
+        omega=0.3,
+        n_ft=max(bootstrapped, config.strategy_params.n_bt + 7,
+                 round(mean_capacity) + 2),
+        altruist_fraction=config.strategy_params.alpha_r * max(1, round(
+            mean_capacity)),
+    )
+    return boot.bootstrap_probability(algorithm, params)
+
+
+def bootstrap_model_vs_simulation(
+        base: SimulationConfig,
+        algorithms: Optional[Iterable[Algorithm]] = None,
+        ) -> List[Dict[str, object]]:
+    """Measured vs. modelled bootstrap probability per mechanism.
+
+    Each row carries the mechanism, the empirical waiting-weighted
+    ``p_B``, and the Table II prediction evaluated mid-flash-crowd
+    (half the swarm bootstrapped). Callers typically feed the two
+    columns to :func:`ranking_agreement`.
+    """
+    selected = tuple(Algorithm.parse(a) for a in (algorithms or ALL_ALGORITHMS))
+    rows: List[Dict[str, object]] = []
+    for algorithm in selected:
+        result = run_simulation(base.with_algorithm(algorithm))
+        measured = mean_empirical_bootstrap_probability(result.metrics)
+        predicted = _model_probability(algorithm, base,
+                                       bootstrapped=base.n_users // 2)
+        rows.append({
+            "algorithm": algorithm,
+            "measured_p_b": measured,
+            "predicted_p_b": predicted,
+        })
+    return rows
+
+
+def ranking_agreement(scores_a: Sequence[float],
+                      scores_b: Sequence[float]) -> float:
+    """Pairwise order agreement between two score vectors, in [0, 1].
+
+    1 means every pair is ordered identically (Kendall tau = 1);
+    0.5 is chance. Ties in either vector count as half agreement.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ValueError("score vectors must have equal length")
+    n = len(scores_a)
+    pairs = agree = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            da = scores_a[i] - scores_a[j]
+            db = scores_b[i] - scores_b[j]
+            if da == 0 or db == 0:
+                agree += 0.5
+            elif (da > 0) == (db > 0):
+                agree += 1
+    return agree / pairs if pairs else 1.0

@@ -1,0 +1,107 @@
+"""Canonical names for the six incentive mechanisms compared in the paper.
+
+The same :class:`Algorithm` enumeration is used by the analytical layer
+(:mod:`repro.core`), the simulator strategies (:mod:`repro.algorithms`),
+and the experiment harness, so results from the two layers can be
+joined by key.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["Algorithm", "BASIC_ALGORITHMS", "HYBRID_ALGORITHMS",
+           "ALL_ALGORITHMS", "EXTENDED_ALGORITHMS"]
+
+
+class Algorithm(str, Enum):
+    """The six incentive mechanisms analysed in the paper (Section III).
+
+    Three basic classes:
+
+    * :attr:`RECIPROCITY` — pure direct reciprocity; uploads happen only
+      to repay a download, so no exchange can ever be initiated.
+    * :attr:`ALTRUISM` — upload full capacity to uniformly random users.
+    * :attr:`REPUTATION` — upload preferentially to users with high
+      global reputation (total pieces uploaded), plus a small altruism
+      fraction for bootstrapping, as in EigenTrust.
+
+    Three hybrids:
+
+    * :attr:`BITTORRENT` — reciprocity/altruism: tit-for-tat to the top
+      contributors plus optimistic unchoking.
+    * :attr:`FAIRTORRENT` — reputation/altruism: upload to the neighbor
+      with the lowest (most-owed) piece deficit; ties at zero deficit
+      are broken randomly, which is altruism toward newcomers.
+    * :attr:`TCHAIN` — reciprocity/reputation: encrypted uploads whose
+      keys are released only after direct or indirect reciprocation.
+    """
+
+    RECIPROCITY = "reciprocity"
+    ALTRUISM = "altruism"
+    REPUTATION = "reputation"
+    BITTORRENT = "bittorrent"
+    FAIRTORRENT = "fairtorrent"
+    TCHAIN = "tchain"
+    #: Extension beyond the paper's six: PropShare [5] (Levin et al.),
+    #: cited in Corollary 2's proof — BitTorrent with the tit-for-tat
+    #: share allocated *proportionally* to last-round contributions.
+    PROPSHARE = "propshare"
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as used in the paper's tables."""
+        return _DISPLAY_NAMES[self]
+
+    @classmethod
+    def parse(cls, name: "str | Algorithm") -> "Algorithm":
+        """Parse a string (case-insensitive, display or enum form)."""
+        if isinstance(name, Algorithm):
+            return name
+        key = str(name).strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+        for algorithm, display in _DISPLAY_NAMES.items():
+            candidates = {algorithm.value, display.lower().replace("-", "")}
+            if key in candidates:
+                return algorithm
+        raise ValueError(f"unknown algorithm name: {name!r}")
+
+
+_DISPLAY_NAMES = {
+    Algorithm.RECIPROCITY: "Reciprocity",
+    Algorithm.ALTRUISM: "Altruism",
+    Algorithm.REPUTATION: "Reputation",
+    Algorithm.BITTORRENT: "BitTorrent",
+    Algorithm.FAIRTORRENT: "FairTorrent",
+    Algorithm.TCHAIN: "T-Chain",
+    Algorithm.PROPSHARE: "PropShare",
+}
+
+#: The three basic classes of Section III-A.
+BASIC_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.RECIPROCITY,
+    Algorithm.ALTRUISM,
+    Algorithm.REPUTATION,
+)
+
+#: The three hybrid algorithms of Section III-A.
+HYBRID_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.BITTORRENT,
+    Algorithm.FAIRTORRENT,
+    Algorithm.TCHAIN,
+)
+
+#: The paper's six, in the row order used by its tables.
+ALL_ALGORITHMS: Tuple[Algorithm, ...] = (
+    Algorithm.RECIPROCITY,
+    Algorithm.TCHAIN,
+    Algorithm.BITTORRENT,
+    Algorithm.FAIRTORRENT,
+    Algorithm.REPUTATION,
+    Algorithm.ALTRUISM,
+)
+
+#: The paper's six plus this repo's extensions (PropShare).
+EXTENDED_ALGORITHMS: Tuple[Algorithm, ...] = ALL_ALGORITHMS + (
+    Algorithm.PROPSHARE,
+)

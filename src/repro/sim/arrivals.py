@@ -1,0 +1,46 @@
+"""Arrival processes for swarm populations.
+
+The paper's experiments use a *flash crowd*: one thousand users arrive
+within the first 10 seconds (Section V-A). A Poisson process is also
+provided for robustness experiments beyond the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["flash_crowd_arrivals", "poisson_arrivals"]
+
+
+def flash_crowd_arrivals(n_users: int, duration: float,
+                         rng: random.Random) -> List[float]:
+    """Arrival times uniform over ``[0, duration)``, sorted ascending.
+
+    With ``duration == 0`` every user arrives at time 0 (the extreme
+    flash crowd assumed by Section IV-B's analysis).
+    """
+    if n_users < 0:
+        raise ConfigurationError("n_users must be non-negative")
+    if duration < 0:
+        raise ConfigurationError("duration must be non-negative")
+    if duration == 0:
+        return [0.0] * n_users
+    return sorted(rng.uniform(0.0, duration) for _ in range(n_users))
+
+
+def poisson_arrivals(n_users: int, rate: float,
+                     rng: random.Random) -> List[float]:
+    """Poisson-process arrival times with the given rate (users/sec)."""
+    if n_users < 0:
+        raise ConfigurationError("n_users must be non-negative")
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    times: List[float] = []
+    t = 0.0
+    for _ in range(n_users):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times

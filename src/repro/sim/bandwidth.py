@@ -1,0 +1,69 @@
+"""Upload-bandwidth accounting.
+
+Capacities are expressed in *pieces per round*. Fractional capacities
+are supported through a credit accumulator: each round a peer earns
+``capacity`` credits and may send ``floor(credits)`` pieces, carrying
+the remainder forward — so a peer with capacity 0.5 sends one piece
+every other round, matching the fluid-rate analysis on average.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["UploadBudget"]
+
+
+class UploadBudget:
+    """Per-peer upload credit accumulator.
+
+    Usage per round::
+
+        budget.new_round()           # earn `capacity` credits
+        while budget.can_send():
+            ...
+            budget.consume()         # one piece sent
+    """
+
+    __slots__ = ("capacity", "_credits", "total_consumed")
+
+    def __init__(self, capacity: float) -> None:
+        if capacity < 0 or not math.isfinite(capacity):
+            raise ConfigurationError(
+                f"capacity must be finite and non-negative, got {capacity}")
+        self.capacity = float(capacity)
+        self._credits = 0.0
+        self.total_consumed = 0
+
+    @property
+    def credits(self) -> float:
+        return self._credits
+
+    def new_round(self) -> int:
+        """Accrue one round of capacity; return whole pieces available."""
+        self._credits += self.capacity
+        # Cap accrual at two rounds' worth so an idle peer (nobody
+        # needs its pieces) cannot bank unbounded burst capacity.
+        self._credits = min(self._credits, max(2.0 * self.capacity, 1.0)
+                            if self.capacity > 0 else 0.0)
+        return self.available()
+
+    def available(self) -> int:
+        """Whole pieces sendable right now."""
+        return int(self._credits + 1e-9)
+
+    def can_send(self) -> bool:
+        return self.available() >= 1
+
+    def consume(self, pieces: int = 1) -> None:
+        """Spend credit for ``pieces`` sent this round."""
+        if pieces < 1:
+            raise SimulationError("must consume at least one piece")
+        if self.available() < pieces:
+            raise SimulationError(
+                f"insufficient upload credit: have {self._credits:.3f}, "
+                f"need {pieces}")
+        self._credits -= pieces
+        self.total_consumed += pieces

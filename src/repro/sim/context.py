@@ -1,0 +1,110 @@
+"""The controlled interface strategies use to act on the swarm.
+
+Each round, the runner hands every peer's strategy a
+:class:`StrategyContext`. The context exposes read access to the state
+the algorithm class is allowed to see (neighbor views, pairwise
+ledgers, the global reputation board) and *guarded* mutations: sends
+are budget-checked and routed through the runner so ledgers, metrics,
+availability and T-Chain key state all stay consistent no matter which
+strategy is driving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.peer import Peer, PendingPiece
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runner import Simulation
+
+__all__ = ["StrategyContext"]
+
+
+class StrategyContext:
+    """One peer's per-round window onto the simulation."""
+
+    def __init__(self, runner: "Simulation", peer: Peer,
+                 rng: random.Random) -> None:
+        self._runner = runner
+        self.peer = peer
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        return self._runner.round_index
+
+    @property
+    def params(self):
+        return self._runner.config.strategy_params
+
+    def budget(self) -> int:
+        """Whole pieces this peer may still send this round."""
+        return self.peer.budget.available()
+
+    def neighbors(self) -> List[int]:
+        return self._runner.swarm.neighbors(self.peer.peer_id)
+
+    def needy_neighbors(self) -> List[int]:
+        """Active neighbors that need at least one of our usable pieces."""
+        return self._runner.swarm.needy_neighbors(self.peer)
+
+    def peer_state(self, peer_id: int) -> Peer:
+        """Look up another active peer (global-knowledge simulator)."""
+        return self._runner.swarm.peer(peer_id)
+
+    def is_active(self, peer_id: int) -> bool:
+        return peer_id in self._runner.swarm.peers
+
+    def reputation_of(self, peer_id: int) -> float:
+        return self._runner.swarm.reputation.score(peer_id)
+
+    def received_from(self, peer_id: int) -> int:
+        return self.peer.received_from.get(peer_id, 0)
+
+    def uploaded_to(self, peer_id: int) -> int:
+        return self.peer.uploaded_to.get(peer_id, 0)
+
+    def deficit(self, peer_id: int) -> int:
+        return self.peer.deficit(peer_id)
+
+    def received_last_round(self, peer_id: int) -> int:
+        return self.peer.received_last_round.get(peer_id, 0)
+
+    def pending_obligations(self) -> List[PendingPiece]:
+        """Our unmet T-Chain obligations, oldest first."""
+        return sorted(self.peer.pending.values(),
+                      key=lambda p: (p.obligation.created_round, p.piece_id))
+
+    # ------------------------------------------------------------------
+    # Guarded actions (all budget-checked by the runner)
+    # ------------------------------------------------------------------
+    def send_piece(self, target_id: int,
+                   piece_id: Optional[int] = None) -> bool:
+        """Send one plain (immediately usable) piece.
+
+        The piece is chosen rarest-first among those the target needs
+        unless ``piece_id`` pins it. Returns True if a piece was sent.
+        """
+        return self._runner.transfer_plain(self.peer, target_id, piece_id)
+
+    def send_encrypted(self, target_id: int) -> bool:
+        """T-Chain: seed one encrypted piece, creating an obligation."""
+        return self._runner.tchain_seed(self.peer, target_id)
+
+    def send_encrypted_random(self) -> bool:
+        """T-Chain: seed a random eligible (non-blacklisted) neighbor."""
+        return self._runner.tchain_seed_random(self.peer, self.rng)
+
+    def fulfill_obligation(self, pending: PendingPiece) -> bool:
+        """T-Chain: attempt to reciprocate for ``pending`` (unlocks it)."""
+        return self._runner.tchain_fulfill(self.peer, pending)
+
+    def report_fake_upload(self, beneficiary_id: int, amount: float) -> None:
+        """Collusion attack: inject a false-praise reputation report."""
+        self._runner.swarm.reputation.report(beneficiary_id, amount,
+                                             genuine=False)

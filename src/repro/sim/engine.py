@@ -1,0 +1,165 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event engine in the style used by network
+simulators: a priority queue of timestamped events, a monotonically
+advancing clock, and support for one-shot and periodic events. The
+swarm simulator schedules peer arrivals, departures, identity resets,
+and the per-round transfer tick as events on this engine.
+
+Events with equal timestamps fire in scheduling order (FIFO), which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventEngine"]
+
+EventCallback = Callable[["EventEngine"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """Heap-based discrete event loop.
+
+    Typical use::
+
+        engine = EventEngine()
+        engine.schedule_at(0.0, lambda e: ..., name="arrival")
+        engine.schedule_every(1.0, tick, name="round")
+        engine.run_until(600.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._running = False
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(self, time: float, callback: EventCallback,
+                    name: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self._now})")
+        event = Event(time=float(time), sequence=next(self._counter),
+                      callback=callback, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: EventCallback,
+                    name: str = "") -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, name=name)
+
+    def schedule_every(self, interval: float, callback: EventCallback,
+                       name: str = "", start_delay: Optional[float] = None,
+                       ) -> Event:
+        """Schedule a periodic event.
+
+        ``callback`` fires every ``interval`` starting after
+        ``start_delay`` (default: one interval from now). Cancelling
+        the *returned* event only stops the first firing; periodic
+        chains are usually stopped by :meth:`stop` or by raising from
+        the callback, so the common pattern is to guard inside the
+        callback and call :meth:`stop` when the simulation is done.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        first = interval if start_delay is None else start_delay
+
+        def fire(engine: "EventEngine") -> None:
+            callback(engine)
+            engine.schedule_in(interval, fire, name=name)
+
+        return self.schedule_in(first, fire, name=name)
+
+    def step(self) -> bool:
+        """Fire the next event; return False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self.events_fired += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events with ``time <= end_time`` (then set now = end_time).
+
+        ``max_events`` guards against runaway periodic chains.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._running and self._queue:
+                nxt = self._peek()
+                if nxt is None or nxt.time > end_time:
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before {end_time}")
+        finally:
+            self._running = False
+        if self._now < end_time:
+            self._now = float(end_time)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the queue drains (bounded by ``max_events``)."""
+        self._running = True
+        fired = 0
+        try:
+            while self._running and self.step():
+                fired += 1
+                if fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run`/:meth:`run_until` after this event."""
+        self._running = False
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,307 @@
+"""Measurement: per-round samples and end-of-run summaries.
+
+The collector samples, once per round, exactly the quantities plotted
+in the paper's Figures 4-6:
+
+* **efficiency** — download completion times (Figs. 4a/5b/6b);
+* **fairness** — the experimental statistic ``mean(u_i / d_i)`` over
+  compliant users that downloaded something (Figs. 4b/5c/6c);
+* **bootstrapping** — fraction of arrived users holding at least one
+  usable piece (Fig. 4c);
+* **susceptibility** — fraction of all uploaded bandwidth received
+  (usably) by free-riders (Figs. 5a/6a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoundSample", "PeerSummary", "TransferRecord",
+           "MetricsCollector", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One piece transfer (recorded when ``record_transfers`` is on).
+
+    ``kind`` is one of ``"plain"`` (immediately usable piece),
+    ``"seed"`` (T-Chain encrypted opportunistic upload), or
+    ``"forward"`` (T-Chain indirect-reciprocity forward of a still
+    encrypted piece).
+    """
+
+    time: float
+    uploader_id: int
+    target_id: int
+    piece_id: int
+    kind: str
+    usable: bool
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """One row of the per-round time series.
+
+    Two fairness readings are taken over active compliant users:
+    ``fairness_ud`` is the mean of ``u_i / d_i`` (the statistic named
+    in Section V) and ``fairness_du`` the mean of ``d_i / u_i``
+    (matching the per-user definition ``f_i = d_i / u_i`` of Eq. 3;
+    this is the direction that exposes altruism's and reputation's
+    unfairness, since equalised download rates make the ``u/d`` mean
+    sit near 1 by construction).
+    """
+
+    time: float
+    active_peers: int
+    arrived: int
+    population: int
+    bootstrapped: int
+    completed: int
+    fairness_ud: Optional[float]
+    fairness_du: Optional[float]
+    total_uploaded: int
+    peer_uploaded: int
+    freerider_received: int
+
+    @property
+    def fairness(self) -> Optional[float]:
+        """Headline fairness: the paper's ``mean(u_i / d_i)``."""
+        return self.fairness_ud
+
+    @property
+    def bootstrapped_fraction(self) -> float:
+        """Fraction of the *whole population* holding >= 1 piece."""
+        return self.bootstrapped / self.population if self.population else 0.0
+
+    @property
+    def completed_fraction(self) -> float:
+        return self.completed / self.population if self.population else 0.0
+
+    @property
+    def susceptibility(self) -> float:
+        """Share of *user* upload bandwidth received by free-riders.
+
+        Seeder uploads are excluded on both sides: susceptibility
+        measures what free-riders extract from other users' incentive
+        mechanisms, and under pure reciprocity (where users upload
+        nothing) it must be zero, not the seeder's random spray.
+        """
+        if self.peer_uploaded == 0:
+            return 0.0
+        return self.freerider_received / self.peer_uploaded
+
+
+@dataclass(frozen=True)
+class PeerSummary:
+    """End-of-run record for one (possibly departed) peer."""
+
+    peer_id: int
+    lineage_id: int
+    capacity: float
+    is_freerider: bool
+    arrival_time: float
+    bootstrap_time: Optional[float]
+    completion_time: Optional[float]
+    uploaded: int
+    downloaded: int
+
+    @property
+    def download_duration(self) -> Optional[float]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def fairness_ratio(self) -> Optional[float]:
+        """``u_i / d_i`` — the paper's experimental per-user statistic."""
+        if self.downloaded == 0:
+            return None if self.uploaded else 1.0
+        return self.uploaded / self.downloaded
+
+
+@dataclass
+class SimulationMetrics:
+    """Everything measured in one run."""
+
+    samples: List[RoundSample] = field(default_factory=list)
+    peers: List[PeerSummary] = field(default_factory=list)
+    transfers: List[TransferRecord] = field(default_factory=list)
+    total_uploaded: int = 0
+    peer_uploaded: int = 0
+    total_received_raw: int = 0
+    freerider_received: int = 0
+    rounds_run: int = 0
+
+    # ------------------------------------------------------------------
+    # Efficiency
+    # ------------------------------------------------------------------
+    def completion_times(self, include_freeriders: bool = False) -> List[float]:
+        """Download durations of users that finished, sorted ascending."""
+        times = [p.download_duration for p in self.peers
+                 if p.download_duration is not None
+                 and (include_freeriders or not p.is_freerider)]
+        return sorted(times)
+
+    def mean_completion_time(self) -> float:
+        """Mean compliant download time; ``inf`` if nobody finished."""
+        times = self.completion_times()
+        return sum(times) / len(times) if times else math.inf
+
+    def median_completion_time(self) -> float:
+        times = self.completion_times()
+        if not times:
+            return math.inf
+        mid = len(times) // 2
+        if len(times) % 2:
+            return times[mid]
+        return 0.5 * (times[mid - 1] + times[mid])
+
+    def completion_fraction(self, include_freeriders: bool = False) -> float:
+        pop = [p for p in self.peers
+               if include_freeriders or not p.is_freerider]
+        if not pop:
+            return 0.0
+        done = sum(1 for p in pop if p.completion_time is not None)
+        return done / len(pop)
+
+    def completion_cdf(self) -> List[Dict[str, float]]:
+        """CDF points (time, fraction complete) for Figure 4a-style plots."""
+        times = self.completion_times()
+        pop = sum(1 for p in self.peers if not p.is_freerider)
+        if not pop:
+            return []
+        return [{"time": t, "fraction": (i + 1) / pop}
+                for i, t in enumerate(times)]
+
+    # ------------------------------------------------------------------
+    # Fairness
+    # ------------------------------------------------------------------
+    def final_fairness(self) -> Optional[float]:
+        """Mean ``u_i / d_i`` over compliant users at end of run."""
+        ratios = [p.fairness_ratio for p in self.peers
+                  if not p.is_freerider and p.fairness_ratio is not None]
+        return sum(ratios) / len(ratios) if ratios else None
+
+    def final_fairness_du(self) -> Optional[float]:
+        """Mean ``d_i / u_i`` over compliant uploaders at end of run."""
+        ratios = [p.downloaded / p.uploaded for p in self.peers
+                  if not p.is_freerider and p.uploaded > 0]
+        return sum(ratios) / len(ratios) if ratios else None
+
+    def final_fairness_F(self) -> Optional[float]:
+        """Eq. 3's statistic on the run: mean ``|log(d_i/u_i)|``.
+
+        Computed over compliant users with both totals positive —
+        0 means perfectly fair, matching the analytical layer
+        (:func:`repro.core.metrics.fairness`).
+        """
+        values = [abs(math.log(p.downloaded / p.uploaded))
+                  for p in self.peers
+                  if not p.is_freerider and p.uploaded > 0
+                  and p.downloaded > 0]
+        return sum(values) / len(values) if values else None
+
+    def fairness_series(self, kind: str = "ud") -> List[Dict[str, float]]:
+        """Per-round fairness; ``kind`` selects ``"ud"`` or ``"du"``."""
+        if kind not in ("ud", "du"):
+            raise ValueError("kind must be 'ud' or 'du'")
+        attr = "fairness_ud" if kind == "ud" else "fairness_du"
+        return [{"time": s.time, "fairness": getattr(s, attr)}
+                for s in self.samples if getattr(s, attr) is not None]
+
+    def mean_fairness_between(self, t_start: float, t_end: float,
+                              kind: str = "du") -> Optional[float]:
+        """Average of the fairness series over a time window."""
+        values = [r["fairness"] for r in self.fairness_series(kind)
+                  if t_start <= r["time"] <= t_end]
+        return sum(values) / len(values) if values else None
+
+    # ------------------------------------------------------------------
+    # Bootstrapping
+    # ------------------------------------------------------------------
+    def bootstrap_series(self) -> List[Dict[str, float]]:
+        return [{"time": s.time, "fraction": s.bootstrapped_fraction}
+                for s in self.samples]
+
+    def time_to_bootstrap_fraction(self, fraction: float) -> float:
+        """First sample time when >= ``fraction`` of users had a piece."""
+        for s in self.samples:
+            if s.bootstrapped_fraction >= fraction:
+                return s.time
+        return math.inf
+
+    def mean_bootstrap_time(self) -> float:
+        """Mean time-to-first-piece over users that ever bootstrapped."""
+        times = [p.bootstrap_time - p.arrival_time for p in self.peers
+                 if p.bootstrap_time is not None]
+        return sum(times) / len(times) if times else math.inf
+
+    def bootstrapped_fraction_final(self) -> float:
+        if not self.peers:
+            return 0.0
+        done = sum(1 for p in self.peers if p.bootstrap_time is not None)
+        return done / len(self.peers)
+
+    # ------------------------------------------------------------------
+    # Free-riding
+    # ------------------------------------------------------------------
+    def susceptibility(self) -> float:
+        """Fraction of user-uploaded bandwidth usably received by
+        free-riders (seeder uploads excluded; see RoundSample)."""
+        if self.peer_uploaded == 0:
+            return 0.0
+        return self.freerider_received / self.peer_uploaded
+
+
+class MetricsCollector:
+    """Accumulates transfer counts and per-round samples during a run."""
+
+    def __init__(self) -> None:
+        self.metrics = SimulationMetrics()
+        self._freerider_received = 0
+        self._total_uploaded = 0
+        self._peer_uploaded = 0
+
+    # Called by the runner on every executed transfer.
+    def record_transfer(self, to_freerider: bool, usable: bool,
+                        from_seeder: bool = False) -> None:
+        self._total_uploaded += 1
+        if not from_seeder:
+            self._peer_uploaded += 1
+            if to_freerider and usable:
+                self._freerider_received += 1
+
+    def record_unlock(self, for_freerider: bool) -> None:
+        """A previously encrypted piece became usable."""
+        if for_freerider:
+            self._freerider_received += 1
+
+    def sample(self, time: float, active_peers: int, arrived: int,
+               population: int, bootstrapped: int, completed: int,
+               fairness_ud: Optional[float],
+               fairness_du: Optional[float]) -> None:
+        self.metrics.samples.append(RoundSample(
+            time=time,
+            active_peers=active_peers,
+            arrived=arrived,
+            population=population,
+            bootstrapped=bootstrapped,
+            completed=completed,
+            fairness_ud=fairness_ud,
+            fairness_du=fairness_du,
+            total_uploaded=self._total_uploaded,
+            peer_uploaded=self._peer_uploaded,
+            freerider_received=self._freerider_received,
+        ))
+
+    def finalize(self, peers: List[PeerSummary], rounds_run: int,
+                 total_received_raw: int = 0) -> SimulationMetrics:
+        self.metrics.peers = peers
+        self.metrics.total_uploaded = self._total_uploaded
+        self.metrics.peer_uploaded = self._peer_uploaded
+        self.metrics.total_received_raw = total_received_raw
+        self.metrics.freerider_received = self._freerider_received
+        self.metrics.rounds_run = rounds_run
+        return self.metrics

@@ -1,0 +1,190 @@
+"""Peer state: pieces, ledgers, pending (encrypted) pieces, attack flags.
+
+A :class:`Peer` is pure state; behaviour lives in the strategy objects
+(:mod:`repro.algorithms`) and the swarm/runner. The seeder is a peer
+with a full piece set that never downloads.
+
+Pairwise ledgers record pieces uploaded to and received from every
+other peer; they power BitTorrent's tit-for-tat ranking, FairTorrent's
+deficit counters, and the reciprocity rule. T-Chain's encrypted
+uploads are modelled as *pending pieces*: a received piece is unusable
+(does not count toward completion, cannot be re-shared except to
+fulfil its own obligation) until the reciprocation obligation attached
+to it is fulfilled and the key released.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.bandwidth import UploadBudget
+from repro.sim.pieces import PieceSet
+
+__all__ = ["Obligation", "PendingPiece", "Peer"]
+
+
+@dataclass
+class Obligation:
+    """A T-Chain reciprocation owed for one received encrypted piece.
+
+    Attributes
+    ----------
+    uploader_id:
+        The peer that sent the encrypted piece and holds the key.
+    piece_id:
+        The piece that will be unlocked when the obligation is met.
+    designated_target:
+        Third peer chosen by the uploader for indirect reciprocity;
+        ``None`` means direct reciprocity (repay the uploader itself).
+    created_round:
+        Round index when the piece was received; used to expire or
+        deprioritise stale obligations.
+    """
+
+    uploader_id: int
+    piece_id: int
+    designated_target: Optional[int]
+    created_round: int
+
+
+@dataclass
+class PendingPiece:
+    """An encrypted piece awaiting its key."""
+
+    piece_id: int
+    obligation: Obligation
+
+
+class Peer:
+    """Mutable state of one swarm participant."""
+
+    def __init__(self, peer_id: int, capacity: float, n_pieces: int,
+                 arrival_time: float = 0.0, is_seeder: bool = False,
+                 is_freerider: bool = False) -> None:
+        if peer_id < 0:
+            raise ConfigurationError("peer_id must be non-negative")
+        self.peer_id = peer_id
+        #: Stable identity across whitewashing resets (lineage id).
+        self.lineage_id = peer_id
+        self.capacity = float(capacity)
+        self.budget = UploadBudget(capacity)
+        self.is_seeder = bool(is_seeder)
+        self.is_freerider = bool(is_freerider)
+        self.arrival_time = float(arrival_time)
+
+        self.pieces = PieceSet.full(n_pieces) if is_seeder else PieceSet(n_pieces)
+        #: T-Chain: encrypted pieces waiting for their key.
+        self.pending: Dict[int, PendingPiece] = {}
+
+        # Pairwise ledgers (pieces, by current peer id of the partner).
+        self.uploaded_to: Dict[int, int] = defaultdict(int)
+        self.received_from: Dict[int, int] = defaultdict(int)
+        #: Receipts in the previous round, for tit-for-tat ranking.
+        self.received_last_round: Dict[int, int] = {}
+        self._received_this_round: Dict[int, int] = defaultdict(int)
+
+        # Lifetime totals (usable pieces only).
+        self.total_uploaded = 0
+        self.total_downloaded = 0
+        #: Raw receipts including still-encrypted T-Chain pieces.
+        self.total_received_raw = 0
+
+        self.bootstrap_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        self.departed = False
+
+        # Attack configuration (read by attacks / swarm).
+        self.colluders: Set[int] = set()
+        self.large_view = False
+        self.whitewash_interval: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Ledger updates
+    # ------------------------------------------------------------------
+    def record_upload(self, target_id: int, pieces: int = 1) -> None:
+        self.uploaded_to[target_id] += pieces
+        self.total_uploaded += pieces
+
+    def record_receipt(self, uploader_id: int, pieces: int = 1,
+                       usable: bool = True) -> None:
+        self.received_from[uploader_id] += pieces
+        self._received_this_round[uploader_id] += pieces
+        self.total_received_raw += pieces
+        if usable:
+            self.total_downloaded += pieces
+
+    def mark_usable(self, pieces: int = 1) -> None:
+        """Count previously encrypted pieces as usable downloads."""
+        self.total_downloaded += pieces
+
+    def end_round(self) -> None:
+        """Roll per-round receipt counters (for tit-for-tat)."""
+        self.received_last_round = dict(self._received_this_round)
+        self._received_this_round = defaultdict(int)
+
+    def deficit(self, other_id: int) -> int:
+        """FairTorrent deficit: uploaded to minus received from ``other``.
+
+        Negative means we owe them (they gave more than we returned),
+        so smaller deficits are served first.
+        """
+        return self.uploaded_to.get(other_id, 0) - self.received_from.get(other_id, 0)
+
+    # ------------------------------------------------------------------
+    # Piece state
+    # ------------------------------------------------------------------
+    @property
+    def usable_piece_count(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def complete(self) -> bool:
+        return self.pieces.complete
+
+    def add_usable_piece(self, piece_id: int) -> bool:
+        """Add a decrypted/plain piece; returns True if new."""
+        return self.pieces.add(piece_id)
+
+    def add_pending_piece(self, piece_id: int, obligation: Obligation) -> None:
+        """Store an encrypted piece awaiting reciprocation."""
+        if piece_id in self.pieces:
+            raise SimulationError(
+                f"peer {self.peer_id} already holds piece {piece_id}")
+        if piece_id in self.pending:
+            raise SimulationError(
+                f"peer {self.peer_id} already has piece {piece_id} pending")
+        self.pending[piece_id] = PendingPiece(piece_id, obligation)
+
+    def unlock_piece(self, piece_id: int) -> bool:
+        """Release the key for a pending piece; returns True if new."""
+        entry = self.pending.pop(piece_id, None)
+        if entry is None:
+            raise SimulationError(
+                f"peer {self.peer_id} has no pending piece {piece_id}")
+        return self.pieces.add(piece_id)
+
+    def needs_piece(self, piece_id: int) -> bool:
+        """True if the piece is neither usable nor pending."""
+        return piece_id not in self.pieces and piece_id not in self.pending
+
+    def held_or_pending(self) -> Set[int]:
+        """Piece ids this peer holds usable or has pending (encrypted)."""
+        return self.pieces.raw | self.pending.keys()
+
+    def needed_pieces_from(self, uploader: "Peer") -> Set[int]:
+        """Uploader's usable pieces this peer still needs."""
+        return uploader.pieces.raw - self.pieces.raw - self.pending.keys()
+
+    def needs_any_from(self, uploader: "Peer") -> bool:
+        """True if ``uploader`` has at least one usable piece we need."""
+        return not uploader.pieces.raw <= (self.pieces.raw | self.pending.keys())
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "seeder" if self.is_seeder else (
+            "freerider" if self.is_freerider else "peer")
+        return (f"<{role} {self.peer_id}: {len(self.pieces)}/"
+                f"{self.pieces.n_pieces} pieces, cap {self.capacity}>")

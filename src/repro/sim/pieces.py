@@ -1,0 +1,167 @@
+"""Piece bookkeeping: bitfields, availability, rarest-first selection.
+
+The file being distributed is divided into ``M`` discrete pieces
+(Section III). Each peer tracks the set of pieces it holds; the swarm
+tracks per-piece availability so uploaders can pick the locally rarest
+piece a receiver still needs — the selection policy the paper assumes
+("users are equally likely to have a given piece, e.g., as achieved in
+local-rarest-first piece selection").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["PieceSet", "AvailabilityMap", "rarest_first"]
+
+
+class PieceSet:
+    """The set of pieces a peer holds, out of ``M`` total.
+
+    A thin wrapper over a Python set with bounds checking and the
+    handful of swarm-specific queries (missing pieces, providable
+    pieces for a partner, completion).
+    """
+
+    __slots__ = ("_m", "_have")
+
+    def __init__(self, n_pieces: int, have: Optional[Iterable[int]] = None) -> None:
+        if n_pieces < 1:
+            raise ConfigurationError("n_pieces must be positive")
+        self._m = n_pieces
+        self._have: Set[int] = set()
+        if have is not None:
+            for piece in have:
+                self.add(piece)
+
+    @classmethod
+    def full(cls, n_pieces: int) -> "PieceSet":
+        """A complete piece set (e.g. the seeder's)."""
+        ps = cls(n_pieces)
+        ps._have = set(range(n_pieces))
+        return ps
+
+    @property
+    def n_pieces(self) -> int:
+        return self._m
+
+    def __len__(self) -> int:
+        return len(self._have)
+
+    def __contains__(self, piece: int) -> bool:
+        return piece in self._have
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._have)
+
+    def _check(self, piece: int) -> None:
+        if not 0 <= piece < self._m:
+            raise SimulationError(
+                f"piece index {piece} outside [0, {self._m})")
+
+    def add(self, piece: int) -> bool:
+        """Add a piece; returns True if it was new."""
+        self._check(piece)
+        if piece in self._have:
+            return False
+        self._have.add(piece)
+        return True
+
+    def has(self, piece: int) -> bool:
+        self._check(piece)
+        return piece in self._have
+
+    @property
+    def complete(self) -> bool:
+        return len(self._have) == self._m
+
+    def missing(self) -> Set[int]:
+        """Pieces this peer still needs."""
+        return set(range(self._m)) - self._have
+
+    def providable_to(self, other: "PieceSet") -> Set[int]:
+        """Pieces we hold that ``other`` lacks."""
+        if other.n_pieces != self._m:
+            raise SimulationError("piece sets belong to different files")
+        return self._have - other._have
+
+    def needs_from(self, other: "PieceSet") -> bool:
+        """True if ``other`` holds at least one piece we lack."""
+        return bool(other.providable_to(self))
+
+    def copy(self) -> "PieceSet":
+        ps = PieceSet(self._m)
+        ps._have = set(self._have)
+        return ps
+
+    @property
+    def raw(self) -> Set[int]:
+        """The internal piece-id set (read-only by convention).
+
+        Exposed for hot-path set algebra in the swarm; callers must
+        not mutate it.
+        """
+        return self._have
+
+
+class AvailabilityMap:
+    """Per-piece replica counts across the swarm.
+
+    Maintained incrementally by the swarm as pieces propagate and
+    peers come and go; consulted by :func:`rarest_first`.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, n_pieces: int) -> None:
+        if n_pieces < 1:
+            raise ConfigurationError("n_pieces must be positive")
+        self._counts = [0] * n_pieces
+
+    @property
+    def n_pieces(self) -> int:
+        return len(self._counts)
+
+    def count(self, piece: int) -> int:
+        return self._counts[piece]
+
+    def add_piece(self, piece: int) -> None:
+        self._counts[piece] += 1
+
+    def add_peer(self, pieces: PieceSet) -> None:
+        """Register every piece of an arriving peer."""
+        for piece in pieces:
+            self._counts[piece] += 1
+
+    def remove_peer(self, pieces: PieceSet) -> None:
+        """Unregister a departing peer's pieces."""
+        for piece in pieces:
+            self._counts[piece] -= 1
+            if self._counts[piece] < 0:
+                raise SimulationError("availability went negative")
+
+    def rarity_key(self, piece: int) -> int:
+        return self._counts[piece]
+
+
+def rarest_first(candidates: Iterable[int], availability: AvailabilityMap,
+                 rng: random.Random) -> Optional[int]:
+    """Pick the rarest piece among ``candidates``; random tie-break.
+
+    Returns ``None`` when there are no candidates.
+    """
+    best: List[int] = []
+    best_count: Optional[int] = None
+    for piece in candidates:
+        count = availability.count(piece)
+        if best_count is None or count < best_count:
+            best = [piece]
+            best_count = count
+        elif count == best_count:
+            best.append(piece)
+    if not best:
+        return None
+    return best[0] if len(best) == 1 else rng.choice(best)

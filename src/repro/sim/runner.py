@@ -1,0 +1,632 @@
+"""The simulation runner: wires engine, swarm, strategies and metrics.
+
+One :class:`Simulation` reproduces the experimental setup of
+Section V-A: a single seeder, a flash crowd of users arriving within
+the first ``flash_crowd_duration`` seconds, heterogeneous upload
+capacities, immediate departure on completion, and (optionally) a
+free-riding population running the targeted attacks of Section V-B2.
+
+Time advances in one-second rounds scheduled on the discrete-event
+engine (arrivals and the round tick are events). Within a round every
+active peer's strategy spends its upload budget through guarded
+transfer primitives defined here, which keep ledgers, piece
+availability, reputation reports, metrics, and T-Chain key state
+consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.names import Algorithm
+from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
+from repro.sim.config import SimulationConfig
+from repro.sim.context import StrategyContext
+from repro.sim.engine import EventEngine
+from repro.sim.metrics import (MetricsCollector, PeerSummary,
+                               SimulationMetrics, TransferRecord)
+from repro.sim.peer import Obligation, Peer, PendingPiece
+from repro.sim.pieces import rarest_first
+from repro.sim.rng import RandomStreams
+from repro.sim.swarm import Swarm
+
+__all__ = ["Simulation", "SimulationResult", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one run: the config that produced it plus metrics."""
+
+    config: SimulationConfig
+    metrics: SimulationMetrics
+
+    @property
+    def algorithm(self) -> Algorithm:
+        return self.config.algorithm
+
+    def conservation_holds(self) -> bool:
+        """Eq. 1 as a ledger identity: every sent piece was received."""
+        return self.metrics.total_uploaded == self.metrics.total_received_raw
+
+
+class Simulation:
+    """One configured run of the cooperative-computing simulator."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        # Imported here, not at module scope: the strategy package
+        # depends on repro.sim.config, so a module-level import would
+        # be circular through the repro.sim package init.
+        from repro.algorithms import SeederStrategy, create_strategy
+        from repro.attacks import FreeRiderStrategy
+        self._seeder_strategy_cls = SeederStrategy
+        self._freerider_strategy_cls = FreeRiderStrategy
+        self._create_strategy = create_strategy
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.engine = EventEngine()
+        self.swarm = Swarm(config.n_pieces, config.neighbor_count,
+                           self.streams.stream("views"))
+        self.collector = MetricsCollector()
+        self.round_index = 0
+        self._piece_rng = self.streams.stream("pieces")
+        self._order_rng = self.streams.stream("order")
+        self._tchain_rng = self.streams.stream("tchain")
+        self._strategies: Dict[int, object] = {}  # keyed by lineage id
+        self._all_peers: List[Peer] = []  # non-seeder peers, creation order
+        self._coalition: List[Peer] = []
+        self._arrived = 0
+        self._seeder: Optional[Peer] = None
+        self._churn_rng = self.streams.stream("churn")
+        self._linger_rng = self.streams.stream("linger")
+        self._finished = False
+        self._install_topology()
+        self._build_population()
+
+    # ------------------------------------------------------------------
+    # Population construction
+    # ------------------------------------------------------------------
+    def _install_topology(self) -> None:
+        """Precompute structured neighbor views (ring / small world).
+
+        User ids are allocated deterministically after the seeders, so
+        the adjacency can be built before any arrival. The seeders keep
+        their tracker-maintained global view; whitewashed identities
+        (ids outside the map) fall back to random sampling.
+        """
+        topology = self.config.view_topology
+        if topology == "random":
+            return
+        import networkx as nx
+
+        n = self.config.n_users
+        k = max(2, min(self.config.neighbor_count, n - 1))
+        if k % 2:
+            k -= 1  # watts_strogatz needs an even degree
+        rewire = 0.0 if topology == "ring" else 0.1
+        graph = nx.watts_strogatz_graph(
+            n, k, rewire, seed=self.streams.stream("topology").randint(
+                0, 2**31 - 1))
+        first_user_id = self.config.n_seeders
+        views = {
+            first_user_id + node: {first_user_id + other
+                                   for other in graph.neighbors(node)}
+            for node in graph.nodes
+        }
+        self.swarm.set_static_views(views)
+
+    def _capacity_assignments(self) -> List[float]:
+        """Per-user capacities honouring the class fractions exactly."""
+        cfg = self.config
+        counts = [int(cls.fraction * cfg.n_users) for cls in cfg.capacity_classes]
+        # Distribute rounding remainder to the largest classes first.
+        shortfall = cfg.n_users - sum(counts)
+        order = sorted(range(len(counts)),
+                       key=lambda i: -cfg.capacity_classes[i].fraction)
+        for i in range(shortfall):
+            counts[order[i % len(order)]] += 1
+        capacities: List[float] = []
+        for cls, count in zip(cfg.capacity_classes, counts):
+            capacities.extend([cls.capacity] * count)
+        self.streams.stream("capacity").shuffle(capacities)
+        return capacities
+
+    def _build_population(self) -> None:
+        cfg = self.config
+        # Seeders first: present from time zero. The tracker keeps
+        # every user connected to the seeders, so no user can be
+        # starved by a view full of departed peers.
+        self._seeders: List[Peer] = []
+        for index in range(cfg.n_seeders):
+            seeder_id = self.swarm.allocate_id()
+            seeder = Peer(seeder_id, cfg.seeder_capacity, cfg.n_pieces,
+                          arrival_time=0.0, is_seeder=True)
+            seeder.large_view = True
+            self.swarm.add_peer(seeder)
+            self._strategies[seeder.lineage_id] = self._seeder_strategy_cls(
+                cfg.strategy_params, self.streams.stream(f"seeder:{index}"))
+            self._seeders.append(seeder)
+        self._seeder = self._seeders[0]
+
+        capacities = self._capacity_assignments()
+        if cfg.arrival_process == "poisson":
+            arrivals = poisson_arrivals(cfg.n_users, cfg.arrival_rate,
+                                        self.streams.stream("arrivals"))
+        else:
+            arrivals = flash_crowd_arrivals(cfg.n_users,
+                                            cfg.flash_crowd_duration,
+                                            self.streams.stream("arrivals"))
+        role_rng = self.streams.stream("roles")
+        freerider_indices = set(
+            role_rng.sample(range(cfg.n_users), cfg.n_freeriders))
+
+        for index in range(cfg.n_users):
+            peer_id = self.swarm.allocate_id()
+            peer = Peer(peer_id, capacities[index], cfg.n_pieces,
+                        arrival_time=arrivals[index],
+                        is_freerider=index in freerider_indices)
+            if peer.is_freerider:
+                peer.large_view = cfg.attack.large_view
+                peer.whitewash_interval = cfg.attack.whitewash_interval
+                self._coalition.append(peer)
+            self._all_peers.append(peer)
+            strategy = self._make_strategy(peer)
+            self._strategies[peer.lineage_id] = strategy
+            self.engine.schedule_at(
+                arrivals[index],
+                lambda _e, p=peer: self._on_arrival(p),
+                name=f"arrival:{peer_id}")
+
+        self._sync_coalition()
+        self.engine.schedule_every(1.0, lambda _e: self._on_round(),
+                                   name="round")
+
+    def _make_strategy(self, peer: Peer):
+        rng = self.streams.stream(f"strategy:{peer.lineage_id}")
+        if peer.is_freerider:
+            return self._freerider_strategy_cls(
+                self.config.strategy_params, rng, attack=self.config.attack)
+        return self._create_strategy(self.config.algorithm,
+                                     self.config.strategy_params, rng)
+
+    def _sync_coalition(self) -> None:
+        """Refresh colluder id sets (ids change under whitewashing)."""
+        if not (self.config.attack.collusion or self.config.attack.false_praise):
+            return
+        ids = {p.peer_id for p in self._coalition}
+        for peer in self._coalition:
+            peer.colluders = ids - {peer.peer_id}
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, peer: Peer) -> None:
+        self.swarm.add_peer(peer)
+        self._arrived += 1
+
+    def _on_round(self) -> None:
+        if self._finished:
+            return
+        self.round_index += 1
+        active = [self.swarm.peers[pid] for pid in self.swarm.active_ids]
+        self._order_rng.shuffle(active)
+        for peer in active:
+            if peer.peer_id not in self.swarm.peers:
+                continue  # departed earlier this round
+            peer.budget.new_round()
+            strategy = self._strategies[peer.lineage_id]
+            ctx = StrategyContext(self, peer, strategy.rng)
+            strategy.on_round(ctx)
+        for peer in list(self.swarm.peers.values()):
+            peer.end_round()
+        self._process_departures()
+        self._process_churn()
+        self._process_whitewashing()
+        if self.round_index % self.config.sample_interval == 0:
+            self._sample()
+        if self._all_departed() or self.round_index >= self.config.max_rounds:
+            self._finished = True
+            self.engine.stop()
+
+    def _all_departed(self) -> bool:
+        """All compliant users arrived and finished (or churned out).
+
+        Free-riders are excluded: the swarm's useful lifetime ends when
+        the content has reached every legitimate user, and metrics —
+        notably susceptibility — are measured over that window.
+        Lingering seeds do not extend the run.
+        """
+        if self._arrived < self.config.n_users:
+            return False
+        return all(p.completion_time is not None or p.departed
+                   for p in self._all_peers if not p.is_freerider)
+
+    def _process_departures(self) -> None:
+        """Completed users exit — immediately (Section V-A), or after
+        a geometric lingering period when ``seed_linger_rate`` is set
+        (the fluid model's seed departure rate gamma)."""
+        linger = self.config.seed_linger_rate
+        for peer in list(self.swarm.peers.values()):
+            if peer.is_seeder or not peer.complete:
+                continue
+            if peer.completion_time is None:
+                peer.completion_time = self.engine.now
+            if linger is not None and self._linger_rng.random() >= linger:
+                continue  # stays one more round as a lingering seed
+            peer.departed = True
+            self.swarm.remove_peer(peer.peer_id)
+            self._drop_orphaned_obligations(peer.peer_id)
+
+    def _process_churn(self) -> None:
+        """Early departures: incomplete users abort with ``abort_rate``.
+
+        The fluid model's theta, realised per round. Aborting users
+        leave without a completion time; their pieces leave with them
+        and any keys they held are lost.
+        """
+        rate = self.config.abort_rate
+        if rate <= 0.0:
+            return
+        for peer in list(self.swarm.peers.values()):
+            if peer.is_seeder or peer.complete:
+                continue
+            if self._churn_rng.random() < rate:
+                peer.departed = True
+                self.swarm.remove_peer(peer.peer_id)
+                self._drop_orphaned_obligations(peer.peer_id)
+
+    def _drop_orphaned_obligations(self, departed_id: int) -> None:
+        """Keys held by a departed uploader are lost: drop those pieces.
+
+        The encrypted data is useless without the key, and the pending
+        entry would otherwise block re-downloading the piece from
+        someone else.
+        """
+        for peer in self.swarm.peers.values():
+            orphaned = [piece_id for piece_id, entry in peer.pending.items()
+                        if entry.obligation.uploader_id == departed_id]
+            for piece_id in orphaned:
+                del peer.pending[piece_id]
+
+    def _process_whitewashing(self) -> None:
+        interval = self.config.attack.whitewash_interval
+        if interval is None:
+            return
+        reset_any = False
+        for peer in list(self.swarm.peers.values()):
+            if (peer.is_freerider and peer.whitewash_interval
+                    and self.round_index % peer.whitewash_interval == 0):
+                self.swarm.reset_identity(peer)
+                reset_any = True
+        if reset_any:
+            self._sync_coalition()
+
+    # ------------------------------------------------------------------
+    # Transfer primitives (called through StrategyContext)
+    # ------------------------------------------------------------------
+    def _valid_target(self, uploader: Peer, target_id: int) -> Optional[Peer]:
+        if not uploader.budget.can_send():
+            return None
+        target = self.swarm.peers.get(target_id)
+        if target is None or target.is_seeder or target.complete:
+            return None
+        if target.peer_id == uploader.peer_id:
+            return None
+        return target
+
+    def _record_trace(self, uploader: Peer, target: Peer, piece: int,
+                      kind: str, usable: bool) -> None:
+        if self.config.record_transfers:
+            self.collector.metrics.transfers.append(TransferRecord(
+                time=self.engine.now, uploader_id=uploader.peer_id,
+                target_id=target.peer_id, piece_id=piece, kind=kind,
+                usable=usable))
+
+    def _choose_piece(self, uploader: Peer, target: Peer) -> Optional[int]:
+        """Pick which needed piece to send, per the configured policy."""
+        candidates = target.needed_pieces_from(uploader)
+        if not candidates:
+            return None
+        if self.config.piece_selection == "random":
+            return self._piece_rng.choice(sorted(candidates))
+        return rarest_first(candidates, self.swarm.availability,
+                            self._piece_rng)
+
+    def transfer_plain(self, uploader: Peer, target_id: int,
+                       piece_id: Optional[int] = None) -> bool:
+        """Send one immediately usable piece; True on success."""
+        target = self._valid_target(uploader, target_id)
+        if target is None:
+            return False
+        if piece_id is None:
+            piece = self._choose_piece(uploader, target)
+        else:
+            piece = piece_id if (piece_id in uploader.pieces
+                                 and target.needs_piece(piece_id)) else None
+        if piece is None:
+            return False
+        uploader.budget.consume()
+        uploader.record_upload(target.peer_id)
+        if not uploader.is_seeder:
+            self.swarm.reputation.report(uploader.peer_id, 1.0)
+        target.record_receipt(uploader.peer_id, usable=True)
+        target.add_usable_piece(piece)
+        self.swarm.availability.add_piece(piece)
+        self.collector.record_transfer(target.is_freerider, usable=True,
+                                       from_seeder=uploader.is_seeder)
+        self._record_trace(uploader, target, piece, "plain", usable=True)
+        self._on_piece_gained(target)
+        return True
+
+    def _on_piece_gained(self, peer: Peer) -> None:
+        if peer.bootstrap_time is None and len(peer.pieces) >= 1:
+            peer.bootstrap_time = self.engine.now
+        if peer.complete and peer.completion_time is None:
+            peer.completion_time = self.engine.now
+
+    # ------------------------------------------------------------------
+    # T-Chain mechanics
+    # ------------------------------------------------------------------
+    def tchain_blacklisted(self, target: Peer) -> bool:
+        """Refuse service to peers sitting on unmet obligations.
+
+        A peer is blacklisted while it has an obligation older than
+        the configured patience, or already holds the maximum number
+        of outstanding encrypted pieces.
+        """
+        params = self.config.strategy_params
+        if len(target.pending) >= params.tchain_max_pending:
+            return True
+        horizon = self.round_index - params.tchain_obligation_patience
+        return any(entry.obligation.created_round <= horizon
+                   for entry in target.pending.values())
+
+    def tchain_seed(self, uploader: Peer, target_id: int) -> bool:
+        """Opportunistically seed one encrypted piece to ``target_id``."""
+        target = self._valid_target(uploader, target_id)
+        if target is None or self.tchain_blacklisted(target):
+            return False
+        piece = self._choose_piece(uploader, target)
+        if piece is None:
+            return False
+        self._tchain_deliver(uploader, target, piece)
+        return True
+
+    def tchain_seed_random(self, uploader: Peer, rng: random.Random) -> bool:
+        """Seed a random eligible needy neighbor; try until one works."""
+        candidates = [pid for pid in self.swarm.needy_neighbors(uploader)
+                      if not self.tchain_blacklisted(self.swarm.peers[pid])]
+        rng.shuffle(candidates)
+        for target_id in candidates:
+            if self.tchain_seed(uploader, target_id):
+                return True
+        return False
+
+    def _choose_designated(self, uploader: Peer, target: Peer,
+                           piece: int) -> Optional[int]:
+        """Pick a third user who needs ``piece`` for indirect reciprocity."""
+        options = [pid for pid in self.swarm.neighbors(uploader.peer_id)
+                   if pid != target.peer_id
+                   and pid in self.swarm.peers
+                   and not self.swarm.peers[pid].is_seeder
+                   and self.swarm.peers[pid].needs_piece(piece)]
+        if not options:
+            return None
+        return self._tchain_rng.choice(options)
+
+    def _tchain_deliver(self, uploader: Peer, target: Peer,
+                        piece: int) -> None:
+        """Deliver an encrypted piece and attach its obligation.
+
+        If direct repayment is currently possible (the uploader needs
+        one of the target's usable pieces) the obligation is direct;
+        otherwise a designated third user is chosen for indirect
+        reciprocity. The collusion attack strikes exactly here: a
+        free-riding receiver whose designated third party is a fellow
+        colluder gets the key released on a false confirmation.
+        """
+        uploader.budget.consume()
+        uploader.record_upload(target.peer_id)
+        if not uploader.is_seeder:
+            self.swarm.reputation.report(uploader.peer_id, 1.0)
+        target.record_receipt(uploader.peer_id, usable=False)
+        designated: Optional[int] = None
+        if not uploader.needed_pieces_from(target):
+            designated = self._choose_designated(uploader, target, piece)
+        self.collector.record_transfer(target.is_freerider, usable=False,
+                                       from_seeder=uploader.is_seeder)
+        self._record_trace(uploader, target, piece, "seed", usable=False)
+        colluding = (self.config.attack.collusion
+                     and target.is_freerider
+                     and designated is not None
+                     and designated in target.colluders)
+        if colluding:
+            # The designated colluder falsely reports receipt; the
+            # uploader releases the key without any reciprocation.
+            target.add_usable_piece(piece)
+            self.swarm.availability.add_piece(piece)
+            target.mark_usable()
+            self.collector.record_unlock(for_freerider=True)
+            self._on_piece_gained(target)
+        else:
+            target.add_pending_piece(
+                piece, Obligation(uploader.peer_id, piece, designated,
+                                  self.round_index))
+            if target.bootstrap_time is None:
+                # Receiving the (encrypted) piece bootstraps the
+                # newcomer: it can immediately participate by
+                # forwarding it (indirect reciprocity).
+                target.bootstrap_time = self.engine.now
+
+    def tchain_fulfill(self, receiver: Peer, pending: PendingPiece) -> bool:
+        """Reciprocate for one pending piece, unlocking it on success.
+
+        Order of attempts: (1) direct repayment to the uploader,
+        (2) forward the encrypted piece to the designated third user
+        (or any needy user if the designation went stale),
+        (3) contribute any other usable piece to any needy neighbor.
+        """
+        if pending.piece_id not in receiver.pending:
+            return False
+        if not receiver.budget.can_send():
+            return False
+        obligation = pending.obligation
+        uploader = self.swarm.peers.get(obligation.uploader_id)
+        if uploader is None:
+            # Key holder left: the encrypted data is worthless.
+            del receiver.pending[pending.piece_id]
+            return False
+
+        # (1) Direct reciprocity.
+        if (not uploader.complete
+                and uploader.needed_pieces_from(receiver)
+                and self.transfer_plain(receiver, uploader.peer_id)):
+            self._unlock(receiver, pending)
+            return True
+
+        # (2) Forward the received piece (indirect reciprocity).
+        forward_target = self._forward_target(receiver, obligation,
+                                              pending.piece_id)
+        if forward_target is not None:
+            target = self.swarm.peers[forward_target]
+            # Temporarily release the pending entry so the forward does
+            # not collide with the receiver's own bookkeeping.
+            self._forward_encrypted(receiver, target, pending)
+            return True
+
+        # (3) Generalised indirect reciprocity: contribute any other
+        # piece — still *encrypted*, so the new receiver incurs its own
+        # obligation and free-riders gain nothing usable from it.
+        if len(receiver.pieces) > 0:
+            candidates = [pid for pid in self.swarm.needy_neighbors(receiver)
+                          if pid != obligation.uploader_id]
+            self._tchain_rng.shuffle(candidates)
+            for pid in candidates:
+                if self.tchain_seed(receiver, pid):
+                    self._unlock(receiver, pending)
+                    return True
+        return False
+
+    def _forward_target(self, receiver: Peer, obligation: Obligation,
+                        piece: int) -> Optional[int]:
+        designated = obligation.designated_target
+        if (designated is not None and designated in self.swarm.peers
+                and self.swarm.peers[designated].needs_piece(piece)
+                and not self.tchain_blacklisted(self.swarm.peers[designated])):
+            return designated
+        options = [pid for pid in self.swarm.neighbors(receiver.peer_id)
+                   if pid != obligation.uploader_id
+                   and not self.swarm.peers[pid].is_seeder
+                   and self.swarm.peers[pid].needs_piece(piece)
+                   and not self.tchain_blacklisted(self.swarm.peers[pid])]
+        if not options:
+            return None
+        return self._tchain_rng.choice(options)
+
+    def _forward_encrypted(self, receiver: Peer, target: Peer,
+                           pending: PendingPiece) -> None:
+        """Forward a still-encrypted piece to fulfil an obligation."""
+        piece = pending.piece_id
+        receiver.budget.consume()
+        receiver.record_upload(target.peer_id)
+        if not receiver.is_seeder:
+            self.swarm.reputation.report(receiver.peer_id, 1.0)
+        target.record_receipt(receiver.peer_id, usable=False)
+        designated: Optional[int] = None
+        if not receiver.needed_pieces_from(target):
+            designated = self._choose_designated(receiver, target, piece)
+        self.collector.record_transfer(target.is_freerider, usable=False,
+                                       from_seeder=False)
+        self._record_trace(receiver, target, piece, "forward", usable=False)
+        colluding = (self.config.attack.collusion
+                     and target.is_freerider
+                     and designated is not None
+                     and designated in target.colluders)
+        if colluding:
+            target.add_usable_piece(piece)
+            self.swarm.availability.add_piece(piece)
+            target.mark_usable()
+            self.collector.record_unlock(for_freerider=True)
+            self._on_piece_gained(target)
+        else:
+            target.add_pending_piece(
+                piece, Obligation(receiver.peer_id, piece, designated,
+                                  self.round_index))
+            if target.bootstrap_time is None:
+                target.bootstrap_time = self.engine.now
+        # The forward is the reciprocation: unlock the receiver's copy.
+        self._unlock(receiver, pending)
+
+    def _unlock(self, receiver: Peer, pending: PendingPiece) -> None:
+        """Release the key: the pending piece becomes usable."""
+        receiver.unlock_piece(pending.piece_id)
+        self.swarm.availability.add_piece(pending.piece_id)
+        receiver.mark_usable()
+        self.collector.record_unlock(for_freerider=receiver.is_freerider)
+        self._on_piece_gained(receiver)
+
+    # ------------------------------------------------------------------
+    # Sampling and results
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        ud_ratios: List[float] = []
+        du_ratios: List[float] = []
+        for peer in self.swarm.active_non_seeders():
+            if peer.is_freerider:
+                continue
+            if peer.total_downloaded > 0:
+                ud_ratios.append(peer.total_uploaded / peer.total_downloaded)
+            if peer.total_uploaded > 0:
+                du_ratios.append(peer.total_downloaded / peer.total_uploaded)
+        fairness_ud = sum(ud_ratios) / len(ud_ratios) if ud_ratios else None
+        fairness_du = sum(du_ratios) / len(du_ratios) if du_ratios else None
+        bootstrapped = sum(1 for p in self._all_peers
+                           if p.bootstrap_time is not None)
+        completed = sum(1 for p in self._all_peers
+                        if p.completion_time is not None)
+        self.collector.sample(
+            time=self.engine.now,
+            active_peers=len(self.swarm.active_non_seeders()),
+            arrived=self._arrived,
+            population=self.config.n_users,
+            bootstrapped=bootstrapped,
+            completed=completed,
+            fairness_ud=fairness_ud,
+            fairness_du=fairness_du,
+        )
+
+    def _summaries(self) -> List[PeerSummary]:
+        return [PeerSummary(
+            peer_id=p.peer_id,
+            lineage_id=p.lineage_id,
+            capacity=p.capacity,
+            is_freerider=p.is_freerider,
+            arrival_time=p.arrival_time,
+            bootstrap_time=p.bootstrap_time,
+            completion_time=p.completion_time,
+            uploaded=p.total_uploaded,
+            downloaded=p.total_downloaded,
+        ) for p in self._all_peers]
+
+    def total_received_raw(self) -> int:
+        """Pieces received across all peers (for Eq. 1 conservation)."""
+        return sum(p.total_received_raw for p in self._all_peers)
+
+    def total_uploaded(self) -> int:
+        uploads = sum(p.total_uploaded for p in self._all_peers)
+        return uploads + sum(s.total_uploaded for s in self._seeders)
+
+    def run(self) -> SimulationResult:
+        """Execute the run to completion and return its results."""
+        # +2 rounds of slack so the final sample lands before the cap.
+        self.engine.run_until(self.config.max_rounds + 2,
+                              max_events=50_000_000)
+        metrics = self.collector.finalize(self._summaries(), self.round_index,
+                                          self.total_received_raw())
+        return SimulationResult(config=self.config, metrics=metrics)
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build and run one simulation."""
+    return Simulation(config).run()

@@ -1,0 +1,203 @@
+"""Swarm structure: membership, neighbor views, reputations, identities.
+
+The swarm owns everything peers share: the active-membership registry,
+per-piece availability, the bounded random neighbor views through which
+altruistic/optimistic uploads are routed, the global reputation board
+(the "everyone knows everyone's uploads" assumption of Section V-A),
+and identity management — which is what whitewashing attacks abuse.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.errors import SimulationError
+from repro.sim.peer import Peer
+from repro.sim.pieces import AvailabilityMap
+
+__all__ = ["ReputationBoard", "Swarm"]
+
+
+class ReputationBoard:
+    """Global reputation scores: total pieces (claimed) uploaded.
+
+    The paper's simulation assumes perfect global knowledge: "all users
+    know the amount of data that each user uploads to all other users;
+    users' reputations are proportional to this amount of data". The
+    board accepts *reports*, which is exactly the surface the false-
+    praise collusion attack exploits — fake reports are
+    indistinguishable from real ones.
+    """
+
+    def __init__(self) -> None:
+        self._scores: Dict[int, float] = defaultdict(float)
+        self.fake_reported = 0.0
+
+    def report(self, uploader_id: int, amount: float = 1.0,
+               genuine: bool = True) -> None:
+        """Credit ``uploader_id`` with ``amount`` uploaded pieces."""
+        if amount < 0:
+            raise SimulationError("reputation reports must be non-negative")
+        self._scores[uploader_id] += amount
+        if not genuine:
+            self.fake_reported += amount
+
+    def score(self, peer_id: int) -> float:
+        return self._scores.get(peer_id, 0.0)
+
+    def forget(self, peer_id: int) -> None:
+        """Drop a retired identity's score (whitewashing resets to zero)."""
+        self._scores.pop(peer_id, None)
+
+
+class Swarm:
+    """Membership, views, availability, and identity registry."""
+
+    def __init__(self, n_pieces: int, neighbor_count: int,
+                 rng: random.Random) -> None:
+        self.n_pieces = n_pieces
+        self.neighbor_count = neighbor_count
+        self._rng = rng
+        #: Optional precomputed adjacency (structured topologies).
+        #: Ids absent from the map fall back to random sampling —
+        #: notably fresh identities created by whitewashing.
+        self._static_views: Dict[int, Set[int]] = {}
+        self.peers: Dict[int, Peer] = {}
+        self.departed: Dict[int, Peer] = {}
+        self.availability = AvailabilityMap(n_pieces)
+        self.reputation = ReputationBoard()
+        self._views: Dict[int, Set[int]] = defaultdict(set)
+        self._next_id = 0
+        self.seeder_ids: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Identity allocation
+    # ------------------------------------------------------------------
+    def allocate_id(self) -> int:
+        pid = self._next_id
+        self._next_id += 1
+        return pid
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_peer(self, peer: Peer) -> None:
+        """Register an arriving peer and wire up its neighbor view."""
+        if peer.peer_id in self.peers:
+            raise SimulationError(f"duplicate peer id {peer.peer_id}")
+        self.peers[peer.peer_id] = peer
+        if peer.is_seeder:
+            self.seeder_ids.add(peer.peer_id)
+        self.availability.add_peer(peer.pieces)
+        self._build_view(peer)
+
+    def set_static_views(self, views: Dict[int, Set[int]]) -> None:
+        """Install a precomputed adjacency (ring/small-world topologies)."""
+        self._static_views = dict(views)
+
+    def _build_view(self, peer: Peer) -> None:
+        others = [pid for pid in self.peers if pid != peer.peer_id]
+        if peer.large_view:
+            chosen = others
+        elif peer.peer_id in self._static_views:
+            wanted = self._static_views[peer.peer_id]
+            chosen = [pid for pid in others if pid in wanted]
+        else:
+            k = min(self.neighbor_count, len(others))
+            chosen = self._rng.sample(others, k) if k else []
+        for pid in chosen:
+            self._connect(peer.peer_id, pid)
+        # Existing large-view attackers connect to every newcomer too.
+        for pid, other in self.peers.items():
+            if other.large_view and pid != peer.peer_id:
+                self._connect(peer.peer_id, pid)
+
+    def _connect(self, a: int, b: int) -> None:
+        self._views[a].add(b)
+        self._views[b].add(a)
+
+    def remove_peer(self, peer_id: int) -> Peer:
+        """Deregister a departing (or whitewashing) peer."""
+        peer = self.peers.pop(peer_id, None)
+        if peer is None:
+            raise SimulationError(f"unknown peer id {peer_id}")
+        self.availability.remove_peer(peer.pieces)
+        for neighbor in self._views.pop(peer_id, set()):
+            self._views[neighbor].discard(peer_id)
+        self.seeder_ids.discard(peer_id)
+        self.departed[peer_id] = peer
+        return peer
+
+    def neighbors(self, peer_id: int) -> List[int]:
+        """Active neighbor ids of ``peer_id`` (sorted for determinism)."""
+        return sorted(pid for pid in self._views.get(peer_id, ())
+                      if pid in self.peers)
+
+    def peer(self, peer_id: int) -> Peer:
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise SimulationError(f"unknown or departed peer {peer_id}") from None
+
+    @property
+    def active_ids(self) -> List[int]:
+        return sorted(self.peers)
+
+    def active_non_seeders(self) -> List[Peer]:
+        return [p for pid, p in sorted(self.peers.items()) if not p.is_seeder]
+
+    # ------------------------------------------------------------------
+    # Whitewashing support
+    # ------------------------------------------------------------------
+    def reset_identity(self, peer: Peer) -> int:
+        """Give ``peer`` a fresh identity (the whitewashing attack).
+
+        The peer keeps its pieces and its own ledgers, but every other
+        peer's ledgers now refer to a dead id: deficits, tit-for-tat
+        history, and reputation all restart from zero. Returns the new
+        peer id.
+        """
+        old_id = peer.peer_id
+        if old_id not in self.peers:
+            raise SimulationError(f"peer {old_id} is not active")
+        # Detach the old identity (keep availability: same pieces return
+        # immediately under the new id).
+        del self.peers[old_id]
+        for neighbor in self._views.pop(old_id, set()):
+            self._views[neighbor].discard(old_id)
+        self.reputation.forget(old_id)
+
+        new_id = self.allocate_id()
+        peer.peer_id = new_id
+        self.peers[new_id] = peer
+        self._build_view(peer)
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Queries used by strategies
+    # ------------------------------------------------------------------
+    def needy_neighbors(self, uploader: Peer,
+                        require_providable: bool = True) -> List[int]:
+        """Active neighbors that still need data.
+
+        With ``require_providable`` (default) only neighbors lacking at
+        least one of the uploader's *usable* pieces are returned —
+        the feasibility question of Section IV-A2.
+        """
+        result: List[int] = []
+        for pid in self.neighbors(uploader.peer_id):
+            target = self.peers[pid]
+            if target.is_seeder or target.complete:
+                continue
+            if require_providable:
+                if target.needs_any_from(uploader):
+                    result.append(pid)
+            else:
+                result.append(pid)
+        return result
+
+    def piece_candidates(self, uploader: Peer, target: Peer) -> List[int]:
+        """Usable pieces of ``uploader`` that ``target`` needs."""
+        return sorted(target.needed_pieces_from(uploader))

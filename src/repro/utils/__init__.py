@@ -1,0 +1,8 @@
+"""Small shared utilities: text tables, charts, and statistics."""
+
+from repro.utils.ascii_chart import ascii_chart  # noqa: F401
+from repro.utils.stats import cdf_points, gini, mean, median  # noqa: F401
+from repro.utils.tables import format_table  # noqa: F401
+
+__all__ = ["ascii_chart", "format_table", "cdf_points", "gini",
+           "mean", "median"]

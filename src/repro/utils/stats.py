@@ -1,0 +1,56 @@
+"""Summary statistics used by the experiment harness and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["mean", "median", "cdf_points", "gini"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; ``nan`` for an empty input."""
+    items = list(values)
+    if not items:
+        return math.nan
+    return sum(items) / len(items)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median; ``nan`` for an empty input."""
+    items = sorted(values)
+    if not items:
+        return math.nan
+    mid = len(items) // 2
+    if len(items) % 2:
+        return items[mid]
+    return 0.5 * (items[mid - 1] + items[mid])
+
+
+def cdf_points(values: Iterable[float]) -> List[Dict[str, float]]:
+    """Empirical CDF as ``{"value", "fraction"}`` rows, sorted."""
+    items = sorted(values)
+    n = len(items)
+    return [{"value": v, "fraction": (i + 1) / n}
+            for i, v in enumerate(items)]
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative vector (0 = equal).
+
+    Used as an auxiliary inequality measure alongside the paper's
+    fairness statistic.
+    """
+    items = sorted(values)
+    n = len(items)
+    if n == 0:
+        return math.nan
+    if any(v < 0 for v in items):
+        raise ValueError("gini requires non-negative values")
+    total = sum(items)
+    if total == 0:
+        return 0.0
+    cum = 0.0
+    for i, v in enumerate(items, start=1):
+        cum += i * v
+    return (2.0 * cum) / (n * total) - (n + 1.0) / n

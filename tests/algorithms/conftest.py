@@ -1,0 +1,63 @@
+"""Harness for driving individual strategies inside a real simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.names import Algorithm
+from repro.sim.config import AttackConfig, SimulationConfig, StrategyParameters
+from repro.sim.context import StrategyContext
+from repro.sim.runner import Simulation
+
+
+def build_sim(algorithm: Algorithm, n_users: int = 6, n_pieces: int = 8,
+              seed: int = 0, freerider_fraction: float = 0.0,
+              attack: AttackConfig = None,
+              params: StrategyParameters = None,
+              seeder_capacity: float = 0.0) -> Simulation:
+    """A fully-arrived swarm at time 0, ready for manual rounds.
+
+    The seeder's capacity defaults to 0 so tests observe only the
+    strategy under test; every user sees every other user.
+    """
+    config = SimulationConfig(
+        algorithm=algorithm,
+        n_users=n_users,
+        n_pieces=n_pieces,
+        seeder_capacity=seeder_capacity,
+        flash_crowd_duration=0.0,
+        freerider_fraction=freerider_fraction,
+        attack=attack or AttackConfig(),
+        strategy_params=params or StrategyParameters(),
+        neighbor_count=n_users,
+        max_rounds=50,
+        seed=seed,
+    )
+    sim = Simulation(config)
+    sim.engine.run_until(0.0)  # fire all arrivals (flash duration 0)
+    assert len(sim.swarm.peers) == n_users + 1  # users + seeder
+    return sim
+
+
+def give_piece(sim: Simulation, peer, piece: int) -> None:
+    """Grant a usable piece outside any transfer (test setup only)."""
+    if peer.add_usable_piece(piece):
+        sim.swarm.availability.add_piece(piece)
+
+
+def run_strategy_round(sim: Simulation, peer) -> None:
+    """Run exactly one strategy round for one peer."""
+    sim.round_index += 1
+    peer.budget.new_round()
+    strategy = sim._strategies[peer.lineage_id]
+    strategy.on_round(StrategyContext(sim, peer, strategy.rng))
+
+
+def users_of(sim: Simulation):
+    """Non-seeder peers ordered by id."""
+    return sim.swarm.active_non_seeders()
+
+
+@pytest.fixture
+def algorithms_harness():
+    return build_sim

@@ -1,0 +1,135 @@
+"""Behavioural tests for the three basic strategies and the seeder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.names import Algorithm
+from repro.sim.config import StrategyParameters
+from tests.algorithms.conftest import (
+    build_sim,
+    give_piece,
+    run_strategy_round,
+    users_of,
+)
+
+
+class TestReciprocity:
+    def test_never_initiates(self):
+        """A peer with pieces but no debts uploads nothing (Lemma 2)."""
+        sim = build_sim(Algorithm.RECIPROCITY)
+        uploader = users_of(sim)[0]
+        for piece in range(4):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded == 0
+
+    def test_repays_creditor_only(self):
+        sim = build_sim(Algorithm.RECIPROCITY)
+        uploader, creditor, bystander = users_of(sim)[:3]
+        give_piece(sim, uploader, 0)
+        give_piece(sim, uploader, 1)
+        # The creditor gave us a piece; the bystander gave nothing.
+        uploader.record_receipt(creditor.peer_id, pieces=1)
+        run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(creditor.peer_id, 0) >= 1
+        assert uploader.uploaded_to.get(bystander.peer_id, 0) == 0
+
+    def test_repays_at_most_debt(self):
+        """Uploads never exceed what was received from the creditor."""
+        sim = build_sim(Algorithm.RECIPROCITY)
+        uploader, creditor = users_of(sim)[:2]
+        for piece in range(6):
+            give_piece(sim, uploader, piece)
+        uploader.record_receipt(creditor.peer_id, pieces=2)
+        for _ in range(4):
+            run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to[creditor.peer_id] == 2
+
+    def test_largest_contributor_first(self):
+        sim = build_sim(Algorithm.RECIPROCITY)
+        uploader, small, big = users_of(sim)[:3]
+        give_piece(sim, uploader, 0)
+        uploader.record_receipt(small.peer_id, pieces=1)
+        uploader.record_receipt(big.peer_id, pieces=5)
+        uploader.budget = type(uploader.budget)(1.0)  # one piece only
+        run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(big.peer_id, 0) == 1
+
+
+class TestAltruism:
+    def test_spends_full_budget(self):
+        sim = build_sim(Algorithm.ALTRUISM)
+        uploader = users_of(sim)[0]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded == uploader.budget.total_consumed
+        assert uploader.total_uploaded >= 1
+
+    def test_spreads_over_neighbors(self):
+        sim = build_sim(Algorithm.ALTRUISM, n_users=10, seed=2)
+        uploader = users_of(sim)[0]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        for _ in range(12):
+            run_strategy_round(sim, uploader)
+        assert len(uploader.uploaded_to) >= 3  # many distinct receivers
+
+    def test_stops_when_nobody_needy(self):
+        sim = build_sim(Algorithm.ALTRUISM)
+        uploader = users_of(sim)[0]
+        give_piece(sim, uploader, 0)
+        for other in users_of(sim):
+            if other is not uploader:
+                give_piece(sim, other, 0)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded == 0
+
+
+class TestReputation:
+    def test_prefers_high_reputation(self):
+        sim = build_sim(Algorithm.REPUTATION, n_users=8, seed=1,
+                        params=StrategyParameters(alpha_r=0.0))
+        uploader, favored, ignored = users_of(sim)[:3]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        sim.swarm.reputation.report(favored.peer_id, 50.0)
+        for _ in range(10):
+            run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(favored.peer_id, 0) > (
+            uploader.uploaded_to.get(ignored.peer_id, 0))
+
+    def test_reserved_bandwidth_idles_without_reputations(self):
+        """alpha_r = 0 and all-zero reputations: nothing can be sent —
+        the Table II reason reputation systems bootstrap slowly."""
+        sim = build_sim(Algorithm.REPUTATION,
+                        params=StrategyParameters(alpha_r=0.0))
+        uploader = users_of(sim)[0]
+        for piece in range(4):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded == 0
+
+    def test_altruism_fraction_bootstraps_newcomers(self):
+        sim = build_sim(Algorithm.REPUTATION, seed=3,
+                        params=StrategyParameters(alpha_r=1.0))
+        uploader = max(users_of(sim), key=lambda p: p.capacity)
+        for piece in range(4):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded >= 1
+
+
+class TestSeeder:
+    def test_seeder_sprays_random_needy(self):
+        sim = build_sim(Algorithm.ALTRUISM, seeder_capacity=4.0)
+        seeder = sim._seeder
+        sim.round_index += 1
+        seeder.budget.new_round()
+        strategy = sim._strategies[seeder.lineage_id]
+        from repro.sim.context import StrategyContext
+        strategy.on_round(StrategyContext(sim, seeder, strategy.rng))
+        assert seeder.total_uploaded == 4
+        received = sum(p.total_downloaded for p in users_of(sim))
+        assert received == 4

@@ -1,0 +1,227 @@
+"""Behavioural tests for the three hybrid strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.names import Algorithm
+from repro.sim.config import StrategyParameters
+from tests.algorithms.conftest import (
+    build_sim,
+    give_piece,
+    run_strategy_round,
+    users_of,
+)
+
+
+class TestBitTorrent:
+    def test_tit_for_tat_prefers_top_contributor(self):
+        sim = build_sim(Algorithm.BITTORRENT, n_users=8, seed=4,
+                        params=StrategyParameters(alpha_bt=0.0, n_bt=2))
+        uploader, top, mid, nobody = users_of(sim)[:4]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        uploader.record_receipt(top.peer_id, pieces=5)
+        uploader.record_receipt(mid.peer_id, pieces=1)
+        uploader.end_round()  # contributions visible next round
+        for _ in range(6):
+            run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(top.peer_id, 0) >= 1
+        assert uploader.uploaded_to.get(nobody.peer_id, 0) == 0
+
+    def test_tit_for_tat_bandwidth_never_reaches_empty_newcomers(self):
+        """With alpha = 0 and no contributors, a BitTorrent peer idles
+        rather than serving pieceless newcomers (Table II's model)."""
+        sim = build_sim(Algorithm.BITTORRENT,
+                        params=StrategyParameters(alpha_bt=0.0))
+        uploader = users_of(sim)[0]
+        for piece in range(4):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded == 0
+
+    def test_optimistic_unchoke_reaches_newcomers(self):
+        sim = build_sim(Algorithm.BITTORRENT, seed=5,
+                        params=StrategyParameters(alpha_bt=1.0))
+        uploader = max(users_of(sim), key=lambda p: p.capacity)
+        for piece in range(4):
+            give_piece(sim, uploader, piece)
+        run_strategy_round(sim, uploader)
+        assert uploader.total_uploaded >= 1
+
+    def test_fallback_to_past_contributors(self):
+        """When last round was quiet, all-time contributors still get
+        the tit-for-tat share."""
+        sim = build_sim(Algorithm.BITTORRENT, n_users=8, seed=6,
+                        params=StrategyParameters(alpha_bt=0.0))
+        uploader, old_friend = users_of(sim)[:2]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        uploader.record_receipt(old_friend.peer_id, pieces=2)
+        uploader.end_round()
+        uploader.end_round()  # two quiet rounds: last-round ledger empty
+        assert uploader.received_last_round == {}
+        run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(old_friend.peer_id, 0) >= 1
+
+
+class TestFairTorrent:
+    def test_serves_most_owed_neighbor(self):
+        sim = build_sim(Algorithm.FAIRTORRENT, n_users=6, seed=7)
+        uploader, owed, neutral = users_of(sim)[:3]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        # We owe `owed` 3 pieces (deficit -3); `neutral` is at 0.
+        uploader.record_receipt(owed.peer_id, pieces=3)
+        uploader.budget = type(uploader.budget)(1.0)
+        run_strategy_round(sim, uploader)
+        assert uploader.uploaded_to.get(owed.peer_id, 0) == 1
+        assert uploader.uploaded_to.get(neutral.peer_id, 0) == 0
+
+    def test_zero_deficit_pool_served_randomly(self):
+        """With all deficits at zero, pieces go to random newcomers —
+        FairTorrent's altruism component."""
+        sim = build_sim(Algorithm.FAIRTORRENT, n_users=10, seed=8)
+        uploader = users_of(sim)[0]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        for _ in range(10):
+            run_strategy_round(sim, uploader)
+        assert len(uploader.uploaded_to) >= 3
+
+    def test_positive_deficit_deprioritised(self):
+        """A peer we have already over-served waits behind the rest."""
+        sim = build_sim(Algorithm.FAIRTORRENT, n_users=6, seed=9)
+        uploader, leech = users_of(sim)[:2]
+        for piece in range(8):
+            give_piece(sim, uploader, piece)
+        uploader.record_upload(leech.peer_id, pieces=4)  # deficit +4
+        baseline = uploader.uploaded_to[leech.peer_id]
+        for _ in range(3):
+            run_strategy_round(sim, uploader)
+        # Others (deficit 0) are strictly preferred while they need data.
+        others_served = sum(count for pid, count in uploader.uploaded_to.items()
+                            if pid != leech.peer_id)
+        assert others_served > 0
+        assert uploader.uploaded_to[leech.peer_id] == baseline
+
+
+class TestTChain:
+    def test_seed_creates_pending_obligation(self):
+        sim = build_sim(Algorithm.TCHAIN, seed=10)
+        uploader, receiver = users_of(sim)[:2]
+        give_piece(sim, uploader, 0)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        assert receiver.pending  # encrypted, not usable
+        assert receiver.usable_piece_count == 0
+        assert receiver.total_downloaded == 0
+
+    def test_receiver_forwards_to_unlock(self):
+        sim = build_sim(Algorithm.TCHAIN, seed=11)
+        uploader, receiver = users_of(sim)[:2]
+        give_piece(sim, uploader, 0)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        # Next round the receiver's strategy honours the obligation by
+        # forwarding the (still encrypted) piece to a third user.
+        run_strategy_round(sim, receiver)
+        assert receiver.usable_piece_count == 1
+        assert receiver.total_uploaded == 1
+        assert not receiver.pending
+
+    def test_direct_reciprocity_repays_uploader(self):
+        sim = build_sim(Algorithm.TCHAIN, seed=12)
+        uploader, receiver = users_of(sim)[:2]
+        give_piece(sim, uploader, 0)
+        give_piece(sim, receiver, 5)  # something the uploader needs
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        obligation = next(iter(receiver.pending.values())).obligation
+        assert obligation.designated_target is None  # direct
+        run_strategy_round(sim, receiver)
+        assert uploader.received_from.get(receiver.peer_id, 0) == 1
+        assert receiver.usable_piece_count == 2  # own piece + unlocked
+
+    def test_blacklist_stops_service_to_nonreciprocators(self):
+        params = StrategyParameters(tchain_obligation_patience=1,
+                                    tchain_max_pending=1)
+        sim = build_sim(Algorithm.TCHAIN, seed=13, params=params)
+        uploader, deadbeat = users_of(sim)[:2]
+        for piece in range(6):
+            give_piece(sim, uploader, piece)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, deadbeat.peer_id)
+        # One pending obligation hits max_pending immediately.
+        assert sim.tchain_blacklisted(deadbeat)
+        assert not sim.tchain_seed(uploader, deadbeat.peer_id)
+        # Patience expires -> still blacklisted via staleness.
+        sim.round_index += 3
+        assert sim.tchain_blacklisted(deadbeat)
+
+    def test_fulfill_drops_orphaned_obligation(self):
+        sim = build_sim(Algorithm.TCHAIN, seed=14)
+        by_capacity = sorted(users_of(sim), key=lambda p: -p.capacity)
+        uploader, receiver = by_capacity[:2]
+        give_piece(sim, uploader, 0)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        pending = next(iter(receiver.pending.values()))
+        # The key holder leaves before releasing the key.
+        for piece in range(sim.config.n_pieces):
+            give_piece(sim, uploader, piece)
+        sim._process_departures()
+        receiver.budget.new_round()
+        assert not sim.tchain_fulfill(receiver, pending)
+        assert not receiver.pending  # dropped, re-downloadable
+        assert receiver.needs_piece(pending.piece_id)
+
+
+class TestTChainRedesignation:
+    def test_stale_designation_retargeted(self):
+        """If the designated third user no longer needs the piece, the
+        receiver forwards to any other user that does."""
+        sim = build_sim(Algorithm.TCHAIN, n_users=6, seed=15)
+        by_capacity = sorted(users_of(sim), key=lambda p: -p.capacity)
+        uploader, receiver = by_capacity[:2]
+        give_piece(sim, uploader, 0)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        pending = next(iter(receiver.pending.values()))
+        designated = pending.obligation.designated_target
+        if designated is not None:
+            # The designated target acquires the piece elsewhere.
+            give_piece(sim, sim.swarm.peers[designated], 0)
+        run_strategy_round(sim, receiver)
+        # The obligation was still fulfilled (forwarded to someone else
+        # or repaid directly) and the receiver's copy unlocked.
+        assert not receiver.pending
+        assert receiver.usable_piece_count >= 1
+
+    def test_obligation_stalls_when_nobody_needs_the_piece(self):
+        """With every other user already holding the piece and the
+        uploader needing nothing, the obligation cannot be met — the
+        piece stays locked rather than being given away for free."""
+        sim = build_sim(Algorithm.TCHAIN, n_users=4, seed=16)
+        by_capacity = sorted(users_of(sim), key=lambda p: -p.capacity)
+        uploader, receiver = by_capacity[:2]
+        give_piece(sim, uploader, 0)
+        sim.round_index += 1
+        uploader.budget.new_round()
+        assert sim.tchain_seed(uploader, receiver.peer_id)
+        # Everyone else gets piece 0 and the whole rest of the file,
+        # so no forward target and no generalised-indirect target
+        # exists, and the uploader needs nothing from the receiver.
+        for peer in users_of(sim):
+            if peer not in (receiver,):
+                for piece in range(sim.config.n_pieces):
+                    give_piece(sim, peer, piece)
+        run_strategy_round(sim, receiver)
+        assert receiver.pending  # still locked
+        assert receiver.usable_piece_count == 0

@@ -1,0 +1,29 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equilibrium import EquilibriumParameters
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+
+
+#: A heterogeneous capacity vector mirroring the default simulation
+#: population (two fast, six medium, eight slow, four very slow users).
+EXAMPLE_CAPACITIES = [6.0] * 2 + [3.0] * 6 + [1.0] * 8 + [0.5] * 4
+
+
+@pytest.fixture
+def capacities():
+    return list(EXAMPLE_CAPACITIES)
+
+
+@pytest.fixture
+def eq_params(capacities):
+    return EquilibriumParameters(capacities)
+
+
+@pytest.fixture
+def smoke_config():
+    return smoke_scale(Algorithm.TCHAIN, seed=1)

@@ -1,0 +1,236 @@
+"""Tests for the bootstrapping model (Lemma 3, Table II, Prop. 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bootstrapping as boot
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+
+@pytest.fixture
+def paper_params():
+    """The exact example column of Table II."""
+    return boot.BootstrapParameters(
+        n_users=1000, n_seeder=1, pieces_per_slot=5, bootstrapped=500,
+        pi_dr=0.5, n_bt=4, omega=0.75, n_ft=500)
+
+
+class TestTable2PaperColumn:
+    """The sample probabilities printed in Table II, to 0.1%."""
+
+    @pytest.mark.parametrize("algorithm,expected_percent", [
+        (Algorithm.RECIPROCITY, 0.1),
+        (Algorithm.TCHAIN, 71.4),
+        (Algorithm.BITTORRENT, 39.6),
+        (Algorithm.FAIRTORRENT, 71.4),
+        (Algorithm.REPUTATION, 22.2),
+        (Algorithm.ALTRUISM, 91.8),
+    ])
+    def test_sample_value(self, paper_params, algorithm, expected_percent):
+        p = boot.bootstrap_probability(algorithm, paper_params)
+        assert 100.0 * p == pytest.approx(expected_percent, abs=0.15)
+
+    def test_table2_returns_all(self, paper_params):
+        assert set(boot.table2(paper_params)) == set(ALL_ALGORITHMS)
+
+
+class TestParameterValidation:
+    def test_rejects_tiny_swarm(self):
+        with pytest.raises(ModelParameterError):
+            boot.BootstrapParameters(n_users=2)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ModelParameterError):
+            boot.BootstrapParameters(n_users=100, pi_dr=1.5)
+
+    def test_rejects_nbt_too_large(self):
+        with pytest.raises(ModelParameterError):
+            boot.BootstrapParameters(n_users=10, n_bt=8)
+
+    def test_rejects_small_nft(self):
+        with pytest.raises(ModelParameterError):
+            boot.BootstrapParameters(n_users=100, pieces_per_slot=5, n_ft=6)
+
+    def test_with_bootstrapped(self, paper_params):
+        p2 = paper_params.with_bootstrapped(100)
+        assert p2.bootstrapped == 100
+        assert p2.n_users == paper_params.n_users
+
+
+class TestStructuralProperties:
+    def test_reciprocity_only_seeder(self, paper_params):
+        """Only the seeder ever bootstraps reciprocity newcomers."""
+        p = boot.bootstrap_probability(Algorithm.RECIPROCITY, paper_params)
+        assert p == pytest.approx(paper_params.n_seeder / paper_params.n_users)
+
+    def test_tchain_equals_altruism_when_pi_dr_zero(self, paper_params):
+        p = boot.BootstrapParameters(
+            n_users=1000, pi_dr=0.0, bootstrapped=500, pieces_per_slot=5)
+        assert boot.bootstrap_probability(Algorithm.TCHAIN, p) == (
+            pytest.approx(boot.bootstrap_probability(Algorithm.ALTRUISM, p)))
+
+    def test_more_bootstrapped_users_help(self, paper_params):
+        """p_B grows with z(t) for every peer-driven algorithm."""
+        few = paper_params.with_bootstrapped(50)
+        many = paper_params.with_bootstrapped(900)
+        for algorithm in ALL_ALGORITHMS:
+            if algorithm is Algorithm.RECIPROCITY:
+                continue
+            assert (boot.bootstrap_probability(algorithm, many)
+                    >= boot.bootstrap_probability(algorithm, few))
+
+    @given(st.integers(10, 2000), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_probabilities_in_range(self, n_users, z):
+        params = boot.BootstrapParameters(
+            n_users=max(n_users, 10), bootstrapped=z,
+            n_ft=max(10, n_users // 2))
+        for algorithm in ALL_ALGORITHMS:
+            p = boot.bootstrap_probability(algorithm, params)
+            assert 0.0 <= p <= 1.0
+
+
+class TestLemma3:
+    def test_single_user_geometric(self):
+        """For one newcomer and constant p, E[T_B] is geometric: 1/p."""
+        for p in (0.1, 0.5, 0.9):
+            assert boot.expected_bootstrap_time(p, 1) == pytest.approx(
+                1.0 / p, rel=1e-6)
+
+    def test_certain_bootstrap_takes_one_slot(self):
+        assert boot.expected_bootstrap_time(1.0, 7) == pytest.approx(1.0)
+
+    def test_impossible_bootstrap_is_infinite(self):
+        assert boot.expected_bootstrap_time(0.0, 1, max_slots=500) == math.inf
+
+    def test_crowd_slower_than_individual(self):
+        """E[T_B(P)] is the expected *maximum* of P waits: monotone in P."""
+        t1 = boot.expected_bootstrap_time(0.3, 1)
+        t10 = boot.expected_bootstrap_time(0.3, 10)
+        t100 = boot.expected_bootstrap_time(0.3, 100)
+        assert t1 < t10 < t100
+
+    def test_monotone_in_probability(self):
+        assert (boot.expected_bootstrap_time(0.6, 5)
+                < boot.expected_bootstrap_time(0.3, 5))
+
+    def test_time_varying_probability(self):
+        """A ramping p_B(t) must be bounded by its constant extremes."""
+        def ramp(t: int) -> float:
+            return min(0.9, 0.1 * t)
+        value = boot.expected_bootstrap_time(ramp, 5)
+        hi = boot.expected_bootstrap_time(0.9, 5)
+        lo = boot.expected_bootstrap_time(0.1, 5)
+        assert hi <= value <= lo
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ModelParameterError):
+            boot.expected_bootstrap_time(1.5, 1)
+        with pytest.raises(ModelParameterError):
+            boot.expected_bootstrap_time(lambda t: 2.0, 1)
+
+    def test_rejects_no_newcomers(self):
+        with pytest.raises(ModelParameterError):
+            boot.expected_bootstrap_time(0.5, 0)
+
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.0, max_value=0.9),
+           st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_higher_probability_never_slower(self, p, boost, newcomers):
+        q = min(1.0, p + boost)
+        assert (boot.expected_bootstrap_time(q, newcomers)
+                <= boot.expected_bootstrap_time(p, newcomers) + 1e-9)
+
+
+class TestProposition4:
+    def test_paper_ordering(self, paper_params):
+        order = boot.proposition4_ordering(paper_params)
+        assert order[0] is Algorithm.ALTRUISM
+        assert order[-1] is Algorithm.RECIPROCITY
+        assert order.index(Algorithm.TCHAIN) < order.index(Algorithm.BITTORRENT)
+        assert order.index(Algorithm.FAIRTORRENT) < order.index(
+            Algorithm.BITTORRENT)
+        assert order.index(Algorithm.BITTORRENT) < order.index(
+            Algorithm.REPUTATION)
+
+    def test_altruism_dominates_when_condition_holds(self, paper_params):
+        """Prop. 4: altruism has the largest bootstrap probability when
+        K >= 2, N >> K, and Eq. 14 holds."""
+        assert boot.fairtorrent_altruism_condition(paper_params)
+        probs = boot.table2(paper_params)
+        assert max(probs, key=probs.get) is Algorithm.ALTRUISM
+
+    def test_eq14_fails_for_small_omega(self):
+        params = boot.BootstrapParameters(n_users=1000, omega=0.0, n_ft=50)
+        assert not boot.fairtorrent_altruism_condition(params)
+
+    def test_tchain_fairtorrent_match_altruism_at_zero(self):
+        """pi_DR = omega = 0 makes T-Chain and FairTorrent bootstrap
+        exactly as fast as altruism (Prop. 4)... for FairTorrent the
+        match requires n_FT = N - 1 candidates."""
+        params = boot.BootstrapParameters(
+            n_users=1000, pi_dr=0.0, omega=0.0, n_ft=999)
+        probs = boot.table2(params)
+        assert probs[Algorithm.TCHAIN] == pytest.approx(
+            probs[Algorithm.ALTRUISM])
+
+
+class TestBootstrapTrajectory:
+    """Mean-field z(t) dynamics — the analytic Figure 4c."""
+
+    def params(self):
+        return boot.BootstrapParameters(n_users=1000, pi_dr=0.2, omega=0.3)
+
+    def t90(self, algorithm):
+        rows = boot.bootstrap_trajectory(algorithm, self.params(),
+                                         n_slots=200)
+        return next((r["slot"] for r in rows if r["fraction"] >= 0.9),
+                    float("inf"))
+
+    def test_monotone_and_bounded(self):
+        rows = boot.bootstrap_trajectory(Algorithm.ALTRUISM, self.params(),
+                                         n_slots=50)
+        fractions = [r["fraction"] for r in rows]
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_figure4c_ordering(self):
+        """The curve ordering matches Fig. 4c: the fast trio, then
+        BitTorrent, then reputation, then reciprocity."""
+        fast = max(self.t90(a) for a in (Algorithm.ALTRUISM,
+                                         Algorithm.TCHAIN,
+                                         Algorithm.FAIRTORRENT))
+        assert fast <= self.t90(Algorithm.BITTORRENT)
+        assert self.t90(Algorithm.BITTORRENT) < self.t90(Algorithm.REPUTATION)
+        assert self.t90(Algorithm.REPUTATION) < self.t90(
+            Algorithm.RECIPROCITY)
+
+    def test_reciprocity_crawls_at_seeder_rate(self):
+        rows = boot.bootstrap_trajectory(Algorithm.RECIPROCITY,
+                                         self.params(), n_slots=100)
+        # Only the seeder bootstraps: ~n_S users per slot early on.
+        assert rows[-1]["fraction"] < 0.15
+
+    def test_self_reinforcement(self):
+        """Starting half-bootstrapped accelerates the remainder."""
+        cold = boot.bootstrap_trajectory(Algorithm.TCHAIN, self.params(),
+                                         n_slots=3)
+        warm = boot.bootstrap_trajectory(Algorithm.TCHAIN, self.params(),
+                                         n_slots=3,
+                                         initial_bootstrapped=500)
+        assert warm[0]["bootstrapped"] - 500 > cold[0]["bootstrapped"]
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            boot.bootstrap_trajectory(Algorithm.ALTRUISM, self.params(),
+                                      n_slots=0)
+        with pytest.raises(ModelParameterError):
+            boot.bootstrap_trajectory(Algorithm.ALTRUISM, self.params(),
+                                      initial_bootstrapped=5000)

@@ -1,0 +1,99 @@
+"""Tests for the Figure 1 design-space classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classification as cl
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+
+class TestProfiles:
+    def test_every_algorithm_profiled(self):
+        # PROFILES covers the paper's six plus shipped extensions.
+        assert set(ALL_ALGORITHMS).issubset(cl.PROFILES)
+        assert Algorithm.PROPSHARE in cl.PROFILES
+
+    def test_pure_algorithms_single_class(self):
+        for algorithm in (Algorithm.RECIPROCITY, Algorithm.ALTRUISM,
+                          Algorithm.REPUTATION):
+            assert len(cl.components(algorithm)) == 1
+            assert not cl.is_hybrid(algorithm)
+
+    def test_hybrids_two_classes(self):
+        for algorithm in (Algorithm.BITTORRENT, Algorithm.FAIRTORRENT,
+                          Algorithm.TCHAIN):
+            assert len(cl.components(algorithm)) == 2
+            assert cl.is_hybrid(algorithm)
+
+    def test_bittorrent_is_reciprocity_altruism(self):
+        assert cl.components(Algorithm.BITTORRENT) == frozenset(
+            {cl.ExchangeClass.RECIPROCITY, cl.ExchangeClass.ALTRUISM})
+
+    def test_fairtorrent_is_reputation_altruism(self):
+        assert cl.components(Algorithm.FAIRTORRENT) == frozenset(
+            {cl.ExchangeClass.REPUTATION, cl.ExchangeClass.ALTRUISM})
+
+    def test_tchain_is_reciprocity_reputation(self):
+        assert cl.components(Algorithm.TCHAIN) == frozenset(
+            {cl.ExchangeClass.RECIPROCITY, cl.ExchangeClass.REPUTATION})
+
+    def test_each_class_has_two_hybrids(self):
+        """Figure 1's triangle: every basic class borders two hybrids."""
+        for exchange_class in cl.ExchangeClass:
+            assert len(cl.hybrids_of(exchange_class)) == 2
+
+
+class TestExpectations:
+    def test_altruism_best_efficiency_and_bootstrapping(self):
+        assert cl.expected_ranking(cl.Metric.EFFICIENCY)[0] is (
+            Algorithm.ALTRUISM)
+        # Fig. 4c: altruism and FairTorrent are the fastest bootstrappers.
+        assert set(cl.expected_ranking(cl.Metric.BOOTSTRAPPING)[:2]) == {
+            Algorithm.ALTRUISM, Algorithm.FAIRTORRENT}
+
+    def test_reciprocity_worst_efficiency(self):
+        assert cl.expected_ranking(cl.Metric.EFFICIENCY)[-1] is (
+            Algorithm.RECIPROCITY)
+
+    def test_altruism_least_fair_and_most_exploitable(self):
+        assert cl.expected_ranking(cl.Metric.FAIRNESS)[-1] is (
+            Algorithm.ALTRUISM)
+        assert cl.expected_ranking(
+            cl.Metric.FREERIDING_RESISTANCE)[-1] is Algorithm.ALTRUISM
+
+    def test_zero_tolerance_mechanisms_top_freeriding(self):
+        top2 = set(cl.expected_ranking(cl.Metric.FREERIDING_RESISTANCE)[:2])
+        assert top2 == {Algorithm.RECIPROCITY, Algorithm.TCHAIN}
+
+    def test_rankings_are_permutations(self):
+        for metric in cl.Metric:
+            ranking = cl.expected_ranking(metric)
+            assert sorted(ranking, key=lambda a: a.value) == sorted(
+                ALL_ALGORITHMS, key=lambda a: a.value)
+
+    def test_scores_ordinal_range(self):
+        for profile in cl.PROFILES.values():
+            for score in profile.expectations.values():
+                assert 1 <= score <= 5
+
+
+class TestAlgorithmParsing:
+    @pytest.mark.parametrize("name,expected", [
+        ("T-Chain", Algorithm.TCHAIN),
+        ("tchain", Algorithm.TCHAIN),
+        ("BitTorrent", Algorithm.BITTORRENT),
+        ("FAIRTORRENT", Algorithm.FAIRTORRENT),
+        ("fair_torrent", Algorithm.FAIRTORRENT),
+        (Algorithm.ALTRUISM, Algorithm.ALTRUISM),
+    ])
+    def test_parse(self, name, expected):
+        assert Algorithm.parse(name) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Algorithm.parse("gnutella")
+
+    def test_display_names(self):
+        assert Algorithm.TCHAIN.display_name == "T-Chain"
+        assert Algorithm.BITTORRENT.display_name == "BitTorrent"

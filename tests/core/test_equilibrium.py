@@ -1,0 +1,165 @@
+"""Tests for the Table I equilibrium model and Corollary 1."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import equilibrium as eq
+from repro.core import metrics
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+cap_lists = st.lists(st.floats(min_value=0.1, max_value=50.0),
+                     min_size=4, max_size=24)
+
+
+class TestParameters:
+    def test_capacities_sorted(self):
+        p = eq.EquilibriumParameters([1.0, 3.0, 2.0])
+        assert list(p.capacities) == [3.0, 2.0, 1.0]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ModelParameterError):
+            eq.EquilibriumParameters([1.0, 1.0], alpha_bt=1.5)
+
+    def test_rejects_bad_nbt(self):
+        with pytest.raises(ModelParameterError):
+            eq.EquilibriumParameters([1.0, 1.0], n_bt=0)
+
+    def test_rejects_negative_seeder(self):
+        with pytest.raises(ModelParameterError):
+            eq.EquilibriumParameters([1.0, 1.0], seeder_rate=-1.0)
+
+
+class TestLemma2Uploads:
+    """Everyone uploads at capacity except reciprocity (Lemma 2)."""
+
+    @pytest.mark.parametrize("algorithm", [a for a in ALL_ALGORITHMS
+                                           if a is not Algorithm.RECIPROCITY])
+    def test_full_utilisation(self, eq_params, algorithm):
+        u = eq.upload_rates(algorithm, eq_params)
+        assert np.allclose(u, eq_params.capacity_array())
+
+    def test_reciprocity_uploads_nothing(self, eq_params):
+        assert np.all(eq.upload_rates(Algorithm.RECIPROCITY, eq_params) == 0)
+
+
+class TestTable1Rows:
+    def test_reciprocity_zero_utilisation(self, eq_params):
+        assert np.all(eq.reciprocity_download_utilization(eq_params) == 0)
+
+    def test_tchain_equals_capacity(self, eq_params):
+        assert np.allclose(eq.tchain_download_utilization(eq_params),
+                           eq_params.capacity_array())
+
+    def test_fairtorrent_equals_capacity(self, eq_params):
+        assert np.allclose(eq.fairtorrent_download_utilization(eq_params),
+                           eq_params.capacity_array())
+
+    def test_altruism_row_formula(self):
+        p = eq.EquilibriumParameters([4.0, 2.0, 1.0, 1.0])
+        d = eq.altruism_download_utilization(p)
+        # d_i = (sum U - U_i) / (N - 1) with U sorted descending.
+        assert d[0] == pytest.approx((8.0 - 4.0) / 3)
+        assert d[3] == pytest.approx((8.0 - 1.0) / 3)
+
+    def test_altruism_needs_two_users(self):
+        p = eq.EquilibriumParameters([1.0])
+        with pytest.raises(ModelParameterError):
+            eq.altruism_download_utilization(p)
+
+    def test_bittorrent_homogeneous_reduces_to_capacity(self):
+        """With equal capacities the BT row collapses to U_i (all terms
+        equal the common capacity)."""
+        p = eq.EquilibriumParameters([2.0] * 8, alpha_bt=0.2, n_bt=4)
+        d = eq.bittorrent_download_utilization(p)
+        assert np.allclose(d, 2.0)
+
+    def test_bittorrent_group_structure(self):
+        """Users in the same capacity block share the same tit-for-tat
+        term; alpha mixes in the altruism share."""
+        p = eq.EquilibriumParameters([4.0, 4.0, 1.0, 1.0],
+                                     alpha_bt=0.0, n_bt=2)
+        d = eq.bittorrent_download_utilization(p)
+        assert d[0] == pytest.approx(d[1]) == pytest.approx(4.0)
+        assert d[2] == pytest.approx(d[3]) == pytest.approx(1.0)
+
+    def test_bittorrent_alpha_one_is_altruism(self, eq_params):
+        p = eq.EquilibriumParameters(eq_params.capacities, alpha_bt=1.0)
+        assert np.allclose(eq.bittorrent_download_utilization(p),
+                           eq.altruism_download_utilization(p))
+
+    def test_reputation_homogeneous_close_to_capacity(self):
+        """With equal capacities, reputation-weighted exchange gives
+        everyone (approximately) its own capacity back."""
+        p = eq.EquilibriumParameters([2.0] * 20, alpha_r=0.0)
+        d = eq.reputation_download_utilization(p)
+        assert np.allclose(d, 2.0, rtol=1e-9)
+
+    def test_reputation_alpha_one_is_altruism(self, eq_params):
+        p = eq.EquilibriumParameters(eq_params.capacities, alpha_r=1.0)
+        assert np.allclose(eq.reputation_download_utilization(p),
+                           eq.altruism_download_utilization(p))
+
+    @given(cap_lists)
+    def test_conservation_of_bandwidth(self, caps):
+        """Total download utilisation equals total upload (Eq. 1 with
+        u_S = 0) for the perfectly reciprocal rows."""
+        p = eq.EquilibriumParameters(caps)
+        for algorithm in (Algorithm.TCHAIN, Algorithm.FAIRTORRENT,
+                          Algorithm.ALTRUISM):
+            d = eq.download_utilization(algorithm, p)
+            assert float(np.sum(d)) == pytest.approx(float(np.sum(
+                p.capacity_array())), rel=1e-9)
+
+
+class TestEquilibriumResults:
+    def test_seeder_share_added(self, capacities):
+        p = eq.EquilibriumParameters(capacities, seeder_rate=10.0)
+        result = eq.equilibrium(Algorithm.ALTRUISM, p)
+        base = eq.altruism_download_utilization(p)
+        assert np.allclose(result.download_rates, base + 10.0 / len(capacities))
+
+    def test_reciprocity_infinite_download_time(self, eq_params):
+        result = eq.equilibrium(Algorithm.RECIPROCITY, eq_params)
+        assert result.efficiency == math.inf
+
+    def test_table1_covers_all_algorithms(self, eq_params):
+        table = eq.table1(eq_params)
+        assert set(table) == set(ALL_ALGORITHMS)
+
+    def test_accepts_string_names(self, eq_params):
+        result = eq.equilibrium("T-Chain", eq_params)
+        assert result.algorithm is Algorithm.TCHAIN
+
+
+class TestCorollary1:
+    def test_only_tchain_and_fairtorrent_optimally_fair(self, eq_params):
+        fair = eq.corollary1_fair_algorithms(eq_params)
+        assert set(fair) == {Algorithm.TCHAIN, Algorithm.FAIRTORRENT}
+
+    def test_altruism_most_efficient(self, eq_params):
+        ranking = eq.corollary1_efficiency_ranking(eq_params)
+        assert ranking[0] is Algorithm.ALTRUISM
+        assert ranking[-1] is Algorithm.RECIPROCITY
+
+    def test_bt_and_reputation_beat_tchain_fairtorrent(self, eq_params):
+        """Corollary 1: BitTorrent and reputation are more efficient
+        than T-Chain/FairTorrent in the idealized scenario."""
+        table = eq.table1(eq_params)
+        for fast in (Algorithm.BITTORRENT, Algorithm.REPUTATION):
+            for slow in (Algorithm.TCHAIN, Algorithm.FAIRTORRENT):
+                assert table[fast].efficiency < table[slow].efficiency
+
+    @given(cap_lists)
+    def test_no_algorithm_beats_lemma1_optimum(self, caps):
+        p = eq.EquilibriumParameters(caps)
+        optimum = metrics.optimal_efficiency(p.capacity_array())
+        for algorithm in ALL_ALGORITHMS:
+            result = eq.equilibrium(algorithm, p)
+            assert result.efficiency >= optimum - 1e-9

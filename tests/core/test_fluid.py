@@ -1,0 +1,125 @@
+"""Tests for the fluid swarm model (Qiu-Srikant substrate)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fluid
+from repro.errors import ModelParameterError
+
+
+def params(**kwargs):
+    defaults = dict(arrival_rate=10.0, upload_rate=1.0, download_cap=3.0,
+                    effectiveness=1.0, seed_departure_rate=2.0,
+                    abort_rate=0.0)
+    defaults.update(kwargs)
+    return fluid.FluidParameters(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ModelParameterError):
+            params(arrival_rate=-1.0)
+        with pytest.raises(ModelParameterError):
+            params(upload_rate=0.0)
+        with pytest.raises(ModelParameterError):
+            params(effectiveness=1.5)
+        with pytest.raises(ModelParameterError):
+            params(seed_departure_rate=0.0)
+
+    def test_simulation_rejects_bad_grid(self):
+        with pytest.raises(ModelParameterError):
+            fluid.simulate_fluid(params(), t_end=0.0)
+        with pytest.raises(ModelParameterError):
+            fluid.simulate_fluid(params(), t_end=1.0, dt=2.0)
+
+
+class TestSteadyState:
+    def test_qiu_srikant_closed_form(self):
+        """theta = 0, supply-constrained: x = lam (1/mu - 1/gamma)/eta."""
+        p = params(arrival_rate=10.0, upload_rate=1.0,
+                   seed_departure_rate=2.0, effectiveness=0.8,
+                   download_cap=float("inf"))
+        state = fluid.steady_state(p)
+        expected_x = 10.0 * (1.0 / 1.0 - 1.0 / 2.0) / 0.8
+        assert state.downloaders == pytest.approx(expected_x)
+        assert state.seeds == pytest.approx(10.0 / 2.0)
+
+    def test_download_constrained_regime(self):
+        """Huge upload supply: the download cap binds, x = lam / c."""
+        p = params(arrival_rate=10.0, upload_rate=100.0,
+                   seed_departure_rate=0.5, download_cap=2.0)
+        state = fluid.steady_state(p)
+        assert state.downloaders == pytest.approx(10.0 / 2.0)
+
+    def test_no_arrivals_empty_swarm(self):
+        state = fluid.steady_state(params(arrival_rate=0.0))
+        assert state.downloaders == 0.0
+        assert state.seeds == 0.0
+
+    @given(st.floats(min_value=0.2, max_value=1.0),
+           st.floats(min_value=0.2, max_value=0.95))
+    @settings(max_examples=30)
+    def test_effectiveness_lowers_download_time(self, eta_hi, scale):
+        """The paper's core lever: better exchange feasibility (higher
+        eta) strictly reduces fluid download times when supply binds."""
+        eta_lo = eta_hi * scale
+        p_hi = params(effectiveness=eta_hi, download_cap=float("inf"))
+        p_lo = params(effectiveness=eta_lo, download_cap=float("inf"))
+        assert (fluid.mean_download_time(p_hi)
+                <= fluid.mean_download_time(p_lo) + 1e-9)
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self):
+        p = params(effectiveness=0.8, download_cap=float("inf"))
+        trajectory = fluid.simulate_fluid(p, t_end=200.0, dt=0.01, y0=1.0)
+        final = trajectory[-1]
+        limit = fluid.steady_state(p)
+        assert final.downloaders == pytest.approx(limit.downloaders, rel=0.05)
+        assert final.seeds == pytest.approx(limit.seeds, rel=0.05)
+
+    def test_states_nonnegative(self):
+        p = params(arrival_rate=0.5, upload_rate=5.0)
+        for state in fluid.simulate_fluid(p, t_end=50.0, dt=0.05):
+            assert state.downloaders >= 0.0
+            assert state.seeds >= 0.0
+
+    def test_flash_crowd_drains(self):
+        """No arrivals, big initial crowd: downloaders monotonically
+        drain into seeds and out of the system."""
+        p = params(arrival_rate=0.0, effectiveness=1.0)
+        trajectory = fluid.simulate_fluid(p, t_end=100.0, dt=0.01,
+                                          x0=100.0, y0=1.0)
+        assert trajectory[-1].downloaders < 1e-3
+        xs = [s.downloaders for s in trajectory]
+        assert all(a >= b - 1e-9 for a, b in zip(xs, xs[1:]))
+
+
+class TestBridge:
+    def test_effectiveness_mapping_validates(self):
+        assert fluid.effectiveness_from_exchange_probability(0.5) == 0.5
+        with pytest.raises(ModelParameterError):
+            fluid.effectiveness_from_exchange_probability(1.5)
+
+    def test_mechanism_ranking_transfers_to_fluid_times(self):
+        """Feed Proposition 2's per-mechanism feasibilities through the
+        fluid model: the Figure 3 efficiency order reappears as
+        download times."""
+        from repro.core import piece_availability as pa
+        from repro.core.tradeoff import mean_exchange_probability
+        from repro.names import Algorithm
+
+        dist = pa.PieceCountDistribution.uniform(24)
+        times = {}
+        for algorithm in (Algorithm.ALTRUISM, Algorithm.TCHAIN,
+                          Algorithm.BITTORRENT):
+            eta = mean_exchange_probability(algorithm, dist, 200)
+            p = params(effectiveness=eta, download_cap=float("inf"))
+            times[algorithm] = fluid.mean_download_time(p)
+        assert (times[Algorithm.ALTRUISM] <= times[Algorithm.TCHAIN]
+                <= times[Algorithm.BITTORRENT])

@@ -1,0 +1,129 @@
+"""Tests for the free-riding susceptibility model (Table III)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import freeriding as fr
+from repro.errors import ModelParameterError
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+
+@pytest.fixture
+def params(capacities):
+    return fr.FreeRidingParameters(capacities, alpha_bt=0.2, alpha_r=0.1,
+                                   omega=0.75, pi_ir=0.05, n_colluders=4)
+
+
+class TestExploitableResources:
+    def test_reciprocity_and_tchain_zero(self, params):
+        assert fr.exploitable_resources(Algorithm.RECIPROCITY, params) == 0.0
+        assert fr.exploitable_resources(Algorithm.TCHAIN, params) == 0.0
+
+    def test_altruism_everything(self, params):
+        assert fr.exploitable_resources(Algorithm.ALTRUISM, params) == (
+            pytest.approx(params.total_capacity))
+
+    def test_bittorrent_alpha_share(self, params):
+        assert fr.exploitable_resources(Algorithm.BITTORRENT, params) == (
+            pytest.approx(0.2 * params.total_capacity))
+
+    def test_reputation_alpha_share(self, params):
+        assert fr.exploitable_resources(Algorithm.REPUTATION, params) == (
+            pytest.approx(0.1 * params.total_capacity))
+
+    def test_fairtorrent_omega_share(self, params):
+        assert fr.exploitable_resources(Algorithm.FAIRTORRENT, params) == (
+            pytest.approx(0.25 * params.total_capacity))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20)
+    def test_fairtorrent_monotone_in_omega(self, omega):
+        """Higher omega (more users owe someone) means less exposure."""
+        p = fr.FreeRidingParameters([1.0] * 4, omega=omega)
+        exposed = fr.exploitable_resources(Algorithm.FAIRTORRENT, p)
+        assert exposed == pytest.approx((1.0 - omega) * 4.0)
+
+
+class TestCollusion:
+    def test_reputation_fully_gameable(self, params):
+        assert fr.collusion_probability(Algorithm.REPUTATION, params) == 1.0
+
+    def test_altruism_not_applicable(self, params):
+        assert fr.collusion_probability(Algorithm.ALTRUISM, params) is None
+
+    def test_no_third_party_channel(self, params):
+        for algorithm in (Algorithm.RECIPROCITY, Algorithm.BITTORRENT,
+                          Algorithm.FAIRTORRENT):
+            assert fr.collusion_probability(algorithm, params) == 0.0
+
+    def test_tchain_formula(self, params):
+        m, n = params.n_colluders, params.n_users
+        expected = params.pi_ir * (m - 1) * m / ((n - 1) * n)
+        assert fr.collusion_probability(Algorithm.TCHAIN, params) == (
+            pytest.approx(expected))
+
+    def test_tchain_needs_two_colluders(self, capacities):
+        p = fr.FreeRidingParameters(capacities, n_colluders=1)
+        assert fr.collusion_probability(Algorithm.TCHAIN, p) == 0.0
+
+    def test_tchain_probability_small(self, params):
+        """The paper: pi_IR * m(m-1)/(N(N-1)) << 1."""
+        assert fr.collusion_probability(Algorithm.TCHAIN, params) < 0.01
+
+
+class TestTable3AndRanking:
+    def test_table_covers_all(self, params):
+        assert set(fr.table3(params)) == set(ALL_ALGORITHMS)
+
+    def test_susceptibility_ranking(self, params):
+        """Reciprocity/T-Chain safest; altruism most exposed."""
+        ranking = fr.susceptibility_ranking(params)
+        assert ranking[0] is Algorithm.RECIPROCITY
+        assert ranking[1] is Algorithm.TCHAIN
+        assert ranking[-1] is Algorithm.ALTRUISM
+        assert ranking.index(Algorithm.REPUTATION) < ranking.index(
+            Algorithm.BITTORRENT)
+
+
+class TestFairTorrentBounds:
+    def test_deficit_bound_grows_logarithmically(self):
+        assert fr.fairtorrent_deficit_bound(100) == pytest.approx(
+            math.log(100))
+        assert (fr.fairtorrent_deficit_bound(10_000)
+                < 2.1 * fr.fairtorrent_deficit_bound(100))
+
+    def test_deficit_bound_rejects_tiny(self):
+        with pytest.raises(ModelParameterError):
+            fr.fairtorrent_deficit_bound(1)
+
+    def test_expected_free_pieces_most_favourable(self):
+        """omega = 0: m free-riders collect m/N pieces per slot."""
+        assert fr.fairtorrent_expected_free_pieces(100, 20) == (
+            pytest.approx(0.2))
+
+    def test_expected_free_pieces_scales_with_omega(self):
+        assert fr.fairtorrent_expected_free_pieces(100, 20, omega=0.75) == (
+            pytest.approx(0.05))
+
+    def test_expected_free_pieces_validation(self):
+        with pytest.raises(ModelParameterError):
+            fr.fairtorrent_expected_free_pieces(10, 11)
+        with pytest.raises(ModelParameterError):
+            fr.fairtorrent_expected_free_pieces(10, 2, omega=2.0)
+
+
+class TestParameterValidation:
+    def test_rejects_bad_fractions(self, capacities):
+        with pytest.raises(ModelParameterError):
+            fr.FreeRidingParameters(capacities, alpha_bt=2.0)
+        with pytest.raises(ModelParameterError):
+            fr.FreeRidingParameters(capacities, pi_ir=-0.1)
+
+    def test_rejects_negative_colluders(self, capacities):
+        with pytest.raises(ModelParameterError):
+            fr.FreeRidingParameters(capacities, n_colluders=-1)

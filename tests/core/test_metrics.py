@@ -1,0 +1,236 @@
+"""Unit and property tests for fairness/efficiency metrics (Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.errors import ModelParameterError
+
+rates = st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                 max_size=30)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ModelParameterError):
+            metrics.validate_rates([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            metrics.validate_rates([1.0, -0.5])
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ModelParameterError):
+                metrics.validate_rates([1.0, bad])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ModelParameterError):
+            metrics.validate_rates(np.ones((2, 2)))
+
+    def test_strictly_positive_rejects_zero(self):
+        with pytest.raises(ModelParameterError):
+            metrics.validate_rates([1.0, 0.0], strictly_positive=True)
+
+    def test_capacities_sorted_descending(self):
+        caps = metrics.validate_capacities([1.0, 5.0, 3.0])
+        assert list(caps) == [5.0, 3.0, 1.0]
+
+    def test_capacity_balance_enforced(self):
+        # U_1 = 10 > 1 + 1: one user holds most of the capacity.
+        with pytest.raises(ModelParameterError):
+            metrics.validate_capacities([10.0, 1.0, 1.0],
+                                        enforce_balance=True)
+
+    def test_capacity_balance_ok(self):
+        caps = metrics.validate_capacities([2.0, 1.0, 1.5],
+                                           enforce_balance=True)
+        assert caps[0] == 2.0
+
+
+class TestEfficiency:
+    def test_equal_rates(self):
+        # d_i = 2 for 4 users -> E = mean(1/d) = 0.5.
+        assert metrics.efficiency([2.0, 2.0, 2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_zero_rate_gives_infinite_time(self):
+        assert metrics.efficiency([1.0, 0.0]) == math.inf
+
+    def test_matches_hand_computation(self):
+        # E = (1/3)(1/1 + 1/2 + 1/4) = 7/12.
+        assert metrics.efficiency([1.0, 2.0, 4.0]) == pytest.approx(7 / 12)
+
+    def test_average_download_time_scales_with_file(self):
+        e = metrics.efficiency([1.0, 2.0])
+        assert metrics.average_download_time([1.0, 2.0], 10.0) == (
+            pytest.approx(10.0 * e))
+
+    def test_average_download_time_rejects_bad_size(self):
+        with pytest.raises(ModelParameterError):
+            metrics.average_download_time([1.0], 0.0)
+
+    @given(rates)
+    def test_optimal_is_lower_bound(self, d):
+        """Lemma 1: equal rates minimise E for a fixed rate budget."""
+        total = sum(d)
+        equal = [total / len(d)] * len(d)
+        assert metrics.efficiency(equal) <= metrics.efficiency(d) + 1e-12
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        assert metrics.fairness([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # |log 2| averaged over two users, one at ratio 2, one at 1/2.
+        f = metrics.fairness([2.0, 1.0], [1.0, 2.0])
+        assert f == pytest.approx(math.log(2.0))
+
+    def test_pure_consumer_is_infinitely_unfair(self):
+        assert metrics.fairness([1.0, 1.0], [1.0, 0.0]) == math.inf
+
+    def test_both_zero_counts_as_fair(self):
+        assert metrics.fairness([0.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelParameterError):
+            metrics.fairness([1.0], [1.0, 2.0])
+
+    @given(rates)
+    def test_zero_iff_equal(self, u):
+        assert metrics.fairness(u, u) == pytest.approx(0.0)
+
+    @given(rates, st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_invariance(self, u, c):
+        """F depends only on the ratios d_i/u_i."""
+        d = [c * x for x in u]
+        expected = abs(math.log(c))
+        assert metrics.fairness(d, u) == pytest.approx(expected, rel=1e-9)
+
+    @given(rates)
+    def test_symmetry(self, u):
+        """Swapping numerator/denominator leaves |log| unchanged."""
+        d = [x * 2 for x in u]
+        assert metrics.fairness(d, u) == pytest.approx(metrics.fairness(u, d))
+
+
+class TestPerUserFairness:
+    def test_ratios(self):
+        out = metrics.per_user_fairness([4.0, 1.0], [2.0, 2.0])
+        assert list(out) == [2.0, 0.5]
+
+    def test_consumer_infinite(self):
+        out = metrics.per_user_fairness([1.0], [0.0])
+        assert out[0] == math.inf
+
+    def test_idle_user_ratio_one(self):
+        out = metrics.per_user_fairness([0.0], [0.0])
+        assert out[0] == 1.0
+
+
+class TestAverageFairness:
+    def test_fair_system_is_one(self):
+        assert metrics.average_fairness([1.0, 2.0], [1.0, 2.0]) == (
+            pytest.approx(1.0))
+
+    def test_experimental_statistic(self):
+        # mean(u/d) = mean(2/4, 2/1) = 1.25.
+        assert metrics.average_fairness([4.0, 1.0], [2.0, 2.0]) == (
+            pytest.approx(1.25))
+
+    def test_pure_producer_infinite(self):
+        assert metrics.average_fairness([0.0], [1.0]) == math.inf
+
+    def test_idle_user_counts_one(self):
+        assert metrics.average_fairness([0.0, 2.0], [0.0, 2.0]) == (
+            pytest.approx(1.0))
+
+
+class TestJainIndex:
+    def test_equal_allocation(self):
+        assert metrics.jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert metrics.jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert metrics.jain_index([0.0, 0.0]) == 1.0
+
+    @given(rates)
+    def test_bounds(self, x):
+        j = metrics.jain_index(x)
+        assert 1.0 / len(x) - 1e-12 <= j <= 1.0 + 1e-12
+
+
+class TestOptimal:
+    def test_optimal_rates_equalised(self, capacities):
+        d = metrics.optimal_download_rates(capacities, seeder_rate=2.0)
+        expected = (sum(capacities) + 2.0) / len(capacities)
+        assert np.allclose(d, expected)
+
+    def test_optimal_efficiency_value(self):
+        # Four users of capacity 2 -> d* = 2, E* = 0.5.
+        assert metrics.optimal_efficiency([2.0] * 4) == pytest.approx(0.5)
+
+    def test_negative_seeder_rejected(self):
+        with pytest.raises(ModelParameterError):
+            metrics.optimal_download_rates([1.0], seeder_rate=-1.0)
+
+    @given(rates)
+    def test_no_feasible_allocation_beats_optimum(self, caps):
+        """Any split of the same total bandwidth has E >= E*."""
+        rng = np.random.default_rng(0)
+        total = sum(caps)
+        weights = rng.random(len(caps)) + 0.01
+        d = weights / weights.sum() * total
+        assert metrics.optimal_efficiency(caps) <= (
+            metrics.efficiency(d) + 1e-12)
+
+
+class TestConservation:
+    def test_holds(self):
+        assert metrics.check_conservation([1.0, 2.0], [2.0, 2.0],
+                                          seeder_rate=1.0)
+
+    def test_violated(self):
+        assert not metrics.check_conservation([1.0, 1.0], [5.0, 5.0])
+
+    def test_is_perfectly_fair(self):
+        assert metrics.is_perfectly_fair([1.0, 2.0], [1.0, 2.0])
+        assert not metrics.is_perfectly_fair([1.0, 2.0], [1.0, 2.1])
+
+
+class TestAlphaFairness:
+    def test_alpha_two_is_negative_reciprocal_sum(self):
+        """Corollary 1's proof device: alpha = 2 utility = -sum 1/x."""
+        rates = [1.0, 2.0, 4.0]
+        utility = metrics.alpha_fair_utility(rates, alpha=2.0)
+        assert utility == pytest.approx(-(1 + 0.5 + 0.25))
+
+    def test_alpha_one_is_log_sum(self):
+        assert metrics.alpha_fair_utility([1.0, math.e], 1.0) == (
+            pytest.approx(1.0))
+
+    def test_alpha_zero_is_throughput(self):
+        assert metrics.alpha_fair_utility([1.0, 2.0, 3.0], 0.0) == (
+            pytest.approx(6.0))
+
+    def test_maximised_by_equal_rates_at_alpha_two(self):
+        """Equalising a fixed budget maximises the alpha=2 utility —
+        the same statement as Lemma 1's efficiency optimum."""
+        unequal = [1.0, 3.0]
+        equal = [2.0, 2.0]
+        assert (metrics.alpha_fair_utility(equal, 2.0)
+                > metrics.alpha_fair_utility(unequal, 2.0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelParameterError):
+            metrics.alpha_fair_utility([0.0, 1.0], 2.0)
+        with pytest.raises(ModelParameterError):
+            metrics.alpha_fair_utility([1.0], -1.0)

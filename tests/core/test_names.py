@@ -1,0 +1,58 @@
+"""Tests for the Algorithm enumeration shared by both layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.names import (
+    ALL_ALGORITHMS,
+    BASIC_ALGORITHMS,
+    EXTENDED_ALGORITHMS,
+    HYBRID_ALGORITHMS,
+    Algorithm,
+)
+
+
+class TestTuples:
+    def test_six_paper_algorithms(self):
+        assert len(ALL_ALGORITHMS) == 6
+        assert len(set(ALL_ALGORITHMS)) == 6
+
+    def test_basic_plus_hybrid_is_all(self):
+        assert set(BASIC_ALGORITHMS) | set(HYBRID_ALGORITHMS) == set(
+            ALL_ALGORITHMS)
+        assert not set(BASIC_ALGORITHMS) & set(HYBRID_ALGORITHMS)
+
+    def test_extended_superset(self):
+        assert set(ALL_ALGORITHMS) < set(EXTENDED_ALGORITHMS)
+        assert Algorithm.PROPSHARE in EXTENDED_ALGORITHMS
+
+    def test_table_row_order(self):
+        """ALL_ALGORITHMS follows the paper's table row order."""
+        assert ALL_ALGORITHMS[0] is Algorithm.RECIPROCITY
+        assert ALL_ALGORITHMS[-1] is Algorithm.ALTRUISM
+
+
+class TestParse:
+    @pytest.mark.parametrize("algorithm", EXTENDED_ALGORITHMS)
+    def test_roundtrip_value(self, algorithm):
+        assert Algorithm.parse(algorithm.value) is algorithm
+
+    @pytest.mark.parametrize("algorithm", EXTENDED_ALGORITHMS)
+    def test_roundtrip_display_name(self, algorithm):
+        assert Algorithm.parse(algorithm.display_name) is algorithm
+
+    def test_whitespace_and_case(self):
+        assert Algorithm.parse("  T-CHAIN ") is Algorithm.TCHAIN
+
+    def test_identity(self):
+        assert Algorithm.parse(Algorithm.RECIPROCITY) is Algorithm.RECIPROCITY
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Algorithm.parse("napster")
+
+    def test_is_str_enum(self):
+        """Algorithm doubles as its string value (dict keys, JSON)."""
+        assert Algorithm.TCHAIN == "tchain"
+        assert isinstance(Algorithm.TCHAIN, str)

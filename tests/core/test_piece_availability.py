@@ -1,0 +1,218 @@
+"""Tests for the piece-availability model (Eqs. 4-8).
+
+The key check is exactness: for small ``M`` we enumerate all piece-set
+pairs and compare the combinatorial formulas against brute-force
+probabilities.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import piece_availability as pa
+from repro.errors import ModelParameterError
+
+
+def brute_force_q(m_needer: int, m_holder: int, M: int) -> float:
+    """P(needer lacks >= 1 of holder's pieces), by enumeration."""
+    pieces = range(M)
+    needer_sets = list(itertools.combinations(pieces, m_needer))
+    holder_sets = list(itertools.combinations(pieces, m_holder))
+    hits = sum(1 for ns in needer_sets for hs in holder_sets
+               if set(hs) - set(ns))
+    return hits / (len(needer_sets) * len(holder_sets))
+
+
+def brute_force_dr(m_i: int, m_j: int, M: int) -> float:
+    """P(both need something of each other), by enumeration."""
+    pieces = range(M)
+    i_sets = list(itertools.combinations(pieces, m_i))
+    j_sets = list(itertools.combinations(pieces, m_j))
+    hits = sum(1 for a in i_sets for b in j_sets
+               if (set(b) - set(a)) and (set(a) - set(b)))
+    return hits / (len(i_sets) * len(j_sets))
+
+
+class TestNeedsPieceProbability:
+    @pytest.mark.parametrize("m_i,m_j,M", [
+        (0, 3, 6), (3, 0, 6), (2, 2, 5), (3, 2, 6), (2, 4, 6),
+        (5, 5, 6), (6, 3, 6), (1, 1, 4),
+    ])
+    def test_matches_enumeration(self, m_i, m_j, M):
+        assert pa.needs_piece_probability(m_i, m_j, M) == pytest.approx(
+            brute_force_q(m_i, m_j, M), abs=1e-12)
+
+    def test_holder_empty(self):
+        assert pa.needs_piece_probability(3, 0, 10) == 0.0
+
+    def test_needer_complete(self):
+        assert pa.needs_piece_probability(10, 4, 10) == 0.0
+
+    def test_pigeonhole(self):
+        assert pa.needs_piece_probability(2, 5, 10) == 1.0
+
+    def test_bounds_checking(self):
+        with pytest.raises(ModelParameterError):
+            pa.needs_piece_probability(11, 4, 10)
+        with pytest.raises(ModelParameterError):
+            pa.needs_piece_probability(4, -1, 10)
+        with pytest.raises(ModelParameterError):
+            pa.needs_piece_probability(1, 1, 0)
+
+    def test_large_counts_stable(self):
+        """Log-space evaluation stays finite at BitTorrent scale."""
+        q = pa.needs_piece_probability(2000, 1000, 4096)
+        assert 0.0 <= q <= 1.0
+
+    @given(st.integers(1, 12), st.data())
+    def test_probability_range(self, M, data):
+        m_i = data.draw(st.integers(0, M))
+        m_j = data.draw(st.integers(0, M))
+        q = pa.needs_piece_probability(m_i, m_j, M)
+        assert 0.0 <= q <= 1.0
+
+    @given(st.integers(2, 10), st.data())
+    def test_monotone_in_holder(self, M, data):
+        """More pieces held means at least as likely to be needed."""
+        m_i = data.draw(st.integers(0, M))
+        m_j = data.draw(st.integers(0, M - 1))
+        assert (pa.needs_piece_probability(m_i, m_j + 1, M)
+                >= pa.needs_piece_probability(m_i, m_j, M) - 1e-12)
+
+
+class TestDirectReciprocity:
+    @pytest.mark.parametrize("m_i,m_j,M", [
+        (2, 2, 5), (1, 3, 5), (3, 3, 6), (2, 4, 6), (1, 1, 3),
+    ])
+    def test_matches_enumeration(self, m_i, m_j, M):
+        """Eq. 4's closed form is the *exact* joint probability,
+        including the correlated equal-size case."""
+        assert pa.pi_direct_reciprocity(m_i, m_j, M) == pytest.approx(
+            brute_force_dr(m_i, m_j, M), abs=1e-12)
+
+    def test_newcomer_cannot_reciprocate(self):
+        """m = 0 makes direct reciprocity impossible (flash crowd)."""
+        assert pa.pi_direct_reciprocity(0, 5, 10) == 0.0
+        assert pa.pi_direct_reciprocity(5, 0, 10) == 0.0
+
+    def test_symmetry(self):
+        assert pa.pi_direct_reciprocity(2, 5, 8) == pytest.approx(
+            pa.pi_direct_reciprocity(5, 2, 8))
+
+    def test_equal_sets_correlated_not_squared(self):
+        """For m_i == m_j the naive independent product q*q is wrong;
+        the closed form equals 1 - 1/C(M, m)."""
+        M, m = 6, 3
+        expected = 1.0 - 1.0 / math.comb(M, m)
+        assert pa.pi_direct_reciprocity(m, m, M) == pytest.approx(expected)
+        q = pa.needs_piece_probability(m, m, M)
+        assert q * q < expected  # the independence approximation undershoots
+
+
+class TestDistributions:
+    def test_uniform_sums_to_one(self):
+        d = pa.PieceCountDistribution.uniform(10)
+        assert sum(d.probabilities) == pytest.approx(1.0)
+        assert d.mean() == pytest.approx(5.0)
+
+    def test_uniform_without_zero(self):
+        d = pa.PieceCountDistribution.uniform(4, include_zero=False)
+        assert d.probabilities[0] == 0.0
+        assert sum(d.probabilities) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        d = pa.PieceCountDistribution.degenerate(8, 3)
+        assert d.probabilities[3] == 1.0
+        assert d.mean() == 3.0
+
+    def test_binomial_mean(self):
+        d = pa.PieceCountDistribution.binomial(20, 0.3)
+        assert d.mean() == pytest.approx(6.0, rel=1e-6)
+
+    def test_binomial_extremes(self):
+        assert pa.PieceCountDistribution.binomial(5, 0.0).probabilities[0] == (
+            pytest.approx(1.0))
+        assert pa.PieceCountDistribution.binomial(5, 1.0).probabilities[5] == (
+            pytest.approx(1.0))
+
+    def test_flash_crowd(self):
+        d = pa.PieceCountDistribution.flash_crowd(10, 0.25)
+        assert d.probabilities[0] == pytest.approx(0.75)
+        assert d.probabilities[1] == pytest.approx(0.25)
+
+    def test_rejects_bad_vector(self):
+        with pytest.raises(ModelParameterError):
+            pa.PieceCountDistribution(4, [0.5, 0.5])  # wrong length
+        with pytest.raises(ModelParameterError):
+            pa.PieceCountDistribution(1, [0.7, 0.7])  # doesn't sum to 1
+
+
+class TestExchangeProbabilities:
+    @pytest.fixture
+    def mixed(self):
+        return pa.PieceCountDistribution.uniform(12)
+
+    @given(st.integers(2, 12), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_corollary2_altruism_dominates(self, M, data):
+        """pi_A >= pi_TC >= pi_DR for every configuration."""
+        m_i = data.draw(st.integers(0, M))
+        m_j = data.draw(st.integers(0, M))
+        n = data.draw(st.integers(3, 50))
+        dist = pa.PieceCountDistribution.uniform(M)
+        alt = pa.pi_altruism(m_i, m_j, M)
+        tc = pa.pi_tchain(m_i, m_j, M, dist, n)
+        dr = pa.pi_direct_reciprocity(m_i, m_j, M)
+        q_ij = pa.needs_piece_probability(m_i, m_j, M)
+        q_ji = pa.needs_piece_probability(m_j, m_i, M)
+        assert alt >= tc - 1e-12
+        assert tc >= q_ij * q_ji - 1e-12  # direct component lower bound
+        assert 0.0 <= dr <= 1.0
+
+    def test_tchain_approaches_altruism_large_n(self, mixed):
+        """Corollary 2: pi_TC -> pi_A as N grows."""
+        m_i, m_j = 4, 7
+        alt = pa.pi_altruism(m_i, m_j, mixed.M)
+        small = pa.pi_tchain(m_i, m_j, mixed.M, mixed, 4)
+        large = pa.pi_tchain(m_i, m_j, mixed.M, mixed, 5000)
+        assert large >= small
+        assert large == pytest.approx(alt, rel=1e-3)
+
+    def test_bittorrent_alpha_interpolates(self):
+        """alpha = 0 is pure tit-for-tat; alpha = 1 is altruism."""
+        m_i, m_j, M = 3, 8, 12
+        q_ij = pa.needs_piece_probability(m_i, m_j, M)
+        q_ji = pa.needs_piece_probability(m_j, m_i, M)
+        assert pa.pi_bittorrent(m_i, m_j, M, 0.0) == pytest.approx(q_ij * q_ji)
+        assert pa.pi_bittorrent(m_i, m_j, M, 1.0) == pytest.approx(q_ij)
+
+    def test_bittorrent_rejects_bad_alpha(self):
+        with pytest.raises(ModelParameterError):
+            pa.pi_bittorrent(1, 1, 4, -0.1)
+
+    def test_eq8_threshold(self, mixed):
+        """pi_TC >= pi_BT iff alpha_BT is below the Eq. 8 bound."""
+        m_i, m_j, n = 2, 9, 40
+        bound = pa.tchain_dominates_bittorrent_alpha_bound(m_j, mixed, n)
+        tc = pa.pi_tchain(m_i, m_j, mixed.M, mixed, n)
+        below = pa.pi_bittorrent(m_i, m_j, mixed.M, bound * 0.9)
+        above = pa.pi_bittorrent(m_i, m_j, mixed.M, min(1.0, bound * 1.1))
+        assert tc >= below - 1e-12
+        if bound < 1.0:
+            assert above >= tc - 1e-9
+
+    def test_indirect_reciprocity_needs_third_party(self):
+        """With N = 2 there is no third user, so pi_IR = 0."""
+        dist = pa.PieceCountDistribution.uniform(8)
+        assert pa.pi_indirect_reciprocity(3, 4, 8, dist, 2) == 0.0
+
+    def test_indirect_grows_with_n(self):
+        dist = pa.PieceCountDistribution.uniform(8)
+        p10 = pa.pi_indirect_reciprocity(2, 6, 8, dist, 10)
+        p100 = pa.pi_indirect_reciprocity(2, 6, 8, dist, 100)
+        assert p100 >= p10

@@ -1,0 +1,112 @@
+"""Tests for the Proposition 3 reputation-equilibrium model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics, reputation_model as rm
+from repro.errors import ModelParameterError
+
+vectors = st.lists(st.floats(min_value=0.1, max_value=20.0),
+                   min_size=3, max_size=15)
+
+
+class TestDownloadRates:
+    def test_conservation(self):
+        """Everything uploaded is downloaded by someone (Eq. 1)."""
+        caps = [4.0, 2.0, 1.0]
+        reps = [0.5, 0.3, 0.2]
+        d = rm.reputation_download_rates(caps, reps)
+        assert float(np.sum(d)) == pytest.approx(sum(caps))
+
+    def test_proportional_reputations_return_capacity(self):
+        """With r_i ~ U_i every user gets its capacity back (Table I).
+
+        The Table I row relies on ``sum_k r_k >> r_i``, so the identity
+        is asymptotic: use a large population.
+        """
+        caps = np.array([4.0, 2.0, 2.0, 1.0, 1.0, 1.0] * 30)
+        reps = rm.capacity_proportional_reputations(caps)
+        d = rm.reputation_download_rates(caps, reps)
+        assert np.allclose(d, caps, rtol=0.02)
+
+    def test_zero_reputation_user_starves(self):
+        caps = [2.0, 2.0, 2.0]
+        reps = [1e-9, 1.0, 1.0]
+        d = rm.reputation_download_rates(caps, reps)
+        assert d[0] < 1e-6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelParameterError):
+            rm.reputation_download_rates([1.0, 2.0], [1.0])
+
+    def test_needs_two_users(self):
+        with pytest.raises(ModelParameterError):
+            rm.reputation_download_rates([1.0], [1.0])
+
+
+class TestFairnessAndEfficiency:
+    def test_proportional_reputations_perfectly_fair(self):
+        caps = [5.0, 3.0, 2.0, 1.0]
+        reps = rm.capacity_proportional_reputations(caps)
+        assert rm.reputation_fairness(caps, reps) == pytest.approx(0.0)
+
+    def test_skew_hurts_fairness(self):
+        caps = [4.0, 2.0, 2.0, 1.0]
+        fair = rm.capacity_proportional_reputations(caps)
+        skewed = [0.05, 0.45, 0.30, 0.20]
+        assert (rm.reputation_fairness(caps, skewed)
+                > rm.reputation_fairness(caps, fair))
+
+    def test_unnormalized_option(self):
+        caps = [4.0, 1.0]
+        reps = [0.5, 0.5]
+        total = rm.reputation_fairness(caps, reps, normalize=False)
+        mean = rm.reputation_fairness(caps, reps, normalize=True)
+        assert total == pytest.approx(mean * len(caps))
+
+    def test_efficiency_diverges_with_starved_user(self):
+        caps = [2.0, 2.0, 2.0]
+        assert (rm.reputation_efficiency(caps, [1e-6, 1.0, 1.0])
+                > rm.reputation_efficiency(caps, [1.0, 1.0, 1.0]) * 100)
+
+    def test_proportional_efficiency_matches_table1(self):
+        """With r ~ U the system behaves like d_i = U_i."""
+        caps = [4.0, 2.0, 1.0, 1.0]
+        reps = rm.capacity_proportional_reputations(caps)
+        assert rm.reputation_efficiency(caps, reps) == pytest.approx(
+            metrics.efficiency(caps))
+
+    @given(vectors)
+    @settings(max_examples=30)
+    def test_fairness_nonnegative(self, caps):
+        reps = [1.0] * len(caps)
+        assert rm.reputation_fairness(caps, reps) >= 0.0
+
+    @given(vectors)
+    @settings(max_examples=30)
+    def test_equal_reputations_equalize_downloads(self, caps):
+        """Uniform reputations make download rates equal — altruism in
+        disguise — so efficiency matches the Lemma 1 optimum."""
+        reps = [1.0] * len(caps)
+        assert rm.reputation_efficiency(caps, reps) == pytest.approx(
+            metrics.optimal_efficiency(caps), rel=1e-9)
+
+
+class TestEquilibriumBundle:
+    def test_bundle_consistency(self):
+        caps = [3.0, 2.0, 1.0]
+        reps = [0.3, 0.4, 0.3]
+        bundle = rm.reputation_equilibrium(caps, reps)
+        assert bundle.fairness == pytest.approx(
+            rm.reputation_fairness(caps, reps))
+        assert bundle.efficiency == pytest.approx(
+            rm.reputation_efficiency(caps, reps))
+        assert bundle.download_rates.shape == (3,)
+
+    def test_rejects_zero_reputation(self):
+        with pytest.raises(ModelParameterError):
+            rm.reputation_equilibrium([1.0, 1.0], [0.0, 1.0])

@@ -1,0 +1,122 @@
+"""Tests for the fairness-efficiency tradeoff helpers (Figs. 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics, piece_availability as pa, tradeoff
+from repro.core.equilibrium import EquilibriumParameters
+from repro.errors import ModelParameterError
+from repro.names import Algorithm
+
+
+class TestFigure2Rankings:
+    def test_efficiency_order(self, eq_params):
+        order = tradeoff.figure2_efficiency_ranking(eq_params)
+        assert order[0] is Algorithm.ALTRUISM
+        assert order[-1] is Algorithm.RECIPROCITY
+        # BitTorrent and reputation beat the perfectly fair hybrids.
+        for fast in (Algorithm.BITTORRENT, Algorithm.REPUTATION):
+            for slow in (Algorithm.TCHAIN, Algorithm.FAIRTORRENT):
+                assert order.index(fast) < order.index(slow)
+
+    def test_fairness_order(self, eq_params):
+        order = tradeoff.figure2_fairness_ranking(eq_params)
+        # The two optimally fair hybrids lead; reciprocity (undefined
+        # fairness) is last; altruism is the least fair defined one.
+        assert set(order[:2]) == {Algorithm.TCHAIN, Algorithm.FAIRTORRENT}
+        assert order[-1] is Algorithm.RECIPROCITY
+        assert order[-2] is Algorithm.ALTRUISM
+
+
+class TestFigure3Ranking:
+    def test_paper_order_under_mixed_progress(self):
+        dist = pa.PieceCountDistribution.uniform(48)
+        order = tradeoff.figure3_efficiency_ranking(dist, n_users=200)
+        assert order == [Algorithm.ALTRUISM, Algorithm.TCHAIN,
+                         Algorithm.FAIRTORRENT, Algorithm.BITTORRENT,
+                         Algorithm.RECIPROCITY]
+
+    def test_reciprocity_probability_zero(self):
+        dist = pa.PieceCountDistribution.uniform(16)
+        assert tradeoff.mean_exchange_probability(
+            Algorithm.RECIPROCITY, dist, 50) == 0.0
+
+    def test_mean_probability_bounds(self):
+        dist = pa.PieceCountDistribution.uniform(16)
+        for algorithm in (Algorithm.ALTRUISM, Algorithm.TCHAIN,
+                          Algorithm.BITTORRENT, Algorithm.FAIRTORRENT):
+            p = tradeoff.mean_exchange_probability(algorithm, dist, 50)
+            assert 0.0 <= p <= 1.0
+
+    def test_altruism_upper_bounds_all(self):
+        dist = pa.PieceCountDistribution.uniform(16)
+        alt = tradeoff.mean_exchange_probability(Algorithm.ALTRUISM, dist, 50)
+        for algorithm in (Algorithm.TCHAIN, Algorithm.BITTORRENT):
+            assert alt >= tradeoff.mean_exchange_probability(
+                algorithm, dist, 50) - 1e-12
+
+    def test_tchain_improves_with_swarm_size(self):
+        dist = pa.PieceCountDistribution.uniform(16)
+        small = tradeoff.mean_exchange_probability(Algorithm.TCHAIN, dist, 5)
+        large = tradeoff.mean_exchange_probability(Algorithm.TCHAIN, dist, 500)
+        assert large >= small
+
+
+class TestFrontier:
+    def test_endpoints(self, capacities):
+        rows = tradeoff.fairness_efficiency_frontier(capacities, [0.0, 1.0])
+        fair_end, efficient_end = rows
+        assert fair_end["fairness"] == pytest.approx(0.0)
+        assert efficient_end["efficiency"] == pytest.approx(
+            metrics.optimal_efficiency(capacities))
+
+    def test_monotone_tradeoff(self, capacities):
+        """Moving toward the efficient end monotonically trades
+        fairness for download time (Lemma 1 made quantitative)."""
+        thetas = np.linspace(0.0, 1.0, 11)
+        rows = tradeoff.fairness_efficiency_frontier(capacities, thetas)
+        fairness = [r["fairness"] for r in rows]
+        efficiency = [r["efficiency"] for r in rows]
+        assert all(a <= b + 1e-12 for a, b in zip(fairness, fairness[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(efficiency, efficiency[1:]))
+
+    def test_rejects_bad_theta(self, capacities):
+        with pytest.raises(ModelParameterError):
+            tradeoff.fairness_efficiency_frontier(capacities, [1.5])
+
+
+class TestRobinHood:
+    def test_transfer_improves_efficiency(self):
+        rates = [4.0, 1.0]
+        moved = tradeoff.robin_hood_transfer(rates, 1.0, rich=0, poor=1)
+        assert metrics.efficiency(moved) < metrics.efficiency(rates)
+
+    def test_rejects_overshoot(self):
+        with pytest.raises(ModelParameterError):
+            tradeoff.robin_hood_transfer([4.0, 1.0], 2.0, rich=0, poor=1)
+
+    def test_rejects_regressive(self):
+        with pytest.raises(ModelParameterError):
+            tradeoff.robin_hood_transfer([1.0, 4.0], 0.5, rich=0, poor=1)
+
+    def test_rejects_same_index(self):
+        with pytest.raises(ModelParameterError):
+            tradeoff.robin_hood_transfer([1.0, 4.0], 0.5, rich=1, poor=1)
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=2,
+                    max_size=10), st.data())
+    @settings(max_examples=40)
+    def test_any_progressive_transfer_weakly_improves(self, rates, data):
+        """The Schur-concavity argument behind Corollary 1's proof."""
+        idx = np.argsort(rates)
+        rich, poor = int(idx[-1]), int(idx[0])
+        if rates[rich] == rates[poor]:
+            return
+        amount = data.draw(st.floats(
+            min_value=0.0, max_value=(rates[rich] - rates[poor]) / 2))
+        moved = tradeoff.robin_hood_transfer(rates, amount, rich, poor)
+        assert metrics.efficiency(moved) <= metrics.efficiency(rates) + 1e-12

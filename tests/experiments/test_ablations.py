@@ -1,0 +1,79 @@
+"""Tests for the ablation sweep helpers (small scale, shape checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+
+
+@pytest.fixture(scope="module")
+def base():
+    return smoke_scale(seed=6)
+
+
+class TestSweepShapes:
+    def test_alpha_bt_rows(self, base):
+        rows = ablations.alpha_bt_sweep(base, [0.1, 0.3])
+        assert [r["alpha_bt"] for r in rows] == [0.1, 0.3]
+        for row in rows:
+            assert 0.0 <= row["susceptibility"] <= 1.0
+            assert row["completion_fraction"] > 0.9
+
+    def test_alpha_r_rows(self, base):
+        rows = ablations.alpha_r_sweep(base, [0.1])
+        assert rows[0]["alpha_r"] == 0.1
+        assert "mean_bootstrap_time" in rows[0]
+
+    def test_freerider_fraction_rows(self, base):
+        rows = ablations.freerider_fraction_sweep(
+            base, Algorithm.ALTRUISM, [0.0, 0.2])
+        assert rows[0]["susceptibility"] == 0.0
+        assert rows[1]["susceptibility"] > 0.0
+
+    def test_seeder_capacity_rows(self, base):
+        rows = ablations.seeder_capacity_sweep(
+            base, Algorithm.ALTRUISM, [1.0, 8.0])
+        assert [r["seeder_capacity"] for r in rows] == [1.0, 8.0]
+        # More seeder bandwidth never slows completion down materially.
+        assert (rows[1]["mean_completion_time"]
+                <= rows[0]["mean_completion_time"] * 1.1)
+
+    def test_whitewash_none_encoded_as_inf(self, base):
+        rows = ablations.whitewash_interval_sweep(base, [None])
+        assert rows[0]["whitewash_interval"] == float("inf")
+
+    def test_tchain_patience_rows(self, base):
+        rows = ablations.tchain_patience_sweep(base, [2])
+        assert rows[0]["patience"] == 2
+        assert rows[0]["susceptibility"] < 0.1
+
+
+class TestDirections:
+    def test_alpha_bt_direction(self, base):
+        """More optimistic bandwidth -> more exposure, faster bootstrap."""
+        rows = ablations.alpha_bt_sweep(base, [0.05, 0.5])
+        assert rows[1]["susceptibility"] > rows[0]["susceptibility"]
+        assert (rows[1]["mean_bootstrap_time"]
+                < rows[0]["mean_bootstrap_time"])
+
+    def test_freerider_growth_direction(self, base):
+        rows = ablations.freerider_fraction_sweep(
+            base, Algorithm.ALTRUISM, [0.1, 0.3])
+        assert rows[1]["susceptibility"] > rows[0]["susceptibility"]
+
+
+class TestPieceSelection:
+    def test_both_policies_complete(self, base):
+        rows = ablations.piece_selection_sweep(base, Algorithm.TCHAIN)
+        assert [r["piece_selection"] for r in rows] == ["rarest", "random"]
+        for row in rows:
+            assert row["completion_fraction"] > 0.95
+
+    def test_policy_validated(self, base):
+        from dataclasses import replace
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            replace(base, piece_selection="alphabetical")

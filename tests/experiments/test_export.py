@@ -1,0 +1,80 @@
+"""Tests for JSON/CSV export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    peers_table,
+    result_to_json,
+    rows_to_csv,
+    samples_table,
+    summary_dict,
+)
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+from repro.sim import run_simulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(smoke_scale(Algorithm.TCHAIN, seed=8))
+
+
+@pytest.fixture(scope="module")
+def stalled():
+    # A run guaranteed to finish nobody: reciprocity users never
+    # upload and 10 rounds of seeder spray cannot complete anyone.
+    from dataclasses import replace
+    config = replace(smoke_scale(Algorithm.RECIPROCITY, seed=8),
+                     max_rounds=10)
+    return run_simulation(config)
+
+
+class TestSummary:
+    def test_fields(self, result):
+        summary = summary_dict(result)
+        assert summary["algorithm"] == "tchain"
+        assert summary["n_users"] == result.config.n_users
+        assert summary["completion_fraction"] == pytest.approx(1.0)
+        assert summary["rounds_run"] > 0
+
+    def test_infinities_become_none(self, stalled):
+        summary = summary_dict(stalled)
+        assert summary["mean_completion_time"] is None  # was inf
+
+
+class TestTables:
+    def test_peers_table_shape(self, result):
+        rows = peers_table(result.metrics)
+        assert len(rows) == result.config.n_users
+        assert all(set(rows[0]) == set(r) for r in rows)
+        assert all(r["downloaded"] <= result.config.n_pieces for r in rows)
+
+    def test_samples_table_times_sorted(self, result):
+        rows = samples_table(result.metrics)
+        times = [r["time"] for r in rows]
+        assert times == sorted(times)
+
+
+class TestJsonCsv:
+    def test_json_round_trip(self, result):
+        payload = json.loads(result_to_json(result))
+        assert set(payload) == {"summary", "peers", "samples"}
+        assert payload["summary"]["algorithm"] == "tchain"
+        assert len(payload["peers"]) == result.config.n_users
+
+    def test_json_summary_only(self, result):
+        payload = json.loads(result_to_json(result, include_series=False))
+        assert set(payload) == {"summary"}
+
+    def test_csv(self, result):
+        text = rows_to_csv(peers_table(result.metrics))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("peer_id,")
+        assert len(lines) == result.config.n_users + 1
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""

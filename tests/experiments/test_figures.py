@@ -1,0 +1,52 @@
+"""Smoke tests for the Figure 4-6 runners (small scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.scenarios import smoke_scale
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figures.figure4(smoke_scale(seed=2),
+                           algorithms=[Algorithm.ALTRUISM, Algorithm.TCHAIN])
+
+
+class TestFigureResult:
+    def test_series_per_algorithm(self, fig4):
+        assert set(fig4.series) == {Algorithm.ALTRUISM, Algorithm.TCHAIN}
+        for series in fig4.series.values():
+            assert series.completion_cdf
+            assert series.bootstrap_series
+            assert series.mean_completion_time > 0
+
+    def test_no_freeriders_in_figure4(self, fig4):
+        for series in fig4.series.values():
+            assert series.susceptibility == 0.0
+
+    def test_text_rendering(self, fig4):
+        text = fig4.to_text()
+        assert "Figure 4" in text
+        assert "T-Chain" in text
+        assert "Altruism" in text
+
+    def test_cdf_reaches_one(self, fig4):
+        cdf = fig4.series[Algorithm.ALTRUISM].completion_cdf
+        assert cdf[-1]["fraction"] == pytest.approx(1.0)
+
+
+class TestFigure5And6:
+    def test_figure5_has_susceptibility(self):
+        fig = figures.figure5(smoke_scale(seed=3),
+                              algorithms=[Algorithm.ALTRUISM])
+        assert fig.series[Algorithm.ALTRUISM].susceptibility > 0.0
+
+    def test_figure6_sets_large_view(self):
+        fig = figures.figure6(smoke_scale(seed=3),
+                              algorithms=[Algorithm.BITTORRENT])
+        config = fig.results[Algorithm.BITTORRENT].config
+        assert config.attack.large_view
+        assert config.freerider_fraction == pytest.approx(0.2)

@@ -1,0 +1,68 @@
+"""Tests for replicated-run aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.replicates import (
+    HEADLINE_METRICS,
+    MetricSummary,
+    run_replicates,
+)
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+
+
+@pytest.fixture(scope="module")
+def replicates():
+    return run_replicates(smoke_scale(Algorithm.ALTRUISM), seeds=(1, 2, 3))
+
+
+class TestRunReplicates:
+    def test_all_headline_metrics_present(self, replicates):
+        assert set(replicates.metrics) == set(HEADLINE_METRICS)
+
+    def test_per_seed_values_kept(self, replicates):
+        summary = replicates["mean_completion_time"]
+        assert summary.n == 3
+        assert len(set(summary.values)) > 1  # seeds actually vary
+
+    def test_mean_within_value_range(self, replicates):
+        summary = replicates["mean_completion_time"]
+        assert min(summary.values) <= summary.mean <= max(summary.values)
+
+    def test_ci_brackets_mean(self, replicates):
+        summary = replicates["final_fairness"]
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.std >= 0.0
+
+    def test_to_rows(self, replicates):
+        rows = replicates.to_rows()
+        assert {r["metric"] for r in rows} == set(HEADLINE_METRICS)
+        assert all(r["n"] == 3 for r in rows)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_replicates(smoke_scale(Algorithm.ALTRUISM), seeds=())
+
+    def test_custom_extractor(self):
+        result = run_replicates(
+            smoke_scale(Algorithm.ALTRUISM), seeds=(1, 2),
+            extractors={"uploads": lambda m: float(m.total_uploaded)})
+        assert set(result.metrics) == {"uploads"}
+        assert result["uploads"].mean > 0
+
+    def test_infinite_values_summarised_as_inf(self):
+        """Reciprocity never completes: mean completion time is inf."""
+        from dataclasses import replace
+        config = replace(smoke_scale(Algorithm.RECIPROCITY), max_rounds=20)
+        result = run_replicates(config, seeds=(1, 2))
+        assert result["mean_completion_time"].mean == math.inf
+
+    def test_single_seed_zero_std(self):
+        result = run_replicates(smoke_scale(Algorithm.ALTRUISM), seeds=(5,))
+        summary = result["completion_fraction"]
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == summary.mean

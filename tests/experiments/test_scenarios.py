@@ -1,0 +1,91 @@
+"""Tests for scenario presets and sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scenarios
+from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.sim.config import AttackConfig
+
+
+class TestPresets:
+    def test_paper_scale_matches_section5(self):
+        config = scenarios.paper_scale()
+        assert config.n_users == 1000
+        assert config.n_pieces == 512
+        assert config.flash_crowd_duration == 10.0
+
+    def test_default_scale_is_scaled_down(self):
+        default = scenarios.default_scale()
+        paper = scenarios.paper_scale()
+        assert default.n_users < paper.n_users
+        assert default.n_pieces < paper.n_pieces
+        # Same swarm shape: flash crowd duration preserved.
+        assert default.flash_crowd_duration == paper.flash_crowd_duration
+
+    def test_smoke_scale_small(self):
+        assert scenarios.smoke_scale().n_users <= 80
+
+    def test_presets_accept_algorithm_and_seed(self):
+        config = scenarios.default_scale(Algorithm.ALTRUISM, seed=9)
+        assert config.algorithm is Algorithm.ALTRUISM
+        assert config.seed == 9
+
+
+class TestWithFreeriders:
+    def test_targeted_attack_selected(self):
+        config = scenarios.with_freeriders(
+            scenarios.smoke_scale(Algorithm.TCHAIN))
+        assert config.freerider_fraction == pytest.approx(0.2)
+        assert config.attack.collusion
+
+    def test_large_view_flag(self):
+        config = scenarios.with_freeriders(
+            scenarios.smoke_scale(Algorithm.BITTORRENT), large_view=True)
+        assert config.attack.large_view
+
+    def test_explicit_attack_override(self):
+        attack = AttackConfig(false_praise=True)
+        config = scenarios.with_freeriders(
+            scenarios.smoke_scale(Algorithm.REPUTATION), attack=attack)
+        assert config.attack.false_praise
+        assert not config.attack.collusion
+
+    def test_explicit_attack_with_large_view(self):
+        config = scenarios.with_freeriders(
+            scenarios.smoke_scale(Algorithm.REPUTATION),
+            attack=AttackConfig(false_praise=True), large_view=True)
+        assert config.attack.false_praise and config.attack.large_view
+
+
+class TestRunAllAlgorithms:
+    def test_sweep_covers_selection(self, smoke_config):
+        results = scenarios.run_all_algorithms(
+            smoke_config, algorithms=[Algorithm.ALTRUISM, Algorithm.TCHAIN])
+        assert set(results) == {Algorithm.ALTRUISM, Algorithm.TCHAIN}
+        for algorithm, result in results.items():
+            assert result.algorithm is algorithm
+            assert result.metrics.peers
+
+    def test_sweep_retargets_attacks(self, smoke_config):
+        results = scenarios.run_all_algorithms(
+            smoke_config,
+            algorithms=[Algorithm.TCHAIN, Algorithm.FAIRTORRENT],
+            freerider_fraction=0.2)
+        assert results[Algorithm.TCHAIN].config.attack.collusion
+        assert results[Algorithm.FAIRTORRENT].config.attack.whitewash_interval
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self, smoke_config):
+        serial = scenarios.run_all_algorithms(
+            smoke_config, algorithms=[Algorithm.ALTRUISM, Algorithm.TCHAIN])
+        parallel = scenarios.run_all_algorithms(
+            smoke_config, algorithms=[Algorithm.ALTRUISM, Algorithm.TCHAIN],
+            processes=2)
+        for algorithm, result in serial.items():
+            assert (parallel[algorithm].metrics.total_uploaded
+                    == result.metrics.total_uploaded)
+            assert (parallel[algorithm].metrics.completion_times()
+                    == result.metrics.completion_times())

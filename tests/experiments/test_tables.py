@@ -1,0 +1,80 @@
+"""Tests for the analytic table/figure regenerators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import tables
+from repro.names import ALL_ALGORITHMS, Algorithm
+
+
+class TestTable1:
+    def test_rows_cover_all_algorithms(self):
+        rows = tables.table1_rows()
+        assert [r["algorithm"] for r in rows] == [
+            a.display_name for a in ALL_ALGORITHMS]
+
+    def test_fair_rows_have_zero_F(self):
+        rows = {r["algorithm"]: r for r in tables.table1_rows()}
+        assert rows["T-Chain"]["fairness_F"] == pytest.approx(0.0)
+        assert rows["FairTorrent"]["fairness_F"] == pytest.approx(0.0)
+        assert rows["Altruism"]["fairness_F"] > 0.0
+
+    def test_reciprocity_degenerate(self):
+        rows = {r["algorithm"]: r for r in tables.table1_rows()}
+        assert rows["Reciprocity"]["mean_upload"] == 0.0
+        assert rows["Reciprocity"]["efficiency_E"] == float("inf")
+
+    def test_text_rendering(self):
+        text = tables.table1_text()
+        assert "Table I" in text
+        for algorithm in ALL_ALGORITHMS:
+            assert algorithm.display_name in text
+
+
+class TestTable2:
+    def test_paper_percentages(self):
+        rows = {r["algorithm"]: r for r in tables.table2_rows()}
+        assert rows["Altruism"]["percent"] == pytest.approx(91.8, abs=0.1)
+        assert rows["Reciprocity"]["percent"] == pytest.approx(0.1, abs=0.01)
+        assert rows["BitTorrent"]["percent"] == pytest.approx(39.6, abs=0.1)
+
+    def test_text_rendering(self):
+        text = tables.table2_text()
+        assert "Table II" in text
+        assert "N=1000" in text
+
+
+class TestTable3:
+    def test_fraction_columns(self):
+        rows = {r["algorithm"]: r for r in tables.table3_rows()}
+        assert rows["Altruism"]["exploitable_fraction"] == pytest.approx(1.0)
+        assert rows["T-Chain"]["exploitable"] == 0.0
+        assert rows["Reciprocity"]["exploitable"] == 0.0
+        assert rows["Altruism"]["collusion"] is None
+        assert rows["Reputation"]["collusion"] == 1.0
+
+    def test_text_shows_na(self):
+        assert "n/a" in tables.table3_text()
+
+
+class TestFigureRankings:
+    def test_figure2(self):
+        rankings = tables.figure2_rankings()
+        assert rankings["efficiency"][0] is Algorithm.ALTRUISM
+        assert rankings["efficiency"][-1] is Algorithm.RECIPROCITY
+        assert set(rankings["fairness"][:2]) == {
+            Algorithm.TCHAIN, Algorithm.FAIRTORRENT}
+
+    def test_figure3_paper_order(self):
+        result = tables.figure3_rankings(M=32, n_users=100)
+        assert result["ranking"] == [
+            Algorithm.ALTRUISM, Algorithm.TCHAIN, Algorithm.FAIRTORRENT,
+            Algorithm.BITTORRENT, Algorithm.RECIPROCITY]
+
+    def test_figure3_probabilities_ordered(self):
+        result = tables.figure3_rankings(M=32, n_users=100)
+        probs = result["probabilities"]
+        assert probs[Algorithm.ALTRUISM] >= probs[Algorithm.TCHAIN]
+        assert probs[Algorithm.TCHAIN] >= probs[Algorithm.BITTORRENT]
+        assert probs[Algorithm.RECIPROCITY] == 0.0

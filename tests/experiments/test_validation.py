@@ -1,0 +1,90 @@
+"""Tests for cross-layer (model vs. simulator) validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import validation
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+from repro.sim import run_simulation
+from repro.sim.metrics import MetricsCollector
+
+
+def synthetic_metrics(series):
+    """Build metrics with a hand-written bootstrap trajectory.
+
+    ``series`` is a list of (arrived, bootstrapped) tuples.
+    """
+    collector = MetricsCollector()
+    for t, (arrived, bootstrapped) in enumerate(series, start=1):
+        collector.sample(time=float(t), active_peers=arrived,
+                         arrived=arrived, population=100,
+                         bootstrapped=bootstrapped, completed=0,
+                         fairness_ud=None, fairness_du=None)
+    return collector.finalize([], rounds_run=len(series))
+
+
+class TestEmpiricalProbability:
+    def test_hand_computed(self):
+        metrics = synthetic_metrics([(10, 0), (10, 5), (10, 10)])
+        rows = validation.empirical_bootstrap_probability(metrics)
+        # Round 2: 5 of 10 waiting bootstrapped; round 3: 5 of 5.
+        assert [r["p_b"] for r in rows] == [0.5, 1.0]
+        assert [r["waiting"] for r in rows] == [10.0, 5.0]
+
+    def test_midround_arrivals_counted_at_risk(self):
+        # 5 arrive in round 2 and 3 of them bootstrap immediately.
+        metrics = synthetic_metrics([(5, 5), (10, 8)])
+        rows = validation.empirical_bootstrap_probability(metrics)
+        assert rows == [{"time": 2.0, "waiting": 5.0, "p_b": 3 / 5}]
+
+    def test_probability_never_exceeds_one(self):
+        metrics = synthetic_metrics([(2, 0), (10, 10)])
+        rows = validation.empirical_bootstrap_probability(metrics)
+        assert all(0.0 <= r["p_b"] <= 1.0 for r in rows)
+
+    def test_skips_rounds_with_nobody_waiting(self):
+        metrics = synthetic_metrics([(10, 10), (10, 10)])
+        assert validation.empirical_bootstrap_probability(metrics) == []
+
+    def test_weighted_mean(self):
+        metrics = synthetic_metrics([(10, 0), (10, 5), (10, 10)])
+        # (0.5 * 10 + 1.0 * 5) / 15 = 2/3.
+        assert validation.mean_empirical_bootstrap_probability(metrics) == (
+            pytest.approx(2 / 3))
+
+    def test_mean_none_when_never_waiting(self):
+        metrics = synthetic_metrics([(5, 5)])
+        assert validation.mean_empirical_bootstrap_probability(metrics) is None
+
+
+class TestRankingAgreement:
+    def test_identical_order(self):
+        assert validation.ranking_agreement([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_reversed_order(self):
+        assert validation.ranking_agreement([1, 2, 3], [3, 2, 1]) == 0.0
+
+    def test_ties_half_credit(self):
+        assert validation.ranking_agreement([1, 1], [1, 2]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            validation.ranking_agreement([1], [1, 2])
+
+
+class TestModelVsSimulation:
+    def test_sim_probability_from_real_run(self):
+        metrics = run_simulation(smoke_scale(Algorithm.ALTRUISM,
+                                             seed=12)).metrics
+        p = validation.mean_empirical_bootstrap_probability(metrics)
+        assert p is not None and 0.0 < p <= 1.0
+
+    def test_model_ranks_like_simulator(self):
+        """The headline cross-layer check: Table II's model orders the
+        mechanisms' bootstrap speeds the way the simulator does."""
+        rows = validation.bootstrap_model_vs_simulation(smoke_scale(seed=12))
+        measured = [r["measured_p_b"] for r in rows]
+        predicted = [r["predicted_p_b"] for r in rows]
+        assert validation.ranking_agreement(measured, predicted) >= 0.7

@@ -1,0 +1,67 @@
+"""Tests for arrival processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
+
+
+class TestFlashCrowd:
+    def test_count_and_bounds(self):
+        times = flash_crowd_arrivals(100, 10.0, random.Random(0))
+        assert len(times) == 100
+        assert all(0.0 <= t < 10.0 for t in times)
+
+    def test_sorted(self):
+        times = flash_crowd_arrivals(50, 10.0, random.Random(1))
+        assert times == sorted(times)
+
+    def test_zero_duration_all_at_once(self):
+        assert flash_crowd_arrivals(5, 0.0, random.Random(0)) == [0.0] * 5
+
+    def test_empty_crowd(self):
+        assert flash_crowd_arrivals(0, 10.0, random.Random(0)) == []
+
+    def test_deterministic_per_seed(self):
+        a = flash_crowd_arrivals(20, 10.0, random.Random(7))
+        b = flash_crowd_arrivals(20, 10.0, random.Random(7))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd_arrivals(-1, 10.0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            flash_crowd_arrivals(1, -1.0, random.Random(0))
+
+    @given(st.integers(0, 200), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30)
+    def test_property_bounds(self, n, duration):
+        times = flash_crowd_arrivals(n, duration, random.Random(3))
+        assert len(times) == n
+        assert all(0.0 <= t < duration for t in times)
+
+
+class TestPoisson:
+    def test_count(self):
+        assert len(poisson_arrivals(30, 2.0, random.Random(0))) == 30
+
+    def test_strictly_increasing(self):
+        times = poisson_arrivals(30, 2.0, random.Random(0))
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival(self):
+        times = poisson_arrivals(4000, 2.0, random.Random(1))
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(0.5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(10, 0.0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(-1, 1.0, random.Random(0))

@@ -1,0 +1,92 @@
+"""Tests for upload-budget credit accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.bandwidth import UploadBudget
+
+
+class TestBasics:
+    def test_integer_capacity(self):
+        budget = UploadBudget(3.0)
+        assert budget.new_round() == 3
+        budget.consume(3)
+        assert not budget.can_send()
+
+    def test_fractional_capacity_accumulates(self):
+        """Capacity 0.5 sends one piece every other round."""
+        budget = UploadBudget(0.5)
+        sent = 0
+        for _ in range(10):
+            budget.new_round()
+            while budget.can_send():
+                budget.consume()
+                sent += 1
+        assert sent == 5
+
+    def test_zero_capacity_never_sends(self):
+        budget = UploadBudget(0.0)
+        for _ in range(5):
+            budget.new_round()
+        assert not budget.can_send()
+        assert budget.available() == 0
+
+    def test_overdraft_rejected(self):
+        budget = UploadBudget(1.0)
+        budget.new_round()
+        budget.consume()
+        with pytest.raises(SimulationError):
+            budget.consume()
+
+    def test_consume_zero_rejected(self):
+        budget = UploadBudget(2.0)
+        budget.new_round()
+        with pytest.raises(SimulationError):
+            budget.consume(0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigurationError):
+            UploadBudget(-1.0)
+
+    def test_rejects_infinite_capacity(self):
+        with pytest.raises(ConfigurationError):
+            UploadBudget(float("inf"))
+
+    def test_total_consumed_tracked(self):
+        budget = UploadBudget(2.0)
+        budget.new_round()
+        budget.consume(2)
+        budget.new_round()
+        budget.consume(1)
+        assert budget.total_consumed == 3
+
+
+class TestBurstCap:
+    def test_idle_rounds_do_not_bank_unbounded_credit(self):
+        """An idle peer cannot save up a giant burst (cap: 2 rounds)."""
+        budget = UploadBudget(3.0)
+        for _ in range(100):
+            budget.new_round()
+        assert budget.available() <= 6
+
+    def test_small_capacity_can_still_reach_one(self):
+        budget = UploadBudget(0.1)
+        for _ in range(20):
+            budget.new_round()
+        assert budget.available() >= 1
+
+    @given(st.floats(min_value=0.05, max_value=10.0), st.integers(1, 60))
+    @settings(max_examples=40)
+    def test_long_run_rate_bounded_by_capacity(self, capacity, rounds):
+        """Consumed pieces never exceed capacity * rounds + burst cap."""
+        budget = UploadBudget(capacity)
+        for _ in range(rounds):
+            budget.new_round()
+            while budget.can_send():
+                budget.consume()
+        assert budget.total_consumed <= capacity * rounds + max(
+            2.0 * capacity, 1.0)

@@ -1,0 +1,100 @@
+"""Tests for the StrategyContext facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.names import Algorithm
+from repro.sim.context import StrategyContext
+from repro.sim.peer import Obligation
+from tests.algorithms.conftest import build_sim, give_piece, users_of
+
+
+@pytest.fixture
+def sim():
+    return build_sim(Algorithm.TCHAIN, n_users=6, seed=44)
+
+
+@pytest.fixture
+def ctx(sim):
+    peer = max(users_of(sim), key=lambda p: p.capacity)
+    strategy = sim._strategies[peer.lineage_id]
+    sim.round_index += 1
+    peer.budget.new_round()
+    return StrategyContext(sim, peer, strategy.rng)
+
+
+class TestReads:
+    def test_round_index(self, ctx):
+        assert ctx.round_index == 1
+
+    def test_params_come_from_config(self, sim, ctx):
+        assert ctx.params is sim.config.strategy_params
+
+    def test_budget_tracks_peer(self, ctx):
+        assert ctx.budget() == ctx.peer.budget.available()
+
+    def test_neighbors_active_only(self, sim, ctx):
+        neighbors = ctx.neighbors()
+        assert ctx.peer.peer_id not in neighbors
+        assert all(ctx.is_active(pid) for pid in neighbors)
+
+    def test_needy_requires_providable(self, sim, ctx):
+        assert ctx.needy_neighbors() == []  # we hold nothing yet
+        give_piece(sim, ctx.peer, 0)
+        assert ctx.needy_neighbors()
+
+    def test_ledger_accessors(self, ctx):
+        other = ctx.neighbors()[0]
+        assert ctx.received_from(other) == 0
+        assert ctx.uploaded_to(other) == 0
+        assert ctx.deficit(other) == 0
+        assert ctx.received_last_round(other) == 0
+        ctx.peer.record_upload(other, 2)
+        assert ctx.uploaded_to(other) == 2
+        assert ctx.deficit(other) == 2
+
+    def test_reputation_reads_board(self, sim, ctx):
+        other = ctx.neighbors()[0]
+        sim.swarm.reputation.report(other, 3.0)
+        assert ctx.reputation_of(other) == 3.0
+
+    def test_peer_state_lookup(self, sim, ctx):
+        other = ctx.neighbors()[0]
+        assert ctx.peer_state(other).peer_id == other
+
+    def test_pending_obligations_sorted_oldest_first(self, ctx):
+        ctx.peer.add_pending_piece(3, Obligation(99, 3, None, 5))
+        ctx.peer.add_pending_piece(1, Obligation(99, 1, None, 2))
+        pending = ctx.pending_obligations()
+        assert [p.piece_id for p in pending] == [1, 3]
+
+
+class TestActions:
+    def test_send_piece_via_context(self, sim, ctx):
+        give_piece(sim, ctx.peer, 0)
+        target = ctx.needy_neighbors()[0]
+        assert ctx.send_piece(target)
+        assert ctx.peer.uploaded_to[target] == 1
+
+    def test_send_encrypted_via_context(self, sim, ctx):
+        give_piece(sim, ctx.peer, 0)
+        target = ctx.needy_neighbors()[0]
+        assert ctx.send_encrypted(target)
+        assert sim.swarm.peers[target].pending
+
+    def test_send_encrypted_random_skips_blacklisted(self, sim, ctx):
+        give_piece(sim, ctx.peer, 0)
+        # Give every potential target max pending obligations.
+        for pid in ctx.needy_neighbors():
+            target = sim.swarm.peers[pid]
+            for piece in range(sim.config.strategy_params.tchain_max_pending):
+                target.add_pending_piece(
+                    piece + 10, Obligation(98, piece + 10, None, 0))
+        assert not ctx.send_encrypted_random()
+
+    def test_fake_report_flagged(self, sim, ctx):
+        other = ctx.neighbors()[0]
+        ctx.report_fake_upload(other, 4.0)
+        assert sim.swarm.reputation.score(other) == 4.0
+        assert sim.swarm.reputation.fake_reported == 4.0

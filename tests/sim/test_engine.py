@@ -1,0 +1,205 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda e: fired.append("c"))
+        engine.schedule_at(1.0, lambda e: fired.append("a"))
+        engine.schedule_at(2.0, lambda e: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        engine = EventEngine()
+        fired = []
+        for label in "abcde":
+            engine.schedule_at(1.0, lambda e, l=label: fired.append(l))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(5.0, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_in_relative(self):
+        engine = EventEngine(start_time=10.0)
+        seen = []
+        engine.schedule_in(2.5, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == [12.5]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda e: None)
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        fired = []
+
+        def first(e):
+            fired.append("first")
+            e.schedule_in(1.0, lambda e2: fired.append("second"))
+
+        engine.schedule_at(0.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1,
+                    max_size=50))
+    @settings(max_examples=30)
+    def test_arbitrary_schedules_fire_sorted(self, times):
+        engine = EventEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda e, t=t: fired.append(t))
+        engine.run()
+        assert fired == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = EventEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda e: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        engine = EventEngine()
+        keep = engine.schedule_at(1.0, lambda e: None)
+        drop = engine.schedule_at(2.0, lambda e: None)
+        drop.cancel()
+        assert engine.pending == 1
+        assert keep.time == 1.0
+
+
+class TestPeriodic:
+    def test_fires_at_interval(self):
+        engine = EventEngine()
+        ticks = []
+        engine.schedule_every(1.0, lambda e: ticks.append(e.now))
+        engine.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_custom_start_delay(self):
+        engine = EventEngine()
+        ticks = []
+        engine.schedule_every(2.0, lambda e: ticks.append(e.now),
+                              start_delay=0.5)
+        engine.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_rejects_nonpositive_interval(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_every(0.0, lambda e: None)
+
+    def test_stop_halts_periodic(self):
+        engine = EventEngine()
+        ticks = []
+
+        def tick(e):
+            ticks.append(e.now)
+            if len(ticks) == 3:
+                e.stop()
+
+        engine.schedule_every(1.0, tick)
+        engine.run_until(100.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+
+class TestRunUntil:
+    def test_does_not_fire_future_events(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda e: fired.append(1))
+        engine.schedule_at(10.0, lambda e: fired.append(10))
+        engine.run_until(5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run_until(20.0)
+        assert fired == [1, 10]
+
+    def test_max_events_guard(self):
+        engine = EventEngine()
+        engine.schedule_every(0.001, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.run_until(1000.0, max_events=50)
+
+    def test_run_guard(self):
+        engine = EventEngine()
+
+        def reschedule(e):
+            e.schedule_in(0.1, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_events_fired_counter(self):
+        engine = EventEngine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda e: None)
+        engine.run()
+        assert engine.events_fired == 5
+
+
+class TestEventMetadata:
+    def test_event_names_preserved(self):
+        engine = EventEngine()
+        event = engine.schedule_at(1.0, lambda e: None, name="arrival:7")
+        assert event.name == "arrival:7"
+
+    def test_schedule_at_now_is_allowed(self):
+        engine = EventEngine(start_time=3.0)
+        fired = []
+        engine.schedule_at(3.0, lambda e: fired.append(e.now))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_run_until_exact_boundary_fires(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda e: fired.append(5))
+        engine.run_until(5.0)
+        assert fired == [5]
+
+    def test_interleaved_run_until_segments(self):
+        engine = EventEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule_at(t, lambda e, t=t: fired.append(t))
+        engine.run_until(2.0)
+        engine.run_until(3.5)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_inside_callback(self):
+        engine = EventEngine()
+        fired = []
+        later = engine.schedule_at(2.0, lambda e: fired.append("later"))
+        engine.schedule_at(1.0, lambda e: later.cancel())
+        engine.run()
+        assert fired == []

@@ -1,0 +1,181 @@
+"""Tests for metric collection and derived series."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, PeerSummary
+
+
+def summary(pid=0, freerider=False, arrival=0.0, boot=None, done=None,
+            up=0, down=0, capacity=1.0) -> PeerSummary:
+    return PeerSummary(
+        peer_id=pid, lineage_id=pid, capacity=capacity,
+        is_freerider=freerider, arrival_time=arrival, bootstrap_time=boot,
+        completion_time=done, uploaded=up, downloaded=down)
+
+
+class TestPeerSummary:
+    def test_download_duration(self):
+        s = summary(arrival=5.0, done=25.0)
+        assert s.download_duration == 20.0
+        assert summary().download_duration is None
+
+    def test_fairness_ratio(self):
+        assert summary(up=4, down=2).fairness_ratio == 2.0
+        assert summary(up=0, down=0).fairness_ratio == 1.0
+        assert summary(up=3, down=0).fairness_ratio is None
+
+
+class TestTransferAccounting:
+    def test_seeder_uploads_excluded_from_susceptibility(self):
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=True, usable=True,
+                                  from_seeder=True)
+        collector.record_transfer(to_freerider=False, usable=True)
+        metrics = collector.finalize([], rounds_run=1)
+        assert metrics.total_uploaded == 2
+        assert metrics.peer_uploaded == 1
+        assert metrics.susceptibility() == 0.0
+
+    def test_freerider_usable_receipt_counted(self):
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=True, usable=True)
+        collector.record_transfer(to_freerider=False, usable=True)
+        metrics = collector.finalize([], rounds_run=1)
+        assert metrics.susceptibility() == pytest.approx(0.5)
+
+    def test_encrypted_receipt_not_counted_until_unlock(self):
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=True, usable=False)
+        assert collector.finalize([], 1).susceptibility() == 0.0
+
+    def test_unlock_counts_for_freerider(self):
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=True, usable=False)
+        collector.record_unlock(for_freerider=True)
+        assert collector.finalize([], 1).susceptibility() == pytest.approx(1.0)
+
+    def test_compliant_unlock_ignored(self):
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=False, usable=False)
+        collector.record_unlock(for_freerider=False)
+        assert collector.finalize([], 1).susceptibility() == 0.0
+
+    def test_no_uploads_zero_susceptibility(self):
+        assert MetricsCollector().finalize([], 0).susceptibility() == 0.0
+
+
+class TestDerivedMetrics:
+    def test_completion_statistics(self):
+        peers = [
+            summary(0, arrival=0.0, done=10.0, down=8),
+            summary(1, arrival=0.0, done=30.0, down=8),
+            summary(2),  # never finished
+            summary(3, freerider=True, arrival=0.0, done=5.0),
+        ]
+        collector = MetricsCollector()
+        m = collector.finalize(peers, rounds_run=30)
+        assert m.completion_times() == [10.0, 30.0]
+        assert m.completion_times(include_freeriders=True) == [5.0, 10.0, 30.0]
+        assert m.mean_completion_time() == 20.0
+        assert m.median_completion_time() == 20.0
+        assert m.completion_fraction() == pytest.approx(2 / 3)
+
+    def test_empty_run_infinite_times(self):
+        m = MetricsCollector().finalize([summary(0)], rounds_run=5)
+        assert m.mean_completion_time() == math.inf
+        assert m.median_completion_time() == math.inf
+
+    def test_completion_cdf_monotone(self):
+        peers = [summary(i, arrival=0.0, done=float(10 + i)) for i in range(5)]
+        m = MetricsCollector().finalize(peers, rounds_run=20)
+        cdf = m.completion_cdf()
+        fractions = [p["fraction"] for p in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_final_fairness_excludes_freeriders(self):
+        peers = [
+            summary(0, up=10, down=10),
+            summary(1, freerider=True, up=0, down=50),
+        ]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.final_fairness() == pytest.approx(1.0)
+
+    def test_final_fairness_du(self):
+        peers = [summary(0, up=2, down=4), summary(1, up=4, down=2)]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.final_fairness_du() == pytest.approx((2.0 + 0.5) / 2)
+
+    def test_bootstrap_statistics(self):
+        peers = [
+            summary(0, arrival=1.0, boot=2.0),
+            summary(1, arrival=1.0, boot=5.0),
+            summary(2),
+        ]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.mean_bootstrap_time() == pytest.approx(2.5)
+        assert m.bootstrapped_fraction_final() == pytest.approx(2 / 3)
+
+
+class TestSampling:
+    def sample_collector(self) -> MetricsCollector:
+        collector = MetricsCollector()
+        collector.record_transfer(to_freerider=False, usable=True)
+        collector.sample(time=1.0, active_peers=10, arrived=10,
+                         population=20, bootstrapped=5, completed=0,
+                         fairness_ud=0.8, fairness_du=1.3)
+        collector.sample(time=2.0, active_peers=10, arrived=20,
+                         population=20, bootstrapped=18, completed=2,
+                         fairness_ud=0.9, fairness_du=1.1)
+        return collector
+
+    def test_series_extraction(self):
+        m = self.sample_collector().finalize([], rounds_run=2)
+        assert [r["fairness"] for r in m.fairness_series("ud")] == [0.8, 0.9]
+        assert [r["fairness"] for r in m.fairness_series("du")] == [1.3, 1.1]
+        assert [r["fraction"] for r in m.bootstrap_series()] == [0.25, 0.9]
+
+    def test_bad_kind_rejected(self):
+        m = self.sample_collector().finalize([], rounds_run=2)
+        with pytest.raises(ValueError):
+            m.fairness_series("xy")
+
+    def test_time_to_bootstrap_fraction(self):
+        m = self.sample_collector().finalize([], rounds_run=2)
+        assert m.time_to_bootstrap_fraction(0.2) == 1.0
+        assert m.time_to_bootstrap_fraction(0.5) == 2.0
+        assert m.time_to_bootstrap_fraction(0.95) == math.inf
+
+    def test_mean_fairness_window(self):
+        m = self.sample_collector().finalize([], rounds_run=2)
+        assert m.mean_fairness_between(0.0, 10.0, "ud") == pytest.approx(0.85)
+        assert m.mean_fairness_between(1.5, 10.0, "ud") == pytest.approx(0.9)
+        assert m.mean_fairness_between(5.0, 10.0, "ud") is None
+
+
+class TestFairnessF:
+    def test_perfectly_fair_run_is_zero(self):
+        peers = [summary(0, up=8, down=8), summary(1, up=3, down=3)]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.final_fairness_F() == pytest.approx(0.0)
+
+    def test_matches_analytical_definition(self):
+        import math
+        peers = [summary(0, up=2, down=4), summary(1, up=4, down=2)]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.final_fairness_F() == pytest.approx(math.log(2.0))
+
+    def test_excludes_freeriders_and_idle(self):
+        peers = [summary(0, up=5, down=5),
+                 summary(1, freerider=True, up=0, down=50),
+                 summary(2, up=0, down=0)]
+        m = MetricsCollector().finalize(peers, rounds_run=10)
+        assert m.final_fairness_F() == pytest.approx(0.0)
+
+    def test_none_when_no_eligible_users(self):
+        m = MetricsCollector().finalize([summary(0)], rounds_run=1)
+        assert m.final_fairness_F() is None

@@ -1,0 +1,128 @@
+"""Tests for peer state: ledgers, deficits, pending pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.peer import Obligation, Peer
+
+
+def make_peer(pid=1, capacity=2.0, n_pieces=8, **kwargs) -> Peer:
+    return Peer(pid, capacity, n_pieces, **kwargs)
+
+
+class TestLedgers:
+    def test_upload_and_receipt_tracking(self):
+        peer = make_peer()
+        peer.record_upload(2, pieces=3)
+        peer.record_receipt(2, pieces=1)
+        assert peer.total_uploaded == 3
+        assert peer.total_downloaded == 1
+        assert peer.uploaded_to[2] == 3
+        assert peer.received_from[2] == 1
+
+    def test_deficit_sign_convention(self):
+        """Positive deficit: they owe us; negative: we owe them."""
+        peer = make_peer()
+        peer.record_upload(5, pieces=2)
+        assert peer.deficit(5) == 2
+        peer.record_receipt(5, pieces=3)
+        assert peer.deficit(5) == -1
+
+    def test_deficit_unknown_peer_zero(self):
+        assert make_peer().deficit(99) == 0
+
+    def test_round_receipt_rollover(self):
+        peer = make_peer()
+        peer.record_receipt(3, pieces=2)
+        assert peer.received_last_round.get(3, 0) == 0
+        peer.end_round()
+        assert peer.received_last_round[3] == 2
+        peer.end_round()
+        assert peer.received_last_round.get(3, 0) == 0
+
+    def test_unusable_receipt_not_downloaded(self):
+        peer = make_peer()
+        peer.record_receipt(3, usable=False)
+        assert peer.total_downloaded == 0
+        assert peer.total_received_raw == 1
+
+
+class TestPieces:
+    def test_seeder_starts_complete(self):
+        seeder = make_peer(is_seeder=True)
+        assert seeder.complete
+        assert seeder.usable_piece_count == 8
+
+    def test_add_usable(self):
+        peer = make_peer()
+        assert peer.add_usable_piece(3)
+        assert not peer.add_usable_piece(3)
+        assert peer.usable_piece_count == 1
+
+    def test_needs_piece(self):
+        peer = make_peer()
+        assert peer.needs_piece(0)
+        peer.add_usable_piece(0)
+        assert not peer.needs_piece(0)
+
+    def test_needed_pieces_from(self):
+        a = make_peer(1)
+        b = make_peer(2)
+        for piece in (0, 1, 2):
+            b.add_usable_piece(piece)
+        a.add_usable_piece(1)
+        assert a.needed_pieces_from(b) == {0, 2}
+        assert a.needs_any_from(b)
+        assert not b.needs_any_from(a)
+
+
+class TestPendingPieces:
+    def make_obligation(self, piece=4, uploader=9):
+        return Obligation(uploader_id=uploader, piece_id=piece,
+                          designated_target=None, created_round=1)
+
+    def test_pending_blocks_need(self):
+        peer = make_peer()
+        peer.add_pending_piece(4, self.make_obligation())
+        assert not peer.needs_piece(4)
+        assert 4 not in peer.pieces  # not usable yet
+        assert peer.held_or_pending() == {4}
+
+    def test_unlock_makes_usable(self):
+        peer = make_peer()
+        peer.add_pending_piece(4, self.make_obligation())
+        assert peer.unlock_piece(4)
+        assert 4 in peer.pieces
+        assert peer.pending == {}
+
+    def test_cannot_unlock_unknown(self):
+        with pytest.raises(SimulationError):
+            make_peer().unlock_piece(4)
+
+    def test_cannot_double_pend(self):
+        peer = make_peer()
+        peer.add_pending_piece(4, self.make_obligation())
+        with pytest.raises(SimulationError):
+            peer.add_pending_piece(4, self.make_obligation())
+
+    def test_cannot_pend_held_piece(self):
+        peer = make_peer()
+        peer.add_usable_piece(4)
+        with pytest.raises(SimulationError):
+            peer.add_pending_piece(4, self.make_obligation())
+
+    def test_pending_excluded_from_needed_from(self):
+        a = make_peer(1)
+        b = make_peer(2)
+        b.add_usable_piece(0)
+        b.add_usable_piece(1)
+        a.add_pending_piece(0, self.make_obligation(piece=0))
+        assert a.needed_pieces_from(b) == {1}
+
+    def test_mark_usable_counts_download(self):
+        peer = make_peer()
+        peer.record_receipt(2, usable=False)
+        peer.mark_usable()
+        assert peer.total_downloaded == 1

@@ -1,0 +1,134 @@
+"""Tests for piece sets, availability tracking, and rarest-first."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.pieces import AvailabilityMap, PieceSet, rarest_first
+
+
+class TestPieceSet:
+    def test_starts_empty(self):
+        ps = PieceSet(8)
+        assert len(ps) == 0
+        assert not ps.complete
+        assert ps.missing() == set(range(8))
+
+    def test_full(self):
+        ps = PieceSet.full(4)
+        assert ps.complete
+        assert len(ps) == 4
+        assert ps.missing() == set()
+
+    def test_add_and_contains(self):
+        ps = PieceSet(4)
+        assert ps.add(2) is True
+        assert ps.add(2) is False  # duplicate
+        assert 2 in ps
+        assert ps.has(2)
+        assert not ps.has(3)
+
+    def test_bounds_checked(self):
+        ps = PieceSet(4)
+        with pytest.raises(SimulationError):
+            ps.add(4)
+        with pytest.raises(SimulationError):
+            ps.has(-1)
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(ConfigurationError):
+            PieceSet(0)
+
+    def test_providable_to(self):
+        a = PieceSet(6, have=[0, 1, 2])
+        b = PieceSet(6, have=[2, 3])
+        assert a.providable_to(b) == {0, 1}
+        assert b.providable_to(a) == {3}
+
+    def test_needs_from(self):
+        a = PieceSet(6, have=[0, 1])
+        b = PieceSet(6, have=[0, 1, 2])
+        assert a.needs_from(b)
+        assert not b.needs_from(a)
+
+    def test_cross_file_rejected(self):
+        with pytest.raises(SimulationError):
+            PieceSet(4).providable_to(PieceSet(5))
+
+    def test_copy_is_independent(self):
+        a = PieceSet(4, have=[1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+    @given(st.integers(1, 32), st.data())
+    @settings(max_examples=40)
+    def test_missing_complements_have(self, m, data):
+        have = data.draw(st.sets(st.integers(0, m - 1)))
+        ps = PieceSet(m, have=have)
+        assert ps.missing() | set(ps) == set(range(m))
+        assert ps.missing() & set(ps) == set()
+        assert ps.complete == (len(have) == m)
+
+
+class TestAvailabilityMap:
+    def test_tracks_peers(self):
+        avail = AvailabilityMap(4)
+        avail.add_peer(PieceSet(4, have=[0, 1]))
+        avail.add_peer(PieceSet(4, have=[1, 2]))
+        assert [avail.count(i) for i in range(4)] == [1, 2, 1, 0]
+
+    def test_remove_peer(self):
+        avail = AvailabilityMap(3)
+        ps = PieceSet(3, have=[0, 2])
+        avail.add_peer(ps)
+        avail.remove_peer(ps)
+        assert [avail.count(i) for i in range(3)] == [0, 0, 0]
+
+    def test_negative_count_is_corruption(self):
+        avail = AvailabilityMap(2)
+        with pytest.raises(SimulationError):
+            avail.remove_peer(PieceSet(2, have=[0]))
+
+    def test_incremental_add_piece(self):
+        avail = AvailabilityMap(2)
+        avail.add_piece(1)
+        avail.add_piece(1)
+        assert avail.count(1) == 2
+
+
+class TestRarestFirst:
+    def test_picks_rarest(self):
+        avail = AvailabilityMap(4)
+        for _ in range(5):
+            avail.add_piece(0)
+        avail.add_piece(1)
+        rng = random.Random(0)
+        assert rarest_first([0, 1], avail, rng) == 1
+
+    def test_empty_candidates(self):
+        avail = AvailabilityMap(4)
+        assert rarest_first([], avail, random.Random(0)) is None
+
+    def test_tie_broken_randomly_among_rarest(self):
+        avail = AvailabilityMap(4)
+        avail.add_piece(3)  # piece 3 common; 0,1,2 all zero
+        rng = random.Random(1)
+        picks = {rarest_first([0, 1, 2, 3], avail, rng) for _ in range(50)}
+        assert picks == {0, 1, 2}
+
+    @given(st.sets(st.integers(0, 15), min_size=1), st.data())
+    @settings(max_examples=40)
+    def test_always_returns_minimum_count(self, candidates, data):
+        avail = AvailabilityMap(16)
+        for piece in range(16):
+            for _ in range(data.draw(st.integers(0, 4))):
+                avail.add_piece(piece)
+        pick = rarest_first(candidates, avail, random.Random(0))
+        assert pick in candidates
+        assert avail.count(pick) == min(avail.count(c) for c in candidates)

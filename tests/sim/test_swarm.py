@@ -1,0 +1,218 @@
+"""Tests for swarm membership, views, reputations, and whitewashing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.peer import Peer
+from repro.sim.swarm import ReputationBoard, Swarm
+
+
+def make_swarm(neighbor_count=5, n_pieces=8, seed=0) -> Swarm:
+    return Swarm(n_pieces, neighbor_count, random.Random(seed))
+
+
+def add_peer(swarm, capacity=1.0, **kwargs) -> Peer:
+    peer = Peer(swarm.allocate_id(), capacity, swarm.n_pieces, **kwargs)
+    swarm.add_peer(peer)
+    return peer
+
+
+class TestMembership:
+    def test_add_and_lookup(self):
+        swarm = make_swarm()
+        peer = add_peer(swarm)
+        assert swarm.peer(peer.peer_id) is peer
+        assert peer.peer_id in swarm.active_ids
+
+    def test_duplicate_rejected(self):
+        swarm = make_swarm()
+        peer = add_peer(swarm)
+        with pytest.raises(SimulationError):
+            swarm.add_peer(peer)
+
+    def test_remove_peer(self):
+        swarm = make_swarm()
+        peer = add_peer(swarm)
+        peer.add_usable_piece(3)
+        swarm.availability.add_piece(3)
+        swarm.remove_peer(peer.peer_id)
+        assert peer.peer_id not in swarm.peers
+        assert peer.peer_id in swarm.departed
+        assert swarm.availability.count(3) == 0
+        with pytest.raises(SimulationError):
+            swarm.peer(peer.peer_id)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(SimulationError):
+            make_swarm().remove_peer(42)
+
+    def test_seeder_tracked(self):
+        swarm = make_swarm()
+        seeder = add_peer(swarm, is_seeder=True)
+        assert seeder.peer_id in swarm.seeder_ids
+        assert swarm.active_non_seeders() == []
+
+    def test_availability_counts_arriving_pieces(self):
+        swarm = make_swarm()
+        add_peer(swarm, is_seeder=True)  # full piece set
+        assert all(swarm.availability.count(i) == 1
+                   for i in range(swarm.n_pieces))
+
+
+class TestViews:
+    def test_views_are_symmetric(self):
+        swarm = make_swarm(neighbor_count=3)
+        peers = [add_peer(swarm) for _ in range(10)]
+        for peer in peers:
+            for neighbor in swarm.neighbors(peer.peer_id):
+                assert peer.peer_id in swarm.neighbors(neighbor)
+
+    def test_bounded_sampling(self):
+        swarm = make_swarm(neighbor_count=2)
+        first = add_peer(swarm)
+        # The first peer had nobody to sample; later peers picked <= 2,
+        # but symmetric connections may push anyone's degree higher.
+        for _ in range(8):
+            add_peer(swarm)
+        assert len(swarm.neighbors(first.peer_id)) >= 1
+
+    def test_large_view_connects_to_everyone(self):
+        swarm = make_swarm(neighbor_count=2)
+        others = [add_peer(swarm) for _ in range(10)]
+        attacker = Peer(swarm.allocate_id(), 1.0, swarm.n_pieces,
+                        is_freerider=True)
+        attacker.large_view = True
+        swarm.add_peer(attacker)
+        assert len(swarm.neighbors(attacker.peer_id)) == len(others)
+
+    def test_large_view_peer_reaches_newcomers(self):
+        swarm = make_swarm(neighbor_count=2)
+        attacker = Peer(swarm.allocate_id(), 1.0, swarm.n_pieces)
+        attacker.large_view = True
+        swarm.add_peer(attacker)
+        for _ in range(6):
+            newcomer = add_peer(swarm)
+            assert attacker.peer_id in swarm.neighbors(newcomer.peer_id)
+
+    def test_departed_not_listed(self):
+        swarm = make_swarm()
+        a = add_peer(swarm)
+        b = add_peer(swarm)
+        swarm.remove_peer(b.peer_id)
+        assert b.peer_id not in swarm.neighbors(a.peer_id)
+
+
+class TestNeedyNeighbors:
+    def test_filters_by_providable_pieces(self):
+        swarm = make_swarm(neighbor_count=10)
+        uploader = add_peer(swarm)
+        needy = add_peer(swarm)
+        satisfied = add_peer(swarm)
+        uploader.add_usable_piece(0)
+        satisfied.add_usable_piece(0)
+        result = swarm.needy_neighbors(uploader)
+        assert needy.peer_id in result
+        assert satisfied.peer_id not in result
+
+    def test_excludes_seeder_and_complete(self):
+        swarm = make_swarm(neighbor_count=10)
+        uploader = add_peer(swarm)
+        uploader.add_usable_piece(0)
+        add_peer(swarm, is_seeder=True)
+        done = add_peer(swarm)
+        for piece in range(swarm.n_pieces):
+            done.add_usable_piece(piece)
+        assert swarm.needy_neighbors(uploader) == []
+
+    def test_piece_candidates_sorted(self):
+        swarm = make_swarm(neighbor_count=10)
+        uploader = add_peer(swarm)
+        target = add_peer(swarm)
+        for piece in (5, 1, 3):
+            uploader.add_usable_piece(piece)
+        assert swarm.piece_candidates(uploader, target) == [1, 3, 5]
+
+
+class TestReputationBoard:
+    def test_reports_accumulate(self):
+        board = ReputationBoard()
+        board.report(1, 2.0)
+        board.report(1, 3.0)
+        assert board.score(1) == 5.0
+        assert board.score(2) == 0.0
+
+    def test_fake_reports_tracked(self):
+        board = ReputationBoard()
+        board.report(1, 2.0, genuine=False)
+        assert board.score(1) == 2.0
+        assert board.fake_reported == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ReputationBoard().report(1, -1.0)
+
+    def test_forget(self):
+        board = ReputationBoard()
+        board.report(1, 2.0)
+        board.forget(1)
+        assert board.score(1) == 0.0
+
+
+class TestWhitewashing:
+    def test_reset_identity_changes_id_keeps_pieces(self):
+        swarm = make_swarm(neighbor_count=3)
+        for _ in range(6):
+            add_peer(swarm)
+        peer = add_peer(swarm, is_freerider=True)
+        peer.add_usable_piece(2)
+        swarm.availability.add_piece(2)
+        old_id = peer.peer_id
+        new_id = swarm.reset_identity(peer)
+        assert new_id != old_id
+        assert peer.lineage_id != new_id  # lineage is stable
+        assert old_id not in swarm.peers
+        assert swarm.peer(new_id) is peer
+        assert 2 in peer.pieces
+        assert swarm.availability.count(2) == 1  # unchanged
+
+    def test_reset_clears_reputation(self):
+        swarm = make_swarm()
+        for _ in range(4):
+            add_peer(swarm)
+        peer = add_peer(swarm)
+        swarm.reputation.report(peer.peer_id, 5.0)
+        new_id = swarm.reset_identity(peer)
+        assert swarm.reputation.score(new_id) == 0.0
+
+    def test_reset_rebuilds_view(self):
+        swarm = make_swarm(neighbor_count=3)
+        for _ in range(6):
+            add_peer(swarm)
+        peer = add_peer(swarm)
+        old_id = peer.peer_id
+        new_id = swarm.reset_identity(peer)
+        assert swarm.neighbors(new_id)
+        for other in swarm.active_ids:
+            assert old_id not in swarm.neighbors(other)
+
+    def test_reset_inactive_rejected(self):
+        swarm = make_swarm()
+        peer = add_peer(swarm)
+        swarm.remove_peer(peer.peer_id)
+        with pytest.raises(SimulationError):
+            swarm.reset_identity(peer)
+
+    def test_other_peers_deficits_reset_via_fresh_id(self):
+        """The attack's point: ledgers keyed by the dead id no longer
+        apply to the new identity."""
+        swarm = make_swarm(neighbor_count=5)
+        victim = add_peer(swarm)
+        freerider = add_peer(swarm, is_freerider=True)
+        victim.record_upload(freerider.peer_id, pieces=4)
+        assert victim.deficit(freerider.peer_id) == 4
+        new_id = swarm.reset_identity(freerider)
+        assert victim.deficit(new_id) == 0

@@ -1,0 +1,92 @@
+"""Stateful property testing of swarm membership and identity churn.
+
+A hypothesis rule-based machine drives arbitrary interleavings of
+arrivals, departures, piece grants, and whitewashing resets, checking
+after every step the structural invariants the simulator relies on:
+
+* neighbor views are symmetric and only reference active peers;
+* piece availability equals the sum over active piece sets;
+* identity resets preserve the peer object and its pieces while
+  retiring the old id everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sim.peer import Peer
+from repro.sim.swarm import Swarm
+
+N_PIECES = 6
+
+
+class SwarmMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.swarm = Swarm(N_PIECES, neighbor_count=3,
+                           rng=random.Random(1234))
+        self.alive = []
+
+    @rule(capacity=st.sampled_from([0.5, 1.0, 2.0]))
+    def arrive(self, capacity: float) -> None:
+        peer = Peer(self.swarm.allocate_id(), capacity, N_PIECES)
+        self.swarm.add_peer(peer)
+        self.alive.append(peer)
+
+    @rule(index=st.integers(0, 200), piece=st.integers(0, N_PIECES - 1))
+    def grant_piece(self, index: int, piece: int) -> None:
+        if not self.alive:
+            return
+        peer = self.alive[index % len(self.alive)]
+        if peer.add_usable_piece(piece):
+            self.swarm.availability.add_piece(piece)
+
+    @rule(index=st.integers(0, 200))
+    def depart(self, index: int) -> None:
+        if not self.alive:
+            return
+        peer = self.alive.pop(index % len(self.alive))
+        self.swarm.remove_peer(peer.peer_id)
+
+    @rule(index=st.integers(0, 200))
+    def whitewash(self, index: int) -> None:
+        if not self.alive:
+            return
+        peer = self.alive[index % len(self.alive)]
+        old_id = peer.peer_id
+        new_id = self.swarm.reset_identity(peer)
+        assert new_id != old_id
+        assert self.swarm.peer(new_id) is peer
+
+    @invariant()
+    def views_symmetric_and_active(self) -> None:
+        for pid in self.swarm.active_ids:
+            for neighbor in self.swarm.neighbors(pid):
+                assert neighbor in self.swarm.peers
+                assert pid in self.swarm.neighbors(neighbor)
+
+    @invariant()
+    def availability_matches_piece_sets(self) -> None:
+        for piece in range(N_PIECES):
+            expected = sum(1 for p in self.swarm.peers.values()
+                           if piece in p.pieces)
+            assert self.swarm.availability.count(piece) == expected
+
+    @invariant()
+    def membership_consistent(self) -> None:
+        assert {p.peer_id for p in self.alive} == set(self.swarm.peers)
+
+
+TestSwarmStateful = SwarmMachine.TestCase
+TestSwarmStateful.settings = settings(max_examples=40,
+                                      stateful_step_count=30,
+                                      deadline=None)

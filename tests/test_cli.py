@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--algorithm", "tchain"])
+        assert args.algorithm == "tchain"
+        assert args.users == 200
+        assert args.arrivals == "flash"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "gnutella"])
+
+    def test_propshare_accepted(self):
+        args = build_parser().parse_args(["run", "--algorithm", "propshare"])
+        assert args.algorithm == "propshare"
+
+    def test_figure_scale_choices(self):
+        args = build_parser().parse_args(["figure5", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table III" in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--algorithm", "altruism", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completion_fraction" in out
+        assert "susceptibility" in out
+
+    def test_run_json_stdout(self, capsys):
+        code = main(["run", "--algorithm", "tchain", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200",
+                     "--json", "-"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["algorithm"] == "tchain"
+
+    def test_run_json_file(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        code = main(["run", "--algorithm", "bittorrent", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200",
+                     "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["n_users"] == 40
+
+    def test_run_with_freeriders(self, capsys):
+        code = main(["run", "--algorithm", "altruism", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200",
+                     "--freeriders", "0.25", "--large-view"])
+        assert code == 0
+        assert "susceptibility" in capsys.readouterr().out
+
+    def test_figure4_smoke(self, capsys):
+        code = main(["figure4", "--scale", "smoke", "--seed", "2"])
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_report_tables_only(self, capsys):
+        code = main(["report", "--no-figures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Figure 4" not in out

@@ -1,0 +1,42 @@
+"""Smoke checks for the example scripts.
+
+Examples are full simulation sweeps (minutes), so CI-level tests only
+verify they parse, expose a ``main``, and import against the current
+API — catching signature drift without paying the runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # quickstart + >= 2 domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions
+    assert ast.get_docstring(tree), "examples must explain themselves"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Importing the module must not raise (no sweeps run at import)."""
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)

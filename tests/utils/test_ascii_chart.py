@@ -1,0 +1,68 @@
+"""Tests for the monospace chart renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils import ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series_renders(self):
+        text = ascii_chart({"a": [(0, 0.0), (10, 1.0)]}, width=20, height=5)
+        assert "o a" in text  # legend
+        assert "|" in text
+
+    def test_title_first_line(self):
+        text = ascii_chart({"a": [(0, 0), (1, 1)]}, title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_chart({
+            "low": [(0, 0.0), (10, 0.0)],
+            "high": [(0, 1.0), (10, 1.0)],
+        }, width=20, height=5)
+        lines = text.splitlines()
+        top_rows = "".join(lines[:2])
+        bottom_rows = "".join(lines[3:6])
+        assert "x" in top_rows      # second series at the top
+        assert "o" in bottom_rows   # first series at the bottom
+
+    def test_axis_labels_show_bounds(self):
+        text = ascii_chart({"a": [(2.0, 5.0), (12.0, 15.0)]},
+                           width=20, height=5)
+        assert "15" in text
+        assert "5" in text
+        assert "2" in text and "12" in text
+
+    def test_skips_nonfinite_points(self):
+        text = ascii_chart({"a": [(0, 1.0), (1, math.inf), (2, 2.0)]},
+                           width=20, height=5)
+        assert text  # no crash; inf point dropped
+
+    def test_y_max_clips(self):
+        text = ascii_chart({"a": [(0, 1.0), (1, 100.0)]},
+                           width=20, height=5, y_max=2.0)
+        assert "100" not in text
+        assert "2" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, math.nan)]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=2, height=2)
+
+    def test_constant_series_handled(self):
+        text = ascii_chart({"a": [(0, 3.0), (5, 3.0)]}, width=20, height=5)
+        assert text  # degenerate y-range widened internally
+
+    def test_line_width_bounded(self):
+        text = ascii_chart({"a": [(0, 0), (1, 1)]}, width=30, height=6)
+        body_lines = [l for l in text.splitlines() if "|" in l]
+        assert all(len(l) <= 40 for l in body_lines)

@@ -1,0 +1,72 @@
+"""Tests for summary statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import stats
+
+values = st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1,
+                  max_size=50)
+
+
+class TestMeanMedian:
+    def test_mean(self):
+        assert stats.mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_nan(self):
+        assert math.isnan(stats.mean([]))
+
+    def test_median_odd(self):
+        assert stats.median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_median_even(self):
+        assert stats.median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_median_empty_nan(self):
+        assert math.isnan(stats.median([]))
+
+    @given(values)
+    def test_median_between_extremes(self, xs):
+        assert min(xs) <= stats.median(xs) <= max(xs)
+
+
+class TestCdf:
+    def test_points(self):
+        cdf = stats.cdf_points([3.0, 1.0, 2.0])
+        assert [p["value"] for p in cdf] == [1.0, 2.0, 3.0]
+        assert [p["fraction"] for p in cdf] == pytest.approx(
+            [1 / 3, 2 / 3, 1.0])
+
+    @given(values)
+    def test_fractions_monotone_to_one(self, xs):
+        cdf = stats.cdf_points(xs)
+        fractions = [p["fraction"] for p in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert stats.gini([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_single_winner(self):
+        # Gini of (1, 0, 0, 0) -> (n-1)/n = 0.75.
+        assert stats.gini([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert stats.gini([0.0, 0.0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stats.gini([1.0, -1.0])
+
+    @given(values)
+    @settings(max_examples=40)
+    def test_bounds(self, xs):
+        g = stats.gini(xs)
+        assert -1e-9 <= g <= 1.0

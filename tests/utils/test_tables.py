@@ -1,0 +1,38 @@
+"""Tests for text-table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "x"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({line.index("1") if "1" in line else None
+                    for line in lines[2:]}) >= 1
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_format(self):
+        text = format_table(["a"], [[1.23456]], float_format=".2f")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_separator_width_matches(self):
+        text = format_table(["ab", "cdef"], [["x", "y"]])
+        header, sep = text.splitlines()[:2]
+        assert len(sep) >= len(header.rstrip())
