@@ -7,7 +7,6 @@ what the analytical model (Tables II-III) predicts.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import ablations

@@ -19,7 +19,7 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.experiments.scenarios import run_all_algorithms, smoke_scale
 from repro.names import Algorithm
-from repro.sim import SimulationConfig, run_simulation, targeted_attack_for
+from repro.sim import run_simulation, targeted_attack_for
 from repro.utils import format_table
 
 SEED = 41

@@ -10,7 +10,6 @@ agreement.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments.scenarios import default_scale

@@ -46,7 +46,7 @@ def main() -> None:
         n_ft=config.n_users // 2)
     p_tchain = bootstrapping.bootstrap_probability(Algorithm.TCHAIN, params)
     p_altruism = bootstrapping.bootstrap_probability(Algorithm.ALTRUISM, params)
-    print(f"\nTable II model (half the swarm bootstrapped):")
+    print("\nTable II model (half the swarm bootstrapped):")
     print(f"  P(bootstrap | T-Chain)  : {p_tchain:.1%}")
     print(f"  P(bootstrap | altruism) : {p_altruism:.1%}")
     print("  -> T-Chain nearly matches altruism's bootstrapping, as the"

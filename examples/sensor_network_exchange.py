@@ -22,7 +22,6 @@ with the departed).
 Run:  python examples/sensor_network_exchange.py
 """
 
-from dataclasses import replace
 
 from repro.experiments.replicates import run_replicates
 from repro.names import Algorithm

@@ -8,6 +8,10 @@ Commands
     Run the corresponding simulation sweep and print its summary table.
 ``run``
     Run a single simulation and print (or export) its metrics.
+    ``--loss-rate``/``--crash-hazard``/... inject faults.
+``sweep``
+    Crash-safe replicated sweep: per-replicate process isolation,
+    timeouts, bounded retry, and a resumable checkpoint journal.
 ``report``
     The full reproduction report: all tables plus all three sweeps.
 
@@ -18,6 +22,9 @@ Examples
     python -m repro tables
     python -m repro run --algorithm tchain --users 200 --pieces 64
     python -m repro run --algorithm altruism --freeriders 0.2 --json out.json
+    python -m repro run --algorithm bittorrent --loss-rate 0.2
+    python -m repro sweep --algorithm tchain --replicates 5 \
+        --journal sweep.jsonl --timeout 120
     python -m repro figure5 --scale smoke --seed 7
 """
 
@@ -25,12 +32,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments import figures, report, scenarios, tables
 from repro.experiments.export import result_to_json, summary_dict
+from repro.experiments.replicates import run_resilient_sweep
 from repro.names import EXTENDED_ALGORITHMS, Algorithm
-from repro.sim import SimulationConfig, run_simulation, targeted_attack_for
+from repro.sim import (FaultConfig, SimulationConfig, run_simulation,
+                       targeted_attack_for)
 
 __all__ = ["main", "build_parser"]
 
@@ -80,7 +90,54 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-rounds", type=int, default=600)
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
+    _add_fault_arguments(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="crash-safe replicated sweep with checkpoint/resume")
+    sweep.add_argument("--algorithm", required=True,
+                       choices=[a.value for a in EXTENDED_ALGORITHMS])
+    sweep.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    sweep.add_argument("--replicates", type=int, default=5,
+                       help="number of seeds (0..N-1 offset by --seed)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="first replicate seed")
+    sweep.add_argument("--freeriders", type=float, default=0.0,
+                       help="free-rider fraction (targeted attacks applied)")
+    sweep.add_argument("--journal", metavar="PATH",
+                       help="checkpoint journal (JSON lines); rerunning "
+                            "with the same path resumes the sweep")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="wall-clock seconds allowed per replicate")
+    sweep.add_argument("--max-attempts", type=int, default=3,
+                       help="tries per replicate before recording a failure")
+    _add_fault_arguments(sweep)
     return parser
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection")
+    group.add_argument("--loss-rate", type=float, default=0.0,
+                       help="probability each transfer is lost in flight")
+    group.add_argument("--crash-hazard", type=float, default=0.0,
+                       help="per-round crash probability per active user")
+    group.add_argument("--seeder-outage-rate", type=float, default=0.0,
+                       help="per-round transient-outage probability "
+                            "per seeder")
+    group.add_argument("--report-delay", type=int, default=0,
+                       help="rounds reputation reports are delayed")
+    group.add_argument("--obligation-expiry", type=int, default=None,
+                       help="rounds before a pending encrypted piece "
+                            "whose key never arrived is dropped")
+
+
+def _fault_config(args: argparse.Namespace) -> FaultConfig:
+    return FaultConfig(
+        transfer_loss_rate=args.loss_rate,
+        crash_hazard=args.crash_hazard,
+        seeder_outage_rate=args.seeder_outage_rate,
+        report_delay_rounds=args.report_delay,
+        obligation_expiry_rounds=args.obligation_expiry,
+    )
 
 
 def _print_summary(result) -> None:
@@ -100,6 +157,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         arrival_process=args.arrivals,
         max_rounds=args.max_rounds,
     )
+    faults = _fault_config(args)
+    if faults.enabled:
+        config = config.with_faults(faults)
     result = run_simulation(config)
     if args.json:
         payload = result_to_json(result)
@@ -114,6 +174,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{args.pieces} pieces, seed {args.seed}")
         _print_summary(result)
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    algorithm = Algorithm.parse(args.algorithm)
+    config = _SCALES[args.scale](algorithm, seed=args.seed)
+    config = replace(
+        config,
+        freerider_fraction=args.freeriders,
+        attack=targeted_attack_for(algorithm),
+    )
+    faults = _fault_config(args)
+    if faults.enabled:
+        config = config.with_faults(faults)
+    if args.replicates < 1:
+        print("sweep: --replicates must be >= 1", file=sys.stderr)
+        return 2
+    seeds = tuple(range(args.seed, args.seed + args.replicates))
+    result = run_resilient_sweep(
+        config, seeds,
+        journal_path=args.journal,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+    )
+    print(f"{algorithm.display_name}: {len(seeds)} replicates "
+          f"({result.resumed} resumed, {result.n_failed} failed)")
+    for outcome in result.outcomes:
+        status = outcome.status
+        if outcome.attempts > 1:
+            status += f" after {outcome.attempts} attempts"
+        print(f"  seed {outcome.seed:5d}  {status}")
+    print()
+    header = f"{'metric':28s} {'mean':>12s} {'std':>10s} {'n':>3s} {'miss':>4s}"
+    print(header)
+    for summary in result.metrics.values():
+        print(f"{summary.name:28s} {summary.mean:12.4f} "
+              f"{summary.std:10.4f} {summary.n:3d} {summary.n_missing:4d}")
+    return 1 if result.n_failed else 0
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -142,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "tables":
         return _cmd_tables(args)
     if args.command in ("figure4", "figure5", "figure6"):

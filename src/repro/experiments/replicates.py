@@ -1,8 +1,21 @@
-"""Replicated runs: means, deviations, and confidence intervals.
+"""Replicated runs: means, deviations, confidence intervals — and a
+crash-safe sweep runner.
 
 A single seed is an anecdote. This module runs a configuration across
 several seeds and aggregates the headline metrics — what a careful
 reproduction (and the seed-averaged benchmark assertions) should quote.
+
+Two runners are provided:
+
+* :func:`run_replicates` — the original in-process loop: fast, simple,
+  but one hung or crashed replicate loses the whole sweep.
+* :func:`run_resilient_sweep` — production-scale sweeps: each replicate
+  executes in its own single-worker ``ProcessPoolExecutor`` (so a
+  segfault or OOM kills the worker, not the sweep), under a wall-clock
+  timeout, with bounded retry-with-reseed on crash/timeout, and a JSON
+  checkpoint journal that lets an interrupted sweep resume from its
+  completed replicates. The aggregates of a resumed sweep are identical
+  to those of an uninterrupted one.
 
 Confidence intervals use the normal approximation
 ``mean ± z * std / sqrt(n)``; with the typical 3-10 replicates this is
@@ -13,15 +26,21 @@ statistics (scipy's t-distribution, bootstrap, ...).
 
 from __future__ import annotations
 
+import json
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.runner import run_simulation
 
 __all__ = ["MetricSummary", "ReplicateResult", "run_replicates",
+           "ReplicateOutcome", "SweepResult", "run_resilient_sweep",
            "HEADLINE_METRICS"]
 
 #: Metric name -> extractor used by :func:`run_replicates`.
@@ -39,7 +58,13 @@ _Z95 = 1.959963984540054
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """Aggregate of one metric across replicates."""
+    """Aggregate of one metric across replicates.
+
+    ``n_missing`` counts replicate values that were ``None`` or
+    non-finite (a metric with no data — e.g. nobody completed — or a
+    replicate that failed outright); the mean/std/CI are computed over
+    the finite values only, and are ``nan`` when there are none.
+    """
 
     name: str
     values: tuple
@@ -47,18 +72,22 @@ class MetricSummary:
     std: float
     ci_low: float
     ci_high: float
+    n_missing: int = 0
 
     @property
     def n(self) -> int:
         return len(self.values)
 
 
-def _summarise(name: str, values: Sequence[float]) -> MetricSummary:
+def _summarise(name: str, values: Sequence[Optional[float]]) -> MetricSummary:
     finite = [v for v in values if v is not None and math.isfinite(v)]
+    n_missing = len(values) - len(finite)
     if not finite:
+        # No usable data at all: report nan, not a misleading "infinite
+        # mean" — report tables render nan as missing, inf as a value.
         nan = float("nan")
-        return MetricSummary(name, tuple(values), math.inf, nan,
-                             math.inf, math.inf)
+        return MetricSummary(name, tuple(values), nan, nan, nan, nan,
+                             n_missing=n_missing)
     mean = sum(finite) / len(finite)
     if len(finite) > 1:
         var = sum((v - mean) ** 2 for v in finite) / (len(finite) - 1)
@@ -67,7 +96,7 @@ def _summarise(name: str, values: Sequence[float]) -> MetricSummary:
         std = 0.0
     half = _Z95 * std / math.sqrt(len(finite))
     return MetricSummary(name, tuple(values), mean, std,
-                         mean - half, mean + half)
+                         mean - half, mean + half, n_missing=n_missing)
 
 
 @dataclass(frozen=True)
@@ -90,6 +119,7 @@ class ReplicateResult:
             "ci_low": s.ci_low,
             "ci_high": s.ci_high,
             "n": s.n,
+            "n_missing": s.n_missing,
         } for s in self.metrics.values()]
 
 
@@ -115,3 +145,247 @@ def run_replicates(config: SimulationConfig,
     summaries = {name: _summarise(name, values)
                  for name, values in collected.items()}
     return ReplicateResult(config=config, seeds=seeds, metrics=summaries)
+
+
+# ----------------------------------------------------------------------
+# Crash-safe sweep runner
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicateOutcome:
+    """What happened to one replicate of a resilient sweep.
+
+    ``seed`` is the requested seed; ``used_seed`` the one that actually
+    produced the result (they differ when a crash/timeout forced a
+    retry-with-reseed). ``values`` holds the extracted metrics, all
+    ``None`` when the replicate exhausted its attempts and was recorded
+    as failed.
+    """
+
+    seed: int
+    used_seed: int
+    attempts: int
+    status: str  # "ok" | "failed"
+    error: Optional[str]
+    values: Dict[str, Optional[float]]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregates plus per-replicate outcomes of a resilient sweep."""
+
+    config: SimulationConfig
+    seeds: tuple
+    outcomes: Tuple[ReplicateOutcome, ...]
+    metrics: Dict[str, MetricSummary]
+    resumed: int  # replicates restored from the checkpoint journal
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        return [{
+            "metric": s.name,
+            "mean": s.mean,
+            "std": s.std,
+            "ci_low": s.ci_low,
+            "ci_high": s.ci_high,
+            "n": s.n,
+            "n_missing": s.n_missing,
+        } for s in self.metrics.values()]
+
+
+def _replicate_task(config: SimulationConfig, seed: int) -> SimulationMetrics:
+    """Default worker task: one full simulation run (module-level so it
+    pickles into the worker process)."""
+    return run_simulation(config.with_seed(seed)).metrics
+
+
+def _reseed(seed: int, attempt: int) -> int:
+    """Deterministic retry seed: distinct per attempt, stable across
+    resumes, far from any plausible user-chosen seed range."""
+    return seed + 1_000_003 * attempt
+
+
+def _config_fingerprint(config: SimulationConfig) -> str:
+    """Stable identity of a configuration for journal validation."""
+    return repr(config)
+
+
+def _journal_append(path: str, record: Dict[str, Any]) -> None:
+    """Append one JSON line and force it to disk (crash safety)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _journal_load(path: str, fingerprint: str,
+                  metric_names: Sequence[str],
+                  ) -> Dict[int, ReplicateOutcome]:
+    """Read completed replicates back from a checkpoint journal.
+
+    Truncated trailing lines (the sweep died mid-write) are ignored;
+    a journal written for a different configuration or metric set is
+    rejected rather than silently producing mixed aggregates.
+    """
+    if not os.path.exists(path):
+        return {}
+    completed: Dict[int, ReplicateOutcome] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed sweep
+            if record.get("kind") == "header":
+                if record.get("config") != fingerprint:
+                    raise ValueError(
+                        f"checkpoint journal {path!r} was written for a "
+                        "different configuration; delete it or use a "
+                        "fresh path")
+                if set(record.get("metrics", [])) != set(metric_names):
+                    raise ValueError(
+                        f"checkpoint journal {path!r} aggregates different "
+                        "metrics; delete it or use a fresh path")
+                continue
+            if record.get("kind") != "replicate":
+                continue
+            values = {name: record["values"].get(name)
+                      for name in metric_names}
+            completed[int(record["seed"])] = ReplicateOutcome(
+                seed=int(record["seed"]),
+                used_seed=int(record["used_seed"]),
+                attempts=int(record["attempts"]),
+                status=record["status"],
+                error=record.get("error"),
+                values=values,
+            )
+    return completed
+
+
+def _run_isolated(task: Callable[..., Any], config: SimulationConfig,
+                  used_seed: int, timeout: Optional[float]) -> Any:
+    """Execute one replicate in a dedicated single-worker process.
+
+    The private pool means a crashing worker (segfault, OOM-kill) or a
+    hung replicate takes down only itself: on timeout the worker is
+    terminated so it cannot linger and fight the next attempt for CPU.
+    """
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(task, config, used_seed)
+        result = future.result(timeout=timeout)
+    except (Exception, KeyboardInterrupt):
+        # Kill the worker before re-raising: a hung or still-running
+        # process must not outlive its replicate.
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        raise
+    pool.shutdown(wait=True)
+    return result
+
+
+def run_resilient_sweep(config: SimulationConfig,
+                        seeds: Iterable[int],
+                        extractors: Optional[Dict[str, Callable]] = None,
+                        *,
+                        journal_path: Optional[str] = None,
+                        timeout: Optional[float] = None,
+                        max_attempts: int = 3,
+                        task: Callable[..., Any] = _replicate_task,
+                        ) -> SweepResult:
+    """Crash-safe replicated sweep with checkpoint/resume.
+
+    Each seed runs in its own worker process. A replicate that crashes
+    the worker or exceeds ``timeout`` seconds of wall clock is retried
+    — up to ``max_attempts`` total tries, each with a deterministically
+    reseeded configuration — and recorded as failed (not fatal to the
+    sweep) if every attempt dies. Completed replicates are appended to
+    ``journal_path`` (JSON lines, fsynced), so re-running the same call
+    after an interruption resumes from where the sweep died and yields
+    aggregates identical to an uninterrupted run.
+
+    ``task(config, seed)`` must be picklable (module-level); it
+    defaults to running the simulation and returning its metrics.
+    ``extractors`` run in the parent process on the task's return
+    value, so they may be lambdas.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    chosen = extractors or HEADLINE_METRICS
+    metric_names = list(chosen)
+    fingerprint = _config_fingerprint(config)
+
+    completed: Dict[int, ReplicateOutcome] = {}
+    if journal_path is not None:
+        completed = _journal_load(journal_path, fingerprint, metric_names)
+        if not os.path.exists(journal_path):
+            _journal_append(journal_path, {
+                "kind": "header", "config": fingerprint,
+                "metrics": metric_names})
+    resumed = sum(1 for seed in seeds if seed in completed)
+
+    outcomes: List[ReplicateOutcome] = []
+    for seed in seeds:
+        if seed in completed:
+            outcomes.append(completed[seed])
+            continue
+        outcome: Optional[ReplicateOutcome] = None
+        last_error: Optional[str] = None
+        for attempt in range(1, max_attempts + 1):
+            used_seed = seed if attempt == 1 else _reseed(seed, attempt - 1)
+            try:
+                produced = _run_isolated(task, config, used_seed, timeout)
+            except KeyboardInterrupt:
+                raise  # an interrupted sweep resumes from the journal
+            except FutureTimeoutError:
+                last_error = (f"timeout after {timeout}s "
+                              f"(attempt {attempt}/{max_attempts})")
+                continue
+            except Exception as exc:  # worker crash or task error
+                last_error = (f"{type(exc).__name__}: {exc} "
+                              f"(attempt {attempt}/{max_attempts})")
+                continue
+            values = {name: extract(produced)
+                      for name, extract in chosen.items()}
+            outcome = ReplicateOutcome(
+                seed=seed, used_seed=used_seed, attempts=attempt,
+                status="ok", error=None, values=values)
+            break
+        if outcome is None:
+            outcome = ReplicateOutcome(
+                seed=seed, used_seed=seed, attempts=max_attempts,
+                status="failed", error=last_error,
+                values={name: None for name in metric_names})
+        if journal_path is not None:
+            _journal_append(journal_path, {
+                "kind": "replicate", "seed": outcome.seed,
+                "used_seed": outcome.used_seed,
+                "attempts": outcome.attempts, "status": outcome.status,
+                "error": outcome.error, "values": outcome.values})
+        outcomes.append(outcome)
+
+    summaries = {
+        name: _summarise(name, [o.values.get(name) for o in outcomes])
+        for name in metric_names}
+    return SweepResult(config=config, seeds=seeds,
+                       outcomes=tuple(outcomes), metrics=summaries,
+                       resumed=resumed)

@@ -25,18 +25,22 @@ from repro.sim.config import (  # noqa: F401
     targeted_attack_for,
 )
 from repro.sim.engine import EventEngine  # noqa: F401
-from repro.sim.metrics import SimulationMetrics  # noqa: F401
+from repro.sim.faults import FaultConfig, FaultModel  # noqa: F401
+from repro.sim.metrics import SimulationMetrics, degradation_rows  # noqa: F401
 from repro.sim.runner import Simulation, SimulationResult, run_simulation  # noqa: F401
 
 __all__ = [
     "AttackConfig",
     "CapacityClass",
     "EventEngine",
+    "FaultConfig",
+    "FaultModel",
     "Simulation",
     "SimulationConfig",
     "SimulationMetrics",
     "SimulationResult",
     "StrategyParameters",
+    "degradation_rows",
     "flash_crowd_arrivals",
     "poisson_arrivals",
     "run_simulation",

@@ -17,10 +17,12 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.names import Algorithm
+from repro.sim.faults import FaultConfig
 
 __all__ = [
     "CapacityClass",
     "AttackConfig",
+    "FaultConfig",
     "StrategyParameters",
     "SimulationConfig",
     "DEFAULT_CAPACITY_CLASSES",
@@ -169,6 +171,10 @@ class SimulationConfig:
     arrival_rate: float = 20.0
     freerider_fraction: float = 0.0
     attack: AttackConfig = field(default_factory=AttackConfig)
+    #: Fault-injection layer (transfer loss, crashes, seeder outages,
+    #: delayed reports). The default is fully reliable — the paper's
+    #: model — and leaves the simulation bit-for-bit unchanged.
+    faults: FaultConfig = field(default_factory=FaultConfig)
     strategy_params: StrategyParameters = field(default_factory=StrategyParameters)
     #: Per-round probability that an incomplete user aborts and leaves
     #: (churn; the fluid model's theta). The paper's experiments use 0.
@@ -261,3 +267,7 @@ class SimulationConfig:
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: FaultConfig) -> "SimulationConfig":
+        """Variant running under the given fault-injection layer."""
+        return replace(self, faults=faults)

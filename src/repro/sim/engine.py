@@ -19,7 +19,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "EventEngine"]
+__all__ = ["Event", "EventEngine", "PeriodicHandle"]
 
 EventCallback = Callable[["EventEngine"], None]
 
@@ -33,10 +33,47 @@ class Event:
     callback: EventCallback = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Engine hook: called exactly once when a still-queued event is
+    #: cancelled, so the engine's live-event counter stays O(1).
+    _on_cancel: Optional[Callable[[], None]] = field(
+        compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
+        """Mark the event so it is skipped when popped (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
+
+
+class PeriodicHandle:
+    """Cancellation handle for a :meth:`EventEngine.schedule_every` chain.
+
+    Unlike cancelling a single :class:`Event` (which would only skip
+    one firing while the chain reschedules itself), ``cancel()`` here
+    stops the whole periodic chain: the pending occurrence is removed
+    from the queue and no further ones are scheduled.
+    """
+
+    __slots__ = ("name", "_current", "_cancelled")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._current: Optional[Event] = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the periodic chain permanently (idempotent)."""
+        self._cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+            self._current = None
 
 
 class EventEngine:
@@ -55,6 +92,7 @@ class EventEngine:
         self._queue: List[Event] = []
         self._counter = itertools.count()
         self._running = False
+        self._live = 0  # queued, non-cancelled events (kept O(1))
         self.events_fired = 0
 
     @property
@@ -64,8 +102,16 @@ class EventEngine:
 
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued (non-cancelled) events — O(1).
+
+        Maintained as a live counter (incremented on schedule,
+        decremented on fire or cancel) rather than a heap scan: this is
+        called from hot invariant checks.
+        """
+        return self._live
+
+    def _release(self) -> None:
+        self._live -= 1
 
     def schedule_at(self, time: float, callback: EventCallback,
                     name: str = "") -> Event:
@@ -74,8 +120,9 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now ({self._now})")
         event = Event(time=float(time), sequence=next(self._counter),
-                      callback=callback, name=name)
+                      callback=callback, name=name, _on_cancel=self._release)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_in(self, delay: float, callback: EventCallback,
@@ -87,34 +134,41 @@ class EventEngine:
 
     def schedule_every(self, interval: float, callback: EventCallback,
                        name: str = "", start_delay: Optional[float] = None,
-                       ) -> Event:
+                       ) -> PeriodicHandle:
         """Schedule a periodic event.
 
         ``callback`` fires every ``interval`` starting after
-        ``start_delay`` (default: one interval from now). Cancelling
-        the *returned* event only stops the first firing; periodic
-        chains are usually stopped by :meth:`stop` or by raising from
-        the callback, so the common pattern is to guard inside the
-        callback and call :meth:`stop` when the simulation is done.
+        ``start_delay`` (default: one interval from now). The returned
+        :class:`PeriodicHandle`'s ``cancel()`` stops the *whole* chain —
+        the queued occurrence is dropped and nothing is rescheduled.
+        (:meth:`stop`, or raising from the callback, still halts the
+        run as before.)
         """
         if interval <= 0:
             raise SimulationError("interval must be positive")
         first = interval if start_delay is None else start_delay
+        handle = PeriodicHandle(name=name)
 
         def fire(engine: "EventEngine") -> None:
+            if handle.cancelled:
+                return
             callback(engine)
-            engine.schedule_in(interval, fire, name=name)
+            if not handle.cancelled:
+                handle._current = engine.schedule_in(interval, fire, name=name)
 
-        return self.schedule_in(first, fire, name=name)
+        handle._current = self.schedule_in(first, fire, name=name)
+        return handle
 
     def step(self) -> bool:
         """Fire the next event; return False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
-                continue
+                continue  # _live already decremented at cancel time
             if event.time < self._now:
                 raise SimulationError("event queue corrupted: time went backwards")
+            self._live -= 1
+            event._on_cancel = None  # fired: a late cancel is a no-op
             self._now = event.time
             self.events_fired += 1
             event.callback(self)

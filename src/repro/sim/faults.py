@@ -1,0 +1,135 @@
+"""Fault injection: unreliable transfers, crashes, outages, delays.
+
+The paper's simulator (Section V) assumes a perfectly reliable
+network: every scheduled piece transfer arrives, the seeder never
+fails, and T-Chain obligations never dangle. Real cooperative systems
+are not so kind, and incentive-mechanism rankings can shift once
+transfers fail and peers crash mid-exchange (Nielson et al., Nasrulin
+et al.). This module adds a controlled unreliability layer:
+
+* **Transfer loss** — a scheduled piece transfer consumes the
+  uploader's budget but delivers nothing (the bytes went into the
+  void). The receiver's strategy naturally retries in later rounds;
+  retried-and-recovered deliveries are counted separately.
+* **Peer crashes** — each round an incomplete user fails permanently
+  with a configurable hazard, taking its pieces (and any T-Chain keys
+  it holds) with it.
+* **Seeder outages** — transient: a seeder goes dark for a fixed
+  number of rounds, then returns with its piece set intact.
+* **Delayed reputation reports** — upload reports reach the global
+  board only after a configurable number of rounds, so reputation
+  decisions run on stale information.
+* **Obligation expiry** — pending encrypted pieces whose key never
+  arrives are dropped after a timeout instead of leaking forever.
+
+All randomness comes from a dedicated ``RandomStreams`` substream, so
+enabling a fault never perturbs arrival times, piece selection, or
+strategy decisions of the fault-free portion of a run — and with every
+probability at zero the model draws nothing at all, keeping metrics
+byte-identical to a faultless simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultConfig", "FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Tunable failure processes injected into one simulation run.
+
+    Attributes
+    ----------
+    transfer_loss_rate:
+        Probability that any single piece transfer (plain, encrypted
+        seed, or T-Chain forward) is lost in flight. The uploader's
+        budget is consumed; nothing is delivered.
+    crash_hazard:
+        Per-round probability that each active, incomplete user
+        crashes permanently (distinct from the voluntary ``abort_rate``
+        churn: crashes are counted as faults and interact with attack
+        coalitions).
+    seeder_outage_rate:
+        Per-round probability that each online seeder suffers a
+        transient outage.
+    seeder_outage_duration:
+        Rounds a failed seeder stays offline before recovering.
+    report_delay_rounds:
+        Rounds by which genuine reputation reports are delayed before
+        reaching the global board (0 = immediate, the paper's model).
+    obligation_expiry_rounds:
+        Drop a pending (encrypted) T-Chain piece this many rounds
+        after receipt if its key never arrived, so lost keys cannot
+        leak pending state forever. ``None`` (default) never expires —
+        the paper's reliable-network behaviour.
+    """
+
+    transfer_loss_rate: float = 0.0
+    crash_hazard: float = 0.0
+    seeder_outage_rate: float = 0.0
+    seeder_outage_duration: int = 5
+    report_delay_rounds: int = 0
+    obligation_expiry_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("transfer_loss_rate", "crash_hazard",
+                     "seeder_outage_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1)")
+        if self.seeder_outage_duration < 1:
+            raise ConfigurationError("seeder_outage_duration must be >= 1")
+        if self.report_delay_rounds < 0:
+            raise ConfigurationError("report_delay_rounds must be >= 0")
+        if (self.obligation_expiry_rounds is not None
+                and self.obligation_expiry_rounds < 1):
+            raise ConfigurationError(
+                "obligation_expiry_rounds must be >= 1 or None")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any failure process is active."""
+        return (self.transfer_loss_rate > 0.0
+                or self.crash_hazard > 0.0
+                or self.seeder_outage_rate > 0.0
+                or self.report_delay_rounds > 0
+                or self.obligation_expiry_rounds is not None)
+
+    def with_loss_rate(self, rate: float) -> "FaultConfig":
+        """Variant with a different transfer-loss probability."""
+        return replace(self, transfer_loss_rate=rate)
+
+
+class FaultModel:
+    """Draws fault events from a dedicated random substream.
+
+    Every ``*_lost``/``*_crashes``/``*_fails`` query short-circuits to
+    ``False`` without consuming randomness when the corresponding rate
+    is zero: a zero-fault model is a strict no-op and a run configured
+    with it is bit-for-bit identical to one with no fault model at all.
+    """
+
+    def __init__(self, config: FaultConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+
+    def transfer_lost(self) -> bool:
+        """Is this piece transfer lost in flight?"""
+        rate = self.config.transfer_loss_rate
+        return rate > 0.0 and self._rng.random() < rate
+
+    def peer_crashes(self) -> bool:
+        """Does this peer crash this round?"""
+        rate = self.config.crash_hazard
+        return rate > 0.0 and self._rng.random() < rate
+
+    def seeder_fails(self) -> bool:
+        """Does this online seeder go dark this round?"""
+        rate = self.config.seeder_outage_rate
+        return rate > 0.0 and self._rng.random() < rate

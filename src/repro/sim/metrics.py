@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
-__all__ = ["RoundSample", "PeerSummary", "TransferRecord",
-           "MetricsCollector", "SimulationMetrics"]
+__all__ = ["RoundSample", "PeerSummary", "TransferRecord", "FaultCounters",
+           "MetricsCollector", "SimulationMetrics", "degradation_rows"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,34 @@ class TransferRecord:
     piece_id: int
     kind: str
     usable: bool
+    #: True when fault injection dropped the transfer in flight (the
+    #: uploader's budget was consumed but nothing was delivered).
+    lost: bool = False
+
+
+@dataclass
+class FaultCounters:
+    """Per-run tallies of injected faults and their fallout.
+
+    ``transfers_lost`` counts sends dropped in flight (budget consumed,
+    nothing delivered); ``transfers_retried`` counts later successful
+    deliveries of a (receiver, piece) pair that had previously been
+    lost — the recovery side of the loss process. ``obligations_expired``
+    are pending T-Chain pieces dropped by the key timeout;
+    ``obligations_orphaned`` are pending pieces dropped because the
+    key-holding uploader departed or crashed. All stay zero in a
+    fault-free run except ``obligations_orphaned``, which churn
+    (``abort_rate``) can also produce.
+    """
+
+    transfers_lost: int = 0
+    transfers_retried: int = 0
+    obligations_expired: int = 0
+    obligations_orphaned: int = 0
+    peer_crashes: int = 0
+    seeder_outages: int = 0
+    seeder_downtime_rounds: int = 0
+    delayed_reports: int = 0
 
 
 @dataclass(frozen=True)
@@ -133,6 +161,7 @@ class SimulationMetrics:
     total_received_raw: int = 0
     freerider_received: int = 0
     rounds_run: int = 0
+    faults: FaultCounters = field(default_factory=FaultCounters)
 
     # ------------------------------------------------------------------
     # Efficiency
@@ -254,6 +283,16 @@ class SimulationMetrics:
             return 0.0
         return self.freerider_received / self.peer_uploaded
 
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def observed_loss_rate(self) -> float:
+        """Fraction of attempted transfers that were lost in flight."""
+        attempted = self.total_uploaded + self.faults.transfers_lost
+        if attempted == 0:
+            return 0.0
+        return self.faults.transfers_lost / attempted
+
 
 class MetricsCollector:
     """Accumulates transfer counts and per-round samples during a run."""
@@ -263,6 +302,7 @@ class MetricsCollector:
         self._freerider_received = 0
         self._total_uploaded = 0
         self._peer_uploaded = 0
+        self.faults = FaultCounters()
 
     # Called by the runner on every executed transfer.
     def record_transfer(self, to_freerider: bool, usable: bool,
@@ -277,6 +317,35 @@ class MetricsCollector:
         """A previously encrypted piece became usable."""
         if for_freerider:
             self._freerider_received += 1
+
+    # ------------------------------------------------------------------
+    # Fault events (called by the runner's fault-injection hooks)
+    # ------------------------------------------------------------------
+    def record_lost_transfer(self) -> None:
+        """A send was dropped in flight; budget spent, nothing arrived."""
+        self.faults.transfers_lost += 1
+
+    def record_retried_transfer(self) -> None:
+        """A previously lost (receiver, piece) delivery finally landed."""
+        self.faults.transfers_retried += 1
+
+    def record_expired_obligations(self, count: int = 1) -> None:
+        self.faults.obligations_expired += count
+
+    def record_orphaned_obligations(self, count: int = 1) -> None:
+        self.faults.obligations_orphaned += count
+
+    def record_crash(self) -> None:
+        self.faults.peer_crashes += 1
+
+    def record_seeder_outage(self) -> None:
+        self.faults.seeder_outages += 1
+
+    def record_seeder_downtime(self, rounds: int = 1) -> None:
+        self.faults.seeder_downtime_rounds += rounds
+
+    def record_delayed_report(self) -> None:
+        self.faults.delayed_reports += 1
 
     def sample(self, time: float, active_peers: int, arrived: int,
                population: int, bootstrapped: int, completed: int,
@@ -304,4 +373,40 @@ class MetricsCollector:
         self.metrics.total_received_raw = total_received_raw
         self.metrics.freerider_received = self._freerider_received
         self.metrics.rounds_run = rounds_run
+        self.metrics.faults = self.faults
         return self.metrics
+
+
+def degradation_rows(runs: Mapping[float, SimulationMetrics],
+                     ) -> List[Dict[str, float]]:
+    """Degradation-vs-loss-rate summary for one algorithm.
+
+    ``runs`` maps a configured transfer-loss rate to the metrics of the
+    run executed at that rate (rate 0.0, if present, is the baseline).
+    Returns one row per rate, sorted ascending, with the headline
+    quantities and the slowdown relative to the zero-loss baseline
+    (``nan`` when no baseline or no completions to compare).
+    """
+    baseline = runs.get(0.0)
+    base_time = baseline.mean_completion_time() if baseline else math.nan
+    rows: List[Dict[str, float]] = []
+    for rate in sorted(runs):
+        m = runs[rate]
+        mean_time = m.mean_completion_time()
+        if base_time and math.isfinite(base_time) and math.isfinite(mean_time):
+            slowdown = mean_time / base_time
+        else:
+            slowdown = math.nan
+        fairness = m.final_fairness()
+        rows.append({
+            "loss_rate": rate,
+            "observed_loss_rate": m.observed_loss_rate(),
+            "mean_completion_time": mean_time,
+            "completion_fraction": m.completion_fraction(),
+            "final_fairness": math.nan if fairness is None else fairness,
+            "slowdown": slowdown,
+            "transfers_lost": float(m.faults.transfers_lost),
+            "transfers_retried": float(m.faults.transfers_retried),
+            "obligations_expired": float(m.faults.obligations_expired),
+        })
+    return rows

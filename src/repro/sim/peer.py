@@ -95,6 +95,10 @@ class Peer:
         self.bootstrap_time: Optional[float] = None
         self.completion_time: Optional[float] = None
         self.departed = False
+        #: Fault injection: first round index at which this peer is
+        #: back online after a transient outage (0 = never failed).
+        #: Offline peers keep their state but neither send nor receive.
+        self.offline_until = 0
 
         # Attack configuration (read by attacks / swarm).
         self.colluders: Set[int] = set()

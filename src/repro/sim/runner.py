@@ -17,14 +17,16 @@ consistent.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.names import Algorithm
 from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
 from repro.sim.config import SimulationConfig
 from repro.sim.context import StrategyContext
 from repro.sim.engine import EventEngine
+from repro.sim.faults import FaultModel
 from repro.sim.metrics import (MetricsCollector, PeerSummary,
                                SimulationMetrics, TransferRecord)
 from repro.sim.peer import Obligation, Peer, PendingPiece
@@ -81,6 +83,14 @@ class Simulation:
         self._churn_rng = self.streams.stream("churn")
         self._linger_rng = self.streams.stream("linger")
         self._finished = False
+        #: Fault injection: draws from its own substream, so enabling
+        #: faults never perturbs any other stochastic subsystem.
+        self.faults = FaultModel(config.faults, self.streams.stream("faults"))
+        #: Reputation reports in flight: (due_round, uploader_id, amount).
+        self._delayed_reports: Deque[Tuple[int, int, float]] = deque()
+        #: (receiver lineage, piece) pairs whose delivery was lost —
+        #: cleared (and counted as a retry) when a later send lands.
+        self._lost_deliveries: Set[Tuple[int, int]] = set()
         self._install_topology()
         self._build_population()
 
@@ -179,8 +189,8 @@ class Simulation:
                 name=f"arrival:{peer_id}")
 
         self._sync_coalition()
-        self.engine.schedule_every(1.0, lambda _e: self._on_round(),
-                                   name="round")
+        self._round_handle = self.engine.schedule_every(
+            1.0, lambda _e: self._on_round(), name="round")
 
     def _make_strategy(self, peer: Peer):
         rng = self.streams.stream(f"strategy:{peer.lineage_id}")
@@ -191,10 +201,15 @@ class Simulation:
                                      self.config.strategy_params, rng)
 
     def _sync_coalition(self) -> None:
-        """Refresh colluder id sets (ids change under whitewashing)."""
+        """Refresh colluder id sets (ids change under whitewashing).
+
+        Departed or crashed colluders are dropped: a coalition member
+        that failed mid-attack can no longer issue false confirmations,
+        and keeping its dead id in the sets would only mask that.
+        """
         if not (self.config.attack.collusion or self.config.attack.false_praise):
             return
-        ids = {p.peer_id for p in self._coalition}
+        ids = {p.peer_id for p in self._coalition if not p.departed}
         for peer in self._coalition:
             peer.colluders = ids - {peer.peer_id}
 
@@ -209,11 +224,15 @@ class Simulation:
         if self._finished:
             return
         self.round_index += 1
+        self._flush_due_reports()
+        self._process_seeder_outages()
         active = [self.swarm.peers[pid] for pid in self.swarm.active_ids]
         self._order_rng.shuffle(active)
         for peer in active:
             if peer.peer_id not in self.swarm.peers:
                 continue  # departed earlier this round
+            if peer.offline_until > self.round_index:
+                continue  # transient outage: no credit, no sends
             peer.budget.new_round()
             strategy = self._strategies[peer.lineage_id]
             ctx = StrategyContext(self, peer, strategy.rng)
@@ -222,11 +241,14 @@ class Simulation:
             peer.end_round()
         self._process_departures()
         self._process_churn()
+        self._process_crashes()
+        self._expire_obligations()
         self._process_whitewashing()
         if self.round_index % self.config.sample_interval == 0:
             self._sample()
         if self._all_departed() or self.round_index >= self.config.max_rounds:
             self._finished = True
+            self._round_handle.cancel()
             self.engine.stop()
 
     def _all_departed(self) -> bool:
@@ -288,6 +310,93 @@ class Simulation:
                         if entry.obligation.uploader_id == departed_id]
             for piece_id in orphaned:
                 del peer.pending[piece_id]
+            if orphaned:
+                self.collector.record_orphaned_obligations(len(orphaned))
+
+    # ------------------------------------------------------------------
+    # Fault processing (all no-ops under the default zero-fault config)
+    # ------------------------------------------------------------------
+    def _process_crashes(self) -> None:
+        """Permanent mid-download failures at the configured hazard.
+
+        Unlike ``abort_rate`` churn (a modelling knob of the fluid
+        analysis) crashes are injected faults: counted in the fault
+        tallies, and — because a crashed colluder can no longer confirm
+        anything — they shrink any active attack coalition.
+        """
+        if self.config.faults.crash_hazard <= 0.0:
+            return
+        coalition_hit = False
+        for peer in list(self.swarm.peers.values()):
+            if peer.is_seeder or peer.complete:
+                continue
+            if self.faults.peer_crashes():
+                peer.departed = True
+                self.swarm.remove_peer(peer.peer_id)
+                self._drop_orphaned_obligations(peer.peer_id)
+                self.collector.record_crash()
+                coalition_hit = coalition_hit or peer.is_freerider
+        if coalition_hit:
+            self._sync_coalition()
+
+    def _process_seeder_outages(self) -> None:
+        """Transient seeder failures: offline for a fixed spell.
+
+        An offline seeder keeps its pieces and its swarm registration
+        (views are untouched) but earns no budget and sends nothing
+        until it recovers.
+        """
+        if self.config.faults.seeder_outage_rate <= 0.0:
+            return
+        duration = self.config.faults.seeder_outage_duration
+        for seeder in self._seeders:
+            if seeder.offline_until > self.round_index:
+                self.collector.record_seeder_downtime()
+                continue
+            if self.faults.seeder_fails():
+                seeder.offline_until = self.round_index + duration
+                self.collector.record_seeder_outage()
+                self.collector.record_seeder_downtime()
+
+    def _expire_obligations(self) -> None:
+        """Key timeout: drop pending pieces whose key never arrived.
+
+        Under transfer loss or crashes a reciprocation (or its
+        confirmation) can vanish in flight, leaving the encrypted piece
+        pending forever — blocking a re-download and leaking state.
+        Entries older than ``obligation_expiry_rounds`` are discarded;
+        the receiver may then fetch the piece again from anyone.
+        """
+        expiry = self.config.faults.obligation_expiry_rounds
+        if expiry is None:
+            return
+        horizon = self.round_index - expiry
+        for peer in self.swarm.peers.values():
+            stale = [piece_id for piece_id, entry in peer.pending.items()
+                     if entry.obligation.created_round <= horizon]
+            for piece_id in stale:
+                del peer.pending[piece_id]
+            if stale:
+                self.collector.record_expired_obligations(len(stale))
+
+    def _flush_due_reports(self) -> None:
+        """Deliver delayed reputation reports that have come due."""
+        reports = self._delayed_reports
+        while reports and reports[0][0] <= self.round_index:
+            _due, uploader_id, amount = reports.popleft()
+            self.swarm.reputation.report(uploader_id, amount)
+
+    def _report_upload(self, uploader: Peer) -> None:
+        """Report a genuine upload, immediately or after the fault delay."""
+        if uploader.is_seeder:
+            return
+        delay = self.config.faults.report_delay_rounds
+        if delay <= 0:
+            self.swarm.reputation.report(uploader.peer_id, 1.0)
+        else:
+            self._delayed_reports.append(
+                (self.round_index + delay, uploader.peer_id, 1.0))
+            self.collector.record_delayed_report()
 
     def _process_whitewashing(self) -> None:
         interval = self.config.attack.whitewash_interval
@@ -316,12 +425,36 @@ class Simulation:
         return target
 
     def _record_trace(self, uploader: Peer, target: Peer, piece: int,
-                      kind: str, usable: bool) -> None:
+                      kind: str, usable: bool, lost: bool = False) -> None:
         if self.config.record_transfers:
             self.collector.metrics.transfers.append(TransferRecord(
                 time=self.engine.now, uploader_id=uploader.peer_id,
                 target_id=target.peer_id, piece_id=piece, kind=kind,
-                usable=usable))
+                usable=usable, lost=lost))
+
+    def _transfer_lost(self, uploader: Peer, target: Peer, piece: int,
+                       kind: str) -> bool:
+        """Fault hook: was this send dropped in flight?
+
+        A lost transfer has already consumed the uploader's budget (the
+        bandwidth was spent); nothing is delivered, no ledgers move,
+        and no reputation is earned. The (receiver, piece) pair is
+        remembered so a later successful delivery counts as a retry.
+        """
+        if not self.faults.transfer_lost():
+            return False
+        self.collector.record_lost_transfer()
+        self._lost_deliveries.add((target.lineage_id, piece))
+        self._record_trace(uploader, target, piece, kind, usable=False,
+                          lost=True)
+        return True
+
+    def _note_delivery(self, target: Peer, piece: int) -> None:
+        """Count a delivery that recovers a previously lost send."""
+        key = (target.lineage_id, piece)
+        if key in self._lost_deliveries:
+            self._lost_deliveries.discard(key)
+            self.collector.record_retried_transfer()
 
     def _choose_piece(self, uploader: Peer, target: Peer) -> Optional[int]:
         """Pick which needed piece to send, per the configured policy."""
@@ -347,12 +480,14 @@ class Simulation:
         if piece is None:
             return False
         uploader.budget.consume()
+        if self._transfer_lost(uploader, target, piece, "plain"):
+            return False
         uploader.record_upload(target.peer_id)
-        if not uploader.is_seeder:
-            self.swarm.reputation.report(uploader.peer_id, 1.0)
+        self._report_upload(uploader)
         target.record_receipt(uploader.peer_id, usable=True)
         target.add_usable_piece(piece)
         self.swarm.availability.add_piece(piece)
+        self._note_delivery(target, piece)
         self.collector.record_transfer(target.is_freerider, usable=True,
                                        from_seeder=uploader.is_seeder)
         self._record_trace(uploader, target, piece, "plain", usable=True)
@@ -383,15 +518,19 @@ class Simulation:
                    for entry in target.pending.values())
 
     def tchain_seed(self, uploader: Peer, target_id: int) -> bool:
-        """Opportunistically seed one encrypted piece to ``target_id``."""
+        """Opportunistically seed one encrypted piece to ``target_id``.
+
+        Returns False if no eligible piece was sent *or* the send was
+        lost in flight (fault injection) — budget is consumed either
+        way in the latter case.
+        """
         target = self._valid_target(uploader, target_id)
         if target is None or self.tchain_blacklisted(target):
             return False
         piece = self._choose_piece(uploader, target)
         if piece is None:
             return False
-        self._tchain_deliver(uploader, target, piece)
-        return True
+        return self._tchain_deliver(uploader, target, piece)
 
     def tchain_seed_random(self, uploader: Peer, rng: random.Random) -> bool:
         """Seed a random eligible needy neighbor; try until one works."""
@@ -416,7 +555,7 @@ class Simulation:
         return self._tchain_rng.choice(options)
 
     def _tchain_deliver(self, uploader: Peer, target: Peer,
-                        piece: int) -> None:
+                        piece: int) -> bool:
         """Deliver an encrypted piece and attach its obligation.
 
         If direct repayment is currently possible (the uploader needs
@@ -425,12 +564,16 @@ class Simulation:
         reciprocity. The collusion attack strikes exactly here: a
         free-riding receiver whose designated third party is a fellow
         colluder gets the key released on a false confirmation.
+        Returns False (budget spent, no obligation created) when fault
+        injection drops the send.
         """
         uploader.budget.consume()
+        if self._transfer_lost(uploader, target, piece, "seed"):
+            return False
         uploader.record_upload(target.peer_id)
-        if not uploader.is_seeder:
-            self.swarm.reputation.report(uploader.peer_id, 1.0)
+        self._report_upload(uploader)
         target.record_receipt(uploader.peer_id, usable=False)
+        self._note_delivery(target, piece)
         designated: Optional[int] = None
         if not uploader.needed_pieces_from(target):
             designated = self._choose_designated(uploader, target, piece)
@@ -458,6 +601,7 @@ class Simulation:
                 # newcomer: it can immediately participate by
                 # forwarding it (indirect reciprocity).
                 target.bootstrap_time = self.engine.now
+        return True
 
     def tchain_fulfill(self, receiver: Peer, pending: PendingPiece) -> bool:
         """Reciprocate for one pending piece, unlocking it on success.
@@ -479,11 +623,15 @@ class Simulation:
             return False
 
         # (1) Direct reciprocity.
-        if (not uploader.complete
-                and uploader.needed_pieces_from(receiver)
-                and self.transfer_plain(receiver, uploader.peer_id)):
-            self._unlock(receiver, pending)
-            return True
+        if not uploader.complete and uploader.needed_pieces_from(receiver):
+            if self.transfer_plain(receiver, uploader.peer_id):
+                self._unlock(receiver, pending)
+                return True
+            if not receiver.budget.can_send():
+                # The repayment was attempted but lost in flight and
+                # spent the last of this round's budget: try again
+                # next round rather than over-spending.
+                return False
 
         # (2) Forward the received piece (indirect reciprocity).
         forward_target = self._forward_target(receiver, obligation,
@@ -492,8 +640,7 @@ class Simulation:
             target = self.swarm.peers[forward_target]
             # Temporarily release the pending entry so the forward does
             # not collide with the receiver's own bookkeeping.
-            self._forward_encrypted(receiver, target, pending)
-            return True
+            return self._forward_encrypted(receiver, target, pending)
 
         # (3) Generalised indirect reciprocity: contribute any other
         # piece — still *encrypted*, so the new receiver incurs its own
@@ -525,14 +672,20 @@ class Simulation:
         return self._tchain_rng.choice(options)
 
     def _forward_encrypted(self, receiver: Peer, target: Peer,
-                           pending: PendingPiece) -> None:
-        """Forward a still-encrypted piece to fulfil an obligation."""
+                           pending: PendingPiece) -> bool:
+        """Forward a still-encrypted piece to fulfil an obligation.
+
+        Returns False when the forward is lost in flight: the budget is
+        spent but the obligation stays unmet and the key stays locked.
+        """
         piece = pending.piece_id
         receiver.budget.consume()
+        if self._transfer_lost(receiver, target, piece, "forward"):
+            return False
         receiver.record_upload(target.peer_id)
-        if not receiver.is_seeder:
-            self.swarm.reputation.report(receiver.peer_id, 1.0)
+        self._report_upload(receiver)
         target.record_receipt(receiver.peer_id, usable=False)
+        self._note_delivery(target, piece)
         designated: Optional[int] = None
         if not receiver.needed_pieces_from(target):
             designated = self._choose_designated(receiver, target, piece)
@@ -557,6 +710,7 @@ class Simulation:
                 target.bootstrap_time = self.engine.now
         # The forward is the reciprocation: unlock the receiver's copy.
         self._unlock(receiver, pending)
+        return True
 
     def _unlock(self, receiver: Peer, pending: PendingPiece) -> None:
         """Release the key: the pending piece becomes usable."""

@@ -156,3 +156,34 @@ class TestLargeView:
                         freerider_fraction=0.25)
         # neighbor_count is n_users here, so instead check the flag.
         assert all(not p.large_view for p in freeriders(sim))
+
+
+class TestCrashesDuringAttack:
+    """Fault injection composes with the attack machinery: crashing
+    colluders must not leave dangling coalition references."""
+
+    def test_colluder_crash_keeps_coalition_consistent(self):
+        from repro.experiments.scenarios import smoke_scale, with_freeriders
+        from repro.sim import FaultConfig, run_simulation
+
+        config = with_freeriders(
+            smoke_scale(Algorithm.TCHAIN, seed=13), fraction=0.25,
+            attack=AttackConfig(collusion=True))
+        config = config.with_faults(FaultConfig(crash_hazard=0.02))
+        metrics = run_simulation(config).metrics
+        assert metrics.faults.peer_crashes > 0
+        assert metrics.total_uploaded == metrics.total_received_raw
+
+    def test_whitewashing_with_crashes(self):
+        from repro.experiments.scenarios import smoke_scale, with_freeriders
+        from repro.sim import FaultConfig, run_simulation
+
+        config = with_freeriders(
+            smoke_scale(Algorithm.FAIRTORRENT, seed=13), fraction=0.2,
+            attack=AttackConfig(whitewash_interval=10))
+        config = config.with_faults(FaultConfig(crash_hazard=0.015,
+                                                transfer_loss_rate=0.1))
+        metrics = run_simulation(config).metrics
+        assert metrics.faults.peer_crashes > 0
+        assert metrics.faults.transfers_lost > 0
+        assert metrics.total_uploaded == metrics.total_received_raw

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import metrics, piece_availability as pa, tradeoff
-from repro.core.equilibrium import EquilibriumParameters
 from repro.errors import ModelParameterError
 from repro.names import Algorithm
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.experiments import figures
 from repro.experiments.scenarios import smoke_scale
-from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.names import Algorithm
 
 
 @pytest.fixture(scope="module")

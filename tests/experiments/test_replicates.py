@@ -8,7 +8,6 @@ import pytest
 
 from repro.experiments.replicates import (
     HEADLINE_METRICS,
-    MetricSummary,
     run_replicates,
 )
 from repro.experiments.scenarios import smoke_scale
@@ -54,12 +53,31 @@ class TestRunReplicates:
         assert set(result.metrics) == {"uploads"}
         assert result["uploads"].mean > 0
 
-    def test_infinite_values_summarised_as_inf(self):
-        """Reciprocity never completes: mean completion time is inf."""
+    def test_all_missing_values_summarised_as_nan(self):
+        """Reciprocity never completes: every per-seed mean completion
+        time is inf, so the aggregate is *missing* (nan), not a
+        misleading "infinite mean" — and n_missing says why."""
         from dataclasses import replace
         config = replace(smoke_scale(Algorithm.RECIPROCITY), max_rounds=20)
         result = run_replicates(config, seeds=(1, 2))
-        assert result["mean_completion_time"].mean == math.inf
+        summary = result["mean_completion_time"]
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.std)
+        assert math.isnan(summary.ci_low) and math.isnan(summary.ci_high)
+        assert summary.n_missing == 2
+        assert summary.n == 2  # raw values are still kept
+
+    def test_partial_missing_counted_not_dropped_silently(self):
+        from repro.experiments.replicates import _summarise
+        summary = _summarise("x", [1.0, None, math.inf, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.n_missing == 2
+        assert summary.n == 4
+
+    def test_n_missing_in_rows(self, replicates):
+        rows = replicates.to_rows()
+        assert all("n_missing" in r for r in rows)
+        assert all(r["n_missing"] == 0 for r in rows)
 
     def test_single_seed_zero_std(self):
         result = run_replicates(smoke_scale(Algorithm.ALTRUISM), seeds=(5,))

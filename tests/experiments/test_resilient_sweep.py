@@ -1,0 +1,217 @@
+"""Tests for the crash-safe resilient sweep runner.
+
+The fake tasks live at module level so they pickle into the worker
+processes (``ProcessPoolExecutor`` requires it); the extractors run in
+the parent and may be lambdas.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.replicates import (
+    ReplicateOutcome,
+    run_replicates,
+    run_resilient_sweep,
+)
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+
+SEEDS = (1, 2, 3)
+
+# Extractors for the fake tasks below, whose "metrics" are plain floats.
+VALUE = {"value": lambda m: m}
+
+
+def _config():
+    return smoke_scale(Algorithm.ALTRUISM)
+
+
+# ---------------------------------------------------------------------
+# Picklable fake replicate tasks
+# ---------------------------------------------------------------------
+
+def task_identity(config, seed):
+    """Succeeds immediately; the metric is the seed itself."""
+    return float(seed)
+
+
+def task_crash_small_seeds(config, seed):
+    """Crashes on the original seeds; succeeds once reseeded."""
+    if seed < 1000:
+        raise RuntimeError(f"boom at seed {seed}")
+    return float(seed)
+
+
+def task_always_crash(config, seed):
+    raise RuntimeError("always boom")
+
+
+def task_hang_on_seed_two(config, seed):
+    if seed == 2:
+        import time
+        time.sleep(60.0)
+    return float(seed)
+
+
+class TestHappyPath:
+    def test_matches_run_replicates(self):
+        config = _config()
+        reference = run_replicates(config, SEEDS)
+        sweep = run_resilient_sweep(config, SEEDS)
+        assert set(sweep.metrics) == set(reference.metrics)
+        for name in reference.metrics:
+            assert sweep[name].values == reference[name].values
+            assert sweep[name].mean == reference[name].mean
+        assert sweep.n_failed == 0
+        assert sweep.resumed == 0
+        assert all(o.ok and o.attempts == 1 for o in sweep.outcomes)
+
+    def test_custom_task_and_extractors(self):
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_identity)
+        assert sweep["value"].values == (1.0, 2.0, 3.0)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_resilient_sweep(_config(), ())
+
+    def test_requires_positive_attempts(self):
+        with pytest.raises(ValueError):
+            run_resilient_sweep(_config(), SEEDS, max_attempts=0)
+
+
+class TestRetryAndFailure:
+    def test_crash_then_reseed_succeeds(self):
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_crash_small_seeds,
+                                    max_attempts=2)
+        assert sweep.n_failed == 0
+        for outcome in sweep.outcomes:
+            assert outcome.attempts == 2
+            assert outcome.used_seed != outcome.seed  # reseeded
+            assert outcome.values["value"] == float(outcome.used_seed)
+
+    def test_reseed_is_deterministic(self):
+        first = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_crash_small_seeds,
+                                    max_attempts=2)
+        second = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_crash_small_seeds,
+                                     max_attempts=2)
+        assert ([o.used_seed for o in first.outcomes]
+                == [o.used_seed for o in second.outcomes])
+
+    def test_persistent_crash_recorded_failed_not_fatal(self):
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_always_crash,
+                                    max_attempts=2)
+        assert sweep.n_failed == len(SEEDS)
+        for outcome in sweep.outcomes:
+            assert outcome.status == "failed"
+            assert outcome.attempts == 2
+            assert "always boom" in outcome.error
+            assert outcome.values == {"value": None}
+        summary = sweep["value"]
+        assert math.isnan(summary.mean)
+        assert summary.n_missing == len(SEEDS)
+
+    @pytest.mark.slow
+    def test_timeout_kills_and_records(self):
+        sweep = run_resilient_sweep(_config(), (1, 2), VALUE,
+                                    task=task_hang_on_seed_two,
+                                    timeout=2.0, max_attempts=1)
+        by_seed = {o.seed: o for o in sweep.outcomes}
+        assert by_seed[1].ok
+        assert by_seed[2].status == "failed"
+        assert "timeout" in by_seed[2].error
+
+
+class TestJournal:
+    def test_journal_written_and_resumed(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        first = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_identity, journal_path=path)
+        assert first.resumed == 0
+        second = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_identity, journal_path=path)
+        assert second.resumed == len(SEEDS)
+        assert second["value"].values == first["value"].values
+        assert second["value"].mean == first["value"].mean
+
+    def test_kill_and_resume_identical_aggregates(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        reference = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                        task=task_identity)
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, journal_path=path)
+        # Simulate a kill after the first replicate: truncate the
+        # journal to its header plus one completed record.
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:2]) + "\n")
+        resumed = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                      task=task_identity, journal_path=path)
+        assert resumed.resumed == 1
+        assert resumed["value"].values == reference["value"].values
+        assert resumed["value"].mean == reference["value"].mean
+
+    def test_torn_trailing_write_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, journal_path=path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "replicate", "seed": 99, "va')  # torn
+        resumed = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                      task=task_identity, journal_path=path)
+        assert resumed.resumed == len(SEEDS)
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, journal_path=path)
+        other = smoke_scale(Algorithm.TCHAIN)
+        with pytest.raises(ValueError, match="different configuration"):
+            run_resilient_sweep(other, SEEDS, VALUE,
+                                task=task_identity, journal_path=path)
+
+    def test_metric_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, journal_path=path)
+        with pytest.raises(ValueError, match="different metrics"):
+            run_resilient_sweep(_config(), SEEDS,
+                                {"other": lambda m: m},
+                                task=task_identity, journal_path=path)
+
+    def test_failures_journaled_too(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_resilient_sweep(_config(), (1,), VALUE,
+                            task=task_always_crash, max_attempts=1,
+                            journal_path=path)
+        records = [json.loads(line) for line in open(path)]
+        replicate = [r for r in records if r["kind"] == "replicate"][0]
+        assert replicate["status"] == "failed"
+        # The failure is checkpointed: resuming does not retry it.
+        resumed = run_resilient_sweep(_config(), (1,), VALUE,
+                                      task=task_always_crash, max_attempts=1,
+                                      journal_path=path)
+        assert resumed.resumed == 1
+        assert resumed.outcomes[0].status == "failed"
+
+
+class TestOutcome:
+    def test_ok_property(self):
+        ok = ReplicateOutcome(1, 1, 1, "ok", None, {"v": 1.0})
+        bad = ReplicateOutcome(1, 1, 3, "failed", "boom", {"v": None})
+        assert ok.ok and not bad.ok
+
+    def test_to_rows_includes_missing_count(self):
+        sweep = run_resilient_sweep(_config(), (1, 2), VALUE,
+                                    task=task_always_crash, max_attempts=1)
+        rows = sweep.to_rows()
+        assert rows[0]["n_missing"] == 2
+        assert rows[0]["n"] == 2

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import scenarios
-from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.names import Algorithm
 from repro.sim.config import AttackConfig
 
 

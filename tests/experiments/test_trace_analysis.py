@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
-import pytest
 
 from repro.experiments import trace_analysis as ta
 from repro.experiments.scenarios import smoke_scale

@@ -9,11 +9,10 @@ series, and determinism of the run under its seed.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.names import EXTENDED_ALGORITHMS, Algorithm
+from repro.names import EXTENDED_ALGORITHMS
 from repro.sim import AttackConfig, CapacityClass, SimulationConfig
 from repro.sim.runner import run_simulation
 

@@ -13,7 +13,7 @@ import math
 import pytest
 
 from repro.experiments.scenarios import run_all_algorithms
-from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.names import Algorithm
 from repro.sim import SimulationConfig
 
 

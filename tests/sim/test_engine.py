@@ -24,7 +24,7 @@ class TestScheduling:
         engine = EventEngine()
         fired = []
         for label in "abcde":
-            engine.schedule_at(1.0, lambda e, l=label: fired.append(l))
+            engine.schedule_at(1.0, lambda e, x=label: fired.append(x))
         engine.run()
         assert fired == list("abcde")
 
@@ -127,6 +127,98 @@ class TestPeriodic:
         assert ticks == [1.0, 2.0, 3.0]
 
 
+class TestPeriodicHandle:
+    def test_cancel_stops_whole_chain(self):
+        engine = EventEngine()
+        ticks = []
+        handle = engine.schedule_every(1.0, lambda e: ticks.append(e.now))
+        engine.run_until(3.0)
+        handle.cancel()
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert engine.pending == 0  # the chained event was cancelled too
+
+    def test_cancel_before_first_fire(self):
+        engine = EventEngine()
+        ticks = []
+        handle = engine.schedule_every(1.0, lambda e: ticks.append(e.now))
+        handle.cancel()
+        engine.run_until(5.0)
+        assert ticks == []
+
+    def test_cancel_inside_own_callback(self):
+        engine = EventEngine()
+        ticks = []
+        handle = engine.schedule_every(1.0, lambda e: ticks.append(e.now))
+
+        def stopper(e):
+            if len(ticks) == 2:
+                handle.cancel()
+
+        # Fires after the tick at each integer time (FIFO ordering).
+        engine.schedule_every(1.0, stopper)
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule_every(1.0, lambda e: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        engine.run_until(3.0)
+
+    def test_handle_name_preserved(self):
+        engine = EventEngine()
+        handle = engine.schedule_every(1.0, lambda e: None, name="round")
+        assert handle.name == "round"
+
+    def test_two_chains_cancel_independently(self):
+        engine = EventEngine()
+        ticks = {"a": 0, "b": 0}
+        a = engine.schedule_every(1.0, lambda e: ticks.__setitem__(
+            "a", ticks["a"] + 1))
+        engine.schedule_every(1.0, lambda e: ticks.__setitem__(
+            "b", ticks["b"] + 1))
+        engine.run_until(2.0)
+        a.cancel()
+        engine.run_until(5.0)
+        assert ticks == {"a": 2, "b": 5}
+
+
+class TestPendingCounter:
+    def test_counts_scheduled_events(self):
+        engine = EventEngine()
+        for t in range(4):
+            engine.schedule_at(float(t), lambda e: None)
+        assert engine.pending == 4
+        engine.run()
+        assert engine.pending == 0
+
+    def test_cancel_after_fire_does_not_double_decrement(self):
+        engine = EventEngine()
+        event = engine.schedule_at(1.0, lambda e: None)
+        keeper = engine.schedule_at(2.0, lambda e: None)
+        engine.run_until(1.5)
+        event.cancel()  # already fired: must be a no-op
+        assert engine.pending == 1
+        assert keeper.time == 2.0
+
+    def test_double_cancel_decrements_once(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda e: None)
+        drop = engine.schedule_at(2.0, lambda e: None)
+        drop.cancel()
+        drop.cancel()
+        assert engine.pending == 1
+
+    def test_periodic_chain_keeps_one_pending(self):
+        engine = EventEngine()
+        engine.schedule_every(1.0, lambda e: None)
+        engine.run_until(5.0)
+        assert engine.pending == 1  # exactly the next chained tick
+
+
 class TestRunUntil:
     def test_does_not_fire_future_events(self):
         engine = EventEngine()
@@ -144,6 +236,17 @@ class TestRunUntil:
         engine.schedule_every(0.001, lambda e: None)
         with pytest.raises(SimulationError):
             engine.run_until(1000.0, max_events=50)
+
+    def test_usable_after_max_events_exhaustion(self):
+        engine = EventEngine()
+        handle = engine.schedule_every(0.001, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.run_until(1000.0, max_events=50)
+        handle.cancel()
+        fired = []
+        engine.schedule_in(1.0, lambda e: fired.append(e.now))
+        engine.run()
+        assert len(fired) == 1
 
     def test_run_guard(self):
         engine = EventEngine()

@@ -6,7 +6,6 @@ strategies use) rather than via full runs.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.names import Algorithm
 from repro.sim.config import CapacityClass, SimulationConfig

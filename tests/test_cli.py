@@ -28,6 +28,24 @@ class TestParser:
         args = build_parser().parse_args(["run", "--algorithm", "propshare"])
         assert args.algorithm == "propshare"
 
+    def test_run_fault_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "tchain", "--loss-rate", "0.2",
+             "--crash-hazard", "0.01", "--report-delay", "3",
+             "--obligation-expiry", "10"])
+        assert args.loss_rate == 0.2
+        assert args.crash_hazard == 0.01
+        assert args.report_delay == 3
+        assert args.obligation_expiry == 10
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--algorithm", "tchain"])
+        assert args.replicates == 5
+        assert args.max_attempts == 3
+        assert args.journal is None
+        assert args.timeout is None
+        assert args.loss_rate == 0.0
+
     def test_figure_scale_choices(self):
         args = build_parser().parse_args(["figure5", "--scale", "smoke"])
         assert args.scale == "smoke"
@@ -73,6 +91,38 @@ class TestCommands:
                      "--freeriders", "0.25", "--large-view"])
         assert code == 0
         assert "susceptibility" in capsys.readouterr().out
+
+    def test_run_with_faults(self, capsys):
+        code = main(["run", "--algorithm", "bittorrent", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200",
+                     "--loss-rate", "0.2"])
+        assert code == 0
+        assert "completion_fraction" in capsys.readouterr().out
+
+    def test_sweep_smoke(self, capsys):
+        code = main(["sweep", "--algorithm", "altruism", "--scale", "smoke",
+                     "--replicates", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicates" in out
+        assert "mean_completion_time" in out
+        assert "0 failed" in out
+
+    def test_sweep_with_journal_resumes(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        argv = ["sweep", "--algorithm", "altruism", "--scale", "smoke",
+                "--replicates", "2", "--journal", journal]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 resumed" in first
+        assert main(argv) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_sweep_rejects_zero_replicates(self, capsys):
+        code = main(["sweep", "--algorithm", "altruism", "--scale", "smoke",
+                     "--replicates", "0"])
+        assert code == 2
+        assert "must be >= 1" in capsys.readouterr().err
 
     def test_figure4_smoke(self, capsys):
         code = main(["figure4", "--scale", "smoke", "--seed", "2"])
