@@ -1,0 +1,154 @@
+"""Hot-path benchmark: the flash-crowd round loop, per algorithm.
+
+Times ``Simulation.run()`` for a 1000-peer, 256-piece flash crowd —
+the paper's validation scale (Section V-A) — capped at a fixed number
+of rounds so successive runs of the simulator are directly comparable
+across code revisions. This is the first entry in the repository's
+performance trajectory: every hot-path change should re-run it and
+record the result in ``BENCH_hotpath.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # full scale
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --baseline BENCH_hotpath.baseline.json                    # + speedups
+
+The output JSON records, per algorithm, the wall-clock seconds for the
+timed window, the rounds executed, and the derived rounds/second. When
+``--baseline`` points at an earlier output file the per-algorithm and
+aggregate speedups are computed and embedded, which is how the >= 3x
+acceptance gate of the bitset/cached-neighbor rewrite is checked.
+
+Not a pytest benchmark on purpose: CI runs it as a plain script (quick
+mode) and archives the JSON artifact, so the file can never rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.names import ALL_ALGORITHMS
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import Simulation
+
+__all__ = ["hotpath_config", "run_bench", "main"]
+
+
+def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
+                   rounds: int, seed: int) -> SimulationConfig:
+    """The timed scenario: a pure flash crowd at the given scale."""
+    return SimulationConfig(
+        algorithm=algorithm,
+        n_users=n_users,
+        n_pieces=n_pieces,
+        max_rounds=rounds,
+        neighbor_count=40,
+        seed=seed,
+    )
+
+
+def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
+    """Build one simulation (untimed) and time its event/round loop."""
+    sim = Simulation(config)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    rounds = max(sim.round_index, 1)
+    return {
+        "seconds": elapsed,
+        "rounds": sim.round_index,
+        "rounds_per_second": rounds / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
+              baseline: Optional[dict] = None) -> dict:
+    """Time every algorithm once; attach speedups vs. ``baseline``."""
+    result = {
+        "benchmark": "hotpath_round_loop",
+        "n_users": n_users,
+        "n_pieces": n_pieces,
+        "rounds_cap": rounds,
+        "seed": seed,
+        "python": platform.python_version(),
+        "algorithms": {},
+    }
+    total = 0.0
+    for algorithm in ALL_ALGORITHMS:
+        entry = _time_round_loop(
+            hotpath_config(algorithm, n_users, n_pieces, rounds, seed))
+        total += entry["seconds"]
+        result["algorithms"][algorithm.value] = entry
+        print(f"{algorithm.value:12s} {entry['seconds']:8.3f}s "
+              f"({entry['rounds']} rounds, "
+              f"{entry['rounds_per_second']:.1f} rounds/s)", flush=True)
+    result["total_seconds"] = total
+    if baseline is not None:
+        _attach_speedups(result, baseline)
+    return result
+
+
+def _attach_speedups(result: dict, baseline: dict) -> None:
+    """Embed per-algorithm and aggregate speedups vs. an earlier run."""
+    comparable = (baseline.get("n_users") == result["n_users"]
+                  and baseline.get("n_pieces") == result["n_pieces"]
+                  and baseline.get("rounds_cap") == result["rounds_cap"])
+    speedups = {}
+    for name, entry in result["algorithms"].items():
+        base = baseline.get("algorithms", {}).get(name)
+        if base and entry["seconds"] > 0:
+            speedups[name] = base["seconds"] / entry["seconds"]
+    result["baseline"] = {
+        "comparable_scale": comparable,
+        "total_seconds": baseline.get("total_seconds"),
+        "python": baseline.get("python"),
+        "algorithms": {name: entry["seconds"] for name, entry
+                       in baseline.get("algorithms", {}).items()},
+    }
+    result["speedup"] = speedups
+    if speedups and baseline.get("total_seconds"):
+        result["speedup_total"] = (
+            baseline["total_seconds"] / result["total_seconds"])
+        print(f"{'TOTAL':12s} {result['total_seconds']:8.3f}s "
+              f"(speedup vs baseline: {result['speedup_total']:.2f}x)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (60 users, 32 pieces, 15 rounds)")
+    parser.add_argument("--users", type=int, default=1000)
+    parser.add_argument("--pieces", type=int, default=256)
+    parser.add_argument("--rounds", type=int, default=40,
+                        help="round cap for the timed window")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="earlier output JSON to compute speedups against")
+    parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.users, args.pieces, args.rounds = 60, 32, 15
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+
+    result = run_bench(args.users, args.pieces, args.rounds, args.seed,
+                       baseline=baseline)
+    with open(args.output, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

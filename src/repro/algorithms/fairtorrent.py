@@ -26,13 +26,16 @@ class FairTorrentStrategy(Strategy):
 
     def on_round(self, ctx: StrategyContext) -> None:
         me = ctx.peer
+        uploaded, received = me.uploaded_to, me.received_from
         while ctx.budget() > 0:
             candidates = ctx.needy_neighbors()
             if not candidates:
                 return
-            min_deficit = min(me.deficit(pid) for pid in candidates)
-            lowest = [pid for pid in candidates
-                      if me.deficit(pid) == min_deficit]
+            deficits = [uploaded.get(pid, 0) - received.get(pid, 0)
+                        for pid in candidates]
+            min_deficit = min(deficits)
+            lowest = [pid for pid, deficit in zip(candidates, deficits)
+                      if deficit == min_deficit]
             # Smallest deficit wins; ties (notably the all-zero
             # newcomer pool) are broken uniformly at random.
             target = lowest[0] if len(lowest) == 1 else self.rng.choice(lowest)

@@ -38,9 +38,10 @@ class PropShareStrategy(Strategy):
                       last_round_only: bool) -> Dict[int, int]:
         me = ctx.peer
         ledger = me.received_last_round if last_round_only else me.received_from
+        needy = set(ctx.needy_neighbors())
         return {pid: amount
                 for pid, amount in ledger.items()
-                if amount > 0 and pid in set(ctx.needy_neighbors())}
+                if amount > 0 and pid in needy}
 
     def on_round(self, ctx: StrategyContext) -> None:
         # One attempt per available piece; reciprocal slots with no

@@ -45,7 +45,11 @@ class FreeRiderStrategy(Strategy):
         # Credit a fellow colluder with fictitious uploads. Reports are
         # unattributed on the global board, so legitimate users cannot
         # tell them from genuine ones (footnote 6 of the paper).
-        colluders = [pid for pid in ctx.peer.colluders if ctx.is_active(pid)]
+        # Sorted before drawing: iterating the colluder *set* would tie
+        # the beneficiary pick to set order, which varies across Python
+        # versions and would break seed reproducibility.
+        colluders = [pid for pid in sorted(ctx.peer.colluders)
+                     if ctx.is_active(pid)]
         if not colluders:
             return
         beneficiary = self.rng.choice(colluders)

@@ -47,10 +47,15 @@ class StrategyContext:
         return self.peer.budget.available()
 
     def neighbors(self) -> List[int]:
+        """Active neighbor ids, ascending (a fresh, mutable copy)."""
         return self._runner.swarm.neighbors(self.peer.peer_id)
 
     def needy_neighbors(self) -> List[int]:
-        """Active neighbors that need at least one of our usable pieces."""
+        """Active neighbors that need at least one of our usable pieces.
+
+        Ascending ids, served from the swarm's version-guarded cache;
+        the returned list is a fresh copy the strategy may mutate.
+        """
         return self._runner.swarm.needy_neighbors(self.peer)
 
     def peer_state(self, peer_id: int) -> Peer:

@@ -176,12 +176,20 @@ class EventEngine:
         return False
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
-        """Run events with ``time <= end_time`` (then set now = end_time).
+        """Run events with ``time <= end_time``.
+
+        When the loop exhausts the queue (or the horizon) the clock is
+        fast-forwarded to ``end_time`` — simulated time passed with
+        nothing scheduled in it. When the run is halted early via
+        :meth:`stop`, the clock stays at the last fired event: the
+        simulation *ended* there, and advancing past it would let an
+        early-terminating run report a finish time it never reached.
 
         ``max_events`` guards against runaway periodic chains.
         """
         self._running = True
         fired = 0
+        stopped = True
         try:
             while self._running and self._queue:
                 nxt = self._peek()
@@ -192,9 +200,10 @@ class EventEngine:
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} before {end_time}")
+            stopped = not self._running
         finally:
             self._running = False
-        if self._now < end_time:
+        if not stopped and self._now < end_time:
             self._now = float(end_time)
 
     def run(self, max_events: int = 1_000_000) -> None:

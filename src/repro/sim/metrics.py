@@ -14,12 +14,14 @@ in the paper's Figures 4-6:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 __all__ = ["RoundSample", "PeerSummary", "TransferRecord", "FaultCounters",
-           "MetricsCollector", "SimulationMetrics", "degradation_rows"]
+           "MetricsCollector", "SimulationMetrics", "degradation_rows",
+           "metrics_digest"]
 
 
 @dataclass(frozen=True)
@@ -53,9 +55,12 @@ class FaultCounters:
     lost — the recovery side of the loss process. ``obligations_expired``
     are pending T-Chain pieces dropped by the key timeout;
     ``obligations_orphaned`` are pending pieces dropped because the
-    key-holding uploader departed or crashed. All stay zero in a
-    fault-free run except ``obligations_orphaned``, which churn
-    (``abort_rate``) can also produce.
+    key-holding uploader departed or crashed. ``reports_dropped``
+    counts delayed reputation reports discarded at flush time because
+    the uploading lineage had departed (or crashed) before the report
+    came due — there was no live identity left to credit. All stay
+    zero in a fault-free run except ``obligations_orphaned``, which
+    churn (``abort_rate``) can also produce.
     """
 
     transfers_lost: int = 0
@@ -66,6 +71,7 @@ class FaultCounters:
     seeder_outages: int = 0
     seeder_downtime_rounds: int = 0
     delayed_reports: int = 0
+    reports_dropped: int = 0
 
 
 @dataclass(frozen=True)
@@ -347,6 +353,10 @@ class MetricsCollector:
     def record_delayed_report(self) -> None:
         self.faults.delayed_reports += 1
 
+    def record_dropped_report(self) -> None:
+        """A delayed report's lineage departed before it came due."""
+        self.faults.reports_dropped += 1
+
     def sample(self, time: float, active_peers: int, arrived: int,
                population: int, bootstrapped: int, completed: int,
                fairness_ud: Optional[float],
@@ -375,6 +385,37 @@ class MetricsCollector:
         self.metrics.rounds_run = rounds_run
         self.metrics.faults = self.faults
         return self.metrics
+
+
+def metrics_digest(metrics: SimulationMetrics) -> str:
+    """A stable SHA-256 fingerprint of one run's complete measurements.
+
+    Covers every per-round sample, every peer summary, the aggregate
+    totals, and the fault counters — if any of them changes by one ULP
+    the digest changes. Used by the seed-pinned equivalence tests to
+    assert that hot-path data-structure rewrites leave simulation
+    results byte-identical, and that a fixed seed reproduces the same
+    run across Python versions (``repr`` of floats is exact for
+    doubles, so the serialisation is portable).
+    """
+    h = hashlib.sha256()
+    for s in metrics.samples:
+        h.update(repr((s.time, s.active_peers, s.arrived, s.population,
+                       s.bootstrapped, s.completed, s.fairness_ud,
+                       s.fairness_du, s.total_uploaded, s.peer_uploaded,
+                       s.freerider_received)).encode())
+    for p in metrics.peers:
+        h.update(repr((p.peer_id, p.lineage_id, p.capacity, p.is_freerider,
+                       p.arrival_time, p.bootstrap_time, p.completion_time,
+                       p.uploaded, p.downloaded)).encode())
+    f = metrics.faults
+    h.update(repr((metrics.total_uploaded, metrics.peer_uploaded,
+                   metrics.total_received_raw, metrics.freerider_received,
+                   metrics.rounds_run, f.transfers_lost, f.transfers_retried,
+                   f.obligations_expired, f.obligations_orphaned,
+                   f.peer_crashes, f.seeder_outages, f.seeder_downtime_rounds,
+                   f.delayed_reports, f.reports_dropped)).encode())
+    return h.hexdigest()
 
 
 def degradation_rows(runs: Mapping[float, SimulationMetrics],

@@ -21,7 +21,7 @@ from typing import Dict, Optional, Set
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.bandwidth import UploadBudget
-from repro.sim.pieces import PieceSet
+from repro.sim.pieces import PieceSet, iter_bits
 
 __all__ = ["Obligation", "PendingPiece", "Peer"]
 
@@ -78,6 +78,14 @@ class Peer:
         self.pieces = PieceSet.full(n_pieces) if is_seeder else PieceSet(n_pieces)
         #: T-Chain: encrypted pieces waiting for their key.
         self.pending: Dict[int, PendingPiece] = {}
+        #: Bitmask mirror of ``pending``'s keys, kept in lockstep so
+        #: the hot-path need queries are pure integer operations. All
+        #: ``pending`` mutations must go through the methods below.
+        self.pending_mask = 0
+        #: Smallest ``created_round`` among pending obligations (None
+        #: when nothing is pending) — lets the T-Chain blacklist check
+        #: run in O(1) instead of scanning every obligation.
+        self.oldest_pending_round: Optional[int] = None
 
         # Pairwise ledgers (pieces, by current peer id of the partner).
         self.uploaded_to: Dict[int, int] = defaultdict(int)
@@ -161,6 +169,10 @@ class Peer:
             raise SimulationError(
                 f"peer {self.peer_id} already has piece {piece_id} pending")
         self.pending[piece_id] = PendingPiece(piece_id, obligation)
+        self.pending_mask |= 1 << piece_id
+        if (self.oldest_pending_round is None
+                or obligation.created_round < self.oldest_pending_round):
+            self.oldest_pending_round = obligation.created_round
 
     def unlock_piece(self, piece_id: int) -> bool:
         """Release the key for a pending piece; returns True if new."""
@@ -168,23 +180,49 @@ class Peer:
         if entry is None:
             raise SimulationError(
                 f"peer {self.peer_id} has no pending piece {piece_id}")
+        self.pending_mask &= ~(1 << piece_id)
+        self._refresh_oldest_pending(entry)
         return self.pieces.add(piece_id)
+
+    def drop_pending_piece(self, piece_id: int) -> None:
+        """Discard a pending piece (expired, orphaned, or dead key)."""
+        entry = self.pending.pop(piece_id, None)
+        if entry is None:
+            raise SimulationError(
+                f"peer {self.peer_id} has no pending piece {piece_id}")
+        self.pending_mask &= ~(1 << piece_id)
+        self._refresh_oldest_pending(entry)
+
+    def _refresh_oldest_pending(self, removed: PendingPiece) -> None:
+        if removed.obligation.created_round == self.oldest_pending_round:
+            self.oldest_pending_round = min(
+                (e.obligation.created_round for e in self.pending.values()),
+                default=None)
 
     def needs_piece(self, piece_id: int) -> bool:
         """True if the piece is neither usable nor pending."""
-        return piece_id not in self.pieces and piece_id not in self.pending
+        return (self.pieces.mask | self.pending_mask) >> piece_id & 1 == 0
 
     def held_or_pending(self) -> Set[int]:
         """Piece ids this peer holds usable or has pending (encrypted)."""
         return self.pieces.raw | self.pending.keys()
 
+    def held_or_pending_mask(self) -> int:
+        """Bitmask of pieces held usable or pending (encrypted)."""
+        return self.pieces.mask | self.pending_mask
+
     def needed_pieces_from(self, uploader: "Peer") -> Set[int]:
         """Uploader's usable pieces this peer still needs."""
-        return uploader.pieces.raw - self.pieces.raw - self.pending.keys()
+        return set(iter_bits(self.needed_mask_from(uploader)))
+
+    def needed_mask_from(self, uploader: "Peer") -> int:
+        """Bitmask of the uploader's usable pieces this peer needs."""
+        return uploader.pieces.mask & ~(self.pieces.mask | self.pending_mask)
 
     def needs_any_from(self, uploader: "Peer") -> bool:
         """True if ``uploader`` has at least one usable piece we need."""
-        return not uploader.pieces.raw <= (self.pieces.raw | self.pending.keys())
+        return (uploader.pieces.mask
+                & ~(self.pieces.mask | self.pending_mask)) != 0
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,33 +6,70 @@ tracks per-piece availability so uploaders can pick the locally rarest
 piece a receiver still needs — the selection policy the paper assumes
 ("users are equally likely to have a given piece, e.g., as achieved in
 local-rarest-first piece selection").
+
+Hot-path representation
+-----------------------
+A :class:`PieceSet` is an integer bitmask (bit ``i`` set = piece ``i``
+held), so the swarm-wide queries — "which of your pieces do I need",
+"do I need anything from you", "which pieces can I provide you" —
+collapse to two or three machine-word operations on ``M``-bit ints
+instead of per-call Python set algebra. Bit iteration is always in
+ascending piece order, which doubles as the determinism guarantee the
+equivalence tests rely on: unlike ``set`` iteration order, it is
+identical on every Python version.
+
+:class:`AvailabilityMap` keeps, besides the per-piece replica counts,
+a *count-bucketed* index: one bitmask per distinct replica count. The
+rarest needed piece is then found by intersecting the candidate mask
+with the ascending count buckets until one hits, rather than scoring
+every candidate piece individually.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, Optional, Set
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
 
 from repro.errors import ConfigurationError, SimulationError
 
-__all__ = ["PieceSet", "AvailabilityMap", "rarest_first"]
+__all__ = ["PieceSet", "AvailabilityMap", "rarest_first",
+           "iter_bits", "bits_to_list"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit indices of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_to_list(mask: int) -> List[int]:
+    """The set-bit indices of ``mask`` as an ascending list."""
+    return list(iter_bits(mask))
 
 
 class PieceSet:
     """The set of pieces a peer holds, out of ``M`` total.
 
-    A thin wrapper over a Python set with bounds checking and the
+    Backed by a single integer bitmask with bounds checking and the
     handful of swarm-specific queries (missing pieces, providable
-    pieces for a partner, completion).
+    pieces for a partner, completion). Iteration yields piece ids in
+    ascending order.
     """
 
-    __slots__ = ("_m", "_have")
+    __slots__ = ("_m", "mask", "_count")
 
     def __init__(self, n_pieces: int, have: Optional[Iterable[int]] = None) -> None:
         if n_pieces < 1:
             raise ConfigurationError("n_pieces must be positive")
         self._m = n_pieces
-        self._have: Set[int] = set()
+        #: The raw bitmask (bit ``i`` set = piece ``i`` held). A plain
+        #: attribute, not a property: hot paths read it millions of
+        #: times per run. Treat as read-only; mutate via :meth:`add`.
+        self.mask = 0
+        self._count = 0
         if have is not None:
             for piece in have:
                 self.add(piece)
@@ -41,7 +78,8 @@ class PieceSet:
     def full(cls, n_pieces: int) -> "PieceSet":
         """A complete piece set (e.g. the seeder's)."""
         ps = cls(n_pieces)
-        ps._have = set(range(n_pieces))
+        ps.mask = (1 << n_pieces) - 1
+        ps._count = n_pieces
         return ps
 
     @property
@@ -49,13 +87,13 @@ class PieceSet:
         return self._m
 
     def __len__(self) -> int:
-        return len(self._have)
+        return self._count
 
     def __contains__(self, piece: int) -> bool:
-        return piece in self._have
+        return 0 <= piece < self._m and (self.mask >> piece) & 1 == 1
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._have)
+        return iter_bits(self.mask)
 
     def _check(self, piece: int) -> None:
         if not 0 <= piece < self._m:
@@ -65,61 +103,82 @@ class PieceSet:
     def add(self, piece: int) -> bool:
         """Add a piece; returns True if it was new."""
         self._check(piece)
-        if piece in self._have:
+        bit = 1 << piece
+        if self.mask & bit:
             return False
-        self._have.add(piece)
+        self.mask |= bit
+        self._count += 1
         return True
 
     def has(self, piece: int) -> bool:
         self._check(piece)
-        return piece in self._have
+        return (self.mask >> piece) & 1 == 1
 
     @property
     def complete(self) -> bool:
-        return len(self._have) == self._m
+        return self._count == self._m
+
+    def missing_mask(self) -> int:
+        """Bitmask of pieces this peer still needs."""
+        return ~self.mask & ((1 << self._m) - 1)
 
     def missing(self) -> Set[int]:
         """Pieces this peer still needs."""
-        return set(range(self._m)) - self._have
+        return set(iter_bits(self.missing_mask()))
+
+    def providable_mask(self, other: "PieceSet") -> int:
+        """Bitmask of pieces we hold that ``other`` lacks."""
+        if other._m != self._m:
+            raise SimulationError("piece sets belong to different files")
+        return self.mask & ~other.mask
 
     def providable_to(self, other: "PieceSet") -> Set[int]:
         """Pieces we hold that ``other`` lacks."""
-        if other.n_pieces != self._m:
-            raise SimulationError("piece sets belong to different files")
-        return self._have - other._have
+        return set(iter_bits(self.providable_mask(other)))
 
     def needs_from(self, other: "PieceSet") -> bool:
         """True if ``other`` holds at least one piece we lack."""
-        return bool(other.providable_to(self))
+        return other.providable_mask(self) != 0
 
     def copy(self) -> "PieceSet":
         ps = PieceSet(self._m)
-        ps._have = set(self._have)
+        ps.mask = self.mask
+        ps._count = self._count
         return ps
 
     @property
     def raw(self) -> Set[int]:
-        """The internal piece-id set (read-only by convention).
+        """The held piece ids as a plain set.
 
-        Exposed for hot-path set algebra in the swarm; callers must
-        not mutate it.
+        Retained for API compatibility with the pre-bitmask
+        representation; now a fresh copy, so mutating it never
+        corrupts the peer. Hot paths should use :attr:`mask`.
         """
-        return self._have
+        return set(iter_bits(self.mask))
 
 
 class AvailabilityMap:
-    """Per-piece replica counts across the swarm.
+    """Per-piece replica counts across the swarm, bucketed by count.
 
     Maintained incrementally by the swarm as pieces propagate and
-    peers come and go; consulted by :func:`rarest_first`.
+    peers come and go; consulted by :func:`rarest_first`. Alongside
+    the flat per-piece counts it maintains ``_buckets``: for each
+    distinct replica count, the bitmask of pieces currently at that
+    count, plus a sorted list of the non-empty counts. Rarest-first
+    then probes buckets in ascending count order instead of scanning
+    every candidate.
     """
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_buckets", "_levels")
 
     def __init__(self, n_pieces: int) -> None:
         if n_pieces < 1:
             raise ConfigurationError("n_pieces must be positive")
         self._counts = [0] * n_pieces
+        #: replica count -> bitmask of pieces with exactly that count.
+        self._buckets: Dict[int, int] = {0: (1 << n_pieces) - 1}
+        #: Sorted non-empty bucket counts (ascending).
+        self._levels: List[int] = [0]
 
     @property
     def n_pieces(self) -> int:
@@ -128,40 +187,84 @@ class AvailabilityMap:
     def count(self, piece: int) -> int:
         return self._counts[piece]
 
+    def _move(self, piece: int, old: int, new: int) -> None:
+        """Move ``piece``'s bit from bucket ``old`` to bucket ``new``."""
+        bit = 1 << piece
+        remaining = self._buckets[old] & ~bit
+        if remaining:
+            self._buckets[old] = remaining
+        else:
+            del self._buckets[old]
+            self._levels.pop(bisect_left(self._levels, old))
+        if new in self._buckets:
+            self._buckets[new] |= bit
+        else:
+            self._buckets[new] = bit
+            insort(self._levels, new)
+
     def add_piece(self, piece: int) -> None:
-        self._counts[piece] += 1
+        old = self._counts[piece]
+        self._counts[piece] = old + 1
+        self._move(piece, old, old + 1)
+
+    def remove_piece(self, piece: int) -> None:
+        old = self._counts[piece]
+        if old <= 0:
+            raise SimulationError("availability went negative")
+        self._counts[piece] = old - 1
+        self._move(piece, old, old - 1)
 
     def add_peer(self, pieces: PieceSet) -> None:
         """Register every piece of an arriving peer."""
         for piece in pieces:
-            self._counts[piece] += 1
+            self.add_piece(piece)
 
     def remove_peer(self, pieces: PieceSet) -> None:
         """Unregister a departing peer's pieces."""
         for piece in pieces:
-            self._counts[piece] -= 1
-            if self._counts[piece] < 0:
-                raise SimulationError("availability went negative")
+            self.remove_piece(piece)
 
     def rarity_key(self, piece: int) -> int:
         return self._counts[piece]
 
+    def rarest_subset(self, candidate_mask: int) -> int:
+        """Bitmask of the minimum-count pieces within ``candidate_mask``.
 
-def rarest_first(candidates: Iterable[int], availability: AvailabilityMap,
+        Probes the count buckets in ascending order and returns the
+        first non-empty intersection — the full rarest tie set — or 0
+        when ``candidate_mask`` is empty.
+        """
+        if not candidate_mask:
+            return 0
+        for level in self._levels:
+            hit = self._buckets[level] & candidate_mask
+            if hit:
+                return hit
+        return 0
+
+
+def rarest_first(candidates: Union[int, Iterable[int]],
+                 availability: AvailabilityMap,
                  rng: random.Random) -> Optional[int]:
     """Pick the rarest piece among ``candidates``; random tie-break.
 
-    Returns ``None`` when there are no candidates.
+    ``candidates`` is either a bitmask (the hot-path form) or any
+    iterable of piece ids. Ties are enumerated in ascending piece
+    order before drawing, so a fixed seed reproduces the same pick on
+    every Python version (``set`` iteration order, which the previous
+    implementation inherited, is not portable). Returns ``None`` when
+    there are no candidates; consumes exactly one draw when there is a
+    tie and none otherwise, mirroring the original implementation.
     """
-    best: List[int] = []
-    best_count: Optional[int] = None
-    for piece in candidates:
-        count = availability.count(piece)
-        if best_count is None or count < best_count:
-            best = [piece]
-            best_count = count
-        elif count == best_count:
-            best.append(piece)
-    if not best:
+    if isinstance(candidates, int):
+        mask = candidates
+    else:
+        mask = 0
+        for piece in candidates:
+            mask |= 1 << piece
+    tie = availability.rarest_subset(mask)
+    if not tie:
         return None
-    return best[0] if len(best) == 1 else rng.choice(best)
+    if tie & (tie - 1) == 0:  # single bit: unique rarest piece
+        return tie.bit_length() - 1
+    return rng.choice(bits_to_list(tie))

@@ -30,7 +30,7 @@ from repro.sim.faults import FaultModel
 from repro.sim.metrics import (MetricsCollector, PeerSummary,
                                SimulationMetrics, TransferRecord)
 from repro.sim.peer import Obligation, Peer, PendingPiece
-from repro.sim.pieces import rarest_first
+from repro.sim.pieces import bits_to_list, rarest_first
 from repro.sim.rng import RandomStreams
 from repro.sim.swarm import Swarm
 
@@ -86,8 +86,14 @@ class Simulation:
         #: Fault injection: draws from its own substream, so enabling
         #: faults never perturbs any other stochastic subsystem.
         self.faults = FaultModel(config.faults, self.streams.stream("faults"))
-        #: Reputation reports in flight: (due_round, uploader_id, amount).
+        #: Reputation reports in flight: (due_round, lineage_id, amount).
+        #: Queued by *lineage*, not peer id: a whitewashing uploader
+        #: changes peer ids while the report is in flight, and the
+        #: credit must land on whoever that lineage is *now* — or be
+        #: dropped if it departed (see :meth:`_flush_due_reports`).
         self._delayed_reports: Deque[Tuple[int, int, float]] = deque()
+        #: Lineage id -> the (single, possibly re-identified) peer.
+        self._peers_by_lineage: Dict[int, Peer] = {}
         #: (receiver lineage, piece) pairs whose delivery was lost —
         #: cleared (and counted as a retry) when a later send lands.
         self._lost_deliveries: Set[Tuple[int, int]] = set()
@@ -181,6 +187,7 @@ class Simulation:
                 peer.whitewash_interval = cfg.attack.whitewash_interval
                 self._coalition.append(peer)
             self._all_peers.append(peer)
+            self._peers_by_lineage[peer.lineage_id] = peer
             strategy = self._make_strategy(peer)
             self._strategies[peer.lineage_id] = strategy
             self.engine.schedule_at(
@@ -309,8 +316,9 @@ class Simulation:
             orphaned = [piece_id for piece_id, entry in peer.pending.items()
                         if entry.obligation.uploader_id == departed_id]
             for piece_id in orphaned:
-                del peer.pending[piece_id]
+                peer.drop_pending_piece(piece_id)
             if orphaned:
+                self.swarm.note_state_changed()
                 self.collector.record_orphaned_obligations(len(orphaned))
 
     # ------------------------------------------------------------------
@@ -375,16 +383,30 @@ class Simulation:
             stale = [piece_id for piece_id, entry in peer.pending.items()
                      if entry.obligation.created_round <= horizon]
             for piece_id in stale:
-                del peer.pending[piece_id]
+                peer.drop_pending_piece(piece_id)
             if stale:
+                self.swarm.note_state_changed()
                 self.collector.record_expired_obligations(len(stale))
 
     def _flush_due_reports(self) -> None:
-        """Deliver delayed reputation reports that have come due."""
+        """Deliver delayed reputation reports that have come due.
+
+        Reports are queued by lineage and resolved to the lineage's
+        *current* peer id here: crediting the id captured at send time
+        would resurrect a whitewashed identity's score (which
+        ``Swarm.reset_identity`` just forgot) while the live identity
+        silently lost the credit it earned. Reports whose lineage has
+        departed (or crashed) are discarded and counted as a fault —
+        there is no live identity left to credit.
+        """
         reports = self._delayed_reports
         while reports and reports[0][0] <= self.round_index:
-            _due, uploader_id, amount = reports.popleft()
-            self.swarm.reputation.report(uploader_id, amount)
+            _due, lineage_id, amount = reports.popleft()
+            uploader = self._peers_by_lineage.get(lineage_id)
+            if uploader is None or uploader.departed:
+                self.collector.record_dropped_report()
+                continue
+            self.swarm.reputation.report(uploader.peer_id, amount)
 
     def _report_upload(self, uploader: Peer) -> None:
         """Report a genuine upload, immediately or after the fault delay."""
@@ -395,7 +417,7 @@ class Simulation:
             self.swarm.reputation.report(uploader.peer_id, 1.0)
         else:
             self._delayed_reports.append(
-                (self.round_index + delay, uploader.peer_id, 1.0))
+                (self.round_index + delay, uploader.lineage_id, 1.0))
             self.collector.record_delayed_report()
 
     def _process_whitewashing(self) -> None:
@@ -457,13 +479,18 @@ class Simulation:
             self.collector.record_retried_transfer()
 
     def _choose_piece(self, uploader: Peer, target: Peer) -> Optional[int]:
-        """Pick which needed piece to send, per the configured policy."""
-        candidates = target.needed_pieces_from(uploader)
-        if not candidates:
+        """Pick which needed piece to send, per the configured policy.
+
+        Candidates are handled as a bitmask end to end; both policies
+        enumerate them in ascending piece order, so piece selection is
+        reproducible across Python versions for a fixed seed.
+        """
+        candidate_mask = target.needed_mask_from(uploader)
+        if not candidate_mask:
             return None
         if self.config.piece_selection == "random":
-            return self._piece_rng.choice(sorted(candidates))
-        return rarest_first(candidates, self.swarm.availability,
+            return self._piece_rng.choice(bits_to_list(candidate_mask))
+        return rarest_first(candidate_mask, self.swarm.availability,
                             self._piece_rng)
 
     def transfer_plain(self, uploader: Peer, target_id: int,
@@ -486,7 +513,7 @@ class Simulation:
         self._report_upload(uploader)
         target.record_receipt(uploader.peer_id, usable=True)
         target.add_usable_piece(piece)
-        self.swarm.availability.add_piece(piece)
+        self.swarm.on_piece_gained(target, piece)
         self._note_delivery(target, piece)
         self.collector.record_transfer(target.is_freerider, usable=True,
                                        from_seeder=uploader.is_seeder)
@@ -513,9 +540,9 @@ class Simulation:
         params = self.config.strategy_params
         if len(target.pending) >= params.tchain_max_pending:
             return True
-        horizon = self.round_index - params.tchain_obligation_patience
-        return any(entry.obligation.created_round <= horizon
-                   for entry in target.pending.values())
+        oldest = target.oldest_pending_round
+        return (oldest is not None
+                and oldest <= self.round_index - params.tchain_obligation_patience)
 
     def tchain_seed(self, uploader: Peer, target_id: int) -> bool:
         """Opportunistically seed one encrypted piece to ``target_id``.
@@ -534,8 +561,21 @@ class Simulation:
 
     def tchain_seed_random(self, uploader: Peer, rng: random.Random) -> bool:
         """Seed a random eligible needy neighbor; try until one works."""
-        candidates = [pid for pid in self.swarm.needy_neighbors(uploader)
-                      if not self.tchain_blacklisted(self.swarm.peers[pid])]
+        # Inlined blacklist check: this scans every needy neighbor, so
+        # the per-candidate call overhead dominates at swarm scale.
+        params = self.config.strategy_params
+        max_pending = params.tchain_max_pending
+        horizon = self.round_index - params.tchain_obligation_patience
+        peers = self.swarm.peers
+        candidates = []
+        for pid in self.swarm.needy_neighbors(uploader):
+            target = peers[pid]
+            if len(target.pending) >= max_pending:
+                continue
+            oldest = target.oldest_pending_round
+            if oldest is not None and oldest <= horizon:
+                continue
+            candidates.append(pid)
         rng.shuffle(candidates)
         for target_id in candidates:
             if self.tchain_seed(uploader, target_id):
@@ -545,11 +585,15 @@ class Simulation:
     def _choose_designated(self, uploader: Peer, target: Peer,
                            piece: int) -> Optional[int]:
         """Pick a third user who needs ``piece`` for indirect reciprocity."""
+        # Seeders hold every piece, so the needs check (inlined: this
+        # scans the whole neighbor view) excludes them on its own.
+        peers = self.swarm.peers
+        target_id = target.peer_id
         options = [pid for pid in self.swarm.neighbors(uploader.peer_id)
-                   if pid != target.peer_id
-                   and pid in self.swarm.peers
-                   and not self.swarm.peers[pid].is_seeder
-                   and self.swarm.peers[pid].needs_piece(piece)]
+                   if pid != target_id
+                   and (other := peers.get(pid)) is not None
+                   and not (other.pieces.mask | other.pending_mask)
+                   >> piece & 1]
         if not options:
             return None
         return self._tchain_rng.choice(options)
@@ -588,7 +632,7 @@ class Simulation:
             # The designated colluder falsely reports receipt; the
             # uploader releases the key without any reciprocation.
             target.add_usable_piece(piece)
-            self.swarm.availability.add_piece(piece)
+            self.swarm.on_piece_gained(target, piece)
             target.mark_usable()
             self.collector.record_unlock(for_freerider=True)
             self._on_piece_gained(target)
@@ -596,6 +640,7 @@ class Simulation:
             target.add_pending_piece(
                 piece, Obligation(uploader.peer_id, piece, designated,
                                   self.round_index))
+            self.swarm.on_pending_added(target)
             if target.bootstrap_time is None:
                 # Receiving the (encrypted) piece bootstraps the
                 # newcomer: it can immediately participate by
@@ -619,7 +664,8 @@ class Simulation:
         uploader = self.swarm.peers.get(obligation.uploader_id)
         if uploader is None:
             # Key holder left: the encrypted data is worthless.
-            del receiver.pending[pending.piece_id]
+            receiver.drop_pending_piece(pending.piece_id)
+            self.swarm.note_state_changed()
             return False
 
         # (1) Direct reciprocity.
@@ -662,11 +708,25 @@ class Simulation:
                 and self.swarm.peers[designated].needs_piece(piece)
                 and not self.tchain_blacklisted(self.swarm.peers[designated])):
             return designated
-        options = [pid for pid in self.swarm.neighbors(receiver.peer_id)
-                   if pid != obligation.uploader_id
-                   and not self.swarm.peers[pid].is_seeder
-                   and self.swarm.peers[pid].needs_piece(piece)
-                   and not self.tchain_blacklisted(self.swarm.peers[pid])]
+        # Inlined needs + blacklist checks (full neighbor-view scan);
+        # seeders need nothing, so the needs check excludes them.
+        params = self.config.strategy_params
+        max_pending = params.tchain_max_pending
+        horizon = self.round_index - params.tchain_obligation_patience
+        peers = self.swarm.peers
+        options = []
+        for pid in self.swarm.neighbors(receiver.peer_id):
+            if pid == obligation.uploader_id:
+                continue
+            other = peers[pid]
+            if (other.pieces.mask | other.pending_mask) >> piece & 1:
+                continue
+            if len(other.pending) >= max_pending:
+                continue
+            oldest = other.oldest_pending_round
+            if oldest is not None and oldest <= horizon:
+                continue
+            options.append(pid)
         if not options:
             return None
         return self._tchain_rng.choice(options)
@@ -698,7 +758,7 @@ class Simulation:
                      and designated in target.colluders)
         if colluding:
             target.add_usable_piece(piece)
-            self.swarm.availability.add_piece(piece)
+            self.swarm.on_piece_gained(target, piece)
             target.mark_usable()
             self.collector.record_unlock(for_freerider=True)
             self._on_piece_gained(target)
@@ -706,6 +766,7 @@ class Simulation:
             target.add_pending_piece(
                 piece, Obligation(receiver.peer_id, piece, designated,
                                   self.round_index))
+            self.swarm.on_pending_added(target)
             if target.bootstrap_time is None:
                 target.bootstrap_time = self.engine.now
         # The forward is the reciprocation: unlock the receiver's copy.
@@ -715,7 +776,7 @@ class Simulation:
     def _unlock(self, receiver: Peer, pending: PendingPiece) -> None:
         """Release the key: the pending piece becomes usable."""
         receiver.unlock_piece(pending.piece_id)
-        self.swarm.availability.add_piece(pending.piece_id)
+        self.swarm.on_piece_gained(receiver, pending.piece_id)
         receiver.mark_usable()
         self.collector.record_unlock(for_freerider=receiver.is_freerider)
         self._on_piece_gained(receiver)

@@ -5,13 +5,40 @@ per-piece availability, the bounded random neighbor views through which
 altruistic/optimistic uploads are routed, the global reputation board
 (the "everyone knows everyone's uploads" assumption of Section V-A),
 and identity management — which is what whitewashing attacks abuse.
+
+Hot-path caching
+----------------
+The round loop asks the same questions thousands of times per round:
+"who are my active neighbors, sorted", "which of them still need data
+I can provide", "who is active right now". All three used to re-sort
+or re-filter from scratch on every call. They are now maintained
+incrementally:
+
+* neighbor views keep a sorted active-id list per peer, updated by
+  bisection on connect/disconnect/membership change;
+* the sorted active-id list and the sorted non-seeder list are kept
+  alongside the registry;
+* needy-neighbor queries are memoised per uploader. Because a peer's
+  held-or-pending set only ever *grows* during normal transfers, a
+  piece (or pending-piece) gain can only remove the gaining peer from
+  other uploaders' needy lists and only grow the gainer's own list —
+  so :meth:`on_piece_gained` / :meth:`on_pending_added` repair the
+  cached lists in place instead of discarding them. The rare shrink
+  paths (pending drops, membership or view changes) clear the whole
+  cache via :meth:`note_state_changed` or the membership methods.
+
+All cached views return exactly what the eager recomputation returned
+(sorted ascending), so a fixed seed reproduces the same run — the
+seed-pinned equivalence tests in ``tests/integration`` hold the code
+to that.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, insort
 from collections import defaultdict
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.errors import SimulationError
 from repro.sim.peer import Peer
@@ -58,6 +85,10 @@ class Swarm:
     def __init__(self, n_pieces: int, neighbor_count: int,
                  rng: random.Random) -> None:
         self.n_pieces = n_pieces
+        #: All-ones piece mask: a peer whose usable mask equals this is
+        #: done (seeders included — they are constructed full), which
+        #: is the single-compare form of ``is_seeder or complete``.
+        self._full_mask = (1 << n_pieces) - 1
         self.neighbor_count = neighbor_count
         self._rng = rng
         #: Optional precomputed adjacency (structured topologies).
@@ -69,6 +100,19 @@ class Swarm:
         self.availability = AvailabilityMap(n_pieces)
         self.reputation = ReputationBoard()
         self._views: Dict[int, Set[int]] = defaultdict(set)
+        #: Sorted mirror of each view (active ids only), maintained by
+        #: bisection so ``neighbors()`` never re-sorts.
+        self._sorted_views: Dict[int, List[int]] = defaultdict(list)
+        #: Sorted active peer ids, maintained by bisection.
+        self._active_sorted: List[int] = []
+        #: Lazily rebuilt sorted list of active non-seeder peers.
+        self._non_seeders: Optional[List[Peer]] = None
+        #: Swarm-wide state version: bumped on any piece gain, pending
+        #: change, or membership change (observability / tests).
+        self._state_version = 0
+        #: uploader id -> sorted needy neighbor ids (providable only).
+        #: Maintained incrementally; see the module docstring.
+        self._needy_cache: Dict[int, List[int]] = {}
         self._next_id = 0
         self.seeder_ids: Set[int] = set()
 
@@ -81,6 +125,75 @@ class Swarm:
         return pid
 
     # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter of needy-relevant state changes."""
+        return self._state_version
+
+    def note_state_changed(self) -> None:
+        """Invalidate every needy-neighbor cache (conservative path).
+
+        Required after any mutation that can *shrink* a peer's
+        held-or-pending set — dropping a pending piece re-opens needs,
+        which may have to re-enter needy lists the incremental repair
+        cannot grow. Monotone gains should use :meth:`on_piece_gained`
+        or :meth:`on_pending_added` instead.
+        """
+        self._state_version += 1
+        self._needy_cache.clear()
+
+    def on_piece_gained(self, gainer: Peer, piece: int) -> None:
+        """Register one new usable replica held by ``gainer``.
+
+        Repairs the needy caches precisely: the gainer may now provide
+        more, so its own uploader entry is discarded; and the gainer
+        needs strictly less, so it is retested against (and possibly
+        removed from) each neighbor's cached list — a gain can never
+        *add* a peer to someone else's needy list.
+        """
+        self.availability.add_piece(piece)
+        self._state_version += 1
+        self._needy_cache.pop(gainer.peer_id, None)
+        self._retest_needy_target(gainer)
+
+    def on_pending_added(self, gainer: Peer) -> None:
+        """An encrypted piece became pending at ``gainer``.
+
+        Pending pieces are not sharable, so the gainer's own uploader
+        entry stays valid; only its neediness toward neighbors shrinks.
+        """
+        self._state_version += 1
+        self._retest_needy_target(gainer)
+
+    def _retest_needy_target(self, target: Peer) -> None:
+        """Drop ``target`` from cached needy lists it no longer belongs to.
+
+        Sound only after a monotone gain: the predicate "target needs
+        something the uploader can provide" can only have flipped from
+        True to False, so membership is rechecked and never inserted.
+        """
+        tid = target.peer_id
+        held = target.pieces.mask | target.pending_mask
+        gone = target.pieces.mask == self._full_mask
+        cache_get = self._needy_cache.get
+        peers = self.peers
+        for uploader_id in self._views.get(tid, ()):
+            cached = cache_get(uploader_id)
+            if cached is None:
+                continue
+            index = bisect_left(cached, tid)
+            if index < len(cached) and cached[index] == tid:
+                if gone or not (peers[uploader_id].pieces.mask & ~held):
+                    cached.pop(index)
+
+    def _membership_changed(self) -> None:
+        self._state_version += 1
+        self._needy_cache.clear()
+        self._non_seeders = None
+
+    # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
     def add_peer(self, peer: Peer) -> None:
@@ -88,10 +201,12 @@ class Swarm:
         if peer.peer_id in self.peers:
             raise SimulationError(f"duplicate peer id {peer.peer_id}")
         self.peers[peer.peer_id] = peer
+        insort(self._active_sorted, peer.peer_id)
         if peer.is_seeder:
             self.seeder_ids.add(peer.peer_id)
         self.availability.add_peer(peer.pieces)
         self._build_view(peer)
+        self._membership_changed()
 
     def set_static_views(self, views: Dict[int, Set[int]]) -> None:
         """Install a precomputed adjacency (ring/small-world topologies)."""
@@ -115,25 +230,39 @@ class Swarm:
                 self._connect(peer.peer_id, pid)
 
     def _connect(self, a: int, b: int) -> None:
-        self._views[a].add(b)
-        self._views[b].add(a)
+        if b not in self._views[a]:
+            self._views[a].add(b)
+            insort(self._sorted_views[a], b)
+        if a not in self._views[b]:
+            self._views[b].add(a)
+            insort(self._sorted_views[b], a)
+
+    def _disconnect_all(self, peer_id: int) -> None:
+        """Drop ``peer_id`` from every neighbor's view and its own."""
+        for neighbor in self._views.pop(peer_id, set()):
+            self._views[neighbor].discard(peer_id)
+            ordered = self._sorted_views[neighbor]
+            index = bisect_left(ordered, peer_id)
+            if index < len(ordered) and ordered[index] == peer_id:
+                ordered.pop(index)
+        self._sorted_views.pop(peer_id, None)
 
     def remove_peer(self, peer_id: int) -> Peer:
         """Deregister a departing (or whitewashing) peer."""
         peer = self.peers.pop(peer_id, None)
         if peer is None:
             raise SimulationError(f"unknown peer id {peer_id}")
+        self._active_sorted.pop(bisect_left(self._active_sorted, peer_id))
         self.availability.remove_peer(peer.pieces)
-        for neighbor in self._views.pop(peer_id, set()):
-            self._views[neighbor].discard(peer_id)
+        self._disconnect_all(peer_id)
         self.seeder_ids.discard(peer_id)
         self.departed[peer_id] = peer
+        self._membership_changed()
         return peer
 
     def neighbors(self, peer_id: int) -> List[int]:
         """Active neighbor ids of ``peer_id`` (sorted for determinism)."""
-        return sorted(pid for pid in self._views.get(peer_id, ())
-                      if pid in self.peers)
+        return list(self._sorted_views.get(peer_id, ()))
 
     def peer(self, peer_id: int) -> Peer:
         try:
@@ -143,10 +272,13 @@ class Swarm:
 
     @property
     def active_ids(self) -> List[int]:
-        return sorted(self.peers)
+        return list(self._active_sorted)
 
     def active_non_seeders(self) -> List[Peer]:
-        return [p for pid, p in sorted(self.peers.items()) if not p.is_seeder]
+        if self._non_seeders is None:
+            self._non_seeders = [self.peers[pid] for pid in self._active_sorted
+                                 if not self.peers[pid].is_seeder]
+        return self._non_seeders
 
     # ------------------------------------------------------------------
     # Whitewashing support
@@ -165,14 +297,16 @@ class Swarm:
         # Detach the old identity (keep availability: same pieces return
         # immediately under the new id).
         del self.peers[old_id]
-        for neighbor in self._views.pop(old_id, set()):
-            self._views[neighbor].discard(old_id)
+        self._active_sorted.pop(bisect_left(self._active_sorted, old_id))
+        self._disconnect_all(old_id)
         self.reputation.forget(old_id)
 
         new_id = self.allocate_id()
         peer.peer_id = new_id
         self.peers[new_id] = peer
+        insort(self._active_sorted, new_id)
         self._build_view(peer)
+        self._membership_changed()
         return new_id
 
     # ------------------------------------------------------------------
@@ -184,19 +318,31 @@ class Swarm:
 
         With ``require_providable`` (default) only neighbors lacking at
         least one of the uploader's *usable* pieces are returned —
-        the feasibility question of Section IV-A2.
+        the feasibility question of Section IV-A2. That variant is
+        memoised per uploader and repaired incrementally on piece
+        gains; callers receive a fresh copy each time.
         """
+        if require_providable:
+            cached = self._needy_cache.get(uploader.peer_id)
+            if cached is not None:
+                return list(cached)
         result: List[int] = []
-        for pid in self.neighbors(uploader.peer_id):
-            target = self.peers[pid]
-            if target.is_seeder or target.complete:
+        peers = self.peers
+        uploader_mask = uploader.pieces.mask
+        full = self._full_mask
+        for pid in self._sorted_views.get(uploader.peer_id, ()):
+            target = peers[pid]
+            target_mask = target.pieces.mask
+            if target_mask == full:  # complete (seeders are always full)
                 continue
             if require_providable:
-                if target.needs_any_from(uploader):
+                if uploader_mask & ~(target_mask | target.pending_mask):
                     result.append(pid)
             else:
                 result.append(pid)
-        return result
+        if require_providable:
+            self._needy_cache[uploader.peer_id] = result
+        return list(result)
 
     def piece_candidates(self, uploader: Peer, target: Peer) -> List[int]:
         """Usable pieces of ``uploader`` that ``target`` needs."""

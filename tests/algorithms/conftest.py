@@ -42,7 +42,9 @@ def build_sim(algorithm: Algorithm, n_users: int = 6, n_pieces: int = 8,
 def give_piece(sim: Simulation, peer, piece: int) -> None:
     """Grant a usable piece outside any transfer (test setup only)."""
     if peer.add_usable_piece(piece):
-        sim.swarm.availability.add_piece(piece)
+        # on_piece_gained (not raw availability) so the swarm's cached
+        # needy-neighbor views see the new piece immediately.
+        sim.swarm.on_piece_gained(peer, piece)
 
 
 def run_strategy_round(sim: Simulation, peer) -> None:

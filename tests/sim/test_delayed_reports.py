@@ -1,0 +1,100 @@
+"""Regression tests: delayed reputation reports are keyed by lineage.
+
+A report that is still in flight when its uploader whitewashes used to
+be queued under the *peer id* captured at send time. At flush it then
+credited the retired identity — a score ``Swarm.reset_identity`` had
+just forgotten — while the live identity silently lost the credit it
+had earned. Reports are now queued by ``lineage_id`` and resolved to
+the lineage's current peer id when they come due; reports whose
+lineage has departed are discarded and counted as a fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.names import Algorithm
+from repro.sim import FaultConfig
+from repro.sim.config import AttackConfig, SimulationConfig
+from repro.sim.runner import Simulation, run_simulation
+
+
+def build_sim(delay: int = 2, seed: int = 3) -> Simulation:
+    config = SimulationConfig(
+        algorithm=Algorithm.REPUTATION,
+        n_users=6,
+        n_pieces=8,
+        flash_crowd_duration=0.0,
+        neighbor_count=6,
+        max_rounds=50,
+        seed=seed,
+        faults=FaultConfig(report_delay_rounds=delay),
+    )
+    sim = Simulation(config)
+    sim.engine.run_until(0.0)  # fire all arrivals
+    return sim
+
+
+class TestLineageResolution:
+    def test_credit_follows_whitewashed_identity(self):
+        sim = build_sim(delay=2)
+        peer = sim.swarm.active_non_seeders()[0]
+        sim.round_index = 5
+        sim._report_upload(peer)  # due at round 7
+        old_id = peer.peer_id
+        new_id = sim.swarm.reset_identity(peer)
+        sim.round_index = 7
+        sim._flush_due_reports()
+        assert sim.swarm.reputation.score(new_id) == 1.0
+        assert sim.swarm.reputation.score(old_id) == 0.0
+
+    def test_not_yet_due_reports_stay_queued(self):
+        sim = build_sim(delay=3)
+        peer = sim.swarm.active_non_seeders()[0]
+        sim.round_index = 1
+        sim._report_upload(peer)
+        sim.round_index = 2
+        sim._flush_due_reports()
+        assert sim.swarm.reputation.score(peer.peer_id) == 0.0
+        sim.round_index = 4
+        sim._flush_due_reports()
+        assert sim.swarm.reputation.score(peer.peer_id) == 1.0
+
+    def test_departed_lineage_report_dropped_and_counted(self):
+        sim = build_sim(delay=2)
+        peer = sim.swarm.active_non_seeders()[0]
+        sim.round_index = 5
+        sim._report_upload(peer)
+        peer.departed = True
+        sim.swarm.remove_peer(peer.peer_id)
+        sim.round_index = 7
+        sim._flush_due_reports()
+        assert sim.swarm.reputation.score(peer.peer_id) == 0.0
+        assert sim.collector.faults.reports_dropped == 1
+
+    def test_immediate_reports_unaffected(self):
+        sim = build_sim(delay=0)
+        peer = sim.swarm.active_non_seeders()[0]
+        sim._report_upload(peer)
+        assert sim.swarm.reputation.score(peer.peer_id) == 1.0
+        assert sim.collector.faults.delayed_reports == 0
+
+
+class TestEndToEnd:
+    def test_whitewashing_run_with_delayed_reports_is_deterministic(self):
+        """Full run exercising the lineage path under whitewashing."""
+        config = SimulationConfig(
+            algorithm=Algorithm.REPUTATION,
+            n_users=12,
+            n_pieces=16,
+            freerider_fraction=0.25,
+            attack=AttackConfig(whitewash_interval=4),
+            neighbor_count=6,
+            max_rounds=60,
+            seed=11,
+            faults=FaultConfig(report_delay_rounds=3),
+        )
+        first = run_simulation(config).metrics
+        second = run_simulation(replace(config)).metrics
+        assert first == second
+        assert first.faults.delayed_reports > 0

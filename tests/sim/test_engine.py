@@ -231,6 +231,42 @@ class TestRunUntil:
         engine.run_until(20.0)
         assert fired == [1, 10]
 
+    def test_stop_does_not_fast_forward_clock(self):
+        """Regression: ``stop()`` used to jump ``now`` to ``end_time``.
+
+        A run halted early must keep the clock at the last fired event
+        — fast-forwarding let an early-terminating simulation report a
+        finish time it never reached.
+        """
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda e: e.stop())
+        engine.schedule_at(9.0, lambda e: None)
+        engine.run_until(100.0)
+        assert engine.now == 1.0
+
+    def test_exhausted_queue_fast_forwards_clock(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda e: None)
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_empty_horizon_fast_forwards_clock(self):
+        engine = EventEngine()
+        engine.schedule_at(50.0, lambda e: None)
+        engine.run_until(10.0)  # nothing due before the horizon
+        assert engine.now == 10.0
+
+    def test_resume_after_stop_continues(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda e: e.stop())
+        engine.schedule_at(2.0, lambda e: fired.append(e.now))
+        engine.run_until(100.0)
+        assert engine.now == 1.0
+        engine.run_until(100.0)
+        assert fired == [2.0]
+        assert engine.now == 100.0
+
     def test_max_events_guard(self):
         engine = EventEngine()
         engine.schedule_every(0.001, lambda e: None)

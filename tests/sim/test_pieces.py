@@ -9,7 +9,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.pieces import AvailabilityMap, PieceSet, rarest_first
+from repro.sim.pieces import (
+    AvailabilityMap,
+    PieceSet,
+    bits_to_list,
+    iter_bits,
+    rarest_first,
+)
 
 
 class TestPieceSet:
@@ -76,6 +82,43 @@ class TestPieceSet:
         assert ps.complete == (len(have) == m)
 
 
+class TestBitmaskRepresentation:
+    def test_mask_mirrors_membership(self):
+        ps = PieceSet(8, have=[0, 3, 5])
+        assert ps.mask == (1 << 0) | (1 << 3) | (1 << 5)
+        assert PieceSet.full(4).mask == 0b1111
+
+    def test_missing_mask_is_complement(self):
+        ps = PieceSet(4, have=[1, 2])
+        assert ps.missing_mask() == 0b1001
+        assert PieceSet.full(4).missing_mask() == 0
+
+    def test_providable_mask(self):
+        a = PieceSet(6, have=[0, 1, 2])
+        b = PieceSet(6, have=[2, 3])
+        assert a.providable_mask(b) == 0b000011
+        assert b.providable_mask(a) == 0b001000
+
+    def test_providable_mask_mismatched_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            PieceSet(4).providable_mask(PieceSet(5))
+
+    def test_iteration_ascending(self):
+        assert list(PieceSet(8, have=[6, 1, 4])) == [1, 4, 6]
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b101010)) == [1, 3, 5]
+        assert bits_to_list(0) == []
+
+    @given(st.sets(st.integers(0, 63)))
+    @settings(max_examples=40)
+    def test_bits_roundtrip(self, pieces):
+        mask = 0
+        for piece in pieces:
+            mask |= 1 << piece
+        assert bits_to_list(mask) == sorted(pieces)
+
+
 class TestAvailabilityMap:
     def test_tracks_peers(self):
         avail = AvailabilityMap(4)
@@ -101,6 +144,40 @@ class TestAvailabilityMap:
         avail.add_piece(1)
         assert avail.count(1) == 2
 
+    def test_remove_piece_decrements(self):
+        avail = AvailabilityMap(3)
+        avail.add_piece(1)
+        avail.add_piece(1)
+        avail.remove_piece(1)
+        assert avail.count(1) == 1
+
+    def test_remove_piece_below_zero_is_corruption(self):
+        avail = AvailabilityMap(3)
+        with pytest.raises(SimulationError):
+            avail.remove_piece(0)
+
+    def test_add_then_remove_peer_restores_buckets(self):
+        avail = AvailabilityMap(4)
+        stay = PieceSet(4, have=[0, 1])
+        churn = PieceSet(4, have=[1, 2])
+        avail.add_peer(stay)
+        avail.add_peer(churn)
+        avail.remove_peer(churn)
+        assert [avail.count(i) for i in range(4)] == [1, 1, 0, 0]
+        # The bucket index must agree with the flat counts afterwards.
+        assert avail.rarest_subset(0b1111) == 0b1100  # counts 0 are rarest
+
+    def test_rarest_subset_returns_full_tie_set(self):
+        avail = AvailabilityMap(4)
+        avail.add_piece(0)
+        avail.add_piece(0)
+        avail.add_piece(1)
+        avail.add_piece(2)
+        assert avail.rarest_subset(0b1111) == 0b1000  # piece 3: count 0
+        assert avail.rarest_subset(0b0111) == 0b0110  # pieces 1, 2 tie
+        assert avail.rarest_subset(0b0001) == 0b0001
+        assert avail.rarest_subset(0) == 0
+
 
 class TestRarestFirst:
     def test_picks_rarest(self):
@@ -121,6 +198,41 @@ class TestRarestFirst:
         rng = random.Random(1)
         picks = {rarest_first([0, 1, 2, 3], avail, rng) for _ in range(50)}
         assert picks == {0, 1, 2}
+
+    def test_accepts_candidate_bitmask(self):
+        avail = AvailabilityMap(4)
+        for _ in range(5):
+            avail.add_piece(0)
+        avail.add_piece(1)
+        assert rarest_first(0b0011, avail, random.Random(0)) == 1
+        assert rarest_first(0, avail, random.Random(0)) is None
+
+    def test_unique_rarest_consumes_no_randomness(self):
+        avail = AvailabilityMap(4)
+        avail.add_piece(0)
+        rng = random.Random(5)
+        state = rng.getstate()
+        assert rarest_first([0, 1], avail, rng) == 1
+        assert rng.getstate() == state  # no tie: no draw
+
+    def test_tie_draw_sees_ascending_piece_order(self):
+        """Determinism contract: the tie list handed to ``rng.choice``
+        is in ascending piece order on every Python version — pre-fix
+        it inherited ``set`` iteration order, which is not portable."""
+
+        class RecordingRng:
+            def __init__(self):
+                self.seen = None
+
+            def choice(self, seq):
+                self.seen = list(seq)
+                return seq[0]
+
+        avail = AvailabilityMap(8)
+        avail.add_piece(2)  # pieces 1, 3, 6 stay at count 0
+        rng = RecordingRng()
+        assert rarest_first({6, 1, 3, 2}, avail, rng) == 1
+        assert rng.seen == [1, 3, 6]
 
     @given(st.sets(st.integers(0, 15), min_size=1), st.data())
     @settings(max_examples=40)

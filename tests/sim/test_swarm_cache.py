@@ -1,0 +1,185 @@
+"""Tests for the swarm's incrementally maintained needy-neighbor cache.
+
+The cache serves the hot-path question "which neighbors still need
+something I can provide" without recomputing it per call. These tests
+pin the invalidation contract: monotone gains (usable piece, pending
+piece) repair cached lists in place; shrink events (pending drops) and
+membership churn (departure, crash, whitewashing) discard them. Every
+assertion compares against what an eager recomputation would return,
+because the seed-equivalence tests require the cache to be invisible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.peer import Obligation, Peer
+from repro.sim.swarm import Swarm
+
+
+def make_swarm(neighbor_count=10, n_pieces=8, seed=0) -> Swarm:
+    return Swarm(n_pieces, neighbor_count, random.Random(seed))
+
+
+def add_peer(swarm, capacity=1.0, **kwargs) -> Peer:
+    peer = Peer(swarm.allocate_id(), capacity, swarm.n_pieces, **kwargs)
+    swarm.add_peer(peer)
+    return peer
+
+
+def give_piece(swarm: Swarm, peer: Peer, piece: int) -> None:
+    if peer.add_usable_piece(piece):
+        swarm.on_piece_gained(peer, piece)
+
+
+class TestPieceGainRepair:
+    def test_satisfied_target_leaves_cached_list(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        b = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id, b.peer_id]
+        # ``a`` obtains the only piece the uploader could offer: the
+        # cached list must shed it without a full recomputation.
+        give_piece(swarm, a, 0)
+        assert swarm.needy_neighbors(uploader) == [b.peer_id]
+
+    def test_target_still_needy_stays_cached(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        give_piece(swarm, uploader, 1)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+        give_piece(swarm, a, 0)  # still needs piece 1
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+
+    def test_completed_target_leaves_every_cached_list(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        for piece in range(1, swarm.n_pieces):
+            give_piece(swarm, a, piece)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+        give_piece(swarm, a, 0)  # completes the download
+        assert swarm.needy_neighbors(uploader) == []
+
+    def test_gainers_own_uploader_list_grows(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        assert a.peer_id not in swarm.needy_neighbors(uploader)
+        # The uploader's first piece makes ``a`` needy: the gainer's
+        # own (cached, empty) uploader entry must be discarded.
+        give_piece(swarm, uploader, 3)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+
+
+class TestPendingInvalidations:
+    def test_pending_piece_counts_as_held(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        give_piece(swarm, uploader, 2)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+        a.add_pending_piece(2, Obligation(uploader.peer_id, 2, None, 0))
+        swarm.on_pending_added(a)
+        assert swarm.needy_neighbors(uploader) == []
+
+    def test_pending_drop_restores_neediness(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        give_piece(swarm, uploader, 2)
+        swarm.needy_neighbors(uploader)  # populate the cache
+        a.add_pending_piece(2, Obligation(uploader.peer_id, 2, None, 0))
+        swarm.on_pending_added(a)
+        # Dropping the pending piece shrinks the held set, which may
+        # re-add peers to needy lists: requires the conservative clear.
+        a.drop_pending_piece(2)
+        swarm.note_state_changed()
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+
+
+class TestMembershipInvalidations:
+    def test_departure_removes_from_cached_list(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        b = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        assert swarm.needy_neighbors(uploader) == [a.peer_id, b.peer_id]
+        swarm.remove_peer(a.peer_id)  # departure or crash
+        assert swarm.needy_neighbors(uploader) == [b.peer_id]
+
+    def test_whitewash_replaces_id_in_needy_list(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        freerider = add_peer(swarm, is_freerider=True)
+        give_piece(swarm, uploader, 0)
+        old_id = freerider.peer_id
+        assert swarm.needy_neighbors(uploader) == [old_id]
+        new_id = swarm.reset_identity(freerider)
+        result = swarm.needy_neighbors(uploader)
+        assert old_id not in result
+        assert new_id in result
+
+    def test_arrival_joins_needy_list(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        assert swarm.needy_neighbors(uploader) == []
+        newcomer = add_peer(swarm)
+        assert swarm.needy_neighbors(uploader) == [newcomer.peer_id]
+
+
+class TestCacheContract:
+    def test_returned_list_is_a_fresh_copy(self):
+        swarm = make_swarm()
+        uploader = add_peer(swarm)
+        a = add_peer(swarm)
+        give_piece(swarm, uploader, 0)
+        first = swarm.needy_neighbors(uploader)
+        first.clear()  # strategies may mutate their copy freely
+        assert swarm.needy_neighbors(uploader) == [a.peer_id]
+
+    def test_state_version_bumps_on_each_mutation_kind(self):
+        swarm = make_swarm()
+        peer = add_peer(swarm)
+        v0 = swarm.state_version
+        give_piece(swarm, peer, 0)
+        v1 = swarm.state_version
+        swarm.on_pending_added(peer)
+        v2 = swarm.state_version
+        swarm.note_state_changed()
+        v3 = swarm.state_version
+        add_peer(swarm)
+        v4 = swarm.state_version
+        assert v0 < v1 < v2 < v3 < v4
+
+    def test_cache_matches_eager_recomputation_under_churn(self):
+        """Randomised interleaving: cached answers == eager answers."""
+        swarm = make_swarm(neighbor_count=4, n_pieces=6, seed=1)
+        rng = random.Random(99)
+        peers = [add_peer(swarm) for _ in range(8)]
+        for step in range(200):
+            actor = rng.choice(peers)
+            if actor.peer_id not in swarm.peers:
+                continue
+            piece = rng.randrange(swarm.n_pieces)
+            if rng.random() < 0.5 and actor.needs_piece(piece):
+                actor.add_usable_piece(piece)
+                swarm.on_piece_gained(actor, piece)
+            uploader = rng.choice(peers)
+            if uploader.peer_id not in swarm.peers:
+                continue
+            expected = [
+                pid for pid in sorted(swarm.neighbors(uploader.peer_id))
+                if not swarm.peers[pid].complete
+                and not swarm.peers[pid].is_seeder
+                and uploader.pieces.mask
+                & ~swarm.peers[pid].held_or_pending_mask()
+            ]
+            assert swarm.needy_neighbors(uploader) == expected

@@ -48,7 +48,7 @@ class SwarmMachine(RuleBasedStateMachine):
             return
         peer = self.alive[index % len(self.alive)]
         if peer.add_usable_piece(piece):
-            self.swarm.availability.add_piece(piece)
+            self.swarm.on_piece_gained(peer, piece)
 
     @rule(index=st.integers(0, 200))
     def depart(self, index: int) -> None:
