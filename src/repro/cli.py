@@ -10,8 +10,9 @@ Commands
     Run a single simulation and print (or export) its metrics.
     ``--loss-rate``/``--crash-hazard``/... inject faults.
 ``sweep``
-    Crash-safe replicated sweep: per-replicate process isolation,
-    timeouts, bounded retry, and a resumable checkpoint journal.
+    Crash-safe replicated sweep on a persistent worker pool
+    (``--jobs``): crash isolation, per-replicate timeouts, bounded
+    retry, a resumable checkpoint journal, and sweep telemetry.
 ``report``
     The full reproduction report: all tables plus all three sweeps.
 
@@ -24,7 +25,7 @@ Examples
     python -m repro run --algorithm altruism --freeriders 0.2 --json out.json
     python -m repro run --algorithm bittorrent --loss-rate 0.2
     python -m repro sweep --algorithm tchain --replicates 5 \
-        --journal sweep.jsonl --timeout 120
+        --journal sweep.jsonl --timeout 120 --jobs 4
     python -m repro figure5 --scale smoke --seed 7
 """
 
@@ -36,6 +37,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments import figures, report, scenarios, tables
+from repro.experiments.executor import DEFAULT_RECYCLE_AFTER
 from repro.experiments.export import result_to_json, summary_dict
 from repro.experiments.replicates import run_resilient_sweep
 from repro.names import EXTENDED_ALGORITHMS, Algorithm
@@ -110,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock seconds allowed per replicate")
     sweep.add_argument("--max-attempts", type=int, default=3,
                        help="tries per replicate before recording a failure")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="persistent worker processes (default: CPU "
+                            "count minus one); results are identical "
+                            "for any value")
+    sweep.add_argument("--recycle-after", type=int, default=None,
+                       metavar="K",
+                       help="recycle each worker after K replicates "
+                            f"(default {DEFAULT_RECYCLE_AFTER})")
     _add_fault_arguments(sweep)
     return parser
 
@@ -191,11 +201,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("sweep: --replicates must be >= 1", file=sys.stderr)
         return 2
     seeds = tuple(range(args.seed, args.seed + args.replicates))
+    recycle = (args.recycle_after if args.recycle_after is not None
+               else DEFAULT_RECYCLE_AFTER)
     result = run_resilient_sweep(
         config, seeds,
         journal_path=args.journal,
         timeout=args.timeout,
         max_attempts=args.max_attempts,
+        jobs=args.jobs,
+        recycle_after=recycle,
     )
     print(f"{algorithm.display_name}: {len(seeds)} replicates "
           f"({result.resumed} resumed, {result.n_failed} failed)")
@@ -203,7 +217,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         status = outcome.status
         if outcome.attempts > 1:
             status += f" after {outcome.attempts} attempts"
-        print(f"  seed {outcome.seed:5d}  {status}")
+        timing = ""
+        if outcome.telemetry:
+            timing = (f"  [worker {outcome.telemetry.get('worker')}, "
+                      f"{outcome.telemetry.get('wall_s', 0.0):.2f}s run, "
+                      f"{outcome.telemetry.get('queue_wait_s', 0.0):.2f}s "
+                      "queued]")
+        print(f"  seed {outcome.seed:5d}  {status}{timing}")
+    engine = result.telemetry
+    if engine:
+        print(f"engine: {engine.get('jobs', 0)} workers, "
+              f"{engine.get('wall_s', 0.0):.2f}s wall, "
+              f"{100.0 * engine.get('utilization', 0.0):.0f}% utilized, "
+              f"{engine.get('worker_crashes', 0)} crashes, "
+              f"{engine.get('timeouts', 0)} timeouts, "
+              f"{engine.get('workers_recycled', 0)} recycled")
     print()
     header = f"{'metric':28s} {'mean':>12s} {'std':>10s} {'n':>3s} {'miss':>4s}"
     print(header)

@@ -1,0 +1,521 @@
+"""Persistent multi-worker execution engine for experiment fan-out.
+
+Replicated sweeps and algorithm fan-outs used to pay a full worker
+process per task attempt — a throwaway ``ProcessPoolExecutor`` whose
+spawn cost (interpreter start plus the whole ``repro`` import chain
+under the portable ``spawn`` start method) dwarfs a scaled-down
+simulation run. This module keeps a pool of N *warm* workers alive for
+the duration of a task batch and feeds them work over per-worker duplex
+pipes, preserving the crash-isolation semantics the sweep runner is
+built on:
+
+* a worker that segfaults, ``os._exit``\\ s, or is OOM-killed takes down
+  only its current attempt — the parent reaps it, respawns a
+  replacement, and the attempt re-enters the queue (bounded by the
+  task's ``max_attempts``);
+* a per-task wall-clock ``timeout`` is enforced from the parent without
+  serializing the batch: only the offending worker is killed while its
+  siblings keep running;
+* workers are recycled (cleanly stopped and respawned) after
+  ``recycle_after`` tasks so leaked memory in long sweeps is bounded;
+* every kill path reaps via ``terminate()`` → ``join(grace)`` →
+  ``kill()`` → ``join()``, so a worker caught mid-spawn cannot escape
+  shutdown (the leak the old per-replicate pool had under
+  ``KeyboardInterrupt``).
+
+Results are delivered two ways, both in *submission order* regardless
+of completion order: the returned ``ExecutionReport.results`` list, and
+an optional ``on_result`` callback invoked in the parent as the longest
+contiguous prefix of finished tasks grows. The callback is the
+single-writer append path for checkpoint journals — concurrent
+finishers can never interleave partial lines, and the journal's record
+order is independent of ``jobs``.
+
+Everything sent across a pipe must pickle: ``TaskSpec.fn`` must be a
+module-level callable and its arguments plain data. ``TaskSpec.args``
+may instead be a *parent-side* callable ``attempt -> tuple`` (lambdas
+fine) so retries can change arguments (retry-with-reseed). Workers are
+daemonic: they die with the parent and must not spawn processes of
+their own — do not nest engines.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+__all__ = ["TaskSpec", "TaskTelemetry", "TaskResult", "PoolStats",
+           "ExecutionReport", "run_tasks", "default_jobs",
+           "DEFAULT_RECYCLE_AFTER"]
+
+#: Tasks a worker executes before it is cleanly stopped and respawned.
+DEFAULT_RECYCLE_AFTER = 64
+
+#: Seconds a reaped worker is given to ``join()`` before ``kill()``.
+_JOIN_GRACE_S = 2.0
+
+#: Idle poll ceiling (seconds) while waiting for completions.
+_POLL_CEILING_S = 0.25
+
+
+def default_jobs() -> int:
+    """Default worker count: all cores but one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work for the engine.
+
+    ``fn(*args)`` runs in a worker; ``args`` is either a tuple or a
+    parent-side callable ``attempt -> tuple`` (attempts count from 1)
+    so retries can vary their arguments. A task is retried on any
+    failure — raised exception, worker death, timeout — until it has
+    consumed ``max_attempts`` attempts.
+    """
+
+    key: Any
+    fn: Callable[..., Any]
+    args: Union[tuple, Callable[[int], tuple]] = ()
+    max_attempts: int = 1
+
+    def args_for(self, attempt: int) -> tuple:
+        if callable(self.args):
+            return tuple(self.args(attempt))
+        return tuple(self.args)
+
+
+@dataclass(frozen=True)
+class TaskTelemetry:
+    """Where and how expensively a task's final attempt ran.
+
+    ``wall_s`` is execution time measured inside the worker (timeouts
+    and crashes fall back to the parent-observed interval);
+    ``queue_wait_s`` is how long the final attempt sat runnable before
+    a worker picked it up.
+    """
+
+    worker: Optional[int]
+    wall_s: float
+    queue_wait_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"worker": self.worker,
+                "wall_s": self.wall_s,
+                "queue_wait_s": self.queue_wait_s}
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task after all its attempts."""
+
+    key: Any
+    status: str  # "ok" | "failed"
+    value: Any
+    error: Optional[str]
+    attempts: int
+    telemetry: TaskTelemetry
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class PoolStats:
+    """End-of-batch engine telemetry."""
+
+    jobs: int = 0
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    tasks_ok: int = 0
+    tasks_failed: int = 0
+    retries: int = 0
+    workers_spawned: int = 0
+    workers_recycled: int = 0
+    worker_crashes: int = 0
+    timeouts: int = 0
+    tasks_per_worker: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-seconds spent executing tasks."""
+        capacity = self.jobs * self.wall_s
+        return self.busy_s / capacity if capacity > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "tasks_ok": self.tasks_ok,
+            "tasks_failed": self.tasks_failed,
+            "retries": self.retries,
+            "workers_spawned": self.workers_spawned,
+            "workers_recycled": self.workers_recycled,
+            "worker_crashes": self.worker_crashes,
+            "timeouts": self.timeouts,
+            "tasks_per_worker": dict(self.tasks_per_worker),
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Results (in submission order) plus engine telemetry."""
+
+    results: Tuple[TaskResult, ...]
+    stats: PoolStats
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(fn, args)``, run, send the outcome back.
+
+    SIGINT is ignored — a Ctrl-C in the parent's terminal reaches the
+    whole process group, and shutdown must stay under the parent's
+    control (stop sentinel, else terminate/kill).
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if message is None:  # stop sentinel
+            break
+        fn, args = message
+        start = time.perf_counter()
+        try:
+            value = fn(*args)
+            payload = ("ok", value, time.perf_counter() - start)
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            payload = ("error", f"{type(exc).__name__}: {exc}",
+                       time.perf_counter() - start)
+        try:
+            conn.send(payload)
+        except Exception as exc:  # unpicklable result, broken pipe, ...
+            try:
+                conn.send(("error",
+                           f"worker could not return result: "
+                           f"{type(exc).__name__}: {exc}",
+                           time.perf_counter() - start))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Running:
+    """The attempt a worker is currently executing."""
+
+    index: int
+    attempt: int
+    enqueued_at: float
+    dispatched_at: float
+
+
+class _Worker:
+    def __init__(self, wid: int, proc, conn):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.current: Optional[_Running] = None
+        self.tasks_done = 0
+
+
+class _Engine:
+    def __init__(self, specs: Sequence[TaskSpec], jobs: int,
+                 timeout: Optional[float], recycle_after: Optional[int],
+                 on_result: Optional[Callable[[TaskResult], None]],
+                 start_method: str):
+        self.specs = list(specs)
+        self.jobs = jobs
+        self.timeout = timeout
+        self.recycle_after = recycle_after
+        self.on_result = on_result
+        self.ctx = get_context(start_method)
+        self.stats = PoolStats(jobs=jobs)
+        self.clock = time.perf_counter
+        now = self.clock()
+        self.results: List[Optional[TaskResult]] = [None] * len(self.specs)
+        self.pending = deque((i, 1, now) for i in range(len(self.specs)))
+        self.last_error: Dict[int, str] = {}
+        self.workers: Dict[int, _Worker] = {}
+        self.n_done = 0
+        self.emit_cursor = 0
+        self.next_wid = 0
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        wid = self.next_wid
+        self.next_wid += 1
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(target=_worker_main, args=(child_conn,),
+                                name=f"repro-worker-{wid}", daemon=True)
+        proc.start()
+        child_conn.close()  # our copy; EOF detection needs it closed here
+        worker = _Worker(wid, proc, parent_conn)
+        self.workers[wid] = worker
+        self.stats.workers_spawned += 1
+        self.stats.tasks_per_worker.setdefault(wid, 0)
+        return worker
+
+    def _reap(self, worker: _Worker, *, graceful: bool) -> None:
+        """Stop a worker for good: sentinel or terminate, then
+        ``join(grace)``, then ``kill()`` — nothing escapes."""
+        self.workers.pop(worker.wid, None)
+        if graceful:
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        else:
+            try:
+                worker.proc.terminate()
+            except Exception:  # pragma: no cover
+                pass
+        worker.proc.join(_JOIN_GRACE_S)
+        if worker.proc.is_alive():
+            try:
+                worker.proc.kill()
+            except Exception:  # pragma: no cover
+                pass
+            worker.proc.join(_JOIN_GRACE_S)
+        try:
+            worker.conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+    # -- task flow -------------------------------------------------------
+
+    def _dispatch_idle(self) -> None:
+        for worker in list(self.workers.values()):
+            if not self.pending:
+                return
+            if worker.current is not None:
+                continue
+            index, attempt, enqueued_at = self.pending.popleft()
+            spec = self.specs[index]
+            now = self.clock()
+            try:
+                payload = (spec.fn, spec.args_for(attempt))
+                worker.conn.send(payload)
+            except Exception as exc:  # unpicklable task, dead pipe, ...
+                self._attempt_failed(
+                    index, attempt, worker.wid,
+                    f"could not dispatch task: {type(exc).__name__}: {exc}",
+                    wall_s=0.0, queue_wait_s=now - enqueued_at)
+                continue
+            worker.current = _Running(index, attempt, enqueued_at, now)
+
+    def _attempt_failed(self, index: int, attempt: int,
+                        wid: Optional[int], error: str,
+                        wall_s: float, queue_wait_s: float) -> None:
+        self.last_error[index] = error
+        spec = self.specs[index]
+        if attempt < spec.max_attempts:
+            self.stats.retries += 1
+            self.pending.append((index, attempt + 1, self.clock()))
+            return
+        telemetry = TaskTelemetry(worker=wid, wall_s=wall_s,
+                                  queue_wait_s=queue_wait_s)
+        self._finalize(index, TaskResult(
+            key=spec.key, status="failed", value=None, error=error,
+            attempts=attempt, telemetry=telemetry))
+
+    def _finalize(self, index: int, result: TaskResult) -> None:
+        self.results[index] = result
+        self.n_done += 1
+        if result.ok:
+            self.stats.tasks_ok += 1
+        else:
+            self.stats.tasks_failed += 1
+        if self.on_result is not None:
+            while (self.emit_cursor < len(self.results)
+                   and self.results[self.emit_cursor] is not None):
+                self.on_result(self.results[self.emit_cursor])
+                self.emit_cursor += 1
+
+    def _handle_message(self, worker: _Worker, message: tuple) -> None:
+        running = worker.current
+        worker.current = None
+        worker.tasks_done += 1
+        self.stats.tasks_per_worker[worker.wid] = worker.tasks_done
+        status, payload, wall_s = message
+        self.stats.busy_s += wall_s
+        if running is None:  # pragma: no cover - protocol violation
+            return
+        queue_wait = running.dispatched_at - running.enqueued_at
+        if status == "ok":
+            spec = self.specs[running.index]
+            self._finalize(running.index, TaskResult(
+                key=spec.key, status="ok", value=payload, error=None,
+                attempts=running.attempt,
+                telemetry=TaskTelemetry(worker=worker.wid, wall_s=wall_s,
+                                        queue_wait_s=queue_wait)))
+        else:
+            self._attempt_failed(running.index, running.attempt,
+                                 worker.wid, payload,
+                                 wall_s=wall_s, queue_wait_s=queue_wait)
+        if (self.recycle_after is not None
+                and worker.tasks_done >= self.recycle_after):
+            self._reap(worker, graceful=True)
+            self.stats.workers_recycled += 1
+            self._maybe_respawn()
+
+    def _maybe_respawn(self) -> None:
+        """Keep enough workers alive for the work that remains.
+
+        Enough means: one per queued/running task, capped at ``jobs``,
+        and never zero while tasks are unfinished (a retry can be
+        queued at any moment by a sibling's failure).
+        """
+        unfinished = len(self.specs) - self.n_done
+        if unfinished <= 0:
+            return
+        running = sum(1 for w in self.workers.values()
+                      if w.current is not None)
+        target = min(self.jobs, max(len(self.pending) + running, 1))
+        while len(self.workers) < target:
+            self._spawn_worker()
+
+    def _handle_worker_death(self, worker: _Worker) -> None:
+        running = worker.current
+        worker.current = None
+        self._reap(worker, graceful=False)
+        self.stats.worker_crashes += 1
+        if running is not None:
+            now = self.clock()
+            exitcode = worker.proc.exitcode
+            self._attempt_failed(
+                running.index, running.attempt, worker.wid,
+                f"worker process died (exit code {exitcode})",
+                wall_s=now - running.dispatched_at,
+                queue_wait_s=running.dispatched_at - running.enqueued_at)
+        self._maybe_respawn()
+
+    def _enforce_deadlines(self) -> None:
+        if self.timeout is None:
+            return
+        now = self.clock()
+        for worker in list(self.workers.values()):
+            running = worker.current
+            if running is None:
+                continue
+            if now - running.dispatched_at <= self.timeout:
+                continue
+            worker.current = None
+            self._reap(worker, graceful=False)
+            self.stats.timeouts += 1
+            self._attempt_failed(
+                running.index, running.attempt, worker.wid,
+                f"timeout after {self.timeout}s",
+                wall_s=now - running.dispatched_at,
+                queue_wait_s=running.dispatched_at - running.enqueued_at)
+            self._maybe_respawn()
+
+    def _poll_interval(self) -> Optional[float]:
+        if self.timeout is None:
+            return _POLL_CEILING_S
+        now = self.clock()
+        deadlines = [w.current.dispatched_at + self.timeout
+                     for w in self.workers.values() if w.current is not None]
+        if not deadlines:
+            return _POLL_CEILING_S
+        return max(0.0, min(min(deadlines) - now, _POLL_CEILING_S))
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        start = self.clock()
+        try:
+            for _ in range(min(self.jobs, max(1, len(self.specs)))):
+                self._spawn_worker()
+            while self.n_done < len(self.specs):
+                self._dispatch_idle()
+                conn_to_worker = {w.conn: w for w in self.workers.values()
+                                  if w.current is not None}
+                if conn_to_worker:
+                    ready = _connection_wait(list(conn_to_worker),
+                                             self._poll_interval())
+                    for conn in ready:
+                        worker = conn_to_worker[conn]
+                        if worker.wid not in self.workers:
+                            continue  # already reaped this iteration
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            self._handle_worker_death(worker)
+                            continue
+                        self._handle_message(worker, message)
+                self._enforce_deadlines()
+            for worker in list(self.workers.values()):
+                self._reap(worker, graceful=True)
+        except BaseException:
+            for worker in list(self.workers.values()):
+                self._reap(worker, graceful=False)
+            raise
+        finally:
+            self.stats.wall_s = self.clock() - start
+        results = tuple(r for r in self.results)
+        return ExecutionReport(results=results, stats=self.stats)
+
+
+def run_tasks(specs: Sequence[TaskSpec],
+              *,
+              jobs: Optional[int] = None,
+              timeout: Optional[float] = None,
+              recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
+              on_result: Optional[Callable[[TaskResult], None]] = None,
+              start_method: str = "spawn") -> ExecutionReport:
+    """Run ``specs`` on a persistent pool of ``jobs`` warm workers.
+
+    Results come back in **submission order** (and ``on_result`` fires
+    in submission order as the finished prefix grows), so downstream
+    aggregation and journaling are independent of completion order —
+    the backbone of the sweep determinism contract.
+
+    ``jobs`` defaults to :func:`default_jobs` (cores minus one);
+    ``timeout`` is per-attempt wall clock; ``recycle_after`` bounds
+    tasks per worker (``None`` disables recycling); ``start_method``
+    picks the multiprocessing context — ``"spawn"`` by default for
+    portability (its per-worker cold start is exactly what the warm
+    pool amortizes; pass ``"fork"`` on POSIX for near-free spawns).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if recycle_after is not None and recycle_after < 1:
+        raise ValueError("recycle_after must be >= 1 (or None)")
+    for spec in specs:
+        if spec.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+    if not specs:
+        return ExecutionReport(results=(), stats=PoolStats(jobs=0))
+    engine = _Engine(specs, jobs=min(jobs, len(specs)), timeout=timeout,
+                     recycle_after=recycle_after, on_result=on_result,
+                     start_method=start_method)
+    return engine.run()

@@ -9,13 +9,24 @@ Two runners are provided:
 
 * :func:`run_replicates` — the original in-process loop: fast, simple,
   but one hung or crashed replicate loses the whole sweep.
-* :func:`run_resilient_sweep` — production-scale sweeps: each replicate
-  executes in its own single-worker ``ProcessPoolExecutor`` (so a
-  segfault or OOM kills the worker, not the sweep), under a wall-clock
-  timeout, with bounded retry-with-reseed on crash/timeout, and a JSON
-  checkpoint journal that lets an interrupted sweep resume from its
-  completed replicates. The aggregates of a resumed sweep are identical
-  to those of an uninterrupted one.
+* :func:`run_resilient_sweep` — production-scale sweeps on the
+  persistent worker-pool engine (:mod:`repro.experiments.executor`):
+  ``jobs`` warm workers execute replicates concurrently with crash
+  isolation (a segfault or OOM kills one worker, not the sweep),
+  per-replicate wall-clock timeouts that stall nobody else, bounded
+  retry-with-reseed, and a JSON checkpoint journal that lets an
+  interrupted sweep resume from its completed replicates.
+
+The resilient sweep is **order-independent deterministic**: every
+replicate's effective seed depends only on ``(config fingerprint,
+requested seed, attempt)``, never on which worker ran it or in what
+order replicates finished, and journal records are flushed by a single
+writer in canonical seed order. Aggregates and journal contents are
+therefore digest-identical across ``jobs=1``, ``jobs=8``, and an
+interrupted-then-resumed run (:meth:`SweepResult.canonical_digest`,
+:func:`journal_digest`). Telemetry — per-replicate wall time, queue
+wait, worker id, and the end-of-sweep utilization summary — rides
+along in dedicated fields that the digests deliberately exclude.
 
 Confidence intervals use the normal approximation
 ``mean ± z * std / sqrt(n)``; with the typical 3-10 replicates this is
@@ -26,22 +37,23 @@ statistics (scipy's t-distribution, bootstrap, ...).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
+from repro.experiments.executor import (DEFAULT_RECYCLE_AFTER, TaskResult,
+                                        TaskSpec, default_jobs, run_tasks)
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.runner import run_simulation
 
 __all__ = ["MetricSummary", "ReplicateResult", "run_replicates",
            "ReplicateOutcome", "SweepResult", "run_resilient_sweep",
-           "HEADLINE_METRICS"]
+           "journal_digest", "HEADLINE_METRICS"]
 
 #: Metric name -> extractor used by :func:`run_replicates`.
 HEADLINE_METRICS: Dict[str, Callable[[SimulationMetrics], Optional[float]]] = {
@@ -159,7 +171,8 @@ class ReplicateOutcome:
     produced the result (they differ when a crash/timeout forced a
     retry-with-reseed). ``values`` holds the extracted metrics, all
     ``None`` when the replicate exhausted its attempts and was recorded
-    as failed.
+    as failed. ``telemetry`` (worker id, wall time, queue wait) is
+    observational and excluded from determinism digests.
     """
 
     seed: int
@@ -168,21 +181,39 @@ class ReplicateOutcome:
     status: str  # "ok" | "failed"
     error: Optional[str]
     values: Dict[str, Optional[float]]
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic portion of this outcome (no telemetry)."""
+        return {
+            "seed": self.seed,
+            "used_seed": self.used_seed,
+            "attempts": self.attempts,
+            "status": self.status,
+            "error": self.error,
+            "values": dict(self.values),
+        }
+
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Aggregates plus per-replicate outcomes of a resilient sweep."""
+    """Aggregates plus per-replicate outcomes of a resilient sweep.
+
+    ``telemetry`` is the engine's end-of-sweep summary (worker count,
+    utilization, crashes, timeouts, recycles, ...); it describes *how*
+    the sweep ran and is excluded from :meth:`canonical_digest`.
+    """
 
     config: SimulationConfig
     seeds: tuple
     outcomes: Tuple[ReplicateOutcome, ...]
     metrics: Dict[str, MetricSummary]
     resumed: int  # replicates restored from the checkpoint journal
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> MetricSummary:
         return self.metrics[name]
@@ -202,6 +233,29 @@ class SweepResult:
             "n_missing": s.n_missing,
         } for s in self.metrics.values()]
 
+    def canonical_digest(self) -> str:
+        """SHA-256 over everything deterministic in this sweep.
+
+        Identical for ``jobs=1`` vs ``jobs=N`` and for interrupted-
+        then-resumed vs uninterrupted runs of the same configuration;
+        telemetry (timings, worker ids, utilization) is excluded.
+        """
+        payload = {
+            "config": _config_fingerprint(self.config),
+            "seeds": list(self.seeds),
+            "outcomes": [o.canonical_dict() for o in self.outcomes],
+            "metrics": {name: {
+                "values": list(s.values),
+                "mean": s.mean,
+                "std": s.std,
+                "ci_low": s.ci_low,
+                "ci_high": s.ci_high,
+                "n_missing": s.n_missing,
+            } for name, s in self.metrics.items()},
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
 
 def _replicate_task(config: SimulationConfig, seed: int) -> SimulationMetrics:
     """Default worker task: one full simulation run (module-level so it
@@ -209,10 +263,22 @@ def _replicate_task(config: SimulationConfig, seed: int) -> SimulationMetrics:
     return run_simulation(config.with_seed(seed)).metrics
 
 
-def _reseed(seed: int, attempt: int) -> int:
-    """Deterministic retry seed: distinct per attempt, stable across
-    resumes, far from any plausible user-chosen seed range."""
-    return seed + 1_000_003 * attempt
+def _derive_seed(fingerprint: str, seed: int, attempt: int) -> int:
+    """Deterministic retry seed for attempt >= 2.
+
+    Derived from ``(config fingerprint, requested seed, attempt)``
+    only — independent of worker assignment, completion order, and
+    resume boundaries, so a retried replicate lands on the same
+    effective seed no matter how the sweep is scheduled. Attempt 1
+    always uses the requested seed itself (see :func:`_used_seed`).
+    """
+    digest = hashlib.sha256(
+        f"{fingerprint}|{seed}|{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _used_seed(fingerprint: str, seed: int, attempt: int) -> int:
+    return seed if attempt <= 1 else _derive_seed(fingerprint, seed, attempt)
 
 
 def _config_fingerprint(config: SimulationConfig) -> str:
@@ -221,7 +287,13 @@ def _config_fingerprint(config: SimulationConfig) -> str:
 
 
 def _journal_append(path: str, record: Dict[str, Any]) -> None:
-    """Append one JSON line and force it to disk (crash safety)."""
+    """Append one JSON line and force it to disk (crash safety).
+
+    Only ever called from the sweep's parent process, in canonical
+    seed order (the engine emits completions as an in-order prefix) —
+    the single-writer path that keeps journal bytes independent of
+    worker count and completion order.
+    """
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(record) + "\n")
         handle.flush()
@@ -261,7 +333,7 @@ def _journal_load(path: str, fingerprint: str,
                         "metrics; delete it or use a fresh path")
                 continue
             if record.get("kind") != "replicate":
-                continue
+                continue  # summary/telemetry records are observational
             values = {name: record["values"].get(name)
                       for name in metric_names}
             completed[int(record["seed"])] = ReplicateOutcome(
@@ -271,33 +343,37 @@ def _journal_load(path: str, fingerprint: str,
                 status=record["status"],
                 error=record.get("error"),
                 values=values,
+                telemetry=record.get("telemetry"),
             )
     return completed
 
 
-def _run_isolated(task: Callable[..., Any], config: SimulationConfig,
-                  used_seed: int, timeout: Optional[float]) -> Any:
-    """Execute one replicate in a dedicated single-worker process.
+def journal_digest(path: str) -> str:
+    """SHA-256 over a journal's deterministic content.
 
-    The private pool means a crashing worker (segfault, OOM-kill) or a
-    hung replicate takes down only itself: on timeout the worker is
-    terminated so it cannot linger and fight the next attempt for CPU.
+    Covers the header and every parseable replicate record with the
+    ``telemetry`` key removed; summary records, torn trailing lines,
+    and unknown kinds are skipped. Two sweeps of the same configuration
+    produce the same digest regardless of ``jobs`` and regardless of
+    interrupt/resume boundaries.
     """
-    pool = ProcessPoolExecutor(max_workers=1)
-    try:
-        future = pool.submit(task, config, used_seed)
-        result = future.result(timeout=timeout)
-    except (Exception, KeyboardInterrupt):
-        # Kill the worker before re-raising: a hung or still-running
-        # process must not outlive its replicate.
-        processes = list(getattr(pool, "_processes", {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            if process.is_alive():
-                process.terminate()
-        raise
-    pool.shutdown(wait=True)
-    return result
+    canonical: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = record.get("kind")
+            if kind not in ("header", "replicate"):
+                continue
+            record.pop("telemetry", None)
+            canonical.append(json.dumps(record, sort_keys=True))
+    blob = "\n".join(canonical)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def run_resilient_sweep(config: SimulationConfig,
@@ -308,28 +384,41 @@ def run_resilient_sweep(config: SimulationConfig,
                         timeout: Optional[float] = None,
                         max_attempts: int = 3,
                         task: Callable[..., Any] = _replicate_task,
+                        jobs: Optional[int] = None,
+                        recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
+                        start_method: str = "spawn",
                         ) -> SweepResult:
-    """Crash-safe replicated sweep with checkpoint/resume.
+    """Crash-safe replicated sweep on a persistent worker pool.
 
-    Each seed runs in its own worker process. A replicate that crashes
-    the worker or exceeds ``timeout`` seconds of wall clock is retried
-    — up to ``max_attempts`` total tries, each with a deterministically
-    reseeded configuration — and recorded as failed (not fatal to the
-    sweep) if every attempt dies. Completed replicates are appended to
-    ``journal_path`` (JSON lines, fsynced), so re-running the same call
-    after an interruption resumes from where the sweep died and yields
-    aggregates identical to an uninterrupted run.
+    ``jobs`` warm workers (default: cores minus one) pull replicates
+    from a shared queue — no per-replicate process spawn. A replicate
+    that crashes its worker or exceeds ``timeout`` seconds of wall
+    clock is retried — up to ``max_attempts`` total tries, each with a
+    deterministically reseeded configuration — and recorded as failed
+    (not fatal to the sweep) if every attempt dies; only the affected
+    worker is killed and respawned, its siblings keep running. Workers
+    are recycled after ``recycle_after`` tasks to bound leaked memory.
+
+    Completed replicates are appended to ``journal_path`` (JSON lines,
+    fsynced, single writer, canonical seed order), so re-running the
+    same call after an interruption resumes from where the sweep died
+    and yields aggregates — and journal bytes — identical to an
+    uninterrupted run at any ``jobs``.
 
     ``task(config, seed)`` must be picklable (module-level); it
     defaults to running the simulation and returning its metrics.
     ``extractors`` run in the parent process on the task's return
-    value, so they may be lambdas.
+    value, so they may be lambdas. ``start_method`` selects the
+    multiprocessing context (``"spawn"`` for portability; ``"fork"``
+    for near-free worker startup on POSIX).
     """
     seeds = tuple(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
+    if jobs is None:
+        jobs = default_jobs()
     chosen = extractors or HEADLINE_METRICS
     metric_names = list(chosen)
     fingerprint = _config_fingerprint(config)
@@ -343,49 +432,60 @@ def run_resilient_sweep(config: SimulationConfig,
                 "metrics": metric_names})
     resumed = sum(1 for seed in seeds if seed in completed)
 
-    outcomes: List[ReplicateOutcome] = []
-    for seed in seeds:
-        if seed in completed:
-            outcomes.append(completed[seed])
-            continue
-        outcome: Optional[ReplicateOutcome] = None
-        last_error: Optional[str] = None
-        for attempt in range(1, max_attempts + 1):
-            used_seed = seed if attempt == 1 else _reseed(seed, attempt - 1)
-            try:
-                produced = _run_isolated(task, config, used_seed, timeout)
-            except KeyboardInterrupt:
-                raise  # an interrupted sweep resumes from the journal
-            except FutureTimeoutError:
-                last_error = (f"timeout after {timeout}s "
-                              f"(attempt {attempt}/{max_attempts})")
-                continue
-            except Exception as exc:  # worker crash or task error
-                last_error = (f"{type(exc).__name__}: {exc} "
-                              f"(attempt {attempt}/{max_attempts})")
-                continue
-            values = {name: extract(produced)
-                      for name, extract in chosen.items()}
-            outcome = ReplicateOutcome(
-                seed=seed, used_seed=used_seed, attempts=attempt,
-                status="ok", error=None, values=values)
-            break
-        if outcome is None:
-            outcome = ReplicateOutcome(
-                seed=seed, used_seed=seed, attempts=max_attempts,
-                status="failed", error=last_error,
-                values={name: None for name in metric_names})
-        if journal_path is not None:
-            _journal_append(journal_path, {
-                "kind": "replicate", "seed": outcome.seed,
-                "used_seed": outcome.used_seed,
-                "attempts": outcome.attempts, "status": outcome.status,
-                "error": outcome.error, "values": outcome.values})
-        outcomes.append(outcome)
+    todo = [seed for seed in seeds if seed not in completed]
+    outcome_by_seed: Dict[int, ReplicateOutcome] = dict(completed)
 
+    def _args_for(seed: int) -> Callable[[int], tuple]:
+        return lambda attempt: (config, _used_seed(fingerprint, seed,
+                                                   attempt))
+
+    def _on_result(result: TaskResult) -> None:
+        outcome = _outcome_from_result(result, fingerprint, chosen,
+                                       metric_names, max_attempts)
+        outcome_by_seed[outcome.seed] = outcome
+        if journal_path is not None:
+            record = {"kind": "replicate", **outcome.canonical_dict()}
+            record["telemetry"] = outcome.telemetry
+            _journal_append(journal_path, record)
+
+    specs = [TaskSpec(key=seed, fn=task, args=_args_for(seed),
+                      max_attempts=max_attempts) for seed in todo]
+    report = run_tasks(specs, jobs=jobs, timeout=timeout,
+                       recycle_after=recycle_after, on_result=_on_result,
+                       start_method=start_method)
+    sweep_telemetry = report.stats.as_dict()
+    if journal_path is not None:
+        _journal_append(journal_path, {"kind": "summary",
+                                       "telemetry": sweep_telemetry})
+
+    outcomes = [outcome_by_seed[seed] for seed in seeds]
     summaries = {
         name: _summarise(name, [o.values.get(name) for o in outcomes])
         for name in metric_names}
     return SweepResult(config=config, seeds=seeds,
                        outcomes=tuple(outcomes), metrics=summaries,
-                       resumed=resumed)
+                       resumed=resumed, telemetry=sweep_telemetry)
+
+
+def _outcome_from_result(result: TaskResult, fingerprint: str,
+                         extractors: Dict[str, Callable],
+                         metric_names: Sequence[str],
+                         max_attempts: int) -> ReplicateOutcome:
+    """Turn an engine task result into a journaled replicate outcome."""
+    seed = result.key
+    telemetry = result.telemetry.as_dict()
+    if result.ok:
+        values = {name: extract(result.value)
+                  for name, extract in extractors.items()}
+        return ReplicateOutcome(
+            seed=seed,
+            used_seed=_used_seed(fingerprint, seed, result.attempts),
+            attempts=result.attempts, status="ok", error=None,
+            values=values, telemetry=telemetry)
+    error = (f"{result.error} "
+             f"(attempt {result.attempts}/{max_attempts})")
+    return ReplicateOutcome(
+        seed=seed, used_seed=seed, attempts=result.attempts,
+        status="failed", error=error,
+        values={name: None for name in metric_names},
+        telemetry=telemetry)

@@ -106,6 +106,7 @@ def run_all_algorithms(base: SimulationConfig,
                        freerider_fraction: float = 0.0,
                        large_view: bool = False,
                        processes: int = 1,
+                       telemetry: Optional[Dict] = None,
                        ) -> Dict[Algorithm, SimulationResult]:
     """Run one scenario under every algorithm (attacks re-targeted).
 
@@ -113,9 +114,12 @@ def run_all_algorithms(base: SimulationConfig,
     identical seeds, only the incentive mechanism (and, if free-riders
     are present, the matching targeted attack) changes.
 
-    ``processes > 1`` fans the independent runs out over worker
-    processes — results are identical to the serial sweep (each run is
-    fully determined by its config).
+    ``processes > 1`` fans the independent runs out over the persistent
+    worker-pool engine (:mod:`repro.experiments.executor`) — results
+    are identical to the serial sweep (each run is fully determined by
+    its config), a crashed worker is respawned and its run retried
+    once, and passing a dict as ``telemetry`` fills it with the
+    engine's utilization summary.
     """
     selected = tuple(Algorithm.parse(a) for a in (algorithms or ALL_ALGORITHMS))
     configs: Dict[Algorithm, SimulationConfig] = {}
@@ -128,10 +132,16 @@ def run_all_algorithms(base: SimulationConfig,
     if processes <= 1 or len(configs) <= 1:
         return {a: run_simulation(c) for a, c in configs.items()}
 
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.experiments.executor import TaskSpec, run_tasks
 
-    with ProcessPoolExecutor(max_workers=min(processes,
-                                             len(configs))) as pool:
-        futures = {a: pool.submit(run_simulation, c)
-                   for a, c in configs.items()}
-        return {a: f.result() for a, f in futures.items()}
+    specs = [TaskSpec(key=algorithm, fn=run_simulation, args=(config,),
+                      max_attempts=2)
+             for algorithm, config in configs.items()]
+    report = run_tasks(specs, jobs=min(processes, len(configs)))
+    if telemetry is not None:
+        telemetry.update(report.stats.as_dict())
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        details = "; ".join(f"{r.key.value}: {r.error}" for r in failed)
+        raise RuntimeError(f"algorithm sweep failed: {details}")
+    return {r.key: r.value for r in report.results}

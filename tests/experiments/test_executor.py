@@ -1,0 +1,186 @@
+"""Tests for the persistent worker-pool execution engine.
+
+Task functions live at module level so they pickle into worker
+processes under the ``spawn`` start method; per-attempt argument
+factories run in the parent and may be lambdas.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments.executor import (
+    TaskSpec,
+    default_jobs,
+    run_tasks,
+)
+
+
+# ---------------------------------------------------------------------
+# Picklable worker tasks
+# ---------------------------------------------------------------------
+
+def square(x):
+    return x * x
+
+
+def exit_if_small(x):
+    """Simulates a segfault/OOM: kills the worker process outright."""
+    if x < 1000:
+        os._exit(3)
+    return x
+
+
+def sleep_if_two(x):
+    if x == 2:
+        time.sleep(30.0)
+    return float(x)
+
+
+def boom(x):
+    raise ValueError(f"bad {x}")
+
+
+class TestBasics:
+    def test_results_in_submission_order(self):
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(6)]
+        report = run_tasks(specs, jobs=2)
+        assert [r.key for r in report.results] == list(range(6))
+        assert [r.value for r in report.results] == [i * i for i in range(6)]
+        assert all(r.ok and r.attempts == 1 for r in report.results)
+
+    def test_on_result_fires_in_submission_order(self):
+        seen = []
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(8)]
+        run_tasks(specs, jobs=3, on_result=lambda r: seen.append(r.key))
+        assert seen == list(range(8))
+
+    def test_empty_specs(self):
+        report = run_tasks([], jobs=4)
+        assert report.results == ()
+        assert report.stats.workers_spawned == 0
+
+    def test_workers_are_persistent(self):
+        # Six tasks on two workers: no per-task process spawn.
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(6)]
+        report = run_tasks(specs, jobs=2)
+        assert report.stats.workers_spawned == 2
+
+    def test_no_leaked_children(self):
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(3)]
+        run_tasks(specs, jobs=2)
+        assert multiprocessing.active_children() == []
+
+    def test_validation(self):
+        spec = TaskSpec(key=1, fn=square, args=(1,))
+        with pytest.raises(ValueError):
+            run_tasks([spec], jobs=0)
+        with pytest.raises(ValueError):
+            run_tasks([spec], recycle_after=0)
+        with pytest.raises(ValueError):
+            run_tasks([TaskSpec(key=1, fn=square, args=(1,),
+                                max_attempts=0)])
+
+    def test_default_jobs_at_least_one(self):
+        assert default_jobs() >= 1
+
+
+class TestFailureIsolation:
+    def test_exception_recorded_not_raised(self):
+        report = run_tasks([TaskSpec(key=1, fn=boom, args=(1,))], jobs=1)
+        result = report.results[0]
+        assert result.status == "failed"
+        assert "ValueError: bad 1" in result.error
+        assert result.value is None
+        # The worker survived the exception: no crash recorded.
+        assert report.stats.worker_crashes == 0
+
+    def test_worker_death_retried_with_fresh_args(self):
+        # First attempt os._exit()s the worker; the per-attempt args
+        # factory hands the retry a value that succeeds.
+        specs = [TaskSpec(key=i, fn=exit_if_small,
+                          args=(lambda a, i=i: (i if a == 1 else i + 1000,)),
+                          max_attempts=2)
+                 for i in range(3)]
+        report = run_tasks(specs, jobs=2)
+        assert [r.status for r in report.results] == ["ok"] * 3
+        assert [r.attempts for r in report.results] == [2, 2, 2]
+        assert [r.value for r in report.results] == [1000, 1001, 1002]
+        assert report.stats.worker_crashes == 3
+        assert report.stats.retries == 3
+
+    def test_worker_death_exhausts_attempts(self):
+        report = run_tasks([TaskSpec(key=0, fn=exit_if_small, args=(0,),
+                                     max_attempts=2)], jobs=1)
+        result = report.results[0]
+        assert result.status == "failed"
+        assert "worker process died" in result.error
+        assert result.attempts == 2
+        assert report.stats.worker_crashes == 2
+
+    def test_sibling_survives_neighbor_crash(self):
+        specs = [TaskSpec(key=0, fn=exit_if_small, args=(0,)),
+                 TaskSpec(key=1, fn=square, args=(7,))]
+        report = run_tasks(specs, jobs=2)
+        assert report.results[0].status == "failed"
+        assert report.results[1].ok
+        assert report.results[1].value == 49
+
+    def test_timeout_kills_only_offender(self):
+        specs = [TaskSpec(key=i, fn=sleep_if_two, args=(i,))
+                 for i in (1, 2, 3)]
+        start = time.perf_counter()
+        report = run_tasks(specs, jobs=2, timeout=2.0)
+        elapsed = time.perf_counter() - start
+        by_key = {r.key: r for r in report.results}
+        assert by_key[1].ok and by_key[3].ok
+        assert by_key[2].status == "failed"
+        assert "timeout after 2.0s" in by_key[2].error
+        assert report.stats.timeouts == 1
+        # The hung task slept 30s; siblings were not serialized behind it.
+        assert elapsed < 20.0
+
+
+class TestRecyclingAndTelemetry:
+    def test_workers_recycled_after_k_tasks(self):
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(5)]
+        report = run_tasks(specs, jobs=1, recycle_after=2)
+        assert [r.value for r in report.results] == [0, 1, 4, 9, 16]
+        assert report.stats.workers_recycled == 2
+        assert report.stats.workers_spawned == 3
+        # Telemetry attributes tasks to the distinct worker incarnations.
+        workers = {r.telemetry.worker for r in report.results}
+        assert len(workers) == 3
+
+    def test_recycling_disabled(self):
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(5)]
+        report = run_tasks(specs, jobs=1, recycle_after=None)
+        assert report.stats.workers_recycled == 0
+        assert report.stats.workers_spawned == 1
+
+    def test_stats_accounting(self):
+        specs = [TaskSpec(key=i, fn=square, args=(i,)) for i in range(4)]
+        report = run_tasks(specs, jobs=2)
+        stats = report.stats
+        assert stats.tasks_ok == 4
+        assert stats.tasks_failed == 0
+        assert stats.wall_s > 0
+        assert stats.busy_s >= 0
+        assert 0.0 <= stats.utilization <= 1.0
+        assert sum(stats.tasks_per_worker.values()) == 4
+        as_dict = stats.as_dict()
+        assert as_dict["jobs"] == 2
+        assert as_dict["utilization"] == stats.utilization
+
+    def test_task_telemetry_fields(self):
+        report = run_tasks([TaskSpec(key=1, fn=square, args=(3,))], jobs=1)
+        telemetry = report.results[0].telemetry
+        assert telemetry.worker == 0
+        assert telemetry.wall_s >= 0
+        assert telemetry.queue_wait_s >= 0
+        assert set(telemetry.as_dict()) == {"worker", "wall_s",
+                                            "queue_wait_s"}

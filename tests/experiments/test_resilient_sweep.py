@@ -1,19 +1,22 @@
 """Tests for the crash-safe resilient sweep runner.
 
 The fake tasks live at module level so they pickle into the worker
-processes (``ProcessPoolExecutor`` requires it); the extractors run in
-the parent and may be lambdas.
+processes (the engine's ``spawn`` start method requires it); the
+extractors run in the parent and may be lambdas.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
+import time
 
 import pytest
 
 from repro.experiments.replicates import (
     ReplicateOutcome,
+    journal_digest,
     run_replicates,
     run_resilient_sweep,
 )
@@ -52,9 +55,16 @@ def task_always_crash(config, seed):
 
 def task_hang_on_seed_two(config, seed):
     if seed == 2:
-        import time
         time.sleep(60.0)
     return float(seed)
+
+
+def task_kill_worker_on_small_seeds(config, seed):
+    """First attempt kills the worker process outright (as a segfault
+    or OOM would); retries arrive with a large derived seed and pass."""
+    if seed < 1_000_000:
+        os._exit(9)
+    return float(seed % 9973)
 
 
 class TestHappyPath:
@@ -201,6 +211,125 @@ class TestJournal:
                                       journal_path=path)
         assert resumed.resumed == 1
         assert resumed.outcomes[0].status == "failed"
+
+
+class TestParallelDeterminism:
+    """The jobs-count must be invisible in everything deterministic."""
+
+    def test_digests_identical_jobs1_vs_jobs4(self, tmp_path):
+        path1 = str(tmp_path / "jobs1.jsonl")
+        path4 = str(tmp_path / "jobs4.jsonl")
+        serial = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_identity, jobs=1,
+                                     journal_path=path1)
+        fanned = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_identity, jobs=4,
+                                     journal_path=path4)
+        assert serial.canonical_digest() == fanned.canonical_digest()
+        assert journal_digest(path1) == journal_digest(path4)
+        assert serial["value"].values == fanned["value"].values
+        # Telemetry legitimately differs (worker ids, timings) but the
+        # journals' deterministic bytes do not.
+        assert serial.telemetry["jobs"] == 1
+        assert fanned.telemetry["jobs"] in (3, 4)  # capped at task count
+
+    def test_digests_identical_with_retries(self, tmp_path):
+        path1 = str(tmp_path / "jobs1.jsonl")
+        path3 = str(tmp_path / "jobs3.jsonl")
+        serial = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_crash_small_seeds,
+                                     max_attempts=2, jobs=1,
+                                     journal_path=path1)
+        fanned = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                     task=task_crash_small_seeds,
+                                     max_attempts=2, jobs=3,
+                                     journal_path=path3)
+        assert serial.canonical_digest() == fanned.canonical_digest()
+        assert journal_digest(path1) == journal_digest(path3)
+        # The reseed depends on (config, seed, attempt) only, never on
+        # scheduling, so both sweeps used the same derived seeds.
+        assert ([o.used_seed for o in serial.outcomes]
+                == [o.used_seed for o in fanned.outcomes])
+
+    def test_interrupted_parallel_sweep_resumes_identically(self, tmp_path):
+        reference_path = str(tmp_path / "reference.jsonl")
+        reference = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                        task=task_identity, jobs=1,
+                                        journal_path=reference_path)
+        path = str(tmp_path / "interrupted.jsonl")
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, jobs=4, journal_path=path)
+        # Simulate a kill mid-sweep: keep the header plus the first
+        # completed replicate, losing everything after it.
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:2]) + "\n")
+        resumed = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                      task=task_identity, jobs=4,
+                                      journal_path=path)
+        assert resumed.resumed == 1
+        assert resumed.canonical_digest() == reference.canonical_digest()
+        assert journal_digest(path) == journal_digest(reference_path)
+
+    def test_worker_crash_retried_and_reseeded(self):
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_kill_worker_on_small_seeds,
+                                    max_attempts=2, jobs=2)
+        assert sweep.n_failed == 0
+        for outcome in sweep.outcomes:
+            assert outcome.attempts == 2
+            assert outcome.used_seed != outcome.seed
+            assert outcome.values["value"] == float(outcome.used_seed % 9973)
+        assert sweep.telemetry["worker_crashes"] >= 3
+
+    def test_timeout_does_not_stall_siblings(self):
+        start = time.perf_counter()
+        sweep = run_resilient_sweep(_config(), (1, 2, 3), VALUE,
+                                    task=task_hang_on_seed_two,
+                                    timeout=2.0, max_attempts=1, jobs=2)
+        elapsed = time.perf_counter() - start
+        by_seed = {o.seed: o for o in sweep.outcomes}
+        assert by_seed[1].ok and by_seed[3].ok
+        assert by_seed[2].status == "failed"
+        assert "timeout" in by_seed[2].error
+        # The hung replicate slept 60s; the sweep did not.
+        assert elapsed < 30.0
+        assert sweep.telemetry["timeouts"] == 1
+
+
+class TestTelemetry:
+    def test_outcomes_and_journal_carry_telemetry(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_identity, journal_path=path)
+        for outcome in sweep.outcomes:
+            assert outcome.telemetry is not None
+            assert {"worker", "wall_s", "queue_wait_s"} <= set(
+                outcome.telemetry)
+        records = [json.loads(line) for line in open(path)]
+        replicates = [r for r in records if r["kind"] == "replicate"]
+        assert all("telemetry" in r for r in replicates)
+        summaries = [r for r in records if r["kind"] == "summary"]
+        assert len(summaries) == 1
+        engine = summaries[0]["telemetry"]
+        assert {"jobs", "wall_s", "utilization",
+                "workers_spawned"} <= set(engine)
+
+    def test_sweep_result_exposes_engine_summary(self):
+        sweep = run_resilient_sweep(_config(), (1, 2), VALUE,
+                                    task=task_identity, jobs=2)
+        assert sweep.telemetry["tasks_ok"] == 2
+        assert sweep.telemetry["workers_spawned"] == 2
+        assert 0.0 <= sweep.telemetry["utilization"] <= 1.0
+
+    def test_resumed_outcomes_keep_journal_telemetry(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_resilient_sweep(_config(), SEEDS, VALUE,
+                            task=task_identity, journal_path=path)
+        resumed = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                      task=task_identity, journal_path=path)
+        assert resumed.resumed == len(SEEDS)
+        assert all(o.telemetry is not None for o in resumed.outcomes)
 
 
 class TestOutcome:
