@@ -41,9 +41,10 @@ __all__ = ["hotpath_config", "run_bench", "main"]
 
 
 def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
-                   rounds: int, seed: int) -> SimulationConfig:
+                   rounds: int, seed: int,
+                   guards: str = "off") -> SimulationConfig:
     """The timed scenario: a pure flash crowd at the given scale."""
-    return SimulationConfig(
+    config = SimulationConfig(
         algorithm=algorithm,
         n_users=n_users,
         n_pieces=n_pieces,
@@ -51,6 +52,11 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
         neighbor_count=40,
         seed=seed,
     )
+    if guards != "off":
+        # A wide window: the timed run is capped mid-download, which a
+        # short-windowed watchdog would misread as a stall.
+        config = config.with_guards(guards, watchdog_window=10 * rounds)
+    return config
 
 
 def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
@@ -68,7 +74,7 @@ def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
 
 
 def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
-              baseline: Optional[dict] = None) -> dict:
+              baseline: Optional[dict] = None, guards: str = "off") -> dict:
     """Time every algorithm once; attach speedups vs. ``baseline``."""
     result = {
         "benchmark": "hotpath_round_loop",
@@ -76,13 +82,15 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
         "n_pieces": n_pieces,
         "rounds_cap": rounds,
         "seed": seed,
+        "guards": guards,
         "python": platform.python_version(),
         "algorithms": {},
     }
     total = 0.0
     for algorithm in ALL_ALGORITHMS:
         entry = _time_round_loop(
-            hotpath_config(algorithm, n_users, n_pieces, rounds, seed))
+            hotpath_config(algorithm, n_users, n_pieces, rounds, seed,
+                           guards=guards))
         total += entry["seconds"]
         result["algorithms"][algorithm.value] = entry
         print(f"{algorithm.value:12s} {entry['seconds']:8.3f}s "
@@ -130,6 +138,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--baseline", type=str, default=None,
                         help="earlier output JSON to compute speedups against")
+    parser.add_argument("--guards", choices=["off", "cheap", "full"],
+                        default="off",
+                        help="run with runtime invariant guards enabled "
+                             "(measures their overhead vs an --guards off "
+                             "baseline)")
     parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
@@ -142,7 +155,7 @@ def main(argv=None) -> int:
             baseline = json.load(fh)
 
     result = run_bench(args.users, args.pieces, args.rounds, args.seed,
-                       baseline=baseline)
+                       baseline=baseline, guards=args.guards)
     with open(args.output, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -9,6 +9,9 @@ Commands
 ``run``
     Run a single simulation and print (or export) its metrics.
     ``--loss-rate``/``--crash-hazard``/... inject faults.
+    ``--guards {cheap,full}`` enables runtime invariant checks and the
+    stall watchdog; guard failures exit 3 (with a crash-bundle path on
+    stderr) and watchdog-degraded runs exit 4.
 ``sweep``
     Crash-safe replicated sweep on a persistent worker pool
     (``--jobs``): crash isolation, per-replicate timeouts, bounded
@@ -24,6 +27,7 @@ Examples
     python -m repro run --algorithm tchain --users 200 --pieces 64
     python -m repro run --algorithm altruism --freeriders 0.2 --json out.json
     python -m repro run --algorithm bittorrent --loss-rate 0.2
+    python -m repro run --algorithm tchain --guards full --bundle-dir ./bundles
     python -m repro sweep --algorithm tchain --replicates 5 \
         --journal sweep.jsonl --timeout 120 --jobs 4
     python -m repro figure5 --scale smoke --seed 7
@@ -36,6 +40,7 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.errors import InvariantViolationError, SimulationStalled
 from repro.experiments import figures, report, scenarios, tables
 from repro.experiments.executor import DEFAULT_RECYCLE_AFTER
 from repro.experiments.export import result_to_json, summary_dict
@@ -93,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
+    _add_guard_arguments(run)
 
     sweep = sub.add_parser(
         "sweep", help="crash-safe replicated sweep with checkpoint/resume")
@@ -121,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recycle each worker after K replicates "
                             f"(default {DEFAULT_RECYCLE_AFTER})")
     _add_fault_arguments(sweep)
+    _add_guard_arguments(sweep)
     return parser
 
 
@@ -133,6 +140,8 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--seeder-outage-rate", type=float, default=0.0,
                        help="per-round transient-outage probability "
                             "per seeder")
+    group.add_argument("--seeder-outage-duration", type=int, default=None,
+                       help="rounds each seeder outage lasts (default 5)")
     group.add_argument("--report-delay", type=int, default=0,
                        help="rounds reputation reports are delayed")
     group.add_argument("--obligation-expiry", type=int, default=None,
@@ -140,13 +149,51 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
                             "whose key never arrived is dropped")
 
 
+def _add_guard_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime guards")
+    group.add_argument("--guards", choices=["off", "cheap", "full"],
+                       default="off",
+                       help="invariant checking: 'cheap' samples the "
+                            "heavy checks, 'full' runs every check "
+                            "every round")
+    group.add_argument("--bundle-dir", metavar="DIR", default=None,
+                       help="directory for crash-forensics bundles "
+                            "(default ./crash-bundles)")
+    group.add_argument("--watchdog-window", type=int, default=None,
+                       metavar="ROUNDS",
+                       help="rounds without swarm progress before the "
+                            "stall watchdog fires (default 60)")
+    group.add_argument("--watchdog-action", choices=["degrade", "raise"],
+                       default=None,
+                       help="on stall: finalize with degraded=True, or "
+                            "raise SimulationStalled")
+
+
+def _apply_guards(config: SimulationConfig,
+                  args: argparse.Namespace) -> SimulationConfig:
+    if args.guards == "off":
+        return config
+    overrides = {}
+    if args.bundle_dir is not None:
+        overrides["bundle_dir"] = args.bundle_dir
+    if args.watchdog_window is not None:
+        overrides["watchdog_window"] = args.watchdog_window
+    if args.watchdog_action is not None:
+        overrides["watchdog_action"] = args.watchdog_action
+    return config.with_guards(args.guards, **overrides)
+
+
 def _fault_config(args: argparse.Namespace) -> FaultConfig:
+    kwargs = {}
+    if args.seeder_outage_duration is not None:
+        kwargs["seeder_outage_duration"] = args.seeder_outage_duration
     return FaultConfig(
         transfer_loss_rate=args.loss_rate,
         crash_hazard=args.crash_hazard,
         seeder_outage_rate=args.seeder_outage_rate,
         report_delay_rounds=args.report_delay,
         obligation_expiry_rounds=args.obligation_expiry,
+        **kwargs,
     )
 
 
@@ -170,7 +217,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     faults = _fault_config(args)
     if faults.enabled:
         config = config.with_faults(faults)
-    result = run_simulation(config)
+    config = _apply_guards(config, args)
+    try:
+        result = run_simulation(config)
+    except InvariantViolationError as exc:
+        print(f"run: invariant violation: {exc}", file=sys.stderr)
+        if exc.bundle_path:
+            print(f"run: crash bundle written to {exc.bundle_path}",
+                  file=sys.stderr)
+        return 3
+    except SimulationStalled as exc:
+        print(f"run: simulation stalled: {exc}", file=sys.stderr)
+        if exc.bundle_path:
+            print(f"run: crash bundle written to {exc.bundle_path}",
+                  file=sys.stderr)
+        return 3
     if args.json:
         payload = result_to_json(result)
         if args.json == "-":
@@ -183,6 +244,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{algorithm.display_name}: {args.users} users, "
               f"{args.pieces} pieces, seed {args.seed}")
         _print_summary(result)
+    if result.metrics.degraded:
+        print("run: WARNING: stall watchdog degraded this run "
+              "(metrics cover only the rounds before the stall)",
+              file=sys.stderr)
+        if result.metrics.bundle_path:
+            print(f"run: crash bundle written to "
+                  f"{result.metrics.bundle_path}", file=sys.stderr)
+        return 4
     return 0
 
 
@@ -197,6 +266,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     faults = _fault_config(args)
     if faults.enabled:
         config = config.with_faults(faults)
+    config = _apply_guards(config, args)
     if args.replicates < 1:
         print("sweep: --replicates must be >= 1", file=sys.stderr)
         return 2
@@ -215,6 +285,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"({result.resumed} resumed, {result.n_failed} failed)")
     for outcome in result.outcomes:
         status = outcome.status
+        if outcome.degraded:
+            status += " (degraded: stall watchdog fired)"
         if outcome.attempts > 1:
             status += f" after {outcome.attempts} attempts"
         timing = ""
@@ -224,6 +296,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                       f"{outcome.telemetry.get('queue_wait_s', 0.0):.2f}s "
                       "queued]")
         print(f"  seed {outcome.seed:5d}  {status}{timing}")
+        if outcome.bundle_path:
+            print(f"             bundle: {outcome.bundle_path}")
     engine = result.telemetry
     if engine:
         print(f"engine: {engine.get('jobs', 0)} workers, "
@@ -238,7 +312,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for summary in result.metrics.values():
         print(f"{summary.name:28s} {summary.mean:12.4f} "
               f"{summary.std:10.4f} {summary.n:3d} {summary.n_missing:4d}")
-    return 1 if result.n_failed else 0
+    if result.n_failed:
+        return 1
+    if result.n_degraded:
+        print(f"sweep: WARNING: {result.n_degraded} replicate(s) degraded "
+              "by the stall watchdog", file=sys.stderr)
+        return 4
+    return 0
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:

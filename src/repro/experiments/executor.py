@@ -44,6 +44,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+import traceback as _traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -52,11 +53,37 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 __all__ = ["TaskSpec", "TaskTelemetry", "TaskResult", "PoolStats",
-           "ExecutionReport", "run_tasks", "default_jobs",
-           "DEFAULT_RECYCLE_AFTER"]
+           "ExecutionReport", "RespawnStormError", "run_tasks",
+           "default_jobs", "DEFAULT_RECYCLE_AFTER",
+           "DEFAULT_CRASH_STORM_LIMIT"]
 
 #: Tasks a worker executes before it is cleanly stopped and respawned.
 DEFAULT_RECYCLE_AFTER = 64
+
+#: Consecutive worker deaths — each before completing a single task —
+#: that trip the pool's circuit breaker. A systematic child failure
+#: (import error, bad interpreter, missing shared lib) kills every
+#: fresh worker instantly; without the breaker the engine would respawn
+#: forever, burning attempts on every queued task.
+DEFAULT_CRASH_STORM_LIMIT = 5
+
+
+class RespawnStormError(RuntimeError):
+    """Every fresh worker died immediately: the pool cannot make progress.
+
+    Raised by :func:`run_tasks` when ``crash_storm_limit`` consecutive
+    workers exited before completing any task. ``last_exitcode`` and
+    ``last_error`` carry what is known about the final death (the
+    child's own traceback, when one made it back over the pipe).
+    """
+
+    def __init__(self, message: str, *, deaths: int,
+                 last_exitcode: Optional[int] = None,
+                 last_error: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.deaths = deaths
+        self.last_exitcode = last_exitcode
+        self.last_error = last_error
 
 #: Seconds a reaped worker is given to ``join()`` before ``kill()``.
 _JOIN_GRACE_S = 2.0
@@ -195,6 +222,18 @@ def _worker_main(conn) -> None:
             message = conn.recv()
         except (EOFError, OSError):  # parent went away
             break
+        except BaseException as exc:
+            # The payload failed to *unpickle* (e.g. its module import
+            # raises in the child). Connection.recv consumed the whole
+            # message before unpickling, so the pipe is still in sync:
+            # report the failure instead of dying and keep serving.
+            try:
+                conn.send(("error",
+                           f"task deserialization failed: "
+                           f"{type(exc).__name__}: {exc}", 0.0))
+                continue
+            except Exception:
+                break
         if message is None:  # stop sentinel
             break
         fn, args = message
@@ -203,7 +242,12 @@ def _worker_main(conn) -> None:
             value = fn(*args)
             payload = ("ok", value, time.perf_counter() - start)
         except BaseException as exc:  # noqa: BLE001 - isolation boundary
-            payload = ("error", f"{type(exc).__name__}: {exc}",
+            # Ship the full child traceback: when the parent surfaces
+            # this failure (or trips the respawn circuit breaker) the
+            # operator should not have to re-run the task to see it.
+            payload = ("error",
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{_traceback.format_exc()}",
                        time.perf_counter() - start)
         try:
             conn.send(payload)
@@ -248,11 +292,17 @@ class _Engine:
     def __init__(self, specs: Sequence[TaskSpec], jobs: int,
                  timeout: Optional[float], recycle_after: Optional[int],
                  on_result: Optional[Callable[[TaskResult], None]],
-                 start_method: str):
+                 start_method: str,
+                 crash_storm_limit: Optional[int] = DEFAULT_CRASH_STORM_LIMIT):
         self.specs = list(specs)
         self.jobs = jobs
         self.timeout = timeout
         self.recycle_after = recycle_after
+        self.crash_storm_limit = crash_storm_limit
+        #: Consecutive deaths of workers that never completed a task.
+        #: Reset by any delivered result; deliberate kills (timeouts,
+        #: recycling, shutdown) never touch it.
+        self.cold_deaths = 0
         self.on_result = on_result
         self.ctx = get_context(start_method)
         self.stats = PoolStats(jobs=jobs)
@@ -362,6 +412,7 @@ class _Engine:
         running = worker.current
         worker.current = None
         worker.tasks_done += 1
+        self.cold_deaths = 0  # a worker is completing tasks: pool is healthy
         self.stats.tasks_per_worker[worker.wid] = worker.tasks_done
         status, payload, wall_s = message
         self.stats.busy_s += wall_s
@@ -404,16 +455,33 @@ class _Engine:
     def _handle_worker_death(self, worker: _Worker) -> None:
         running = worker.current
         worker.current = None
+        died_cold = worker.tasks_done == 0
         self._reap(worker, graceful=False)
         self.stats.worker_crashes += 1
+        exitcode = worker.proc.exitcode
         if running is not None:
             now = self.clock()
-            exitcode = worker.proc.exitcode
             self._attempt_failed(
                 running.index, running.attempt, worker.wid,
                 f"worker process died (exit code {exitcode})",
                 wall_s=now - running.dispatched_at,
                 queue_wait_s=running.dispatched_at - running.enqueued_at)
+        if died_cold:
+            self.cold_deaths += 1
+            if (self.crash_storm_limit is not None
+                    and self.cold_deaths >= self.crash_storm_limit):
+                last_error = (self.last_error.get(running.index)
+                              if running is not None else None)
+                raise RespawnStormError(
+                    f"respawn storm: {self.cold_deaths} consecutive workers "
+                    f"died before completing any task (last exit code "
+                    f"{exitcode}) — a systematic child failure, e.g. an "
+                    f"import error in the worker; last task error: "
+                    f"{last_error}",
+                    deaths=self.cold_deaths, last_exitcode=exitcode,
+                    last_error=last_error)
+        else:
+            self.cold_deaths = 0
         self._maybe_respawn()
 
     def _enforce_deadlines(self) -> None:
@@ -489,7 +557,9 @@ def run_tasks(specs: Sequence[TaskSpec],
               timeout: Optional[float] = None,
               recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
               on_result: Optional[Callable[[TaskResult], None]] = None,
-              start_method: str = "spawn") -> ExecutionReport:
+              start_method: str = "spawn",
+              crash_storm_limit: Optional[int] = DEFAULT_CRASH_STORM_LIMIT,
+              ) -> ExecutionReport:
     """Run ``specs`` on a persistent pool of ``jobs`` warm workers.
 
     Results come back in **submission order** (and ``on_result`` fires
@@ -503,6 +573,13 @@ def run_tasks(specs: Sequence[TaskSpec],
     picks the multiprocessing context — ``"spawn"`` by default for
     portability (its per-worker cold start is exactly what the warm
     pool amortizes; pass ``"fork"`` on POSIX for near-free spawns).
+
+    ``crash_storm_limit`` trips a circuit breaker
+    (:class:`RespawnStormError`) after that many *consecutive* workers
+    died without completing a single task — the signature of a
+    systematic child failure (import error, missing shared library)
+    that respawning can never fix. ``None`` disables the breaker.
+    Deliberate kills (per-task timeouts, recycling) do not count.
     """
     if jobs is None:
         jobs = default_jobs()
@@ -510,6 +587,8 @@ def run_tasks(specs: Sequence[TaskSpec],
         raise ValueError("jobs must be >= 1")
     if recycle_after is not None and recycle_after < 1:
         raise ValueError("recycle_after must be >= 1 (or None)")
+    if crash_storm_limit is not None and crash_storm_limit < 1:
+        raise ValueError("crash_storm_limit must be >= 1 (or None)")
     for spec in specs:
         if spec.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -517,5 +596,6 @@ def run_tasks(specs: Sequence[TaskSpec],
         return ExecutionReport(results=(), stats=PoolStats(jobs=0))
     engine = _Engine(specs, jobs=min(jobs, len(specs)), timeout=timeout,
                      recycle_after=recycle_after, on_result=on_result,
-                     start_method=start_method)
+                     start_method=start_method,
+                     crash_storm_limit=crash_storm_limit)
     return engine.run()

@@ -41,6 +41,7 @@ import hashlib
 import json
 import math
 import os
+import re
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
@@ -173,6 +174,13 @@ class ReplicateOutcome:
     ``None`` when the replicate exhausted its attempts and was recorded
     as failed. ``telemetry`` (worker id, wall time, queue wait) is
     observational and excluded from determinism digests.
+
+    ``degraded`` marks a replicate whose run the progress watchdog
+    finalized early (a livelocked swarm with partial metrics — see
+    :mod:`repro.sim.guards`); it is deterministic and journaled.
+    ``bundle_path`` links to the crash-forensics bundle the guards
+    wrote (violation, stall, or exception); it is machine-local, so —
+    like telemetry — it is journaled but digest-excluded.
     """
 
     seed: int
@@ -182,13 +190,16 @@ class ReplicateOutcome:
     error: Optional[str]
     values: Dict[str, Optional[float]]
     telemetry: Optional[Dict[str, Any]] = None
+    degraded: bool = False
+    bundle_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def canonical_dict(self) -> Dict[str, Any]:
-        """The deterministic portion of this outcome (no telemetry)."""
+        """The deterministic portion of this outcome (no telemetry,
+        no machine-local bundle path)."""
         return {
             "seed": self.seed,
             "used_seed": self.used_seed,
@@ -196,6 +207,7 @@ class ReplicateOutcome:
             "status": self.status,
             "error": self.error,
             "values": dict(self.values),
+            "degraded": self.degraded,
         }
 
 
@@ -221,6 +233,11 @@ class SweepResult:
     @property
     def n_failed(self) -> int:
         return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def n_degraded(self) -> int:
+        """Replicates the watchdog finalized early (partial metrics)."""
+        return sum(1 for o in self.outcomes if o.degraded)
 
     def to_rows(self) -> List[Dict[str, float]]:
         return [{
@@ -344,6 +361,8 @@ def _journal_load(path: str, fingerprint: str,
                 error=record.get("error"),
                 values=values,
                 telemetry=record.get("telemetry"),
+                degraded=bool(record.get("degraded", False)),
+                bundle_path=record.get("bundle_path"),
             )
     return completed
 
@@ -371,6 +390,10 @@ def journal_digest(path: str) -> str:
             if kind not in ("header", "replicate"):
                 continue
             record.pop("telemetry", None)
+            # Bundle paths are machine-local (absolute paths under the
+            # configured bundle dir): journaled for forensics, but not
+            # part of the sweep's deterministic identity.
+            record.pop("bundle_path", None)
             canonical.append(json.dumps(record, sort_keys=True))
     blob = "\n".join(canonical)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -446,6 +469,8 @@ def run_resilient_sweep(config: SimulationConfig,
         if journal_path is not None:
             record = {"kind": "replicate", **outcome.canonical_dict()}
             record["telemetry"] = outcome.telemetry
+            if outcome.bundle_path is not None:
+                record["bundle_path"] = outcome.bundle_path
             _journal_append(journal_path, record)
 
     specs = [TaskSpec(key=seed, fn=task, args=_args_for(seed),
@@ -481,11 +506,18 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
             seed=seed,
             used_seed=_used_seed(fingerprint, seed, result.attempts),
             attempts=result.attempts, status="ok", error=None,
-            values=values, telemetry=telemetry)
+            values=values, telemetry=telemetry,
+            degraded=bool(getattr(result.value, "degraded", False)),
+            bundle_path=getattr(result.value, "bundle_path", None))
     error = (f"{result.error} "
              f"(attempt {result.attempts}/{max_attempts})")
+    # Guard failures embed their forensics bundle in the message
+    # (exceptions cross the worker pipe as strings); lift it out so
+    # the journal links straight to the bundle.
+    match = re.search(r"\[bundle: ([^\]]+)\]", result.error or "")
     return ReplicateOutcome(
         seed=seed, used_seed=seed, attempts=result.attempts,
         status="failed", error=error,
         values={name: None for name in metric_names},
-        telemetry=telemetry)
+        telemetry=telemetry,
+        bundle_path=match.group(1) if match else None)

@@ -1,0 +1,23 @@
+"""Crash forensics: bundle writer/loader and the replay helper.
+
+The runtime checks themselves live in :mod:`repro.sim.guards`; this
+package owns what happens *after* one fires — persisting a
+self-contained crash bundle and re-running it to the failure point.
+"""
+
+from repro.guards.bundle import (  # noqa: F401
+    BUNDLE_VERSION,
+    config_fingerprint,
+    load_bundle,
+    write_bundle,
+)
+from repro.guards.replay import ReplayResult, replay  # noqa: F401
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "ReplayResult",
+    "config_fingerprint",
+    "load_bundle",
+    "replay",
+    "write_bundle",
+]

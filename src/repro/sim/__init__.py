@@ -26,6 +26,7 @@ from repro.sim.config import (  # noqa: F401
 )
 from repro.sim.engine import EventEngine  # noqa: F401
 from repro.sim.faults import FaultConfig, FaultModel  # noqa: F401
+from repro.sim.guards import GuardConfig, InvariantViolation  # noqa: F401
 from repro.sim.metrics import SimulationMetrics, degradation_rows  # noqa: F401
 from repro.sim.runner import Simulation, SimulationResult, run_simulation  # noqa: F401
 
@@ -35,6 +36,8 @@ __all__ = [
     "EventEngine",
     "FaultConfig",
     "FaultModel",
+    "GuardConfig",
+    "InvariantViolation",
     "Simulation",
     "SimulationConfig",
     "SimulationMetrics",

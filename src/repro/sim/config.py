@@ -12,17 +12,19 @@ simulated second (the paper's plots are in seconds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.names import Algorithm
 from repro.sim.faults import FaultConfig
+from repro.sim.guards import GuardConfig
 
 __all__ = [
     "CapacityClass",
     "AttackConfig",
     "FaultConfig",
+    "GuardConfig",
     "StrategyParameters",
     "SimulationConfig",
     "DEFAULT_CAPACITY_CLASSES",
@@ -194,6 +196,16 @@ class SimulationConfig:
     #: Record every transfer in ``SimulationMetrics.transfers`` — useful
     #: for per-transfer invariant checks; off by default (memory).
     record_transfers: bool = False
+    #: Runtime invariant guards, stall watchdog, and crash forensics
+    #: (:mod:`repro.sim.guards`). Off by default: guards are
+    #: observation-only, but the paper's bare simulator stays the
+    #: baseline.
+    guards: GuardConfig = field(default_factory=GuardConfig)
+    #: Opt-out for the zero-seed-bandwidth sanity check: a swarm whose
+    #: only seeders have zero capacity can never distribute anything,
+    #: which is almost always a configuration mistake — except in unit
+    #: tests that inject pieces by hand.
+    allow_unseeded: bool = False
     neighbor_count: int = 40
     max_rounds: int = 600
     seed: int = 0
@@ -244,6 +256,26 @@ class SimulationConfig:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.sample_interval < 1:
             raise ConfigurationError("sample_interval must be >= 1")
+        # Cross-field checks: combinations that are individually legal
+        # but can only produce a meaningless (or never-ending) run.
+        if (self.seeder_capacity == 0.0 and not self.allow_unseeded):
+            raise ConfigurationError(
+                f"seeder_capacity=0 with {self.n_users} downloaders: the "
+                "seeders can never emit a piece, so no user can complete. "
+                "Raise seeder_capacity, or set allow_unseeded=True if the "
+                "swarm is seeded by other means (e.g. a test injecting "
+                "pieces directly)")
+        if self.sample_interval > self.max_rounds:
+            raise ConfigurationError(
+                f"sample_interval={self.sample_interval} exceeds "
+                f"max_rounds={self.max_rounds}: no sample would ever be "
+                "taken. Lower sample_interval or raise max_rounds")
+        if (self.arrival_process == "flash"
+                and self.flash_crowd_duration > self.max_rounds):
+            raise ConfigurationError(
+                f"flash_crowd_duration={self.flash_crowd_duration} exceeds "
+                f"max_rounds={self.max_rounds}: part of the flash crowd "
+                "would never arrive before the run is cut off")
 
     @property
     def n_freeriders(self) -> int:
@@ -271,3 +303,41 @@ class SimulationConfig:
     def with_faults(self, faults: FaultConfig) -> "SimulationConfig":
         """Variant running under the given fault-injection layer."""
         return replace(self, faults=faults)
+
+    def with_guards(self, mode: str = "cheap",
+                    **overrides: Any) -> "SimulationConfig":
+        """Variant with invariant guards enabled at ``mode``.
+
+        Keyword overrides are applied to the current
+        :class:`~repro.sim.guards.GuardConfig`, e.g.
+        ``cfg.with_guards("full", watchdog_window=200)``.
+        """
+        return replace(self, guards=replace(self.guards, mode=mode,
+                                            **overrides))
+
+    # ------------------------------------------------------------------
+    # Serialisation (crash bundles / replay)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        data = asdict(self)
+        data["algorithm"] = self.algorithm.value
+        data["capacity_classes"] = [asdict(c) for c in self.capacity_classes]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (e.g. a crash
+        bundle). Unknown keys are rejected so a stale bundle fails
+        loudly instead of silently dropping fields."""
+        payload = dict(data)
+        payload["capacity_classes"] = tuple(
+            CapacityClass(**c) for c in payload.get("capacity_classes", ()))
+        for key, factory in (("attack", AttackConfig),
+                             ("faults", FaultConfig),
+                             ("strategy_params", StrategyParameters),
+                             ("guards", GuardConfig)):
+            value = payload.get(key)
+            if isinstance(value, Mapping):
+                payload[key] = factory(**value)
+        return cls(**payload)

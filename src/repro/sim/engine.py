@@ -222,6 +222,16 @@ class EventEngine:
         """Stop the current :meth:`run`/:meth:`run_until` after this event."""
         self._running = False
 
+    def upcoming(self, limit: int = 16) -> List[tuple]:
+        """The next ``limit`` queued events as ``(time, name)`` pairs.
+
+        Read-only forensics view (crash bundles embed it); cancelled
+        events are skipped and the heap is left untouched.
+        """
+        live = [e for e in self._queue if not e.cancelled]
+        return [(e.time, e.name)
+                for e in heapq.nsmallest(limit, live)]
+
     def _peek(self) -> Optional[Event]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)

@@ -168,6 +168,16 @@ class SimulationMetrics:
     freerider_received: int = 0
     rounds_run: int = 0
     faults: FaultCounters = field(default_factory=FaultCounters)
+    #: Guard-subsystem outcome (see :mod:`repro.sim.guards`). These
+    #: describe *how the run ended*, not the measured physics, and are
+    #: deliberately excluded from :func:`metrics_digest` so a guarded
+    #: run stays byte-identical to an unguarded one. ``degraded`` means
+    #: the progress watchdog finalized a livelocked swarm early;
+    #: ``stall`` holds its evidence and ``bundle_path`` the forensics
+    #: bundle written at that point.
+    degraded: bool = False
+    stall: Optional[Dict[str, object]] = None
+    bundle_path: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Efficiency
@@ -309,6 +319,20 @@ class MetricsCollector:
         self._total_uploaded = 0
         self._peer_uploaded = 0
         self.faults = FaultCounters()
+
+    # Read-only mid-run views, used by the invariant guards (the
+    # accumulators themselves stay private: only the runner writes).
+    @property
+    def total_uploaded_so_far(self) -> int:
+        return self._total_uploaded
+
+    @property
+    def peer_uploaded_so_far(self) -> int:
+        return self._peer_uploaded
+
+    @property
+    def freerider_received_so_far(self) -> int:
+        return self._freerider_received
 
     # Called by the runner on every executed transfer.
     def record_transfer(self, to_freerider: bool, usable: bool,

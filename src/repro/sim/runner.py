@@ -21,9 +21,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from repro.errors import InvariantViolationError, SimulationStalled
 from repro.names import Algorithm
 from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
 from repro.sim.config import SimulationConfig
+from repro.sim.guards import GuardRuntime
 from repro.sim.context import StrategyContext
 from repro.sim.engine import EventEngine
 from repro.sim.faults import FaultModel
@@ -97,6 +99,11 @@ class Simulation:
         #: (receiver lineage, piece) pairs whose delivery was lost —
         #: cleared (and counted as a retry) when a later send lands.
         self._lost_deliveries: Set[Tuple[int, int]] = set()
+        #: Invariant guards / watchdog / forensics. Observation-only:
+        #: consumes no randomness and mutates nothing the simulation
+        #: reads, so guarded runs are digest-identical to unguarded.
+        self._guards: Optional[GuardRuntime] = (
+            GuardRuntime(config.guards) if config.guards.enabled else None)
         self._install_topology()
         self._build_population()
 
@@ -226,6 +233,10 @@ class Simulation:
     def _on_arrival(self, peer: Peer) -> None:
         self.swarm.add_peer(peer)
         self._arrived += 1
+        if self._guards is not None:
+            # Arrivals count as progress: a slow Poisson trickle must
+            # not be misread as a livelock by the watchdog.
+            self._guards.note_progress(self.round_index)
 
     def _on_round(self) -> None:
         if self._finished:
@@ -257,6 +268,8 @@ class Simulation:
             self._finished = True
             self._round_handle.cancel()
             self.engine.stop()
+        if self._guards is not None:
+            self._guards.after_round(self)
 
     def _all_departed(self) -> bool:
         """All compliant users arrived and finished (or churned out).
@@ -448,6 +461,9 @@ class Simulation:
 
     def _record_trace(self, uploader: Peer, target: Peer, piece: int,
                       kind: str, usable: bool, lost: bool = False) -> None:
+        if self._guards is not None:
+            self._guards.note_transfer(self, uploader, target, piece, kind,
+                                       usable, lost)
         if self.config.record_transfers:
             self.collector.metrics.transfers.append(TransferRecord(
                 time=self.engine.now, uploader_id=uploader.peer_id,
@@ -526,6 +542,8 @@ class Simulation:
             peer.bootstrap_time = self.engine.now
         if peer.complete and peer.completion_time is None:
             peer.completion_time = self.engine.now
+        if self._guards is not None:
+            self._guards.note_progress(self.round_index)
 
     # ------------------------------------------------------------------
     # T-Chain mechanics
@@ -832,13 +850,44 @@ class Simulation:
         uploads = sum(p.total_uploaded for p in self._all_peers)
         return uploads + sum(s.total_uploaded for s in self._seeders)
 
+    def finalize_degraded(self) -> None:
+        """Watchdog degrade path: end the run now with partial metrics.
+
+        Called by :class:`~repro.sim.guards.GuardRuntime` when the
+        progress watchdog trips under ``watchdog_action="degrade"``.
+        The run terminates exactly as a natural finish would; the
+        guards stamp ``degraded=True`` onto the metrics afterwards.
+        """
+        self._finished = True
+        self._round_handle.cancel()
+        self.engine.stop()
+
     def run(self) -> SimulationResult:
         """Execute the run to completion and return its results."""
         # +2 rounds of slack so the final sample lands before the cap.
-        self.engine.run_until(self.config.max_rounds + 2,
-                              max_events=50_000_000)
+        try:
+            self.engine.run_until(self.config.max_rounds + 2,
+                                  max_events=50_000_000)
+        except (InvariantViolationError, SimulationStalled):
+            raise  # guards already wrote their bundle
+        except Exception as exc:
+            if self._guards is not None:
+                path = self._guards.on_unhandled_exception(self, exc)
+                if path is not None:
+                    # Embed the bundle path in the message (args, not
+                    # add_note: py3.10) so it survives the str()
+                    # serialisation sweep workers apply to errors.
+                    exc.bundle_path = path
+                    if exc.args and isinstance(exc.args[0], str):
+                        exc.args = (f"{exc.args[0]} [bundle: {path}]",
+                                    *exc.args[1:])
+                    else:
+                        exc.args = (*exc.args, f"[bundle: {path}]")
+            raise
         metrics = self.collector.finalize(self._summaries(), self.round_index,
                                           self.total_received_raw())
+        if self._guards is not None:
+            self._guards.stamp_metrics(metrics)
         return SimulationResult(config=self.config, metrics=metrics)
 
 

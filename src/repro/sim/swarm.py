@@ -78,6 +78,14 @@ class ReputationBoard:
         """Drop a retired identity's score (whitewashing resets to zero)."""
         self._scores.pop(peer_id, None)
 
+    def snapshot(self) -> Dict[int, float]:
+        """A plain copy of all scores (guards / forensics bundles).
+
+        A ``dict()`` copy, not the defaultdict itself: readers probing
+        arbitrary ids must not grow the board as a side effect.
+        """
+        return dict(self._scores)
+
 
 class Swarm:
     """Membership, views, availability, and identity registry."""

@@ -32,6 +32,9 @@ def build_sim(algorithm: Algorithm, n_users: int = 6, n_pieces: int = 8,
         neighbor_count=n_users,
         max_rounds=50,
         seed=seed,
+        # Tests seed the swarm by hand (give_piece), so the
+        # zero-seed-bandwidth validation must not reject the config.
+        allow_unseeded=True,
     )
     sim = Simulation(config)
     sim.engine.run_until(0.0)  # fire all arrivals (flash duration 0)

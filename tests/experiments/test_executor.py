@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.experiments.executor import (
+    RespawnStormError,
     TaskSpec,
     default_jobs,
     run_tasks,
@@ -184,3 +185,48 @@ class TestRecyclingAndTelemetry:
         assert telemetry.queue_wait_s >= 0
         assert set(telemetry.as_dict()) == {"worker", "wall_s",
                                             "queue_wait_s"}
+
+
+def exit_always(x):
+    """Simulates a systematic child failure (e.g. a broken import)."""
+    os._exit(7)
+
+
+class TestRespawnStormBreaker:
+    def test_storm_trips_breaker(self):
+        # Every spawned worker dies before completing a single task;
+        # without the breaker this would respawn until attempts ran out.
+        specs = [TaskSpec(key=i, fn=exit_always, args=(i,), max_attempts=10)
+                 for i in range(4)]
+        with pytest.raises(RespawnStormError) as excinfo:
+            run_tasks(specs, jobs=1, crash_storm_limit=3)
+        exc = excinfo.value
+        assert exc.deaths == 3
+        assert "3 consecutive workers" in str(exc)
+        assert exc.last_exitcode == 7
+
+    def test_intermittent_crashes_do_not_trip(self):
+        # Crashes interleaved with completed tasks: every success (and
+        # every warm-worker death) resets the breaker, so two isolated
+        # crashes never read as a storm even with the limit at 2.
+        specs = []
+        for i in range(2):
+            specs.append(TaskSpec(
+                key=(i, "crash"), fn=exit_if_small,
+                args=(lambda a, i=i: (i if a == 1 else i + 1000,)),
+                max_attempts=2))
+            specs.append(TaskSpec(key=(i, "ok"), fn=square, args=(i,)))
+        report = run_tasks(specs, jobs=1, crash_storm_limit=2)
+        assert all(r.ok for r in report.results)
+        assert report.stats.worker_crashes == 2
+
+    def test_breaker_disabled_with_none(self):
+        specs = [TaskSpec(key=0, fn=exit_always, args=(0,), max_attempts=3)]
+        report = run_tasks(specs, jobs=1, crash_storm_limit=None)
+        assert report.results[0].status == "failed"
+        assert "worker process died" in report.results[0].error
+
+    def test_breaker_limit_validated(self):
+        with pytest.raises(ValueError):
+            run_tasks([TaskSpec(key=0, fn=square, args=(0,))],
+                      crash_storm_limit=0)

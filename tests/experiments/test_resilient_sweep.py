@@ -344,3 +344,46 @@ class TestOutcome:
         rows = sweep.to_rows()
         assert rows[0]["n_missing"] == 2
         assert rows[0]["n"] == 2
+
+
+class TestDegradedRuns:
+    """Watchdog-degraded replicates flow through the sweep machinery."""
+
+    @staticmethod
+    def _starved_config(tmp_path):
+        from repro.sim import FaultConfig
+
+        config = smoke_scale(Algorithm.RECIPROCITY).with_faults(FaultConfig(
+            seeder_outage_rate=0.95, seeder_outage_duration=500))
+        return config.with_guards("cheap", watchdog_window=8,
+                                  bundle_dir=str(tmp_path))
+
+    def test_degraded_replicates_surface_in_outcomes(self, tmp_path):
+        result = run_resilient_sweep(self._starved_config(tmp_path),
+                                     seeds=(0, 1), jobs=1)
+        assert result.n_failed == 0
+        assert result.n_degraded == 2
+        for outcome in result.outcomes:
+            assert outcome.ok and outcome.degraded
+            assert outcome.bundle_path is not None
+            assert os.path.exists(outcome.bundle_path)
+
+    def test_degraded_flag_journals_and_resumes(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        config = self._starved_config(tmp_path)
+        first = run_resilient_sweep(config, seeds=(0, 1), jobs=1,
+                                    journal_path=str(journal))
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        records = [r for r in records if "seed" in r]  # skip the header
+        assert len(records) == 2
+        assert all(r["degraded"] for r in records)
+        assert all(r.get("bundle_path") for r in records)
+
+        resumed = run_resilient_sweep(config, seeds=(0, 1), jobs=1,
+                                      journal_path=str(journal))
+        assert resumed.resumed == 2
+        assert resumed.n_degraded == 2
+        assert journal_digest(str(journal)) == journal_digest(str(journal))
+        assert [o.bundle_path for o in resumed.outcomes] == \
+            [o.bundle_path for o in first.outcomes]

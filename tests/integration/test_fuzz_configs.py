@@ -9,11 +9,14 @@ series, and determinism of the run under its seed.
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.names import EXTENDED_ALGORITHMS
 from repro.sim import AttackConfig, CapacityClass, SimulationConfig
+from repro.sim.metrics import metrics_digest
 from repro.sim.runner import run_simulation
 
 
@@ -94,3 +97,22 @@ def test_determinism_for_arbitrary_configs(config):
     assert first.total_uploaded == second.total_uploaded
     assert first.completion_times() == second.completion_times()
     assert first.susceptibility() == second.susceptibility()
+
+# Guard fuzz: arbitrary configurations must produce ZERO invariant
+# violations under full guards, and guards must never perturb the
+# physics (identical digests with and without them). CI's quick mode
+# shrinks the example budget via GUARD_FUZZ_EXAMPLES.
+_GUARD_EXAMPLES = int(os.environ.get("GUARD_FUZZ_EXAMPLES", "15"))
+
+
+@settings(max_examples=_GUARD_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sim_configs())
+def test_guards_full_zero_violations_and_digest_stable(config):
+    # A window wider than max_rounds keeps the watchdog out of the
+    # picture: this test is about the invariant checks alone.
+    guarded_config = config.with_guards("full", watchdog_window=400)
+    bare = run_simulation(config).metrics
+    guarded = run_simulation(guarded_config).metrics  # raises on violation
+    assert not guarded.degraded
+    assert metrics_digest(bare) == metrics_digest(guarded)

@@ -72,3 +72,17 @@ class TestSeedPinnedDigests:
         first = metrics_digest(run_simulation(config).metrics)
         second = metrics_digest(run_simulation(config).metrics)
         assert first == second == PINNED_DIGESTS[Algorithm.RECIPROCITY]
+
+
+class TestGuardsPreserveDigests:
+    """Guards are observation-only: the pinned digests must survive
+    running every check every round (the strictest mode there is)."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS,
+                             ids=[a.value for a in ALL_ALGORITHMS])
+    def test_full_guards_keep_pinned_digest(self, algorithm, tmp_path):
+        config = equivalence_config(algorithm).with_guards(
+            "full", watchdog_window=400, bundle_dir=str(tmp_path))
+        metrics = run_simulation(config).metrics
+        assert not metrics.degraded
+        assert metrics_digest(metrics) == PINNED_DIGESTS[algorithm]

@@ -135,3 +135,59 @@ class TestSimulationConfig:
 
     def test_with_seed(self):
         assert SimulationConfig(Algorithm.TCHAIN).with_seed(9).seed == 9
+
+
+class TestCrossFieldValidation:
+    def test_zero_capacity_seeder_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            SimulationConfig(Algorithm.TCHAIN, seeder_capacity=0.0)
+        message = str(excinfo.value)
+        assert "seeder_capacity" in message
+        assert "allow_unseeded" in message  # names the opt-out
+
+    def test_zero_capacity_seeder_allowed_with_opt_out(self):
+        config = SimulationConfig(Algorithm.TCHAIN, seeder_capacity=0.0,
+                                  allow_unseeded=True)
+        assert config.seeder_capacity == 0.0
+
+    def test_sample_interval_beyond_run_rejected(self):
+        with pytest.raises(ConfigurationError, match="sample_interval"):
+            SimulationConfig(Algorithm.TCHAIN, max_rounds=50,
+                             sample_interval=60)
+
+    def test_flash_crowd_longer_than_run_rejected(self):
+        with pytest.raises(ConfigurationError, match="flash_crowd_duration"):
+            SimulationConfig(Algorithm.TCHAIN, max_rounds=5,
+                             flash_crowd_duration=10.0)
+
+    def test_flash_duration_irrelevant_for_poisson(self):
+        config = SimulationConfig(Algorithm.TCHAIN, max_rounds=5,
+                                  flash_crowd_duration=10.0,
+                                  arrival_process="poisson")
+        assert config.max_rounds == 5
+
+
+class TestConfigRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        config = SimulationConfig(
+            Algorithm.TCHAIN, n_users=50, n_pieces=16, seed=11,
+            freerider_fraction=0.2,
+            attack=targeted_attack_for(Algorithm.TCHAIN),
+        ).with_guards("cheap", watchdog_window=30)
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        config = SimulationConfig(Algorithm.REPUTATION, n_users=40)
+        payload = json.dumps(config.to_dict())
+        rebuilt = SimulationConfig.from_dict(json.loads(payload))
+        assert rebuilt == config
+
+    def test_with_guards_returns_new_config(self):
+        config = SimulationConfig(Algorithm.TCHAIN)
+        guarded = config.with_guards("full")
+        assert config.guards.mode == "off"
+        assert guarded.guards.mode == "full"
+        assert guarded.algorithm is config.algorithm

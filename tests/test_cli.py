@@ -135,3 +135,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "Figure 4" not in out
+
+
+class TestGuardFlags:
+    def test_run_guard_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "tchain", "--guards", "full",
+             "--bundle-dir", "/tmp/b", "--watchdog-window", "30",
+             "--watchdog-action", "raise"])
+        assert args.guards == "full"
+        assert args.bundle_dir == "/tmp/b"
+        assert args.watchdog_window == 30
+        assert args.watchdog_action == "raise"
+
+    def test_guards_default_off(self):
+        args = build_parser().parse_args(["run", "--algorithm", "tchain"])
+        assert args.guards == "off"
+
+    def test_rejects_unknown_guard_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--algorithm", "tchain", "--guards", "paranoid"])
+
+    def test_run_with_guards_clean(self, tmp_path, capsys):
+        code = main(["run", "--algorithm", "bittorrent", "--users", "40",
+                     "--pieces", "12", "--seed", "3", "--max-rounds", "200",
+                     "--guards", "full", "--bundle-dir", str(tmp_path)])
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_run_degraded_exits_4_and_prints_bundle(self, tmp_path, capsys):
+        # A near-permanent seeder outage starves the flash crowd; the
+        # watchdog should degrade the run instead of spinning 80 rounds.
+        code = main(["run", "--algorithm", "reciprocity", "--users", "30",
+                     "--pieces", "16", "--max-rounds", "80",
+                     "--guards", "cheap", "--watchdog-window", "8",
+                     "--bundle-dir", str(tmp_path),
+                     "--seeder-outage-rate", "0.95",
+                     "--seeder-outage-duration", "500"])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "stall watchdog" in err
+        assert str(tmp_path) in err
+        assert any(p.name.startswith("bundle-stall-")
+                   for p in tmp_path.iterdir())
+
+    def test_run_stall_raise_exits_3(self, tmp_path, capsys):
+        code = main(["run", "--algorithm", "reciprocity", "--users", "30",
+                     "--pieces", "16", "--max-rounds", "80",
+                     "--guards", "cheap", "--watchdog-window", "8",
+                     "--watchdog-action", "raise",
+                     "--bundle-dir", str(tmp_path),
+                     "--seeder-outage-rate", "0.95",
+                     "--seeder-outage-duration", "500"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "stalled" in err
+        assert str(tmp_path) in err
+
+    def test_sweep_degraded_exits_4_with_bundle_lines(self, tmp_path, capsys):
+        code = main(["sweep", "--algorithm", "reciprocity", "--scale",
+                     "smoke", "--replicates", "2", "--jobs", "1",
+                     "--guards", "cheap", "--watchdog-window", "8",
+                     "--bundle-dir", str(tmp_path),
+                     "--seeder-outage-rate", "0.95",
+                     "--seeder-outage-duration", "500"])
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "degraded: stall watchdog fired" in captured.out
+        assert "bundle:" in captured.out
+        assert "replicate(s) degraded" in captured.err
