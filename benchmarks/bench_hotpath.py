@@ -42,7 +42,8 @@ __all__ = ["hotpath_config", "run_bench", "main"]
 
 def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
                    rounds: int, seed: int,
-                   guards: str = "off") -> SimulationConfig:
+                   guards: str = "off",
+                   obs: str = "off") -> SimulationConfig:
     """The timed scenario: a pure flash crowd at the given scale."""
     config = SimulationConfig(
         algorithm=algorithm,
@@ -56,6 +57,14 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
         # A wide window: the timed run is capped mid-download, which a
         # short-windowed watchdog would misread as a stall.
         config = config.with_guards(guards, watchdog_window=10 * rounds)
+    if obs == "trace":
+        # Full-bore observability: every event traced (no sampling-out),
+        # every round sampled, every span profiled. Compared against an
+        # obs=off run of the same scale this measures the layer's
+        # worst-case overhead; disabled-mode overhead is just the
+        # `if self._obs is not None` checks, asserted within noise by
+        # tests/obs (and visible here as obs=off before/after the PR).
+        config = config.with_obs(trace=True, sample_every=1, profile=True)
     return config
 
 
@@ -74,7 +83,8 @@ def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
 
 
 def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
-              baseline: Optional[dict] = None, guards: str = "off") -> dict:
+              baseline: Optional[dict] = None, guards: str = "off",
+              obs: str = "off") -> dict:
     """Time every algorithm once; attach speedups vs. ``baseline``."""
     result = {
         "benchmark": "hotpath_round_loop",
@@ -83,6 +93,7 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
         "rounds_cap": rounds,
         "seed": seed,
         "guards": guards,
+        "obs": obs,
         "python": platform.python_version(),
         "algorithms": {},
     }
@@ -90,7 +101,7 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
     for algorithm in ALL_ALGORITHMS:
         entry = _time_round_loop(
             hotpath_config(algorithm, n_users, n_pieces, rounds, seed,
-                           guards=guards))
+                           guards=guards, obs=obs))
         total += entry["seconds"]
         result["algorithms"][algorithm.value] = entry
         print(f"{algorithm.value:12s} {entry['seconds']:8.3f}s "
@@ -143,6 +154,12 @@ def main(argv=None) -> int:
                         help="run with runtime invariant guards enabled "
                              "(measures their overhead vs an --guards off "
                              "baseline)")
+    parser.add_argument("--trace", dest="obs", action="store_const",
+                        const="trace", default="off",
+                        help="run with the observability layer fully on "
+                             "(trace + every-round sampling + profiling); "
+                             "compare against an un-traced run to measure "
+                             "its overhead")
     parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
@@ -155,7 +172,7 @@ def main(argv=None) -> int:
             baseline = json.load(fh)
 
     result = run_bench(args.users, args.pieces, args.rounds, args.seed,
-                       baseline=baseline, guards=args.guards)
+                       baseline=baseline, guards=args.guards, obs=args.obs)
     with open(args.output, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -48,6 +48,17 @@ class Strategy(abc.ABC):
         target = self.rng.choice(pool)
         return ctx.send_piece(target)
 
+    def note_decision(self, ctx: StrategyContext, name: str,
+                      target_id: Optional[int] = None, **fields) -> None:
+        """Trace a policy decision into the run's event tracer.
+
+        A thin forward to :meth:`StrategyContext.note_decision`
+        (``choke`` category): free to call unconditionally — with
+        tracing off it is a no-op — and observation-only, so emitting
+        decisions can never perturb a seeded run.
+        """
+        ctx.note_decision(name, target_id=target_id, **fields)
+
 
 class SeederStrategy(Strategy):
     """The seeder's policy, identical under every mechanism.

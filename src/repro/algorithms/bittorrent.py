@@ -52,6 +52,8 @@ class BitTorrentStrategy(Strategy):
 
     def on_round(self, ctx: StrategyContext) -> None:
         unchoked = self._unchoked(ctx)
+        if unchoked:
+            self.note_decision(ctx, "unchoke", targets=list(unchoked))
         # One attempt per available piece; a tit-for-tat slot with no
         # tradeable partner is *wasted* (reserved bandwidth idles), it
         # is never redirected to newcomers.
@@ -60,6 +62,7 @@ class BitTorrentStrategy(Strategy):
                 return
             if self.rng.random() < self.params.alpha_bt:
                 # Optimistic unchoke: anyone needy, newcomers included.
+                self.note_decision(ctx, "optimistic")
                 if not self._send_random(ctx):
                     return
                 continue

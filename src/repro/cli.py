@@ -16,8 +16,22 @@ Commands
     Crash-safe replicated sweep on a persistent worker pool
     (``--jobs``): crash isolation, per-replicate timeouts, bounded
     retry, a resumable checkpoint journal, and sweep telemetry.
+    ``--sample-every N`` ships each replicate's gauge series home
+    through the telemetry channel; ``--trace-out`` renders them as one
+    Chrome trace (one Perfetto process per seed).
+``trace``
+    Run one fully-instrumented simulation (tracer + samplers +
+    profiler all on) and print its self-profile table, sparkline
+    dashboard, and trace-ring statistics; ``--trace-out`` writes the
+    Chrome ``trace_event`` JSON, loadable in Perfetto.
 ``report``
     The full reproduction report: all tables plus all three sweeps.
+
+``run``/``sweep``/``trace`` share the observability flags (``--trace``,
+``--sample-every``, ``--profile``, ``--sample-rate CAT=N``,
+``--trace-out``); observability is strictly observation-only, so
+enabling any of it never changes a run's metrics (see
+docs/OBSERVABILITY.md).
 
 Examples
 --------
@@ -28,8 +42,12 @@ Examples
     python -m repro run --algorithm altruism --freeriders 0.2 --json out.json
     python -m repro run --algorithm bittorrent --loss-rate 0.2
     python -m repro run --algorithm tchain --guards full --bundle-dir ./bundles
+    python -m repro run --algorithm tchain --trace --trace-out run.trace.json
     python -m repro sweep --algorithm tchain --replicates 5 \
         --journal sweep.jsonl --timeout 120 --jobs 4
+    python -m repro sweep --algorithm tchain --sample-every 5 \
+        --trace-out sweep.trace.json
+    python -m repro trace --algorithm bittorrent --freeriders 0.2
     python -m repro figure5 --scale smoke --seed 7
 """
 
@@ -40,13 +58,16 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
-from repro.errors import InvariantViolationError, SimulationStalled
+from repro.errors import (ConfigurationError, InvariantViolationError,
+                          SimulationStalled)
 from repro.experiments import figures, report, scenarios, tables
 from repro.experiments.executor import DEFAULT_RECYCLE_AFTER
 from repro.experiments.export import result_to_json, summary_dict
 from repro.experiments.replicates import run_resilient_sweep
 from repro.names import EXTENDED_ALGORITHMS, Algorithm
-from repro.sim import (FaultConfig, SimulationConfig, run_simulation,
+from repro.obs import (SeriesStore, sweep_series_to_chrome_trace,
+                       to_chrome_trace, to_jsonl)
+from repro.sim import (FaultConfig, Simulation, SimulationConfig,
                        targeted_attack_for)
 
 __all__ = ["main", "build_parser"]
@@ -99,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
     _add_guard_arguments(run)
+    _add_obs_arguments(
+        run, trace_out_help="write the traced events and sampled series "
+                            "as Chrome trace_event JSON (open in Perfetto); "
+                            "implies --trace")
 
     sweep = sub.add_parser(
         "sweep", help="crash-safe replicated sweep with checkpoint/resume")
@@ -128,6 +153,37 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default {DEFAULT_RECYCLE_AFTER})")
     _add_fault_arguments(sweep)
     _add_guard_arguments(sweep)
+    _add_obs_arguments(
+        sweep, trace_out_help="render every replicate's sampled series "
+                              "(shipped home via the telemetry channel; "
+                              "needs --sample-every) as one Chrome trace, "
+                              "one Perfetto process per seed")
+
+    trace = sub.add_parser(
+        "trace", help="run one fully-instrumented simulation and print "
+                      "its self-profile, dashboard, and trace statistics")
+    trace.add_argument("--algorithm", default=Algorithm.TCHAIN.value,
+                       choices=[a.value for a in EXTENDED_ALGORITHMS])
+    trace.add_argument("--users", type=int, default=60)
+    trace.add_argument("--pieces", type=int, default=32)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--freeriders", type=float, default=0.0,
+                       help="free-rider fraction (targeted attacks applied)")
+    trace.add_argument("--max-rounds", type=int, default=200)
+    trace.add_argument("--sample-every", type=int, default=1, metavar="N",
+                       help="sample the gauge catalogue every N rounds")
+    trace.add_argument("--sample-rate", action="append", default=None,
+                       metavar="CAT=N",
+                       help="keep 1 in N traced events of category CAT "
+                            "(repeatable; categories: transfer, choke, "
+                            "reputation, bootstrap, completion, fault)")
+    trace.add_argument("--buffer", type=int, default=None, metavar="EVENTS",
+                       help="trace ring-buffer capacity (default 65536)")
+    trace.add_argument("--trace-out", metavar="PATH",
+                       help="write Chrome trace_event JSON to PATH "
+                            "(open in Perfetto)")
+    trace.add_argument("--jsonl-out", metavar="PATH",
+                       help="write traced events as JSON lines to PATH")
     return parser
 
 
@@ -183,6 +239,74 @@ def _apply_guards(config: SimulationConfig,
     return config.with_guards(args.guards, **overrides)
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser,
+                       trace_out_help: str) -> None:
+    group = parser.add_argument_group("observability (observation-only: "
+                                      "never changes metrics)")
+    group.add_argument("--trace", action="store_true",
+                       help="record events (transfers, choke decisions, "
+                            "reputation movements, bootstraps, completions, "
+                            "faults) in a bounded ring buffer")
+    group.add_argument("--sample-every", type=int, default=0, metavar="N",
+                       help="sample the per-round gauge catalogue every "
+                            "N rounds (0 disables)")
+    group.add_argument("--profile", action="store_true",
+                       help="aggregate wall-clock spans around engine "
+                            "dispatch, strategy decisions, and guard passes")
+    group.add_argument("--sample-rate", action="append", default=None,
+                       metavar="CAT=N",
+                       help="keep 1 in N traced events of category CAT "
+                            "(repeatable); implies --trace")
+    group.add_argument("--trace-out", metavar="PATH", help=trace_out_help)
+
+
+def _parse_sample_rates(items) -> tuple:
+    rates = []
+    for item in items or ():
+        category, sep, value = item.partition("=")
+        try:
+            rate = int(value)
+        except ValueError:
+            rate = -1
+        if not sep or rate < 1:
+            raise ConfigurationError(
+                f"--sample-rate expects CATEGORY=N with N >= 1, "
+                f"got {item!r}")
+        rates.append((category.strip(), rate))
+    return tuple(rates)
+
+
+def _apply_obs(config: SimulationConfig,
+               args: argparse.Namespace) -> SimulationConfig:
+    """Enable the observability layer when any of its flags were used.
+
+    May raise :class:`ConfigurationError` (unknown category, bad rate);
+    callers translate that into exit code 2.
+    """
+    rates = _parse_sample_rates(args.sample_rate)
+    trace = bool(args.trace or args.trace_out or rates)
+    if not (trace or args.profile or args.sample_every > 0):
+        return config
+    overrides = {"trace_sample_rates": rates} if rates else {}
+    return config.with_obs(trace=trace, sample_every=args.sample_every,
+                           profile=args.profile, **overrides)
+
+
+def _export_run_trace(sim: Simulation, path: Optional[str],
+                      label: str, prefix: str) -> None:
+    """Write a run's Chrome trace (events + series) to ``path``."""
+    if not path:
+        return
+    obs = sim.obs
+    events = (obs.tracer.events()
+              if obs is not None and obs.tracer is not None else [])
+    series = obs.series if obs is not None else None
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_chrome_trace(events, series, label=label))
+    print(f"{prefix}: wrote Chrome trace to {path} "
+          "(open in https://ui.perfetto.dev)")
+
+
 def _fault_config(args: argparse.Namespace) -> FaultConfig:
     kwargs = {}
     if args.seeder_outage_duration is not None:
@@ -219,7 +343,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_faults(faults)
     config = _apply_guards(config, args)
     try:
-        result = run_simulation(config)
+        config = _apply_obs(config, args)
+    except ConfigurationError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    # Hold the Simulation instance (rather than run_simulation) so the
+    # observability runtime is still reachable for export afterwards.
+    sim = Simulation(config)
+    try:
+        result = sim.run()
     except InvariantViolationError as exc:
         print(f"run: invariant violation: {exc}", file=sys.stderr)
         if exc.bundle_path:
@@ -244,6 +376,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{algorithm.display_name}: {args.users} users, "
               f"{args.pieces} pieces, seed {args.seed}")
         _print_summary(result)
+    _export_run_trace(sim, args.trace_out,
+                      label=f"repro run {algorithm.value}", prefix="run")
     if result.metrics.degraded:
         print("run: WARNING: stall watchdog degraded this run "
               "(metrics cover only the rounds before the stall)",
@@ -267,8 +401,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if faults.enabled:
         config = config.with_faults(faults)
     config = _apply_guards(config, args)
+    try:
+        config = _apply_obs(config, args)
+    except ConfigurationError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     if args.replicates < 1:
         print("sweep: --replicates must be >= 1", file=sys.stderr)
+        return 2
+    if args.trace_out and args.sample_every <= 0:
+        print("sweep: --trace-out needs --sample-every N (raw trace "
+              "events never cross worker pipes; only sampled series do)",
+              file=sys.stderr)
         return 2
     seeds = tuple(range(args.seed, args.seed + args.replicates))
     recycle = (args.recycle_after if args.recycle_after is not None
@@ -298,6 +442,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"  seed {outcome.seed:5d}  {status}{timing}")
         if outcome.bundle_path:
             print(f"             bundle: {outcome.bundle_path}")
+    if args.trace_out:
+        series_by_seed = {}
+        for outcome in result.outcomes:
+            compact = ((outcome.telemetry or {}).get("obs") or {}
+                       ).get("series")
+            if compact:
+                series_by_seed[outcome.seed] = SeriesStore.from_compact(
+                    compact)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(sweep_series_to_chrome_trace(
+                series_by_seed,
+                label=f"repro sweep {algorithm.value}"))
+        print(f"sweep: wrote Chrome trace ({len(series_by_seed)} "
+              f"replicate series) to {args.trace_out}")
     engine = result.telemetry
     if engine:
         print(f"engine: {engine.get('jobs', 0)} workers, "
@@ -318,6 +476,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: WARNING: {result.n_degraded} replicate(s) degraded "
               "by the stall watchdog", file=sys.stderr)
         return 4
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    algorithm = Algorithm.parse(args.algorithm)
+    overrides = {}
+    if args.buffer is not None:
+        overrides["trace_buffer"] = args.buffer
+    try:
+        rates = _parse_sample_rates(args.sample_rate)
+        if rates:
+            overrides["trace_sample_rates"] = rates
+        config = SimulationConfig(
+            algorithm=algorithm,
+            n_users=args.users,
+            n_pieces=args.pieces,
+            seed=args.seed,
+            freerider_fraction=args.freeriders,
+            attack=targeted_attack_for(algorithm),
+            max_rounds=args.max_rounds,
+        ).with_obs(trace=True, sample_every=args.sample_every,
+                   profile=True, **overrides)
+    except ConfigurationError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    sim = Simulation(config)
+    try:
+        sim.run()
+    except (InvariantViolationError, SimulationStalled) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 3
+    obs = sim.obs
+    print(f"{algorithm.display_name}: {args.users} users, "
+          f"{args.pieces} pieces, seed {args.seed} — fully instrumented")
+    print()
+    print(obs.profiler.table())
+    if obs.series is not None and obs.series.names():
+        print()
+        print(obs.series.dashboard())
+    summary = obs.tracer.summary()
+    print()
+    print(f"trace ring: {summary['retained']} retained, "
+          f"{summary['evicted']} evicted "
+          f"(capacity {summary['capacity']})")
+    for category, counts in sorted(summary["counts"].items()):
+        print(f"  {category:12s} seen {counts['seen']:7d}   "
+              f"kept {counts['kept']:7d}   "
+              f"sampled out {counts['sampled_out']:7d}")
+    if args.trace_out:
+        _export_run_trace(sim, args.trace_out,
+                          label=f"repro trace {algorithm.value}",
+                          prefix="trace")
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w", encoding="utf-8") as handle:
+            handle.write(to_jsonl(obs.tracer.events()))
+        print(f"trace: wrote event JSONL to {args.jsonl_out}")
     return 0
 
 
@@ -349,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "tables":
         return _cmd_tables(args)
     if args.command in ("figure4", "figure5", "figure6"):

@@ -42,6 +42,7 @@ their own — do not nest engines.
 from __future__ import annotations
 
 import os
+import pickle
 import signal
 import time
 import traceback as _traceback
@@ -126,17 +127,23 @@ class TaskTelemetry:
     ``wall_s`` is execution time measured inside the worker (timeouts
     and crashes fall back to the parent-observed interval);
     ``queue_wait_s`` is how long the final attempt sat runnable before
-    a worker picked it up.
+    a worker picked it up. ``result_bytes`` is the pickled size of the
+    returned value as measured in the worker — the cost of shipping
+    the result (metrics plus any observability payload riding on it)
+    back over the pipe; ``None`` for failed attempts or when the value
+    could not be sized.
     """
 
     worker: Optional[int]
     wall_s: float
     queue_wait_s: float
+    result_bytes: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {"worker": self.worker,
                 "wall_s": self.wall_s,
-                "queue_wait_s": self.queue_wait_s}
+                "queue_wait_s": self.queue_wait_s,
+                "result_bytes": self.result_bytes}
 
 
 @dataclass(frozen=True)
@@ -240,7 +247,15 @@ def _worker_main(conn) -> None:
         start = time.perf_counter()
         try:
             value = fn(*args)
-            payload = ("ok", value, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            try:
+                # Sized here, where the object lives: the parent only
+                # ever sees the unpickled value. One extra pickling of
+                # the (small) result, not of the task's working set.
+                result_bytes = len(pickle.dumps(value))
+            except Exception:
+                result_bytes = None  # conn.send will surface the error
+            payload = ("ok", value, elapsed, result_bytes)
         except BaseException as exc:  # noqa: BLE001 - isolation boundary
             # Ship the full child traceback: when the parent surfaces
             # this failure (or trips the respawn circuit breaker) the
@@ -414,7 +429,9 @@ class _Engine:
         worker.tasks_done += 1
         self.cold_deaths = 0  # a worker is completing tasks: pool is healthy
         self.stats.tasks_per_worker[worker.wid] = worker.tasks_done
-        status, payload, wall_s = message
+        status, payload, wall_s = message[:3]
+        # Error messages stay 3-tuples; only "ok" carries a sized result.
+        result_bytes = message[3] if len(message) > 3 else None
         self.stats.busy_s += wall_s
         if running is None:  # pragma: no cover - protocol violation
             return
@@ -425,7 +442,8 @@ class _Engine:
                 key=spec.key, status="ok", value=payload, error=None,
                 attempts=running.attempt,
                 telemetry=TaskTelemetry(worker=worker.wid, wall_s=wall_s,
-                                        queue_wait_s=queue_wait)))
+                                        queue_wait_s=queue_wait,
+                                        result_bytes=result_bytes)))
         else:
             self._attempt_failed(running.index, running.attempt,
                                  worker.wid, payload,

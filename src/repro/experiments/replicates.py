@@ -25,8 +25,10 @@ writer in canonical seed order. Aggregates and journal contents are
 therefore digest-identical across ``jobs=1``, ``jobs=8``, and an
 interrupted-then-resumed run (:meth:`SweepResult.canonical_digest`,
 :func:`journal_digest`). Telemetry — per-replicate wall time, queue
-wait, worker id, and the end-of-sweep utilization summary — rides
-along in dedicated fields that the digests deliberately exclude.
+wait, worker id, any :mod:`repro.obs` payload the replicate sampled
+(compacted series, profile aggregates, trace counts), and the
+end-of-sweep utilization summary — rides along in dedicated fields
+that the digests deliberately exclude.
 
 Confidence intervals use the normal approximation
 ``mean ± z * std / sqrt(n)``; with the typical 3-10 replicates this is
@@ -500,6 +502,14 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
     seed = result.key
     telemetry = result.telemetry.as_dict()
     if result.ok:
+        # Observability payloads (compacted series, profile aggregates,
+        # trace counts — see repro.obs) ride home on ``metrics.obs``;
+        # lift them into the outcome's telemetry so sweeps journal them
+        # without perturbing any determinism digest (journal_digest and
+        # canonical_digest both exclude telemetry).
+        obs_payload = getattr(result.value, "obs", None)
+        if obs_payload is not None:
+            telemetry["obs"] = obs_payload
         values = {name: extract(result.value)
                   for name, extract in extractors.items()}
         return ReplicateOutcome(

@@ -1,5 +1,14 @@
 """Analysis over per-transfer traces (``record_transfers=True`` runs).
 
+``record_transfers`` keeps an *unbounded* list of
+:class:`~repro.sim.metrics.TransferRecord` on the metrics — exhaustive
+and digest-visible, sized for post-hoc forensics on single runs. It is
+no longer the only instrumentation path: for live, bounded, streaming
+views of a run (event tracing with sampling, per-round gauge series,
+self-profiling, Chrome-trace export) use :mod:`repro.obs` — see
+docs/OBSERVABILITY.md. This module stays on the exhaustive trace
+because pairwise-deficit bounds need *every* transfer, not a sample.
+
 The trace is the ground truth behind several of the paper's claims;
 this module turns it into checkable quantities:
 

@@ -1,0 +1,135 @@
+"""Trace and series exporters: Chrome ``trace_event`` JSON and JSONL.
+
+Two output formats, both dependency-free:
+
+* :func:`to_chrome_trace` renders traced events and sampled series in
+  the Chrome ``trace_event`` JSON-array format, loadable directly in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``. Traced
+  moments become instant events (phase ``"i"``), sampled series become
+  counter tracks (phase ``"C"``), and sim-time seconds map to
+  microseconds — one simulated second renders as 1 s on the timeline.
+* :func:`to_jsonl` renders traced events as one JSON object per line,
+  the right input for ad-hoc ``jq``/pandas analysis.
+
+Both are pure functions of their inputs: same trace in, byte-identical
+text out (dict keys sorted), which is what the exporter golden tests
+pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.samplers import SeriesStore
+    from repro.obs.tracer import TraceEvent
+
+__all__ = ["to_chrome_trace", "to_jsonl", "sweep_series_to_chrome_trace"]
+
+#: Synthetic pid for all simulator tracks; Perfetto groups tracks by it.
+_PID = 1
+
+#: Per-category tid so each event category renders as its own track.
+_CATEGORY_TIDS = {
+    "transfer": 1,
+    "choke": 2,
+    "reputation": 3,
+    "bootstrap": 4,
+    "completion": 5,
+    "fault": 6,
+}
+
+
+def _microseconds(sim_time: float) -> int:
+    return int(round(sim_time * 1e6))
+
+
+def to_chrome_trace(events: Iterable["TraceEvent"],
+                    series: Optional["SeriesStore"] = None,
+                    label: str = "repro") -> str:
+    """Serialise a trace (and optional series) as Chrome trace JSON."""
+    records: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": label},
+    }]
+    seen_tids = set()
+    for event in events:
+        tid = _CATEGORY_TIDS.get(event.category, 0)
+        if tid not in seen_tids:
+            seen_tids.add(tid)
+            records.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                "args": {"name": event.category},
+            })
+        records.append({
+            "name": event.name,
+            "cat": event.category,
+            "ph": "i",
+            "s": "t",
+            "ts": _microseconds(event.time),
+            "pid": _PID,
+            "tid": tid,
+            "args": dict(sorted(event.fields.items())),
+        })
+    if series is not None:
+        for round_index, row in series.rows():
+            ts = _microseconds(round_index)
+            for name, value in sorted(row.items()):
+                if value != value:  # NaN: series absent this round
+                    continue
+                records.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {"value": value},
+                })
+    return json.dumps(records, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def sweep_series_to_chrome_trace(series_by_seed, label: str = "repro sweep",
+                                 ) -> str:
+    """Serialise per-replicate sampled series as one Chrome trace.
+
+    ``series_by_seed`` maps seed -> :class:`SeriesStore` (the per-worker
+    payloads a resilient sweep ships home through the telemetry
+    channel). Each replicate becomes its own Perfetto process so its
+    counter tracks group together; seeds are emitted in sorted order so
+    the output is a pure function of the input.
+    """
+    records: List[dict] = []
+    for pid, seed in enumerate(sorted(series_by_seed), start=1):
+        records.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"{label} seed {seed}"},
+        })
+        for round_index, row in series_by_seed[seed].rows():
+            ts = _microseconds(round_index)
+            for name, value in sorted(row.items()):
+                if value != value:  # NaN: series absent this round
+                    continue
+                records.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                })
+    return json.dumps(records, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def to_jsonl(events: Iterable["TraceEvent"]) -> str:
+    """Serialise traced events as JSONL, one object per line."""
+    lines = []
+    for event in events:
+        lines.append(json.dumps({
+            "time": event.time,
+            "round": event.round_index,
+            "category": event.category,
+            "name": event.name,
+            "fields": dict(sorted(event.fields.items())),
+        }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,133 @@
+"""Aggregate-only span profiler for the simulator's own hot paths.
+
+:class:`SpanProfiler` answers "where does wall-clock time go inside a
+run?" without storing one record per call: each named span keeps only
+count / total / min / max, so profiling a million engine dispatches
+costs a handful of dict entries. Spans are recorded by the engine
+(``engine.<event kind>``), the runner (``algorithm.decide``,
+``guards.round``, ``obs.sample``), and anything else holding a
+reference to the profiler.
+
+Wall-clock timings are inherently non-deterministic; the profiler is
+telemetry only and never enters metric digests (see the determinism
+contract in docs/ARCHITECTURE.md).
+
+>>> profiler = SpanProfiler()
+>>> profiler.add("engine.round", 0.25)
+>>> profiler.add("engine.round", 0.75)
+>>> span = profiler.spans()["engine.round"]
+>>> span["count"], span["total"], span["min"], span["max"]
+(2, 1.0, 0.25, 0.75)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.utils.tables import format_table
+
+__all__ = ["SpanProfiler"]
+
+
+class SpanProfiler:
+    """Named wall-clock spans aggregated to count/total/min/max."""
+
+    def __init__(self) -> None:
+        self._count: Dict[str, int] = {}
+        self._total: Dict[str, float] = {}
+        self._min: Dict[str, float] = {}
+        self._max: Dict[str, float] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Fold one measured duration (seconds) into span ``name``."""
+        if name in self._count:
+            self._count[name] += 1
+            self._total[name] += elapsed
+            if elapsed < self._min[name]:
+                self._min[name] = elapsed
+            if elapsed > self._max[name]:
+                self._max[name] = elapsed
+        else:
+            self._count[name] = 1
+            self._total[name] = elapsed
+            self._min[name] = elapsed
+            self._max[name] = elapsed
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block as one sample of span ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._count)
+
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        """``{name: {count, total, min, max, mean}}``, sorted by name."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._count):
+            count = self._count[name]
+            total = self._total[name]
+            out[name] = {
+                "count": count,
+                "total": total,
+                "min": self._min[name],
+                "max": self._max[name],
+                "mean": total / count,
+            }
+        return out
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Alias of :meth:`spans` for telemetry payloads."""
+        return self.spans()
+
+    def merge(self, spans: Dict[str, Dict[str, float]]) -> None:
+        """Fold a previously exported :meth:`spans` payload into this one.
+
+        Used when aggregating per-worker profiles across a sweep.
+        """
+        for name, span in spans.items():
+            count = int(span["count"])
+            if count <= 0:
+                continue
+            if name in self._count:
+                self._count[name] += count
+                self._total[name] += span["total"]
+                self._min[name] = min(self._min[name], span["min"])
+                self._max[name] = max(self._max[name], span["max"])
+            else:
+                self._count[name] = count
+                self._total[name] = float(span["total"])
+                self._min[name] = float(span["min"])
+                self._max[name] = float(span["max"])
+
+    def table(self, title: Optional[str] = "Self-profile (wall clock)",
+              ) -> str:
+        """Render the aggregated spans as an aligned monospace table."""
+        spans = self.spans()
+        grand_total = sum(span["total"] for span in spans.values()) or 1.0
+        rows: List[List[object]] = []
+        for name, span in sorted(spans.items(),
+                                 key=lambda item: -item[1]["total"]):
+            rows.append([
+                name,
+                span["count"],
+                span["total"] * 1e3,
+                span["mean"] * 1e6,
+                span["min"] * 1e6,
+                span["max"] * 1e6,
+                100.0 * span["total"] / grand_total,
+            ])
+        return format_table(
+            ["span", "count", "total_ms", "mean_us", "min_us", "max_us",
+             "share_%"],
+            rows, title=title, float_format=".4g")

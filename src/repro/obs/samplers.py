@@ -1,0 +1,202 @@
+"""Per-round time-series samplers and their columnar store.
+
+:class:`SeriesStore` is a small append-only column store: each named
+series is an ``array('d')`` of float64 values, one per sampled round,
+all sharing one index column (the round numbers). That representation
+is a fraction of the footprint of a list-of-dicts, pickles compactly
+across worker pipes (:meth:`to_compact` / :meth:`from_compact`), and
+exports losslessly to CSV and JSONL.
+
+The gauge catalogue (what :class:`~repro.obs.runtime.ObsRuntime`
+samples every ``sample_every`` rounds) is documented in
+docs/OBSERVABILITY.md; the store itself is schema-free — any
+``{name: float}`` row works.
+
+>>> store = SeriesStore()
+>>> store.append(0, {"progress_p50": 0.0, "active": 40.0})
+>>> store.append(5, {"progress_p50": 0.25, "active": 40.0})
+>>> store.names()
+['active', 'progress_p50']
+>>> store.column("progress_p50")
+[0.0, 0.25]
+>>> SeriesStore.from_compact(store.to_compact()).column("active")
+[40.0, 40.0]
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = ["SeriesStore", "percentile", "entropy"]
+
+_NAN = float("nan")
+
+
+class SeriesStore:
+    """Append-only columnar store of per-round float series."""
+
+    def __init__(self) -> None:
+        self._index: array = array("d")
+        self._columns: Dict[str, array] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, round_index: int, row: Mapping[str, float]) -> None:
+        """Append one sampled row at ``round_index``.
+
+        Series may appear or disappear between rows; missing cells are
+        padded with NaN on both sides so every column stays aligned
+        with the shared index.
+        """
+        n_before = len(self._index)
+        self._index.append(float(round_index))
+        for name, value in row.items():
+            column = self._columns.get(name)
+            if column is None:
+                column = array("d", [_NAN] * n_before)
+                self._columns[name] = column
+            column.append(float(value))
+        for name, column in self._columns.items():
+            if len(column) < len(self._index):
+                column.append(_NAN)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def names(self) -> List[str]:
+        """Series names, sorted."""
+        return sorted(self._columns)
+
+    def index(self) -> List[float]:
+        """The shared round-number column."""
+        return list(self._index)
+
+    def column(self, name: str) -> List[float]:
+        """One series' values, aligned with :meth:`index`."""
+        return list(self._columns[name])
+
+    def rows(self) -> Iterator[Tuple[float, Dict[str, float]]]:
+        """Iterate ``(round, {name: value})`` rows, oldest first."""
+        names = self.names()
+        for i, round_index in enumerate(self._index):
+            yield round_index, {name: self._columns[name][i]
+                                for name in names}
+
+    def last(self, name: str, default: float = _NAN) -> float:
+        """Latest value of a series (``default`` if absent/empty)."""
+        column = self._columns.get(name)
+        if not column:
+            return default
+        return column[-1]
+
+    # ------------------------------------------------------------------
+    # Round-tripping and export
+    # ------------------------------------------------------------------
+
+    def to_compact(self) -> Dict[str, object]:
+        """A plain-dict snapshot cheap to pickle across worker pipes."""
+        return {
+            "index": list(self._index),
+            "columns": {name: list(column)
+                        for name, column in self._columns.items()},
+        }
+
+    @classmethod
+    def from_compact(cls, payload: Mapping[str, object]) -> "SeriesStore":
+        """Rebuild a store from a :meth:`to_compact` snapshot."""
+        store = cls()
+        store._index = array("d", payload["index"])
+        store._columns = {name: array("d", values) for name, values
+                          in payload["columns"].items()}
+        return store
+
+    def to_csv(self) -> str:
+        """Render as CSV: a ``round`` column plus one per series."""
+        names = self.names()
+        lines = [",".join(["round"] + names)]
+        for round_index, row in self.rows():
+            cells = [f"{round_index:g}"]
+            cells += ["" if math.isnan(row[name]) else repr(row[name])
+                      for name in names]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        """Render as JSONL, one ``{"round": r, ...}`` object per row."""
+        import json
+        lines = []
+        for round_index, row in self.rows():
+            record: Dict[str, object] = {"round": round_index}
+            for name, value in row.items():
+                record[name] = None if math.isnan(value) else value
+            lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def dashboard(self, names: Sequence[str] = (), width: int = 48) -> str:
+        """ASCII sparkline per series: latest value plus the shape."""
+        from repro.utils.ascii_chart import sparkline
+        chosen = list(names) if names else self.names()
+        if not chosen:
+            return "(no series sampled)"
+        label_width = max(len(name) for name in chosen)
+        lines = []
+        for name in chosen:
+            values = [v for v in self._columns.get(name, ())
+                      if not math.isnan(v)]
+            spark = sparkline(values, width=width) if values else ""
+            latest = f"{values[-1]:.4g}" if values else "-"
+            lines.append(f"{name.ljust(label_width)}  {spark}  {latest}")
+        return "\n".join(lines)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Deterministic and dependency-free; NaN for an empty input.
+
+    >>> percentile([3.0, 1.0, 2.0, 4.0], 50)
+    2.0
+    >>> percentile([], 50)
+    nan
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return _NAN
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def entropy(counts: Iterable[int]) -> float:
+    """Shannon entropy (bits) of a count distribution.
+
+    Used for piece-availability entropy: high entropy means pieces are
+    evenly replicated across the swarm, low entropy means a few pieces
+    dominate (a flash crowd starts near zero — only the seeder's
+    uniform copies — and rises as rarest-first spreads variety).
+
+    >>> entropy([1, 1, 1, 1])
+    2.0
+    >>> entropy([4, 0, 0])
+    0.0
+    """
+    positive = [c for c in counts if c > 0]
+    total = float(sum(positive))
+    if total <= 0 or len(positive) <= 1:
+        return 0.0
+    acc = 0.0
+    for count in positive:
+        p = count / total
+        acc -= p * math.log2(p)
+    return acc

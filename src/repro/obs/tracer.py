@@ -1,0 +1,156 @@
+"""Bounded ring-buffer event tracer with deterministic sampling.
+
+:class:`EventTracer` is the structured log of a running simulation:
+every notable moment — a piece transfer, a choke decision, a
+reputation credit, a bootstrap, a completion, an injected fault — is
+offered to the tracer as a :class:`TraceEvent` and kept, sampled out,
+or (once the ring is full) evicted-oldest-first. Capacity is fixed up
+front, so memory is bounded no matter how long the run is, and every
+drop is counted: ``tracer.counts()`` always reconciles seen = kept +
+sampled-out, and ``tracer.dropped`` reports ring evictions.
+
+Sampling is **counter-based**, never random: with a rate of N for a
+category, the 1st, (N+1)th, (2N+1)th... events of that category are
+kept. Two runs of the same seed therefore trace the same events, and
+enabling the tracer consumes no randomness — the foundation of the
+observation-only contract (see docs/ARCHITECTURE.md).
+
+>>> tracer = EventTracer(capacity=2)
+>>> tracer.offer(0.0, 0, "transfer", "send", {"piece": 1})
+True
+>>> tracer.offer(1.0, 1, "transfer", "send", {"piece": 2})
+True
+>>> tracer.offer(2.0, 2, "transfer", "send", {"piece": 3})
+True
+>>> [event.fields["piece"] for event in tracer.events()]
+[2, 3]
+>>> tracer.dropped
+1
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping, NamedTuple, Optional
+
+__all__ = ["TraceEvent", "EventTracer"]
+
+
+class TraceEvent(NamedTuple):
+    """One traced moment of a simulation.
+
+    ``time`` is sim-time seconds, ``round_index`` the one-second round
+    it fell in, ``category`` one of
+    :data:`~repro.obs.config.TRACE_CATEGORIES`, ``name`` the specific
+    kind of moment within the category (e.g. ``"send"``, ``"unchoke"``),
+    and ``fields`` a flat dict of JSON-safe details (peer ids, piece
+    indexes, flags).
+    """
+
+    time: float
+    round_index: int
+    category: str
+    name: str
+    fields: Mapping[str, object]
+
+
+class EventTracer:
+    """Fixed-capacity event ring with per-category 1-in-N sampling."""
+
+    def __init__(self, capacity: int,
+                 sample_rates: Mapping[str, int] = (),
+                 categories: Optional[Iterable[str]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._rates: Dict[str, int] = dict(sample_rates)
+        self._categories = frozenset(categories) if categories is not None \
+            else None
+        self._seen: Dict[str, int] = {}
+        self._kept: Dict[str, int] = {}
+        self._evicted = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def wants(self, category: str) -> bool:
+        """Whether events of ``category`` can ever be kept.
+
+        Hot paths may use this to skip building the fields dict when a
+        category filter excludes the event entirely. (Sampled-out
+        events must still be *offered* so the counters stay exact.)
+        """
+        return self._categories is None or category in self._categories
+
+    def offer(self, time: float, round_index: int, category: str,
+              name: str, fields: Mapping[str, object]) -> bool:
+        """Offer one event; returns ``True`` if it was kept.
+
+        Every offer of an in-filter category advances that category's
+        deterministic sampling counter, whether or not the event is
+        kept; the first offer is always kept.
+        """
+        if self._categories is not None and category not in self._categories:
+            return False
+        seen = self._seen.get(category, 0)
+        self._seen[category] = seen + 1
+        rate = self._rates.get(category, 1)
+        if rate > 1 and seen % rate != 0:
+            return False
+        if len(self._ring) == self.capacity:
+            self._evicted += 1
+        self._ring.append(TraceEvent(time, round_index, category, name,
+                                     dict(fields)))
+        self._kept[category] = self._kept.get(category, 0) + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring after being kept (oldest-first)."""
+        return self._evicted
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """The retained events, oldest first, optionally one category."""
+        if category is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.category == category]
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-category accounting: offered, kept, sampled out.
+
+        ``sampled_out`` counts events the rate filter rejected;
+        ring evictions are tracked separately via :attr:`dropped`
+        (an evicted event was kept — it aged out, it was not rejected).
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for category in sorted(self._seen):
+            seen = self._seen[category]
+            kept = self._kept.get(category, 0)
+            out[category] = {"seen": seen, "kept": kept,
+                             "sampled_out": seen - kept}
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Compact accounting payload (no events) for telemetry."""
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._ring),
+            "evicted": self._evicted,
+            "counts": self.counts(),
+        }
+
+    def clear(self) -> None:
+        """Empty the ring and reset all counters."""
+        self._ring.clear()
+        self._seen.clear()
+        self._kept.clear()
+        self._evicted = 0

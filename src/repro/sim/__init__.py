@@ -20,6 +20,7 @@ from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals  # noqa: F
 from repro.sim.config import (  # noqa: F401
     AttackConfig,
     CapacityClass,
+    ObsConfig,
     SimulationConfig,
     StrategyParameters,
     targeted_attack_for,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultModel",
     "GuardConfig",
     "InvariantViolation",
+    "ObsConfig",
     "Simulation",
     "SimulationConfig",
     "SimulationMetrics",

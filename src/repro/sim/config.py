@@ -17,6 +17,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.names import Algorithm
+from repro.obs.config import ObsConfig
 from repro.sim.faults import FaultConfig
 from repro.sim.guards import GuardConfig
 
@@ -25,6 +26,7 @@ __all__ = [
     "AttackConfig",
     "FaultConfig",
     "GuardConfig",
+    "ObsConfig",
     "StrategyParameters",
     "SimulationConfig",
     "DEFAULT_CAPACITY_CLASSES",
@@ -201,6 +203,11 @@ class SimulationConfig:
     #: observation-only, but the paper's bare simulator stays the
     #: baseline.
     guards: GuardConfig = field(default_factory=GuardConfig)
+    #: Streaming observability: event tracer, per-round samplers, span
+    #: profiler (:mod:`repro.obs`). Off by default and observation-only
+    #: like guards — an instrumented run is digest-identical to a bare
+    #: one.
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Opt-out for the zero-seed-bandwidth sanity check: a swarm whose
     #: only seeders have zero capacity can never distribute anything,
     #: which is almost always a configuration mistake — except in unit
@@ -315,6 +322,20 @@ class SimulationConfig:
         return replace(self, guards=replace(self.guards, mode=mode,
                                             **overrides))
 
+    def with_obs(self, trace: bool = True, sample_every: int = 1,
+                 profile: bool = False,
+                 **overrides: Any) -> "SimulationConfig":
+        """Variant with the observability layer enabled.
+
+        Defaults switch on full-sampling tracing plus every-round
+        series sampling; keyword overrides reach the underlying
+        :class:`~repro.obs.config.ObsConfig`, e.g.
+        ``cfg.with_obs(profile=True, trace_buffer=1 << 20)``.
+        """
+        return replace(self, obs=replace(self.obs, trace=trace,
+                                         sample_every=sample_every,
+                                         profile=profile, **overrides))
+
     # ------------------------------------------------------------------
     # Serialisation (crash bundles / replay)
     # ------------------------------------------------------------------
@@ -336,7 +357,8 @@ class SimulationConfig:
         for key, factory in (("attack", AttackConfig),
                              ("faults", FaultConfig),
                              ("strategy_params", StrategyParameters),
-                             ("guards", GuardConfig)):
+                             ("guards", GuardConfig),
+                             ("obs", ObsConfig)):
             value = payload.get(key)
             if isinstance(value, Mapping):
                 payload[key] = factory(**value)

@@ -113,3 +113,16 @@ class StrategyContext:
         """Collusion attack: inject a false-praise reputation report."""
         self._runner.swarm.reputation.report(beneficiary_id, amount,
                                              genuine=False)
+
+    # ------------------------------------------------------------------
+    # Observability (no-op unless the run enables tracing)
+    # ------------------------------------------------------------------
+    def note_decision(self, name: str, target_id: Optional[int] = None,
+                      **fields) -> None:
+        """Trace a strategy decision (``choke`` category, e.g.
+        ``"unchoke"``/``"optimistic"``). Strategies may call this
+        unconditionally: with tracing off it returns immediately."""
+        obs = self._runner.obs
+        if obs is not None:
+            obs.note_decision(self._runner, self.peer, name,
+                              target_id=target_id, **fields)

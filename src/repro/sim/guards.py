@@ -28,12 +28,12 @@ The seed-pinned equivalence tests hold the code to that.
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import (ConfigurationError, InvariantViolationError,
                           SimulationStalled)
+from repro.obs.tracer import EventTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.runner import Simulation
@@ -189,9 +189,13 @@ class GuardRuntime:
         self._prev_now = 0.0
         #: Previous values of the monotone metric accumulators.
         self._prev_counters: Tuple[int, int, int] = (0, 0, 0)
-        #: Rolling transfer log for forensics bundles.
-        self.recent_transfers: Deque[Dict[str, Any]] = deque(
-            maxlen=config.recent_transfers or 1)
+        #: Rolling transfer log for forensics bundles: a private
+        #: :class:`repro.obs.tracer.EventTracer` ring (transfer
+        #: category only, unsampled) instead of a bespoke deque — one
+        #: ring-buffer implementation serves both guards and obs.
+        self._transfer_ring = EventTracer(
+            capacity=config.recent_transfers or 1,
+            categories=("transfer",))
         #: Degrade-mode stall outcome, stamped onto metrics at the end.
         self._stall_info: Optional[Dict[str, Any]] = None
         self._bundle_path: Optional[str] = None
@@ -203,19 +207,30 @@ class GuardRuntime:
         """A usable piece landed (or a peer arrived): reset the watchdog."""
         self._progress_round = round_index
 
+    @property
+    def recent_transfers(self) -> List[Dict[str, Any]]:
+        """The rolling transfer log as bundle-ready dicts, oldest first."""
+        out: List[Dict[str, Any]] = []
+        for event in self._transfer_ring.events():
+            record: Dict[str, Any] = {"time": event.time,
+                                      "round": event.round_index}
+            record.update(event.fields)
+            out.append(record)
+        return out
+
     def note_transfer(self, sim: "Simulation", uploader, target, piece: int,
                       kind: str, usable: bool, lost: bool) -> None:
         """Record a transfer in the forensics ring; verify it in full mode."""
-        self.recent_transfers.append({
-            "time": sim.engine.now,
-            "round": sim.round_index,
-            "uploader": uploader.peer_id,
-            "target": target.peer_id,
-            "piece": piece,
-            "kind": kind,
-            "usable": usable,
-            "lost": lost,
-        })
+        self._transfer_ring.offer(
+            sim.engine.now, sim.round_index, "transfer",
+            "lost" if lost else kind, {
+                "uploader": uploader.peer_id,
+                "target": target.peer_id,
+                "piece": piece,
+                "kind": kind,
+                "usable": usable,
+                "lost": lost,
+            })
         if not self._full:
             return
         # The uploader must hold what it sends: usable pieces for plain

@@ -178,6 +178,12 @@ class SimulationMetrics:
     degraded: bool = False
     stall: Optional[Dict[str, object]] = None
     bundle_path: Optional[str] = None
+    #: Observability payload (:meth:`repro.obs.runtime.ObsRuntime.finalize`):
+    #: compacted per-round series, aggregated profile spans, and trace
+    #: accounting. Telemetry about *watching* the run, not the run
+    #: itself — excluded from :func:`metrics_digest` like the guard
+    #: fields above, and journaled digest-free by sweeps.
+    obs: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Efficiency

@@ -19,10 +19,12 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import InvariantViolationError, SimulationStalled
 from repro.names import Algorithm
+from repro.obs.runtime import ObsRuntime
 from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
 from repro.sim.config import SimulationConfig
 from repro.sim.guards import GuardRuntime
@@ -104,8 +106,19 @@ class Simulation:
         #: reads, so guarded runs are digest-identical to unguarded.
         self._guards: Optional[GuardRuntime] = (
             GuardRuntime(config.guards) if config.guards.enabled else None)
+        #: Streaming observability (:mod:`repro.obs`): tracer, samplers
+        #: and profiler. Observation-only, exactly like the guards.
+        self._obs: Optional[ObsRuntime] = (
+            ObsRuntime(config.obs) if config.obs.enabled else None)
+        if self._obs is not None and self._obs.profiler is not None:
+            self.engine.profiler = self._obs.profiler
         self._install_topology()
         self._build_population()
+
+    @property
+    def obs(self) -> Optional[ObsRuntime]:
+        """The run's observability runtime (None when disabled)."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # Population construction
@@ -244,6 +257,7 @@ class Simulation:
         self.round_index += 1
         self._flush_due_reports()
         self._process_seeder_outages()
+        profiler = self._obs.profiler if self._obs is not None else None
         active = [self.swarm.peers[pid] for pid in self.swarm.active_ids]
         self._order_rng.shuffle(active)
         for peer in active:
@@ -254,7 +268,12 @@ class Simulation:
             peer.budget.new_round()
             strategy = self._strategies[peer.lineage_id]
             ctx = StrategyContext(self, peer, strategy.rng)
-            strategy.on_round(ctx)
+            if profiler is None:
+                strategy.on_round(ctx)
+            else:
+                start = perf_counter()
+                strategy.on_round(ctx)
+                profiler.add("algorithm.on_round", perf_counter() - start)
         for peer in list(self.swarm.peers.values()):
             peer.end_round()
         self._process_departures()
@@ -269,7 +288,14 @@ class Simulation:
             self._round_handle.cancel()
             self.engine.stop()
         if self._guards is not None:
-            self._guards.after_round(self)
+            if profiler is None:
+                self._guards.after_round(self)
+            else:
+                start = perf_counter()
+                self._guards.after_round(self)
+                profiler.add("guards.after_round", perf_counter() - start)
+        if self._obs is not None:
+            self._obs.after_round(self)
 
     def _all_departed(self) -> bool:
         """All compliant users arrived and finished (or churned out).
@@ -333,6 +359,11 @@ class Simulation:
             if orphaned:
                 self.swarm.note_state_changed()
                 self.collector.record_orphaned_obligations(len(orphaned))
+                if self._obs is not None:
+                    self._obs.note_fault(self, "obligations_orphaned",
+                                         peer=peer.peer_id,
+                                         uploader=departed_id,
+                                         count=len(orphaned))
 
     # ------------------------------------------------------------------
     # Fault processing (all no-ops under the default zero-fault config)
@@ -356,6 +387,9 @@ class Simulation:
                 self.swarm.remove_peer(peer.peer_id)
                 self._drop_orphaned_obligations(peer.peer_id)
                 self.collector.record_crash()
+                if self._obs is not None:
+                    self._obs.note_fault(self, "crash", peer=peer.peer_id,
+                                         freerider=peer.is_freerider)
                 coalition_hit = coalition_hit or peer.is_freerider
         if coalition_hit:
             self._sync_coalition()
@@ -378,6 +412,10 @@ class Simulation:
                 seeder.offline_until = self.round_index + duration
                 self.collector.record_seeder_outage()
                 self.collector.record_seeder_downtime()
+                if self._obs is not None:
+                    self._obs.note_fault(self, "seeder_outage",
+                                         seeder=seeder.peer_id,
+                                         until=seeder.offline_until)
 
     def _expire_obligations(self) -> None:
         """Key timeout: drop pending pieces whose key never arrived.
@@ -400,6 +438,10 @@ class Simulation:
             if stale:
                 self.swarm.note_state_changed()
                 self.collector.record_expired_obligations(len(stale))
+                if self._obs is not None:
+                    self._obs.note_fault(self, "obligations_expired",
+                                         peer=peer.peer_id,
+                                         count=len(stale))
 
     def _flush_due_reports(self) -> None:
         """Deliver delayed reputation reports that have come due.
@@ -418,8 +460,14 @@ class Simulation:
             uploader = self._peers_by_lineage.get(lineage_id)
             if uploader is None or uploader.departed:
                 self.collector.record_dropped_report()
+                if self._obs is not None:
+                    self._obs.note_fault(self, "report_dropped",
+                                         lineage=lineage_id, amount=amount)
                 continue
             self.swarm.reputation.report(uploader.peer_id, amount)
+            if self._obs is not None:
+                self._obs.note_reputation(self, "delivered",
+                                          uploader.peer_id, amount)
 
     def _report_upload(self, uploader: Peer) -> None:
         """Report a genuine upload, immediately or after the fault delay."""
@@ -428,10 +476,16 @@ class Simulation:
         delay = self.config.faults.report_delay_rounds
         if delay <= 0:
             self.swarm.reputation.report(uploader.peer_id, 1.0)
+            if self._obs is not None:
+                self._obs.note_reputation(self, "report", uploader.peer_id,
+                                          1.0)
         else:
             self._delayed_reports.append(
                 (self.round_index + delay, uploader.lineage_id, 1.0))
             self.collector.record_delayed_report()
+            if self._obs is not None:
+                self._obs.note_reputation(self, "queued", uploader.peer_id,
+                                          1.0, due=self.round_index + delay)
 
     def _process_whitewashing(self) -> None:
         interval = self.config.attack.whitewash_interval
@@ -464,6 +518,9 @@ class Simulation:
         if self._guards is not None:
             self._guards.note_transfer(self, uploader, target, piece, kind,
                                        usable, lost)
+        if self._obs is not None:
+            self._obs.note_transfer(self, uploader, target, piece, kind,
+                                    usable, lost)
         if self.config.record_transfers:
             self.collector.metrics.transfers.append(TransferRecord(
                 time=self.engine.now, uploader_id=uploader.peer_id,
@@ -483,6 +540,11 @@ class Simulation:
             return False
         self.collector.record_lost_transfer()
         self._lost_deliveries.add((target.lineage_id, piece))
+        if self._obs is not None:
+            self._obs.note_fault(self, "transfer_lost",
+                                 uploader=uploader.peer_id,
+                                 target=target.peer_id, piece=piece,
+                                 kind=kind)
         self._record_trace(uploader, target, piece, kind, usable=False,
                           lost=True)
         return True
@@ -540,8 +602,12 @@ class Simulation:
     def _on_piece_gained(self, peer: Peer) -> None:
         if peer.bootstrap_time is None and len(peer.pieces) >= 1:
             peer.bootstrap_time = self.engine.now
+            if self._obs is not None:
+                self._obs.note_bootstrap(self, peer, encrypted=False)
         if peer.complete and peer.completion_time is None:
             peer.completion_time = self.engine.now
+            if self._obs is not None:
+                self._obs.note_completion(self, peer)
         if self._guards is not None:
             self._guards.note_progress(self.round_index)
 
@@ -664,6 +730,8 @@ class Simulation:
                 # newcomer: it can immediately participate by
                 # forwarding it (indirect reciprocity).
                 target.bootstrap_time = self.engine.now
+                if self._obs is not None:
+                    self._obs.note_bootstrap(self, target, encrypted=True)
         return True
 
     def tchain_fulfill(self, receiver: Peer, pending: PendingPiece) -> bool:
@@ -787,6 +855,8 @@ class Simulation:
             self.swarm.on_pending_added(target)
             if target.bootstrap_time is None:
                 target.bootstrap_time = self.engine.now
+                if self._obs is not None:
+                    self._obs.note_bootstrap(self, target, encrypted=True)
         # The forward is the reciprocation: unlock the receiver's copy.
         self._unlock(receiver, pending)
         return True
@@ -888,6 +958,8 @@ class Simulation:
                                           self.total_received_raw())
         if self._guards is not None:
             self._guards.stamp_metrics(metrics)
+        if self._obs is not None:
+            metrics.obs = self._obs.finalize()
         return SimulationResult(config=self.config, metrics=metrics)
 
 

@@ -355,3 +355,17 @@ class Swarm:
     def piece_candidates(self, uploader: Peer, target: Peer) -> List[int]:
         """Usable pieces of ``uploader`` that ``target`` needs."""
         return sorted(target.needed_pieces_from(uploader))
+
+    # ------------------------------------------------------------------
+    # Read-only observability views
+    # ------------------------------------------------------------------
+    def availability_counts(self) -> List[int]:
+        """Replica count of every piece among active peers.
+
+        A plain snapshot of the rarest-first availability map, indexed
+        by piece id — the input to the availability-entropy gauge of
+        :mod:`repro.obs` and to the full-mode recount guard. Strictly
+        read-only.
+        """
+        count = self.availability.count
+        return [count(piece) for piece in range(self.n_pieces)]

@@ -13,12 +13,44 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ascii_chart"]
+__all__ = ["ascii_chart", "sparkline"]
 
 #: Glyphs assigned to series in order.
 _GLYPHS = "ox*+#@%&"
 
 Point = Tuple[float, float]
+
+#: Eight block heights, lowest to highest, for sparklines.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Render a series as a one-line block-character sparkline.
+
+    Longer series are squeezed to ``width`` cells by averaging equal
+    slices; non-finite values are dropped first. The line is scaled to
+    its own min/max (a flat series renders as a run of mid-blocks).
+
+    >>> sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+    '▁▃▆█'
+    """
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return ""
+    if len(finite) > width:
+        squeezed = []
+        for cell in range(width):
+            lo = cell * len(finite) // width
+            hi = max(lo + 1, (cell + 1) * len(finite) // width)
+            chunk = finite[lo:hi]
+            squeezed.append(sum(chunk) / len(chunk))
+        finite = squeezed
+    v_lo, v_hi = min(finite), max(finite)
+    if v_hi == v_lo:
+        return _SPARKS[3] * len(finite)
+    span = v_hi - v_lo
+    top = len(_SPARKS) - 1
+    return "".join(_SPARKS[round((v - v_lo) / span * top)] for v in finite)
 
 
 def _bounds(series: Dict[str, Sequence[Point]],

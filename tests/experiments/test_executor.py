@@ -184,7 +184,18 @@ class TestRecyclingAndTelemetry:
         assert telemetry.wall_s >= 0
         assert telemetry.queue_wait_s >= 0
         assert set(telemetry.as_dict()) == {"worker", "wall_s",
-                                            "queue_wait_s"}
+                                            "queue_wait_s", "result_bytes"}
+
+    def test_result_bytes_sized_in_worker(self):
+        # The result pipe now reports the pickled payload size — the
+        # cost of shipping metrics (and any obs payload riding on them)
+        # home. Failed tasks have no result to size.
+        report = run_tasks([TaskSpec(key=1, fn=square, args=(3,)),
+                            TaskSpec(key=2, fn=boom, args=(2,))], jobs=1)
+        ok, failed = report.results
+        assert ok.telemetry.result_bytes is not None
+        assert ok.telemetry.result_bytes > 0
+        assert failed.telemetry.result_bytes is None
 
 
 def exit_always(x):

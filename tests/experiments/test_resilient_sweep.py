@@ -387,3 +387,41 @@ class TestDegradedRuns:
         assert journal_digest(str(journal)) == journal_digest(str(journal))
         assert [o.bundle_path for o in resumed.outcomes] == \
             [o.bundle_path for o in first.outcomes]
+
+
+class TestObsTelemetryChannel:
+    """Per-worker observability payloads (repro.obs) ride home on the
+    telemetry channel: journaled, digest-excluded, values untouched."""
+
+    def _obs_config(self):
+        return _config().with_obs(trace=True, sample_every=5, profile=True)
+
+    def test_series_survive_worker_pipes(self, tmp_path):
+        from repro.obs import SeriesStore
+        path = str(tmp_path / "sweep.jsonl")
+        sweep = run_resilient_sweep(self._obs_config(), (0, 1), jobs=2,
+                                    journal_path=path)
+        for outcome in sweep.outcomes:
+            payload = outcome.telemetry["obs"]
+            assert set(payload) == {"series", "profile", "trace"}
+            store = SeriesStore.from_compact(payload["series"])
+            assert len(store) > 0
+            assert "active_peers" in store.names()
+            assert payload["trace"]["retained"] > 0
+            assert "engine.round" in payload["profile"]
+        # The journal carries the payload too (inside telemetry).
+        records = [json.loads(line) for line in open(path)]
+        replicates = [r for r in records if r.get("kind") == "replicate"]
+        assert all("obs" in r["telemetry"] for r in replicates)
+
+    def test_instrumentation_leaves_sweep_values_unchanged(self):
+        plain = run_resilient_sweep(_config(), (0, 1), jobs=1)
+        traced = run_resilient_sweep(self._obs_config(), (0, 1), jobs=1)
+        assert [o.values for o in traced.outcomes] == \
+            [o.values for o in plain.outcomes]
+
+    def test_obs_sweep_digest_independent_of_jobs(self):
+        config = self._obs_config()
+        serial = run_resilient_sweep(config, (0, 1, 2), jobs=1)
+        parallel = run_resilient_sweep(config, (0, 1, 2), jobs=3)
+        assert serial.canonical_digest() == parallel.canonical_digest()

@@ -86,3 +86,27 @@ class TestGuardsPreserveDigests:
         metrics = run_simulation(config).metrics
         assert not metrics.degraded
         assert metrics_digest(metrics) == PINNED_DIGESTS[algorithm]
+
+
+class TestObsPreservesDigests:
+    """The observability layer is observation-only: tracing at full
+    sampling, every-round gauge sampling, and span profiling all on
+    at once must leave every pinned digest byte-identical."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS,
+                             ids=[a.value for a in ALL_ALGORITHMS])
+    def test_full_instrumentation_keeps_pinned_digest(self, algorithm):
+        config = equivalence_config(algorithm).with_obs(
+            trace=True, sample_every=1, profile=True)
+        metrics = run_simulation(config).metrics
+        # The payload rode along, but outside the digest.
+        assert metrics.obs is not None
+        assert set(metrics.obs) == {"series", "profile", "trace"}
+        assert metrics_digest(metrics) == PINNED_DIGESTS[algorithm]
+
+    def test_obs_and_full_guards_together_keep_digest(self, tmp_path):
+        config = equivalence_config(Algorithm.TCHAIN).with_guards(
+            "full", watchdog_window=400, bundle_dir=str(tmp_path)
+        ).with_obs(trace=True, sample_every=1, profile=True)
+        metrics = run_simulation(config).metrics
+        assert metrics_digest(metrics) == PINNED_DIGESTS[Algorithm.TCHAIN]

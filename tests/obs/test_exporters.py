@@ -1,0 +1,118 @@
+"""Exporters are pure functions: golden files pin their exact bytes."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.exporters import (sweep_series_to_chrome_trace,
+                                 to_chrome_trace, to_jsonl)
+from repro.obs.samplers import SeriesStore
+from repro.obs.tracer import TraceEvent
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def reference_events() -> list:
+    """A tiny fixed trace exercising every record shape."""
+    return [
+        TraceEvent(0.0, 0, "transfer", "plain",
+                   {"uploader": 3, "target": 7, "piece": 12, "usable": True}),
+        TraceEvent(1.0, 1, "choke", "unchoke",
+                   {"peer": 3, "targets": [7, 9]}),
+        TraceEvent(1.5, 1, "transfer", "lost",
+                   {"uploader": 7, "target": 3, "piece": 4, "usable": False}),
+        TraceEvent(2.0, 2, "completion", "complete",
+                   {"peer": 7, "freerider": False, "elapsed": 2.0}),
+    ]
+
+
+def reference_series() -> SeriesStore:
+    store = SeriesStore()
+    store.append(0, {"active_peers": 2.0})
+    store.append(2, {"active_peers": 2.0, "progress_p50": 0.5})
+    return store
+
+
+def golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestChromeTraceGolden:
+    def test_bytes_match_golden_file(self):
+        rendered = to_chrome_trace(reference_events(), reference_series(),
+                                   label="golden")
+        assert rendered == golden("chrome_trace.json")
+
+    def test_output_is_valid_json_array(self):
+        records = json.loads(to_chrome_trace(reference_events(),
+                                             reference_series()))
+        assert isinstance(records, list)
+        phases = {record["ph"] for record in records}
+        assert phases == {"M", "i", "C"}
+
+    def test_metadata_names_process_and_categories(self):
+        records = json.loads(to_chrome_trace(reference_events(),
+                                             label="mylabel"))
+        meta = [r for r in records if r["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "mylabel"
+        thread_names = {r["args"]["name"] for r in meta[1:]}
+        assert thread_names == {"transfer", "choke", "completion"}
+
+    def test_sim_seconds_become_microseconds(self):
+        records = json.loads(to_chrome_trace(reference_events()))
+        instants = [r for r in records if r["ph"] == "i"]
+        assert [r["ts"] for r in instants] == [0, 1_000_000, 1_500_000,
+                                               2_000_000]
+
+    def test_nan_counter_samples_are_skipped(self):
+        records = json.loads(to_chrome_trace([], reference_series()))
+        counters = [r for r in records if r["ph"] == "C"]
+        # progress_p50 is NaN at round 0: 2 + 1 counter samples survive.
+        assert len(counters) == 3
+        assert all(r["args"]["value"] == r["args"]["value"]
+                   for r in counters)
+
+    def test_deterministic_output(self):
+        first = to_chrome_trace(reference_events(), reference_series())
+        second = to_chrome_trace(reference_events(), reference_series())
+        assert first == second
+
+
+class TestJsonlGolden:
+    def test_bytes_match_golden_file(self):
+        assert to_jsonl(reference_events()) == golden("events.jsonl")
+
+    def test_one_sorted_object_per_line(self):
+        lines = to_jsonl(reference_events()).splitlines()
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first["category"] == "transfer"
+        assert first["round"] == 0
+        assert list(first) == sorted(first)
+
+    def test_empty_trace_renders_empty_string(self):
+        assert to_jsonl([]) == ""
+
+
+class TestSweepSeriesExport:
+    def test_one_perfetto_process_per_seed_in_sorted_order(self):
+        by_seed = {11: reference_series(), 3: reference_series()}
+        records = json.loads(sweep_series_to_chrome_trace(by_seed,
+                                                          label="sweep"))
+        meta = [r for r in records if r["ph"] == "M"]
+        assert [r["args"]["name"] for r in meta] == ["sweep seed 3",
+                                                     "sweep seed 11"]
+        assert [r["pid"] for r in meta] == [1, 2]
+
+    def test_counters_carry_their_seed_pid(self):
+        by_seed = {3: reference_series(), 11: reference_series()}
+        records = json.loads(sweep_series_to_chrome_trace(by_seed))
+        counters = [r for r in records if r["ph"] == "C"]
+        assert {r["pid"] for r in counters} == {1, 2}
+
+    def test_empty_sweep_is_valid_json(self):
+        assert json.loads(sweep_series_to_chrome_trace({})) == []

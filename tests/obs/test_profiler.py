@@ -1,0 +1,87 @@
+"""Span-aggregation math, merge semantics, and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profiler import SpanProfiler
+
+
+class TestAggregationMath:
+    def test_count_total_min_max_mean(self):
+        profiler = SpanProfiler()
+        for elapsed in (0.2, 0.5, 0.3):
+            profiler.add("engine.round", elapsed)
+        span = profiler.spans()["engine.round"]
+        assert span["count"] == 3
+        assert span["total"] == pytest.approx(1.0)
+        assert span["min"] == pytest.approx(0.2)
+        assert span["max"] == pytest.approx(0.5)
+        assert span["mean"] == pytest.approx(1.0 / 3.0)
+
+    def test_single_sample(self):
+        profiler = SpanProfiler()
+        profiler.add("x", 0.125)
+        span = profiler.spans()["x"]
+        assert span["min"] == span["max"] == span["mean"] == 0.125
+
+    def test_spans_sorted_by_name(self):
+        profiler = SpanProfiler()
+        profiler.add("b", 1.0)
+        profiler.add("a", 1.0)
+        assert list(profiler.spans()) == ["a", "b"]
+        assert len(profiler) == 2
+
+    def test_span_context_manager_measures_positive_time(self):
+        profiler = SpanProfiler()
+        with profiler.span("block"):
+            sum(range(1000))
+        span = profiler.spans()["block"]
+        assert span["count"] == 1
+        assert span["total"] >= 0.0
+
+
+class TestMerge:
+    def test_merge_combines_disjoint_and_overlapping_spans(self):
+        a = SpanProfiler()
+        a.add("shared", 0.4)
+        a.add("only_a", 0.1)
+        b = SpanProfiler()
+        b.add("shared", 0.6)
+        b.add("shared", 0.2)
+        a.merge(b.as_dict())
+        shared = a.spans()["shared"]
+        assert shared["count"] == 3
+        assert shared["total"] == pytest.approx(1.2)
+        assert shared["min"] == pytest.approx(0.2)
+        assert shared["max"] == pytest.approx(0.6)
+        assert "only_a" in a.spans()
+
+    def test_merge_ignores_empty_spans(self):
+        profiler = SpanProfiler()
+        profiler.merge({"ghost": {"count": 0, "total": 0.0,
+                                  "min": 0.0, "max": 0.0, "mean": 0.0}})
+        assert len(profiler) == 0
+
+    def test_merge_round_trips_as_dict(self):
+        a = SpanProfiler()
+        a.add("x", 0.5)
+        clone = SpanProfiler()
+        clone.merge(a.as_dict())
+        assert clone.spans() == a.spans()
+
+
+class TestTable:
+    def test_table_orders_by_total_descending(self):
+        profiler = SpanProfiler()
+        profiler.add("small", 0.001)
+        profiler.add("big", 1.0)
+        lines = profiler.table().splitlines()
+        assert any("span" in line for line in lines)
+        body = [line for line in lines if line.startswith(("big", "small"))]
+        assert body[0].startswith("big")
+
+    def test_table_shares_sum_to_100(self):
+        profiler = SpanProfiler()
+        profiler.add("only", 0.5)
+        assert "100" in profiler.table()

@@ -1,0 +1,123 @@
+"""Columnar series store, percentile, and entropy helpers."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.samplers import SeriesStore, entropy, percentile
+
+
+class TestSeriesStore:
+    def test_columns_align_with_shared_index(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0, "b": 10.0})
+        store.append(5, {"a": 2.0, "b": 20.0})
+        assert store.index() == [0.0, 5.0]
+        assert store.column("a") == [1.0, 2.0]
+        assert store.names() == ["a", "b"]
+        assert len(store) == 2
+
+    def test_late_series_is_nan_padded_backwards(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0})
+        store.append(1, {"a": 2.0, "late": 9.0})
+        late = store.column("late")
+        assert math.isnan(late[0])
+        assert late[1] == 9.0
+
+    def test_absent_series_is_nan_padded_forwards(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0, "b": 2.0})
+        store.append(1, {"a": 3.0})
+        b = store.column("b")
+        assert b[0] == 2.0
+        assert math.isnan(b[1])
+
+    def test_compact_round_trip_preserves_everything(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0})
+        store.append(2, {"a": 2.0, "b": 5.0})
+        rebuilt = SeriesStore.from_compact(store.to_compact())
+        assert rebuilt.index() == store.index()
+        assert rebuilt.names() == store.names()
+        assert rebuilt.column("a") == store.column("a")
+
+    def test_compact_payload_survives_json(self):
+        # The payload crosses worker pipes and lands in sweep journals:
+        # it must be plain JSON-serialisable data.
+        store = SeriesStore()
+        store.append(0, {"a": 1.5})
+        payload = json.loads(json.dumps(store.to_compact()))
+        assert SeriesStore.from_compact(payload).column("a") == [1.5]
+
+    def test_csv_renders_nan_as_empty_cell(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0})
+        store.append(1, {"a": 2.0, "b": 3.0})
+        lines = store.to_csv().splitlines()
+        assert lines[0] == "round,a,b"
+        assert lines[1] == "0,1.0,"
+        assert lines[2] == "1,2.0,3.0"
+
+    def test_jsonl_renders_nan_as_null(self):
+        store = SeriesStore()
+        store.append(0, {"a": 1.0})
+        store.append(1, {"b": 2.0})
+        rows = [json.loads(line) for line in
+                store.to_jsonl().splitlines()]
+        assert rows[0] == {"round": 0.0, "a": 1.0, "b": None}
+        assert rows[1] == {"round": 1.0, "a": None, "b": 2.0}
+
+    def test_last_and_default(self):
+        store = SeriesStore()
+        assert math.isnan(store.last("missing"))
+        assert store.last("missing", default=-1.0) == -1.0
+        store.append(0, {"a": 4.0})
+        assert store.last("a") == 4.0
+
+    def test_dashboard_renders_one_line_per_series(self):
+        store = SeriesStore()
+        for i in range(8):
+            store.append(i, {"up": float(i), "flat": 1.0})
+        text = store.dashboard(width=8)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("flat")
+        assert lines[1].startswith("up")
+        assert "7" in lines[1]  # latest value is printed
+
+    def test_dashboard_empty_store(self):
+        assert SeriesStore().dashboard() == "(no series sampled)"
+
+
+class TestPercentile:
+    def test_nearest_rank_median(self):
+        assert percentile([3.0, 1.0, 2.0, 4.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_value(self):
+        assert percentile([7.0], 25) == 7.0
+        assert percentile([7.0], 90) == 7.0
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        assert entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_degenerate_distribution_is_zero(self):
+        assert entropy([4, 0, 0]) == 0.0
+        assert entropy([]) == 0.0
+        assert entropy([0, 0]) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        assert entropy([9, 1]) < entropy([5, 5])

@@ -1,0 +1,111 @@
+"""Ring-buffer tracer: wraparound, deterministic sampling, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import EventTracer, TraceEvent
+
+
+def offer_n(tracer: EventTracer, n: int, category: str = "transfer",
+            start: int = 0) -> list:
+    """Offer ``n`` numbered events; return the per-offer keep flags."""
+    return [tracer.offer(float(i), i, category, "send", {"i": i})
+            for i in range(start, start + n)]
+
+
+class TestRingWraparound:
+    def test_capacity_bounds_retention_oldest_first(self):
+        tracer = EventTracer(capacity=4)
+        offer_n(tracer, 10)
+        assert len(tracer) == 4
+        assert [e.fields["i"] for e in tracer.events()] == [6, 7, 8, 9]
+        assert tracer.dropped == 6
+
+    def test_eviction_does_not_count_as_sampled_out(self):
+        tracer = EventTracer(capacity=2)
+        offer_n(tracer, 5)
+        counts = tracer.counts()["transfer"]
+        assert counts == {"seen": 5, "kept": 5, "sampled_out": 0}
+        assert tracer.dropped == 3
+
+    def test_capacity_one_keeps_latest(self):
+        tracer = EventTracer(capacity=1)
+        offer_n(tracer, 3)
+        assert [e.fields["i"] for e in tracer.events()] == [2]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+
+class TestSamplingDeterminism:
+    def test_one_in_n_keeps_first_then_every_nth(self):
+        tracer = EventTracer(capacity=100, sample_rates={"transfer": 3})
+        kept = offer_n(tracer, 9)
+        assert kept == [True, False, False] * 3
+        assert [e.fields["i"] for e in tracer.events()] == [0, 3, 6]
+
+    def test_counters_reconcile_seen_kept_sampled_out(self):
+        tracer = EventTracer(capacity=100, sample_rates={"transfer": 4})
+        offer_n(tracer, 10)
+        counts = tracer.counts()["transfer"]
+        assert counts["seen"] == 10
+        assert counts["kept"] == 3  # offers 0, 4, 8
+        assert counts["sampled_out"] == 7
+        assert counts["kept"] + counts["sampled_out"] == counts["seen"]
+
+    def test_rates_are_per_category(self):
+        tracer = EventTracer(capacity=100, sample_rates={"transfer": 2})
+        offer_n(tracer, 4, category="transfer")
+        offer_n(tracer, 4, category="fault")
+        assert len(tracer.events("transfer")) == 2
+        assert len(tracer.events("fault")) == 4
+
+    def test_identical_offer_sequences_trace_identically(self):
+        a = EventTracer(capacity=8, sample_rates={"transfer": 3})
+        b = EventTracer(capacity=8, sample_rates={"transfer": 3})
+        assert offer_n(a, 20) == offer_n(b, 20)
+        assert a.events() == b.events()
+        assert a.counts() == b.counts()
+
+
+class TestCategoryFilter:
+    def test_out_of_filter_categories_are_invisible(self):
+        tracer = EventTracer(capacity=8, categories=("transfer",))
+        assert tracer.offer(0.0, 0, "fault", "crash", {}) is False
+        assert tracer.offer(0.0, 0, "transfer", "send", {}) is True
+        assert tracer.counts() == {
+            "transfer": {"seen": 1, "kept": 1, "sampled_out": 0}}
+        assert tracer.wants("transfer")
+        assert not tracer.wants("fault")
+
+    def test_unfiltered_tracer_wants_everything(self):
+        assert EventTracer(capacity=1).wants("anything")
+
+
+class TestReadingAndReset:
+    def test_events_snapshot_copies_fields(self):
+        tracer = EventTracer(capacity=4)
+        tracer.offer(1.5, 1, "transfer", "send", {"piece": 7})
+        event = tracer.events()[0]
+        assert event == TraceEvent(1.5, 1, "transfer", "send", {"piece": 7})
+
+    def test_summary_shape(self):
+        tracer = EventTracer(capacity=3)
+        offer_n(tracer, 5)
+        summary = tracer.summary()
+        assert summary["capacity"] == 3
+        assert summary["retained"] == 3
+        assert summary["evicted"] == 2
+        assert summary["counts"]["transfer"]["seen"] == 5
+
+    def test_clear_resets_everything(self):
+        tracer = EventTracer(capacity=2, sample_rates={"transfer": 2})
+        offer_n(tracer, 5)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.counts() == {}
+        # The sampling counter restarts: the first post-clear offer is kept.
+        assert tracer.offer(0.0, 0, "transfer", "send", {}) is True

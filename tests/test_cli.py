@@ -205,3 +205,88 @@ class TestGuardFlags:
         assert "degraded: stall watchdog fired" in captured.out
         assert "bundle:" in captured.out
         assert "replicate(s) degraded" in captured.err
+
+
+class TestObservabilityCli:
+    def test_obs_flags_parse_on_run_and_sweep(self):
+        for command in ("run", "sweep"):
+            args = build_parser().parse_args(
+                [command, "--algorithm", "tchain", "--trace",
+                 "--sample-every", "5", "--profile",
+                 "--sample-rate", "transfer=10",
+                 "--trace-out", "out.json"])
+            assert args.trace and args.profile
+            assert args.sample_every == 5
+            assert args.sample_rate == ["transfer=10"]
+            assert args.trace_out == "out.json"
+
+    def test_obs_defaults_off(self):
+        args = build_parser().parse_args(["run", "--algorithm", "tchain"])
+        assert not args.trace and not args.profile
+        assert args.sample_every == 0
+        assert args.trace_out is None
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.algorithm == "tchain"
+        assert args.sample_every == 1
+
+    def test_run_rejects_bad_sample_rate(self, capsys):
+        assert main(["run", "--algorithm", "tchain", "--users", "10",
+                     "--pieces", "4", "--sample-rate", "transfer=0"]) == 2
+        assert "--sample-rate" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_category(self, capsys):
+        assert main(["run", "--algorithm", "tchain", "--users", "10",
+                     "--pieces", "4", "--sample-rate", "nosuch=5"]) == 2
+
+    def test_run_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        assert main(["run", "--algorithm", "tchain", "--users", "20",
+                     "--pieces", "8", "--max-rounds", "80",
+                     "--sample-every", "2",
+                     "--trace-out", str(out)]) == 0
+        records = json.loads(out.read_text())
+        phases = {record["ph"] for record in records}
+        assert {"M", "i", "C"} <= phases
+
+    def test_trace_command_renders_profile_and_trace(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["trace", "--users", "20", "--pieces", "8",
+                     "--max-rounds", "80", "--trace-out", str(out),
+                     "--jsonl-out", str(jsonl)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Self-profile (wall clock)" in stdout
+        assert "engine.round" in stdout
+        assert "trace ring:" in stdout
+        assert "progress_p50" in stdout  # sparkline dashboard
+        records = json.loads(out.read_text())
+        assert any(r["ph"] == "i" for r in records)
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+    def test_trace_respects_sample_rate_and_buffer(self, capsys):
+        assert main(["trace", "--users", "20", "--pieces", "8",
+                     "--max-rounds", "60", "--sample-rate", "transfer=50",
+                     "--buffer", "16"]) == 0
+        stdout = capsys.readouterr().out
+        assert "capacity 16" in stdout
+        assert "sampled out" in stdout
+
+    def test_sweep_trace_out_requires_sampling(self, capsys):
+        assert main(["sweep", "--algorithm", "tchain", "--scale", "smoke",
+                     "--replicates", "1", "--trace-out", "x.json"]) == 2
+        assert "--sample-every" in capsys.readouterr().err
+
+    def test_sweep_writes_per_replicate_series_trace(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "sweep.trace.json"
+        assert main(["sweep", "--algorithm", "tchain", "--scale", "smoke",
+                     "--replicates", "2", "--jobs", "1",
+                     "--sample-every", "5", "--trace-out", str(out)]) == 0
+        records = json.loads(out.read_text())
+        meta = [r for r in records if r["ph"] == "M"]
+        assert len(meta) == 2  # one Perfetto process per seed
+        assert any(r["ph"] == "C" for r in records)

@@ -1,0 +1,110 @@
+"""Tier-1 enforcement of the docs-health checks (tools/check_docs.py).
+
+The documentation makes claims about the code — link targets, anchor
+names, and executable examples. These tests make those claims part of
+the test surface: a renamed heading, a moved document, or drifted
+doctest output fails CI, not a reader.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestCuratedDocs:
+    def test_every_curated_document_exists(self):
+        missing = [rel for rel in check_docs.DOC_PATHS
+                   if not (REPO_ROOT / rel).exists()]
+        assert not missing
+
+    def test_observability_and_architecture_are_curated(self):
+        assert "docs/ARCHITECTURE.md" in check_docs.DOC_PATHS
+        assert "docs/OBSERVABILITY.md" in check_docs.DOC_PATHS
+
+    def test_all_checks_pass(self):
+        problems = check_docs.run_checks()
+        assert problems == []
+
+    def test_docs_contain_executable_examples(self):
+        """At least one fenced doctest block must exist — the doctest
+        half of the checker must never become a silent no-op."""
+        blocks = 0
+        for path in check_docs.doc_files():
+            blocks += len(check_docs.doctest_blocks(
+                path.read_text(encoding="utf-8")))
+        assert blocks >= 2
+
+
+class TestSlugRules:
+    def test_basic_heading(self):
+        assert check_docs.github_slug("The determinism contract") == \
+            "the-determinism-contract"
+
+    def test_punctuation_and_code_spans(self):
+        assert check_docs.github_slug("Sweeps: what crosses the pipe") == \
+            "sweeps-what-crosses-the-pipe"
+        assert check_docs.github_slug("The `trace` subcommand") == \
+            "the-trace-subcommand"
+
+    def test_duplicate_headings_get_suffixes(self):
+        slugs = check_docs.heading_slugs("# Same\n\n## Same\n")
+        assert slugs == ["same", "same-1"]
+
+    def test_headings_inside_code_fences_are_ignored(self):
+        markdown = "# Real\n\n```console\n# not a heading\n```\n"
+        assert check_docs.heading_slugs(markdown) == ["real"]
+
+
+class TestNegativeCases:
+    """The checker must actually fire — probe it with synthetic docs."""
+
+    ANCHOR_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+    def test_broken_file_link_detected(self):
+        problems = check_docs.check_links(
+            REPO_ROOT / "README.md", "[gone](no-such-file.md)")
+        assert len(problems) == 1
+        assert "broken link" in problems[0]
+
+    def test_broken_anchor_detected(self):
+        problems = check_docs.check_links(
+            REPO_ROOT / "README.md",
+            "[x](docs/ARCHITECTURE.md#no-such-heading)")
+        assert len(problems) == 1
+        assert "names no heading" in problems[0]
+
+    def test_valid_anchor_accepted(self):
+        problems = check_docs.check_links(
+            REPO_ROOT / "README.md",
+            "[x](docs/ARCHITECTURE.md#the-determinism-contract)")
+        assert problems == []
+
+    def test_links_inside_code_fences_are_exempt(self):
+        markdown = "```md\n[gone](no-such-file.md)\n```\n"
+        assert check_docs.check_links(REPO_ROOT / "README.md",
+                                      markdown) == []
+
+    def test_external_links_are_not_fetched(self):
+        markdown = "[p](https://ui.perfetto.dev) [m](mailto:a@b.c)"
+        assert check_docs.check_links(REPO_ROOT / "README.md",
+                                      markdown) == []
+
+    def test_failing_doctest_detected(self):
+        markdown = "```python\n>>> 1 + 1\n3\n```\n"
+        problems = check_docs.check_doctests(REPO_ROOT / "README.md",
+                                             markdown)
+        assert len(problems) == 1
+        assert "doctest block 0 failed" in problems[0]
+
+    def test_plain_python_fences_are_not_doctested(self):
+        markdown = "```python\nx = definitely_undefined\n```\n"
+        assert check_docs.check_doctests(REPO_ROOT / "README.md",
+                                         markdown) == []

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Docs health checker: do the documents still match the repo?
+
+Two mechanical checks over the curated markdown set (README + the
+top-level reference documents + everything in ``docs/``):
+
+* **Links resolve.** Every relative markdown link must point at a file
+  that exists, and a ``file.md#anchor`` link must name a real heading
+  of the target (GitHub slug rules). External links are not fetched.
+* **Doctests pass.** Any fenced ``python`` block containing ``>>>``
+  prompts is executed as a doctest against the installed ``repro``
+  package, so documented behaviour cannot silently drift from code.
+
+Run directly (``python tools/check_docs.py``) for a report and a
+non-zero exit on problems; ``tests/test_docs_health.py`` wraps the
+same functions so tier-1 CI enforces both checks.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+from typing import Dict, Iterable, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The documents whose health we guarantee. Deliberately a curated
+#: list, not a glob over the repo: scratch/driver files are exempt.
+DOC_PATHS: Tuple[str, ...] = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/SIMULATOR.md",
+    "docs/OBSERVABILITY.md",
+    "docs/ANALYSIS.md",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```.*?^```[ \t]*$", re.M | re.S)
+_PYTHON_FENCE_RE = re.compile(r"^```python[^\n]*\n(.*?)^```[ \t]*$",
+                              re.M | re.S)
+_HEADING_RE = re.compile(r"^#{1,6}[ \t]+(.+?)[ \t]*$", re.M)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[pathlib.Path]:
+    """The curated documents that actually exist (missing ones fail)."""
+    return [REPO_ROOT / rel for rel in DOC_PATHS]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation
+    stripped, spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    """All anchor slugs a markdown document exposes (in order)."""
+    without_code = _FENCE_RE.sub("", markdown)
+    slugs: List[str] = []
+    seen: Dict[str, int] = {}
+    for match in _HEADING_RE.finditer(without_code):
+        slug = github_slug(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(path: pathlib.Path, markdown: str) -> List[str]:
+    """Problems with the relative links of one document."""
+    problems: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    without_code = _FENCE_RE.sub("", markdown)
+    for match in _LINK_RE.finditer(without_code):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+        else:
+            resolved = path  # pure-anchor link into this document
+        if anchor:
+            if resolved.suffix != ".md" or resolved.is_dir():
+                continue  # anchors into non-markdown: not ours to judge
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                problems.append(
+                    f"{rel}: link -> {target} names no heading of "
+                    f"{resolved.relative_to(REPO_ROOT)}")
+    return problems
+
+
+def doctest_blocks(markdown: str) -> List[str]:
+    """Fenced python blocks containing ``>>>`` prompts."""
+    return [match.group(1)
+            for match in _PYTHON_FENCE_RE.finditer(markdown)
+            if ">>>" in match.group(1)]
+
+
+def check_doctests(path: pathlib.Path, markdown: str) -> List[str]:
+    """Doctest failures in one document's fenced python blocks."""
+    problems: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    for i, block in enumerate(doctest_blocks(markdown)):
+        test = parser.get_doctest(block, {}, f"{rel}[block {i}]",
+                                  str(rel), 0)
+        output: List[str] = []
+        result = runner.run(test, out=output.append)
+        if result.failed:
+            problems.append(
+                f"{rel}: doctest block {i} failed:\n" + "".join(output))
+    return problems
+
+
+def run_checks(paths: Iterable[pathlib.Path] = ()) -> List[str]:
+    """All problems across the curated (or given) documents."""
+    problems: List[str] = []
+    for path in paths or doc_files():
+        if not path.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: document missing")
+            continue
+        markdown = path.read_text(encoding="utf-8")
+        problems.extend(check_links(path, markdown))
+        problems.extend(check_doctests(path, markdown))
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    problems = run_checks()
+    files = doc_files()
+    blocks = sum(len(doctest_blocks(p.read_text(encoding="utf-8")))
+                 for p in files if p.exists())
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"docs health: {len(problems)} problem(s) across "
+              f"{len(files)} documents", file=sys.stderr)
+        return 1
+    print(f"docs health: {len(files)} documents OK "
+          f"({blocks} fenced doctest block(s) executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
