@@ -1,0 +1,42 @@
+"""Fault-tolerant distributed sweep fabric.
+
+``repro.dist`` turns the single-host persistent worker pool
+(:mod:`repro.experiments.executor`) into a multi-host fabric without
+changing what a sweep *means*: runner agents (:class:`Agent`) execute
+tasks in warm worker processes and stream results home over a socket
+control channel, a dispatcher (:class:`FabricBackend`) treats each
+host as a failure domain (heartbeat liveness, end-to-end deadlines,
+re-dispatch on host death, reconnect backoff, local-pool degradation),
+and a content-addressed store (:class:`ResultCache`) lets overlapping
+re-runs fetch finished outcomes instead of recomputing them. All of it
+preserves the sweep contract: ``SweepResult.canonical_digest`` is
+byte-identical across one host, N hosts, any agent-crash schedule, and
+warm-cache re-runs.
+"""
+
+from repro.dist.agent import Agent
+from repro.dist.cache import CacheCorruptionError, CacheStats, ResultCache
+from repro.dist.dispatcher import (AgentUnreachableError, FabricBackend,
+                                   FabricStats, HostSpec, parse_hosts,
+                                   run_distributed_tasks)
+from repro.dist.protocol import (PROTOCOL_VERSION, ConnectionClosed,
+                                 ProtocolError, backoff_delay,
+                                 deterministic_jitter)
+
+__all__ = [
+    "Agent",
+    "AgentUnreachableError",
+    "CacheCorruptionError",
+    "CacheStats",
+    "ConnectionClosed",
+    "FabricBackend",
+    "FabricStats",
+    "HostSpec",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResultCache",
+    "backoff_delay",
+    "deterministic_jitter",
+    "parse_hosts",
+    "run_distributed_tasks",
+]

@@ -1,0 +1,397 @@
+"""Runner agent: executes sweep tasks shipped over the fabric socket.
+
+``python -m repro agent`` starts one of these on each machine of a
+cluster; the dispatcher (:mod:`repro.dist.dispatcher`) connects,
+handshakes, and streams tasks at it. The agent is deliberately dumb —
+all scheduling, retry, and determinism decisions stay parent-side — but
+it owns three responsibilities:
+
+* **crash isolation**, reusing the local pool's worker loop
+  (:func:`repro.experiments.executor._worker_main`): every slot is a
+  warm spawned process, so a task that segfaults or OOMs kills one slot
+  worker, which the agent reaps and respawns, reporting the death home
+  with the *same error string the local pool would produce* — error
+  text is part of a sweep's canonical digest, so a worker death must
+  read identically whether it happened locally or on an agent;
+* **agent-side timeout enforcement**: each ``start`` carries the
+  task's wall-clock budget, and the agent kills the slot at the
+  deadline rather than trusting the dispatcher's (network-delayed) view
+  of time — again with the local pool's exact error phrasing;
+* **forensics shipping**: when a failed task names a crash bundle
+  (``[bundle: path]`` in its error, the guards-layer convention) or a
+  finished run carries ``metrics.bundle_path``, the agent reads the
+  bundle file — local to *its* filesystem — and ships the bytes home in
+  the result frame so the operator never has to log into the box.
+
+An agent outlives dispatcher sessions: when a sweep finishes (``stop``)
+or the dispatcher dies mid-run (socket EOF — in-flight slot workers are
+killed, since their tasks will be re-dispatched elsewhere), it returns
+to accepting the next connection. Heartbeats flow every
+``heartbeat_interval`` seconds whether or not tasks are running; the
+dispatcher's liveness deadline feeds on them.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import threading
+import time
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
+from queue import Empty, Queue
+from typing import Any, Dict, List, Optional
+
+from repro.dist import protocol
+from repro.experiments.executor import _worker_main
+
+__all__ = ["Agent", "DEFAULT_HEARTBEAT_INTERVAL", "MAX_BUNDLE_BYTES"]
+
+#: Seconds between agent -> dispatcher heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Largest crash-forensics bundle shipped home inline (bundles are
+#: bounded JSON snapshots; anything larger is suspicious).
+MAX_BUNDLE_BYTES = 16 * 1024 * 1024
+
+#: Seconds a reaped slot worker gets to ``join()`` before ``kill()``.
+_JOIN_GRACE_S = 2.0
+
+#: Slot/inbox multiplexing poll (seconds).
+_POLL_S = 0.05
+
+_BUNDLE_RE = re.compile(r"\[bundle: ([^\]]+)\]")
+
+
+class _Slot:
+    """One warm worker process; lazily spawned, killed on misbehaviour."""
+
+    def __init__(self, sid: int, ctx) -> None:
+        self.sid = sid
+        self.ctx = ctx
+        self.proc = None
+        self.conn = None
+        #: In-flight task: {"task_id", "timeout", "deadline", "started"}.
+        self.task: Optional[Dict[str, Any]] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def ensure(self) -> None:
+        if self.proc is not None and self.proc.is_alive():
+            return
+        self.close()
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        self.proc = self.ctx.Process(
+            target=_worker_main, args=(child_conn,),
+            name=f"repro-agent-slot-{self.sid}", daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def kill(self) -> None:
+        """Hard-stop the worker (timeout, dispatcher loss): terminate,
+        ``join(grace)``, ``kill()`` — the executor's reap discipline."""
+        if self.proc is not None:
+            try:
+                self.proc.terminate()
+            except Exception:  # pragma: no cover
+                pass
+            self.proc.join(_JOIN_GRACE_S)
+            if self.proc.is_alive():
+                try:
+                    self.proc.kill()
+                except Exception:  # pragma: no cover
+                    pass
+                self.proc.join(_JOIN_GRACE_S)
+        self.close()
+
+    def close(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        self.proc = None
+        self.conn = None
+        self.task = None
+
+
+class Agent:
+    """A fabric runner: ``bind()`` then ``serve_forever()`` (or
+    ``start()`` for a background thread — the test harness path)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 slots: int = 1,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 start_method: str = "spawn",
+                 max_sessions: Optional[int] = None) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.host = host
+        self.port = port
+        self.slots = slots
+        self.heartbeat_interval = heartbeat_interval
+        self.ctx = get_context(start_method)
+        self.max_sessions = max_sessions
+        self.tasks_done = 0
+        self._listener: Optional[socket.socket] = None
+        self._session_sock: Optional[socket.socket] = None
+        self._slots: List[_Slot] = []
+        self._closing = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def bind(self) -> int:
+        """Bind and listen; returns the (possibly OS-assigned) port."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(1)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._slots = [_Slot(i, self.ctx) for i in range(self.slots)]
+        return self.port
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        port = self.bind()
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name=f"repro-agent-{port}",
+                                        daemon=True)
+        self._thread.start()
+        return port
+
+    def serve_forever(self) -> None:
+        """Accept dispatcher sessions until :meth:`stop` (one at a
+        time — a sweep has exactly one dispatcher)."""
+        if self._listener is None:
+            self.bind()
+        sessions = 0
+        try:
+            while not self._closing:
+                if (self.max_sessions is not None
+                        and sessions >= self.max_sessions):
+                    break
+                try:
+                    conn, _addr = self._listener.accept()
+                except OSError:  # listener closed by stop()
+                    break
+                sessions += 1
+                self._session_sock = conn
+                try:
+                    self._serve_session(conn)
+                except (protocol.ProtocolError, OSError):
+                    pass  # dispatcher vanished; wait for the next one
+                finally:
+                    self._session_sock = None
+                    self._abandon_inflight()
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+        finally:
+            self._shutdown_slots()
+
+    def stop(self) -> None:
+        """Tear the agent down: listener, live session, slot workers.
+
+        Closing the session socket mid-sweep is exactly how the chaos
+        tests simulate a host failure — the dispatcher sees a dead
+        connection and re-dispatches the agent's in-flight tasks.
+        """
+        self._closing = True
+        for sock in (self._session_sock, self._listener):
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._listener = None
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self._shutdown_slots()
+
+    def _shutdown_slots(self) -> None:
+        for slot in self._slots:
+            slot.kill()
+
+    def _abandon_inflight(self) -> None:
+        """Dispatcher gone: kill busy slots (their tasks will be
+        re-dispatched elsewhere; finishing them here wastes a core)."""
+        for slot in self._slots:
+            if slot.busy:
+                slot.kill()
+
+    # -- one dispatcher session -----------------------------------------
+
+    def _serve_session(self, sock: socket.socket) -> None:
+        sock.settimeout(30.0)
+        hello = protocol.expect(protocol.recv_msg(sock), "hello")
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            protocol.send_msg(sock, {
+                "t": "error",
+                "error": f"protocol version mismatch: agent "
+                         f"{protocol.PROTOCOL_VERSION}, dispatcher "
+                         f"{hello.get('version')}"})
+            return
+        sock.settimeout(None)
+        protocol.send_msg(sock, protocol.welcome(self.slots))
+
+        inbox: Queue = Queue()
+
+        def _reader() -> None:
+            try:
+                while True:
+                    inbox.put(protocol.recv_msg(sock))
+            except (protocol.ProtocolError, OSError):
+                inbox.put(None)  # sentinel: session over
+
+        reader = threading.Thread(target=_reader, daemon=True,
+                                  name=f"repro-agent-reader-{self.port}")
+        reader.start()
+
+        last_heartbeat = 0.0
+        while True:
+            now = time.monotonic()
+            if now - last_heartbeat >= self.heartbeat_interval:
+                busy = sum(1 for s in self._slots if s.busy)
+                protocol.send_msg(sock, {"t": "heartbeat", "busy": busy,
+                                         "done": self.tasks_done})
+                last_heartbeat = now
+            while True:  # drain every queued control message
+                try:
+                    message = inbox.get_nowait()
+                except Empty:
+                    break
+                if message is None or message["t"] == "stop":
+                    return
+                if message["t"] == "getready":
+                    protocol.send_msg(sock, {"t": "ready",
+                                             "slots": self.slots})
+                elif message["t"] == "start":
+                    self._start_task(sock, message)
+            self._pump_slots(sock)
+            self._enforce_deadlines(sock)
+
+    def _start_task(self, sock: socket.socket,
+                    message: Dict[str, Any]) -> None:
+        task_id = message["task_id"]
+        slot = next((s for s in self._slots if not s.busy), None)
+        if slot is None:  # dispatcher overcommitted: protocol breach
+            protocol.send_msg(sock, {
+                "t": "result", "task_id": task_id, "status": "error",
+                "error": f"agent has no free slot for task {task_id}",
+                "wall_s": 0.0})
+            return
+        try:
+            slot.ensure()
+            slot.conn.send((message["fn"], tuple(message["args"])))
+        except Exception as exc:
+            slot.kill()
+            protocol.send_msg(sock, {
+                "t": "result", "task_id": task_id, "status": "error",
+                "error": f"could not dispatch task: "
+                         f"{type(exc).__name__}: {exc}",
+                "wall_s": 0.0})
+            return
+        timeout = message.get("timeout")
+        now = time.monotonic()
+        slot.task = {"task_id": task_id, "timeout": timeout,
+                     "deadline": None if timeout is None else now + timeout,
+                     "started": now}
+
+    def _pump_slots(self, sock: socket.socket) -> None:
+        conn_to_slot = {s.conn: s for s in self._slots if s.busy}
+        if not conn_to_slot:
+            time.sleep(_POLL_S)
+            return
+        for conn in _connection_wait(list(conn_to_slot), _POLL_S):
+            slot = conn_to_slot[conn]
+            task_id = slot.task["task_id"]
+            started = slot.task["started"]
+            try:
+                payload = conn.recv()
+            except (EOFError, OSError):
+                # Matches the local engine's phrasing exactly: error
+                # strings are canonical-digest material — so reap
+                # (join) before reading the exit code, as it does.
+                exitcode = None
+                if slot.proc is not None:
+                    slot.proc.join(_JOIN_GRACE_S)
+                    exitcode = slot.proc.exitcode
+                slot.kill()
+                self.tasks_done += 1
+                protocol.send_msg(sock, self._error_result(
+                    task_id, f"worker process died (exit code {exitcode})",
+                    time.monotonic() - started))
+                continue
+            slot.task = None
+            self.tasks_done += 1
+            status, value_or_error, wall_s = payload[:3]
+            if status == "ok":
+                result_bytes = payload[3] if len(payload) > 3 else None
+                protocol.send_msg(sock, self._ok_result(
+                    task_id, value_or_error, wall_s, result_bytes))
+            else:
+                protocol.send_msg(sock, self._error_result(
+                    task_id, value_or_error, wall_s))
+
+    def _enforce_deadlines(self, sock: socket.socket) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if not slot.busy or slot.task["deadline"] is None:
+                continue
+            if now <= slot.task["deadline"]:
+                continue
+            task_id = slot.task["task_id"]
+            timeout = slot.task["timeout"]
+            started = slot.task["started"]
+            slot.kill()
+            self.tasks_done += 1
+            protocol.send_msg(sock, self._error_result(
+                task_id, f"timeout after {timeout}s", now - started))
+
+    # -- result assembly -------------------------------------------------
+
+    def _ok_result(self, task_id: Any, value: Any, wall_s: float,
+                   result_bytes: Optional[int]) -> Dict[str, Any]:
+        message = {"t": "result", "task_id": task_id, "status": "ok",
+                   "value": value, "wall_s": wall_s,
+                   "result_bytes": result_bytes}
+        bundle = self._read_bundle(getattr(value, "bundle_path", None))
+        if bundle is not None:
+            message["bundle"] = bundle
+        return message
+
+    def _error_result(self, task_id: Any, error: str,
+                      wall_s: float) -> Dict[str, Any]:
+        message = {"t": "result", "task_id": task_id, "status": "error",
+                   "error": error, "wall_s": wall_s}
+        match = _BUNDLE_RE.search(error or "")
+        bundle = self._read_bundle(match.group(1) if match else None)
+        if bundle is not None:
+            message["bundle"] = bundle
+        return message
+
+    @staticmethod
+    def _read_bundle(path: Optional[str]) -> Optional[Dict[str, Any]]:
+        """Load a crash bundle for inline shipping; never fatal."""
+        if not path:
+            return None
+        try:
+            if os.path.getsize(path) > MAX_BUNDLE_BYTES:
+                return None
+            with open(path, "rb") as handle:
+                return {"name": os.path.basename(path),
+                        "data": handle.read()}
+        except OSError:
+            return None

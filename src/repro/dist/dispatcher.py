@@ -1,0 +1,761 @@
+"""Parent-side fabric dispatcher: remote hosts as failure domains.
+
+:class:`FabricBackend` is a drop-in dispatch backend for
+:func:`repro.experiments.replicates.run_resilient_sweep` (the same
+``run(specs, *, timeout, on_result)`` contract as
+:class:`repro.experiments.executor.LocalPoolBackend`) that fans a task
+batch out over runner agents (:mod:`repro.dist.agent`) instead of local
+worker processes. Its failure model treats every agent as a domain
+that can vanish whole:
+
+* **liveness by deadline**: every message (heartbeats included)
+  refreshes a per-host ``last_seen``; a host silent for
+  ``heartbeat_interval * liveness_misses`` seconds is declared dead
+  even if the TCP connection still looks open;
+* **re-dispatch without attempt loss**: tasks in flight on a dead host
+  re-enter the queue *at the same attempt number* — a host failure is
+  not the task's fault, and charging it an attempt would change the
+  retry seed (and therefore the canonical digest) based on which host
+  happened to die. Task-level failures reported by a live agent
+  (exception, slot-worker death, timeout) consume attempts exactly as
+  the local pool does;
+* **reconnect with exponential backoff and bounded deterministic
+  jitter**: connection attempts to a flaky host spread out up to
+  ``reconnect_cap`` seconds (jitter keyed on host and failure count,
+  so two dispatchers never need a shared RNG), and a host that fails
+  ``max_reconnects`` consecutive attempts is abandoned for the run;
+* **graceful degradation**: if fewer than ``min_agents`` hosts answer
+  the initial handshake — or every host is eventually abandoned
+  mid-sweep — the remaining work runs on the local persistent worker
+  pool (``local_fallback``), preserving attempt numbering so the
+  result digest is unchanged. Passing ``local_fallback=None`` turns
+  degradation into :class:`AgentUnreachableError` instead.
+
+Results are delivered in submission order (``on_result`` fires as the
+finished prefix grows), so the sweep journal stays a single-writer,
+canonical-order artifact no matter how many hosts, disconnects, or
+fallbacks the run saw.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import select
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dist import protocol
+from repro.experiments.executor import (ExecutionReport, LocalPoolBackend,
+                                        PoolStats, TaskResult, TaskSpec,
+                                        TaskTelemetry)
+
+__all__ = ["HostSpec", "parse_hosts", "FabricStats", "FabricBackend",
+           "AgentUnreachableError", "run_distributed_tasks"]
+
+#: Idle poll ceiling (seconds) of the dispatch loop.
+_POLL_CEILING_S = 0.25
+
+
+class AgentUnreachableError(RuntimeError):
+    """Too few agents answered and local fallback was disabled."""
+
+    def __init__(self, message: str, *, hosts: Sequence[str],
+                 reachable: int) -> None:
+        super().__init__(message)
+        self.hosts = tuple(hosts)
+        self.reachable = reachable
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One agent endpoint."""
+
+    host: str
+    port: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @staticmethod
+    def parse(text: str) -> "HostSpec":
+        host, sep, port = text.strip().rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"host spec {text!r} is not of the form host:port")
+        try:
+            return HostSpec(host=host, port=int(port))
+        except ValueError as exc:
+            raise ValueError(
+                f"host spec {text!r} has a non-integer port") from exc
+
+
+def parse_hosts(spec) -> Tuple[HostSpec, ...]:
+    """``"h1:7071,h2:7071"`` (or any iterable of such strings /
+    :class:`HostSpec`) -> tuple of :class:`HostSpec`."""
+    if isinstance(spec, (str, HostSpec)):
+        spec = [spec]
+    hosts: List[HostSpec] = []
+    for item in spec:
+        if isinstance(item, HostSpec):
+            hosts.append(item)
+            continue
+        for part in str(item).split(","):
+            part = part.strip()
+            if part:
+                hosts.append(HostSpec.parse(part))
+    if not hosts:
+        raise ValueError("need at least one agent host")
+    return tuple(hosts)
+
+
+@dataclass
+class FabricStats(PoolStats):
+    """Engine telemetry of a distributed batch.
+
+    Extends the local pool's counters with fabric-level gauges: the
+    ``hosts`` mapping carries one counter dict per agent (dispatched /
+    ok / errors / redispatched / disconnects / reconnects /
+    connect_failures / backoff_s / heartbeats / bundles / slots) — the
+    per-host view the obs dashboards and the sweep journal's summary
+    record surface.
+    """
+
+    agents_connected: int = 0
+    agents_lost: int = 0
+    agents_abandoned: int = 0
+    reconnects: int = 0
+    connect_failures: int = 0
+    redispatches: int = 0
+    fallback_tasks: int = 0
+    connect_backoff_s: float = 0.0
+    bundles_shipped: int = 0
+    hosts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = super().as_dict()
+        payload.update({
+            "agents_connected": self.agents_connected,
+            "agents_lost": self.agents_lost,
+            "agents_abandoned": self.agents_abandoned,
+            "reconnects": self.reconnects,
+            "connect_failures": self.connect_failures,
+            "redispatches": self.redispatches,
+            "fallback_tasks": self.fallback_tasks,
+            "connect_backoff_s": self.connect_backoff_s,
+            "bundles_shipped": self.bundles_shipped,
+            "hosts": {label: dict(counters)
+                      for label, counters in self.hosts.items()},
+        })
+        return payload
+
+
+@dataclass
+class _InFlight:
+    index: int
+    attempt: int
+    enqueued_at: float
+    dispatched_at: float
+    deadline: Optional[float]
+
+
+class _Link:
+    """Dispatcher-side state of one agent endpoint."""
+
+    def __init__(self, spec: HostSpec) -> None:
+        self.spec = spec
+        self.label = spec.label
+        self.sock: Optional[socket.socket] = None
+        self.slots = 0
+        self.inflight: Dict[int, _InFlight] = {}
+        self.last_seen = 0.0
+        self.failures = 0          # consecutive failed connect attempts
+        self.next_connect_at = 0.0
+        self.abandoned = False
+        self.last_error: Optional[str] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.sock is not None
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self.inflight)
+
+
+class _FabricEngine:
+    def __init__(self, specs: Sequence[TaskSpec], hosts: Sequence[HostSpec],
+                 *, timeout: Optional[float],
+                 on_result: Optional[Callable[[TaskResult], None]],
+                 local_fallback: Optional[LocalPoolBackend],
+                 min_agents: int, heartbeat_interval: float,
+                 liveness_misses: float, connect_timeout: float,
+                 reconnect_base: float, reconnect_cap: float,
+                 max_reconnects: int, recv_timeout: float,
+                 bundle_dir: str) -> None:
+        self.specs = list(specs)
+        self.links = [_Link(spec) for spec in hosts]
+        self.timeout = timeout
+        self.on_result = on_result
+        self.local_fallback = local_fallback
+        self.min_agents = min_agents
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = heartbeat_interval * liveness_misses
+        self.connect_timeout = connect_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.max_reconnects = max_reconnects
+        self.recv_timeout = recv_timeout
+        self.bundle_dir = bundle_dir
+        #: Dispatcher-side task deadline slack over the agent's own
+        #: enforcement: covers network latency plus one heartbeat gap.
+        self.deadline_grace = max(2.0 * heartbeat_interval, 2.0)
+        self.stats = FabricStats(jobs=0)
+        self.clock = time.monotonic
+        now = self.clock()
+        self.results: List[Optional[TaskResult]] = [None] * len(self.specs)
+        #: Runnable queue: ``(index, attempt, enqueued_at)``.
+        self.pending = [(i, 1, now) for i in range(len(self.specs))]
+        #: Backoff-delayed retries: ``(ready_at, index, attempt)``.
+        self.delayed: List[Tuple[float, int, int]] = []
+        self.last_error: Dict[int, str] = {}
+        self.n_done = 0
+        self.emit_cursor = 0
+        self.next_task_id = 0
+
+    # -- host bookkeeping ------------------------------------------------
+
+    def _host(self, label: str) -> Dict[str, Any]:
+        return self.stats.hosts.setdefault(label, {
+            "dispatched": 0, "ok": 0, "errors": 0, "redispatched": 0,
+            "disconnects": 0, "reconnects": 0, "connect_failures": 0,
+            "backoff_s": 0.0, "heartbeats": 0, "bundles": 0, "slots": 0})
+
+    # -- connection management -------------------------------------------
+
+    def _try_connect(self, link: _Link) -> bool:
+        """One connect + handshake attempt; schedules backoff on failure."""
+        try:
+            sock = socket.create_connection(
+                (link.spec.host, link.spec.port),
+                timeout=self.connect_timeout)
+        except OSError as exc:
+            link.last_error = f"{type(exc).__name__}: {exc}"
+            self._connect_failed(link)
+            return False
+        try:
+            sock.settimeout(self.connect_timeout)
+            protocol.send_msg(sock, protocol.hello())
+            welcome = protocol.recv_msg(sock)
+            if welcome.get("t") == "error":
+                raise protocol.ProtocolError(welcome.get("error"))
+            protocol.expect(welcome, "welcome")
+            if welcome.get("version") != protocol.PROTOCOL_VERSION:
+                raise protocol.ProtocolError(
+                    f"protocol version mismatch: dispatcher "
+                    f"{protocol.PROTOCOL_VERSION}, agent "
+                    f"{welcome.get('version')}")
+            protocol.send_msg(sock, {"t": "getready"})
+            while True:
+                reply = protocol.recv_msg(sock)
+                if reply.get("t") == "heartbeat":
+                    continue  # the agent heartbeats from session start
+                ready = protocol.expect(reply, "ready")
+                break
+        except (protocol.ProtocolError, OSError) as exc:
+            link.last_error = f"{type(exc).__name__}: {exc}"
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._connect_failed(link)
+            return False
+        sock.settimeout(self.recv_timeout)
+        was_lost = link.failures > 0
+        link.sock = sock
+        link.slots = max(1, int(ready.get("slots", 1)))
+        link.failures = 0
+        link.last_seen = self.clock()
+        host = self._host(link.label)
+        host["slots"] = link.slots
+        self.stats.agents_connected += 1
+        if was_lost:
+            self.stats.reconnects += 1
+            host["reconnects"] += 1
+        total_slots = sum(lk.slots for lk in self.links if lk.connected)
+        self.stats.jobs = max(self.stats.jobs, total_slots)
+        return True
+
+    def _connect_failed(self, link: _Link) -> None:
+        link.failures += 1
+        self.stats.connect_failures += 1
+        self._host(link.label)["connect_failures"] += 1
+        if link.failures > self.max_reconnects:
+            link.abandoned = True
+            self.stats.agents_abandoned += 1
+            return
+        delay = protocol.backoff_delay(
+            link.failures, base=self.reconnect_base, cap=self.reconnect_cap,
+            token=f"{link.label}|{link.failures}")
+        link.next_connect_at = self.clock() + delay
+        self.stats.connect_backoff_s += delay
+        self._host(link.label)["backoff_s"] += delay
+
+    def _link_lost(self, link: _Link, reason: str) -> None:
+        """Declare a host dead: close it, requeue its in-flight tasks
+        at their *current* attempt, schedule a reconnect."""
+        if link.sock is not None:
+            try:
+                link.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        link.sock = None
+        link.last_error = reason
+        self.stats.agents_lost += 1
+        host = self._host(link.label)
+        host["disconnects"] += 1
+        if link.inflight:
+            now = self.clock()
+            requeued = sorted(link.inflight.values(), key=lambda r: r.index)
+            # Front of the queue: these tasks already waited their turn.
+            self.pending[:0] = [(r.index, r.attempt, now) for r in requeued]
+            self.stats.redispatches += len(requeued)
+            host["redispatched"] += len(requeued)
+            link.inflight.clear()
+        self._connect_failed(link)
+
+    def _ensure_connections(self) -> None:
+        now = self.clock()
+        for link in self.links:
+            if (link.connected or link.abandoned
+                    or now < link.next_connect_at):
+                continue
+            self._try_connect(link)
+
+    # -- task flow -------------------------------------------------------
+
+    def _promote_delayed(self) -> None:
+        now = self.clock()
+        matured = [entry for entry in self.delayed if entry[0] <= now]
+        if matured:
+            self.delayed = [e for e in self.delayed if e[0] > now]
+            self.pending.extend((index, attempt, now)
+                                for _, index, attempt in sorted(matured))
+
+    def _dispatch(self) -> None:
+        self._promote_delayed()
+        if not self.pending:
+            return
+        for link in self.links:
+            if not link.connected:
+                continue
+            while link.free_slots > 0 and self.pending:
+                index, attempt, enqueued_at = self.pending.pop(0)
+                spec = self.specs[index]
+                task_id = self.next_task_id
+                self.next_task_id += 1
+                now = self.clock()
+                try:
+                    protocol.send_msg(link.sock, {
+                        "t": "start", "task_id": task_id,
+                        "fn": spec.fn, "args": spec.args_for(attempt),
+                        "timeout": self.timeout})
+                except Exception as exc:
+                    # Put the task back first so _link_lost requeues a
+                    # consistent picture, then declare the host dead.
+                    self.pending.insert(0, (index, attempt, enqueued_at))
+                    self._link_lost(
+                        link, f"send failed: {type(exc).__name__}: {exc}")
+                    break
+                deadline = (None if self.timeout is None
+                            else now + self.timeout + self.deadline_grace)
+                link.inflight[task_id] = _InFlight(
+                    index=index, attempt=attempt, enqueued_at=enqueued_at,
+                    dispatched_at=now, deadline=deadline)
+                self._host(link.label)["dispatched"] += 1
+            if not self.pending:
+                return
+
+    def _attempt_failed(self, index: int, attempt: int, host: Optional[str],
+                        error: str, wall_s: float,
+                        queue_wait_s: float) -> None:
+        self.last_error[index] = error
+        spec = self.specs[index]
+        if attempt < spec.max_attempts:
+            self.stats.retries += 1
+            now = self.clock()
+            delay = spec.delay_for(attempt + 1)
+            if delay > 0.0:
+                self.stats.retry_backoff_s += delay
+                self.delayed.append((now + delay, index, attempt + 1))
+            else:
+                self.pending.append((index, attempt + 1, now))
+            return
+        self._finalize(index, TaskResult(
+            key=spec.key, status="failed", value=None, error=error,
+            attempts=attempt,
+            telemetry=TaskTelemetry(worker=None, wall_s=wall_s,
+                                    queue_wait_s=queue_wait_s,
+                                    attempts=attempt, last_error=error,
+                                    host=host)))
+
+    def _finalize(self, index: int, result: TaskResult) -> None:
+        self.results[index] = result
+        self.n_done += 1
+        if result.ok:
+            self.stats.tasks_ok += 1
+        else:
+            self.stats.tasks_failed += 1
+        if self.on_result is not None:
+            while (self.emit_cursor < len(self.results)
+                   and self.results[self.emit_cursor] is not None):
+                self.on_result(self.results[self.emit_cursor])
+                self.emit_cursor += 1
+
+    # -- incoming messages -----------------------------------------------
+
+    def _handle_message(self, link: _Link, message: Dict[str, Any]) -> None:
+        link.last_seen = self.clock()
+        kind = message.get("t")
+        if kind == "heartbeat":
+            self._host(link.label)["heartbeats"] += 1
+            return
+        if kind != "result":
+            return  # unknown chatter: liveness signal only
+        running = link.inflight.pop(message["task_id"], None)
+        if running is None:
+            return  # task already re-dispatched or deadline-expired
+        wall_s = float(message.get("wall_s", 0.0))
+        self.stats.busy_s += wall_s
+        queue_wait = running.dispatched_at - running.enqueued_at
+        host = self._host(link.label)
+        bundle_path = self._store_bundle(link, message.get("bundle"))
+        if message["status"] == "ok":
+            host["ok"] += 1
+            spec = self.specs[running.index]
+            value = message.get("value")
+            if bundle_path is not None:
+                _rehome_value_bundle(value, bundle_path)
+            self._finalize(running.index, TaskResult(
+                key=spec.key, status="ok", value=value, error=None,
+                attempts=running.attempt,
+                telemetry=TaskTelemetry(
+                    worker=None, wall_s=wall_s, queue_wait_s=queue_wait,
+                    result_bytes=message.get("result_bytes"),
+                    attempts=running.attempt,
+                    last_error=self.last_error.get(running.index),
+                    host=link.label)))
+            return
+        error = message.get("error") or "agent reported failure"
+        if bundle_path is not None:
+            error = _rehome_error_bundle(error, bundle_path)
+        host["errors"] += 1
+        if error.startswith("timeout after "):
+            self.stats.timeouts += 1
+        elif "worker process died" in error:
+            self.stats.worker_crashes += 1
+        self._attempt_failed(running.index, running.attempt, link.label,
+                             error, wall_s=wall_s, queue_wait_s=queue_wait)
+
+    def _store_bundle(self, link: _Link,
+                      bundle: Optional[Dict[str, Any]]) -> Optional[str]:
+        """Persist a shipped crash bundle under the local bundle dir."""
+        if not bundle or not bundle.get("data"):
+            return None
+        try:
+            os.makedirs(self.bundle_dir, exist_ok=True)
+            safe_host = link.label.replace(":", "-").replace("/", "-")
+            base = f"{safe_host}-{os.path.basename(bundle['name'])}"
+            path = os.path.join(self.bundle_dir, base)
+            counter = 1
+            while os.path.exists(path):
+                path = os.path.join(self.bundle_dir,
+                                    f"{counter}-{base}")
+                counter += 1
+            with open(path, "wb") as handle:
+                handle.write(bundle["data"])
+        except OSError:
+            return None
+        self.stats.bundles_shipped += 1
+        self._host(link.label)["bundles"] += 1
+        return path
+
+    # -- deadlines -------------------------------------------------------
+
+    def _enforce_deadlines(self) -> None:
+        now = self.clock()
+        for link in self.links:
+            if not link.connected:
+                continue
+            if now - link.last_seen > self.liveness_timeout:
+                self._link_lost(
+                    link, f"liveness deadline missed "
+                          f"(silent for {now - link.last_seen:.1f}s)")
+                continue
+            expired = [task_id for task_id, run in link.inflight.items()
+                       if run.deadline is not None and now > run.deadline]
+            for task_id in expired:
+                running = link.inflight.pop(task_id)
+                self.stats.timeouts += 1
+                self._attempt_failed(
+                    running.index, running.attempt, link.label,
+                    f"timeout after {self.timeout}s",
+                    wall_s=now - running.dispatched_at,
+                    queue_wait_s=(running.dispatched_at
+                                  - running.enqueued_at))
+
+    def _poll_interval(self) -> float:
+        now = self.clock()
+        wakeups = [now + _POLL_CEILING_S]
+        for link in self.links:
+            if link.connected:
+                wakeups.append(link.last_seen + self.liveness_timeout)
+                wakeups.extend(r.deadline for r in link.inflight.values()
+                               if r.deadline is not None)
+            elif not link.abandoned:
+                wakeups.append(link.next_connect_at)
+        if self.delayed:
+            wakeups.append(min(e[0] for e in self.delayed))
+        return max(0.0, min(wakeups) - now)
+
+    # -- degradation -----------------------------------------------------
+
+    def _usable_links(self) -> int:
+        return sum(1 for link in self.links if not link.abandoned)
+
+    def _fallback_remaining(self) -> None:
+        """Run every unfinished task on the local pool, preserving the
+        attempt numbers already consumed on the fabric."""
+        self._promote_delayed()
+        self.pending.extend((index, attempt, self.clock())
+                            for _, index, attempt in self.delayed)
+        self.delayed = []
+        remaining = sorted(self.pending)
+        self.pending = []
+        if not remaining:
+            return
+        self.stats.fallback_tasks += len(remaining)
+        local_specs = []
+        offsets: Dict[int, int] = {}
+        for index, attempt, _enqueued in remaining:
+            spec = self.specs[index]
+            consumed = attempt - 1
+            offsets[index] = consumed
+            retry_delay = None
+            if spec.retry_delay is not None and consumed:
+                retry_delay = (lambda a, spec=spec, consumed=consumed:
+                               spec.retry_delay(a + consumed))
+            else:
+                retry_delay = spec.retry_delay
+            local_specs.append(TaskSpec(
+                key=index, fn=spec.fn,
+                args=(lambda a, spec=spec, consumed=consumed:
+                      spec.args_for(a + consumed)),
+                max_attempts=spec.max_attempts - consumed,
+                retry_delay=retry_delay))
+
+        def _on_local(result: TaskResult) -> None:
+            index = result.key
+            consumed = offsets[index]
+            spec = self.specs[index]
+            attempts = consumed + result.attempts
+            telemetry = result.telemetry
+            self._finalize(index, TaskResult(
+                key=spec.key, status=result.status, value=result.value,
+                error=result.error, attempts=attempts,
+                telemetry=TaskTelemetry(
+                    worker=telemetry.worker, wall_s=telemetry.wall_s,
+                    queue_wait_s=telemetry.queue_wait_s,
+                    result_bytes=telemetry.result_bytes,
+                    attempts=attempts,
+                    last_error=(telemetry.last_error
+                                or self.last_error.get(index)),
+                    host=None)))
+
+        backend = self.local_fallback or LocalPoolBackend()
+        report = backend.run(local_specs, timeout=self.timeout,
+                             on_result=_on_local)
+        pool = report.stats
+        self.stats.jobs = max(self.stats.jobs, pool.jobs)
+        self.stats.busy_s += pool.busy_s
+        self.stats.retries += pool.retries
+        self.stats.retry_backoff_s += pool.retry_backoff_s
+        self.stats.workers_spawned += pool.workers_spawned
+        self.stats.workers_recycled += pool.workers_recycled
+        self.stats.worker_crashes += pool.worker_crashes
+        self.stats.timeouts += pool.timeouts
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        start = self.clock()
+        try:
+            for link in self.links:
+                self._try_connect(link)
+            reachable = sum(1 for link in self.links if link.connected)
+            if reachable < self.min_agents:
+                labels = [link.label for link in self.links]
+                errors = "; ".join(
+                    f"{link.label}: {link.last_error}"
+                    for link in self.links if link.last_error)
+                if self.local_fallback is None:
+                    raise AgentUnreachableError(
+                        f"only {reachable} of {len(self.links)} agents "
+                        f"reachable (need {self.min_agents}) and local "
+                        f"fallback is disabled — {errors or 'no detail'}",
+                        hosts=labels, reachable=reachable)
+                self._close_links()
+                self._fallback_remaining()
+                return self._report(start)
+            while self.n_done < len(self.specs):
+                self._ensure_connections()
+                if self._usable_links() == 0:
+                    # Every host abandoned mid-sweep: degrade.
+                    if self.local_fallback is None:
+                        labels = [link.label for link in self.links]
+                        raise AgentUnreachableError(
+                            "every agent was abandoned mid-sweep and "
+                            "local fallback is disabled",
+                            hosts=labels, reachable=0)
+                    self._fallback_remaining()
+                    break
+                self._dispatch()
+                socks = {link.sock: link for link in self.links
+                         if link.connected}
+                if socks:
+                    readable, _, _ = select.select(
+                        list(socks), [], [], self._poll_interval())
+                    for sock in readable:
+                        link = socks[sock]
+                        if link.sock is not sock:
+                            continue  # lost earlier in this iteration
+                        try:
+                            message = protocol.recv_msg(sock)
+                        except (protocol.ProtocolError, OSError) as exc:
+                            self._link_lost(
+                                link,
+                                f"recv failed: {type(exc).__name__}: {exc}")
+                            continue
+                        self._handle_message(link, message)
+                else:
+                    time.sleep(min(_POLL_CEILING_S,
+                                   max(0.01, self._poll_interval())))
+                self._enforce_deadlines()
+        finally:
+            self._close_links()
+            self.stats.wall_s = self.clock() - start
+        return self._report(start)
+
+    def _report(self, start: float) -> ExecutionReport:
+        self.stats.wall_s = self.clock() - start
+        self.stats.jobs = max(self.stats.jobs, 1)
+        return ExecutionReport(results=tuple(self.results),
+                               stats=self.stats)
+
+    def _close_links(self) -> None:
+        for link in self.links:
+            if link.sock is None:
+                continue
+            try:
+                protocol.send_msg(link.sock, {"t": "stop"})
+            except (protocol.ProtocolError, OSError):
+                pass
+            try:
+                link.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            link.sock = None
+
+
+def _rehome_value_bundle(value: Any, local_path: str) -> None:
+    """Point a shipped result's ``bundle_path`` at the local copy."""
+    try:
+        value.bundle_path = local_path
+    except Exception:
+        try:
+            object.__setattr__(value, "bundle_path", local_path)
+        except Exception:
+            pass
+
+
+def _rehome_error_bundle(error: str, local_path: str) -> str:
+    """Rewrite ``[bundle: remote-path]`` to the locally shipped copy.
+
+    Worker tracebacks repeat the exception message (head line plus the
+    traceback's final line), so every occurrence of the shipped path is
+    rewritten — keyed on the first match, which is what the agent read.
+    """
+    match = re.search(r"\[bundle: ([^\]]+)\]", error)
+    if match is None:
+        return error
+    remote = match.group(1)
+    return error.replace(f"[bundle: {remote}]",
+                         f"[bundle: {local_path}]")
+
+
+class FabricBackend:
+    """Dispatch backend over remote agents, with local degradation.
+
+    Same ``run`` contract as :class:`LocalPoolBackend`; construct with
+    the host list and failure-model knobs documented on the module.
+    """
+
+    def __init__(self, hosts, *, min_agents: int = 1,
+                 local_fallback: Optional[LocalPoolBackend] = ...,
+                 heartbeat_interval: float = 1.0,
+                 liveness_misses: float = 3.0,
+                 connect_timeout: float = 3.0,
+                 reconnect_base: float = 0.25,
+                 reconnect_cap: float = 10.0,
+                 max_reconnects: int = 3,
+                 recv_timeout: float = 30.0,
+                 bundle_dir: str = "crash-bundles") -> None:
+        self.hosts = parse_hosts(hosts)
+        if min_agents < 1:
+            raise ValueError("min_agents must be >= 1")
+        self.min_agents = min_agents
+        self.local_fallback = (LocalPoolBackend()
+                               if local_fallback is ... else local_fallback)
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_misses = liveness_misses
+        self.connect_timeout = connect_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.max_reconnects = max_reconnects
+        self.recv_timeout = recv_timeout
+        self.bundle_dir = bundle_dir
+
+    def run(self, specs: Sequence[TaskSpec], *,
+            timeout: Optional[float] = None,
+            on_result: Optional[Callable[[TaskResult], None]] = None,
+            ) -> ExecutionReport:
+        for spec in specs:
+            if spec.max_attempts < 1:
+                raise ValueError("max_attempts must be >= 1")
+        if not specs:
+            return ExecutionReport(results=(), stats=FabricStats(jobs=0))
+        engine = _FabricEngine(
+            specs, self.hosts, timeout=timeout, on_result=on_result,
+            local_fallback=self.local_fallback, min_agents=self.min_agents,
+            heartbeat_interval=self.heartbeat_interval,
+            liveness_misses=self.liveness_misses,
+            connect_timeout=self.connect_timeout,
+            reconnect_base=self.reconnect_base,
+            reconnect_cap=self.reconnect_cap,
+            max_reconnects=self.max_reconnects,
+            recv_timeout=self.recv_timeout,
+            bundle_dir=self.bundle_dir)
+        return engine.run()
+
+
+def run_distributed_tasks(specs: Sequence[TaskSpec], hosts, *,
+                          timeout: Optional[float] = None,
+                          on_result: Optional[
+                              Callable[[TaskResult], None]] = None,
+                          **options) -> ExecutionReport:
+    """Convenience wrapper: ``FabricBackend(hosts, **options).run(...)``."""
+    return FabricBackend(hosts, **options).run(
+        specs, timeout=timeout, on_result=on_result)

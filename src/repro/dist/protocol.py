@@ -1,0 +1,164 @@
+"""Wire protocol of the distributed sweep fabric.
+
+Agents (:mod:`repro.dist.agent`) and the dispatcher
+(:mod:`repro.dist.dispatcher`) speak length-prefixed pickle frames over
+a plain TCP socket: a 4-byte big-endian payload length followed by the
+pickled message. Messages are small dicts tagged by a ``"t"`` field:
+
+===============  =========  =====================================
+type             direction  payload
+===============  =========  =====================================
+``hello``        d -> a     ``version``
+``welcome``      a -> d     ``version``, ``slots``, ``pid``
+``getready``     d -> a     —
+``ready``        a -> d     ``slots``
+``start``        d -> a     ``task_id``, ``fn``, ``args``,
+                            ``timeout``
+``result``       a -> d     ``task_id``, ``status`` (ok/error),
+                            ``value`` | ``error``, ``wall_s``,
+                            ``result_bytes``, optional ``bundle``
+                            (``{"name", "data"}`` forensics blob)
+``heartbeat``    a -> d     ``busy``, ``done``
+``stop``         d -> a     —
+===============  =========  =====================================
+
+The handshake is ``hello -> welcome -> getready -> ready``; after it
+the dispatcher streams ``start`` messages up to the agent's advertised
+slot count and the agent streams ``result``\\ s home, interleaved with
+periodic ``heartbeat``\\ s that the dispatcher's liveness tracker feeds
+on. Either side closing the socket mid-frame surfaces as
+:class:`ConnectionClosed` — never as a torn half-message, because
+frames are only acted on once fully received.
+
+Pickle requires both ends to run the same codebase (the task ``fn``
+travels by module reference, exactly like the local worker pool's
+pipes); the fabric is a trusted-cluster tool, not a public service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import socket
+import struct
+from typing import Any, Dict
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "ProtocolError",
+           "ConnectionClosed", "send_msg", "recv_msg", "hello",
+           "welcome", "expect", "deterministic_jitter", "backoff_delay"]
+
+#: Bumped on any incompatible message-shape change; the handshake
+#: rejects mismatched peers instead of failing obscurely mid-sweep.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame. Results carry pickled simulation
+#: metrics plus optional observability payloads and forensics bundles;
+#: anything beyond this is a protocol violation, not a workload.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the fabric protocol (bad frame, bad type)."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer went away — cleanly between frames or mid-message."""
+
+
+def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send {len(data)} byte frame "
+            f"(limit {MAX_FRAME_BYTES})")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            got = n - remaining
+            if got:
+                raise ConnectionClosed(
+                    f"connection closed mid-message ({got}/{n} bytes)")
+            raise ConnectionClosed("connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Read one frame and unpickle it.
+
+    Raises :class:`ConnectionClosed` on EOF (including EOF mid-frame —
+    the chaos-testing surface) and :class:`ProtocolError` on oversized
+    or unparseable frames.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}")
+    data = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(data)
+    except Exception as exc:
+        raise ProtocolError(
+            f"undecodable frame: {type(exc).__name__}: {exc}") from exc
+    if not isinstance(message, dict) or "t" not in message:
+        raise ProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+def expect(message: Dict[str, Any], expected_type: str) -> Dict[str, Any]:
+    """Assert a message's ``"t"`` tag; returns the message unchanged."""
+    if message.get("t") != expected_type:
+        raise ProtocolError(
+            f"expected {expected_type!r}, got {message.get('t')!r}")
+    return message
+
+
+def hello() -> Dict[str, Any]:
+    return {"t": "hello", "version": PROTOCOL_VERSION}
+
+
+def welcome(slots: int) -> Dict[str, Any]:
+    return {"t": "welcome", "version": PROTOCOL_VERSION,
+            "slots": slots, "pid": os.getpid()}
+
+
+# ----------------------------------------------------------------------
+# Deterministic backoff
+# ----------------------------------------------------------------------
+
+def deterministic_jitter(token: str) -> float:
+    """A reproducible pseudo-uniform draw in ``[0, 1)`` from ``token``.
+
+    Both retry backoff (jitter keyed by the retry seed) and reconnect
+    backoff (jitter keyed by host and failure count) need spread
+    without a shared RNG whose consumption order would depend on
+    scheduling — a hash of a stable token gives exactly that.
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def backoff_delay(failures: int, *, base: float, cap: float,
+                  token: str) -> float:
+    """Exponential backoff with bounded deterministic jitter.
+
+    ``base * 2**(failures-1)`` capped at ``cap``, then stretched by up
+    to +100% by :func:`deterministic_jitter` of ``token`` — bounded
+    above by ``2 * cap``, never below ``base`` (for ``failures >= 1``).
+    """
+    if failures < 1:
+        return 0.0
+    raw = min(cap, base * (2.0 ** (failures - 1)))
+    return raw * (1.0 + deterministic_jitter(token))

@@ -41,6 +41,7 @@ their own — do not nest engines.
 
 from __future__ import annotations
 
+import heapq
 import os
 import pickle
 import signal
@@ -54,8 +55,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 __all__ = ["TaskSpec", "TaskTelemetry", "TaskResult", "PoolStats",
-           "ExecutionReport", "RespawnStormError", "run_tasks",
-           "default_jobs", "DEFAULT_RECYCLE_AFTER",
+           "ExecutionReport", "RespawnStormError", "LocalPoolBackend",
+           "run_tasks", "default_jobs", "DEFAULT_RECYCLE_AFTER",
            "DEFAULT_CRASH_STORM_LIMIT"]
 
 #: Tasks a worker executes before it is cleanly stopped and respawned.
@@ -113,11 +114,22 @@ class TaskSpec:
     fn: Callable[..., Any]
     args: Union[tuple, Callable[[int], tuple]] = ()
     max_attempts: int = 1
+    #: Parent-side callable ``attempt -> seconds`` the engine waits
+    #: before re-queueing that retry attempt (attempts count from 2 —
+    #: attempt 1 never waits). ``None`` keeps the historical behaviour
+    #: of immediate re-entry. Delays only hold the *failed* task back:
+    #: idle workers keep draining other queued tasks meanwhile.
+    retry_delay: Optional[Callable[[int], float]] = None
 
     def args_for(self, attempt: int) -> tuple:
         if callable(self.args):
             return tuple(self.args(attempt))
         return tuple(self.args)
+
+    def delay_for(self, attempt: int) -> float:
+        if self.retry_delay is None:
+            return 0.0
+        return max(0.0, float(self.retry_delay(attempt)))
 
 
 @dataclass(frozen=True)
@@ -132,18 +144,32 @@ class TaskTelemetry:
     the result (metrics plus any observability payload riding on it)
     back over the pipe; ``None`` for failed attempts or when the value
     could not be sized.
+
+    ``attempts`` counts every try the task consumed, and ``last_error``
+    keeps the most recent failure reason — together they make a
+    retried-then-succeeded task distinguishable from a clean first-try
+    success in journals and dashboards. ``host`` names the remote agent
+    (``"host:port"``) that ran the final attempt when the task was
+    dispatched through the distributed fabric (:mod:`repro.dist`);
+    ``None`` for the in-process local pool.
     """
 
     worker: Optional[int]
     wall_s: float
     queue_wait_s: float
     result_bytes: Optional[int] = None
+    attempts: int = 1
+    last_error: Optional[str] = None
+    host: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {"worker": self.worker,
                 "wall_s": self.wall_s,
                 "queue_wait_s": self.queue_wait_s,
-                "result_bytes": self.result_bytes}
+                "result_bytes": self.result_bytes,
+                "attempts": self.attempts,
+                "last_error": self.last_error,
+                "host": self.host}
 
 
 @dataclass(frozen=True)
@@ -172,6 +198,9 @@ class PoolStats:
     tasks_ok: int = 0
     tasks_failed: int = 0
     retries: int = 0
+    #: Total seconds failed attempts were held back by retry backoff
+    #: (:attr:`TaskSpec.retry_delay`) before re-entering the queue.
+    retry_backoff_s: float = 0.0
     workers_spawned: int = 0
     workers_recycled: int = 0
     worker_crashes: int = 0
@@ -193,6 +222,7 @@ class PoolStats:
             "tasks_ok": self.tasks_ok,
             "tasks_failed": self.tasks_failed,
             "retries": self.retries,
+            "retry_backoff_s": self.retry_backoff_s,
             "workers_spawned": self.workers_spawned,
             "workers_recycled": self.workers_recycled,
             "worker_crashes": self.worker_crashes,
@@ -325,6 +355,10 @@ class _Engine:
         now = self.clock()
         self.results: List[Optional[TaskResult]] = [None] * len(self.specs)
         self.pending = deque((i, 1, now) for i in range(len(self.specs)))
+        #: Retry attempts held back by backoff: a min-heap of
+        #: ``(ready_at, index, attempt)`` promoted into ``pending`` as
+        #: their delays elapse.
+        self.delayed: List[Tuple[float, int, int]] = []
         self.last_error: Dict[int, str] = {}
         self.workers: Dict[int, _Worker] = {}
         self.n_done = 0
@@ -375,7 +409,18 @@ class _Engine:
 
     # -- task flow -------------------------------------------------------
 
+    def _promote_delayed(self) -> None:
+        """Move matured backoff retries into the runnable queue.
+
+        ``enqueued_at`` is stamped at promotion time so the deliberate
+        backoff wait is not misreported as queue congestion."""
+        now = self.clock()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, index, attempt = heapq.heappop(self.delayed)
+            self.pending.append((index, attempt, now))
+
     def _dispatch_idle(self) -> None:
+        self._promote_delayed()
         for worker in list(self.workers.values()):
             if not self.pending:
                 return
@@ -402,10 +447,18 @@ class _Engine:
         spec = self.specs[index]
         if attempt < spec.max_attempts:
             self.stats.retries += 1
-            self.pending.append((index, attempt + 1, self.clock()))
+            now = self.clock()
+            delay = spec.delay_for(attempt + 1)
+            if delay > 0.0:
+                self.stats.retry_backoff_s += delay
+                heapq.heappush(self.delayed, (now + delay, index,
+                                              attempt + 1))
+            else:
+                self.pending.append((index, attempt + 1, now))
             return
         telemetry = TaskTelemetry(worker=wid, wall_s=wall_s,
-                                  queue_wait_s=queue_wait_s)
+                                  queue_wait_s=queue_wait_s,
+                                  attempts=attempt, last_error=error)
         self._finalize(index, TaskResult(
             key=spec.key, status="failed", value=None, error=error,
             attempts=attempt, telemetry=telemetry))
@@ -441,9 +494,11 @@ class _Engine:
             self._finalize(running.index, TaskResult(
                 key=spec.key, status="ok", value=payload, error=None,
                 attempts=running.attempt,
-                telemetry=TaskTelemetry(worker=worker.wid, wall_s=wall_s,
-                                        queue_wait_s=queue_wait,
-                                        result_bytes=result_bytes)))
+                telemetry=TaskTelemetry(
+                    worker=worker.wid, wall_s=wall_s,
+                    queue_wait_s=queue_wait, result_bytes=result_bytes,
+                    attempts=running.attempt,
+                    last_error=self.last_error.get(running.index))))
         else:
             self._attempt_failed(running.index, running.attempt,
                                  worker.wid, payload,
@@ -466,7 +521,8 @@ class _Engine:
             return
         running = sum(1 for w in self.workers.values()
                       if w.current is not None)
-        target = min(self.jobs, max(len(self.pending) + running, 1))
+        queued = len(self.pending) + len(self.delayed)
+        target = min(self.jobs, max(queued + running, 1))
         while len(self.workers) < target:
             self._spawn_worker()
 
@@ -523,14 +579,15 @@ class _Engine:
             self._maybe_respawn()
 
     def _poll_interval(self) -> Optional[float]:
-        if self.timeout is None:
-            return _POLL_CEILING_S
         now = self.clock()
-        deadlines = [w.current.dispatched_at + self.timeout
-                     for w in self.workers.values() if w.current is not None]
-        if not deadlines:
-            return _POLL_CEILING_S
-        return max(0.0, min(min(deadlines) - now, _POLL_CEILING_S))
+        wakeups = [now + _POLL_CEILING_S]
+        if self.timeout is not None:
+            wakeups.extend(w.current.dispatched_at + self.timeout
+                           for w in self.workers.values()
+                           if w.current is not None)
+        if self.delayed:
+            wakeups.append(self.delayed[0][0])
+        return max(0.0, min(wakeups) - now)
 
     # -- main loop -------------------------------------------------------
 
@@ -543,6 +600,10 @@ class _Engine:
                 self._dispatch_idle()
                 conn_to_worker = {w.conn: w for w in self.workers.values()
                                   if w.current is not None}
+                if not conn_to_worker and self.delayed:
+                    # Everything runnable is backing off: sleep until
+                    # the earliest retry matures instead of spinning.
+                    time.sleep(self._poll_interval())
                 if conn_to_worker:
                     ready = _connection_wait(list(conn_to_worker),
                                              self._poll_interval())
@@ -617,3 +678,36 @@ def run_tasks(specs: Sequence[TaskSpec],
                      start_method=start_method,
                      crash_storm_limit=crash_storm_limit)
     return engine.run()
+
+
+class LocalPoolBackend:
+    """Dispatch backend: the in-process persistent worker pool.
+
+    The sweep runner (:func:`repro.experiments.replicates.
+    run_resilient_sweep`) executes its task batch through a *dispatch
+    backend* — any object with ``run(specs, *, timeout, on_result) ->
+    ExecutionReport`` whose ``on_result`` fires in submission order.
+    This is the default backend (and the degradation target of the
+    distributed fabric, :class:`repro.dist.FabricBackend`): it simply
+    binds the pool-shaping keywords of :func:`run_tasks`.
+    """
+
+    def __init__(self, *, jobs: Optional[int] = None,
+                 recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
+                 start_method: str = "spawn",
+                 crash_storm_limit: Optional[int] =
+                 DEFAULT_CRASH_STORM_LIMIT) -> None:
+        self.jobs = jobs
+        self.recycle_after = recycle_after
+        self.start_method = start_method
+        self.crash_storm_limit = crash_storm_limit
+
+    def run(self, specs: Sequence[TaskSpec], *,
+            timeout: Optional[float] = None,
+            on_result: Optional[Callable[[TaskResult], None]] = None,
+            ) -> ExecutionReport:
+        return run_tasks(specs, jobs=self.jobs, timeout=timeout,
+                         recycle_after=self.recycle_after,
+                         on_result=on_result,
+                         start_method=self.start_method,
+                         crash_storm_limit=self.crash_storm_limit)

@@ -22,8 +22,11 @@ replicate's effective seed depends only on ``(config fingerprint,
 requested seed, attempt)``, never on which worker ran it or in what
 order replicates finished, and journal records are flushed by a single
 writer in canonical seed order. Aggregates and journal contents are
-therefore digest-identical across ``jobs=1``, ``jobs=8``, and an
-interrupted-then-resumed run (:meth:`SweepResult.canonical_digest`,
+therefore digest-identical across ``jobs=1``, ``jobs=8``, an
+interrupted-then-resumed run, a sweep dispatched to remote agents
+(``hosts=...`` — see :mod:`repro.dist`) under any agent-crash
+schedule, and a warm re-run served from the content-addressed result
+cache (``cache_dir=...``) (:meth:`SweepResult.canonical_digest`,
 :func:`journal_digest`). Telemetry — per-replicate wall time, queue
 wait, worker id, any :mod:`repro.obs` payload the replicate sampled
 (compacted series, profile aggregates, trace counts), and the
@@ -48,7 +51,8 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
-from repro.experiments.executor import (DEFAULT_RECYCLE_AFTER, TaskResult,
+from repro.experiments.executor import (DEFAULT_RECYCLE_AFTER,
+                                        LocalPoolBackend, TaskResult,
                                         TaskSpec, default_jobs, run_tasks)
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationMetrics
@@ -227,6 +231,7 @@ class SweepResult:
     outcomes: Tuple[ReplicateOutcome, ...]
     metrics: Dict[str, MetricSummary]
     resumed: int  # replicates restored from the checkpoint journal
+    cached: int = 0  # replicates fetched from the result cache
     telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> MetricSummary:
@@ -401,6 +406,37 @@ def journal_digest(path: str) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: Default base (seconds) of the retry backoff ladder; attempt ``k``
+#: (``k >= 2``) waits ``min(cap, base * 2**(k-2)) * (1 + jitter)``.
+DEFAULT_RETRY_BACKOFF = 0.25
+
+#: Default ceiling (seconds) of the un-jittered retry backoff.
+DEFAULT_RETRY_BACKOFF_CAP = 30.0
+
+
+def _retry_delay_fn(fingerprint: str, seed: int, base: float,
+                    cap: float) -> Optional[Callable[[int], float]]:
+    """Jittered exponential backoff between a replicate's attempts.
+
+    The jitter is derived from the retry seed
+    (``sha256(fingerprint|seed|attempt)``) — fully deterministic, so a
+    re-run backs off identically and journals stay reproducible — yet
+    spread across seeds, so a systematically failing config is not
+    hammered by every replicate retrying in lockstep.
+    """
+    if base <= 0.0:
+        return None
+
+    def delay(attempt: int) -> float:
+        if attempt < 2:
+            return 0.0
+        jitter = (_derive_seed(fingerprint, seed, attempt)
+                  % 1_000_000) / 1_000_000.0
+        return min(cap, base * 2.0 ** (attempt - 2)) * (1.0 + jitter)
+
+    return delay
+
+
 def run_resilient_sweep(config: SimulationConfig,
                         seeds: Iterable[int],
                         extractors: Optional[Dict[str, Callable]] = None,
@@ -408,27 +444,64 @@ def run_resilient_sweep(config: SimulationConfig,
                         journal_path: Optional[str] = None,
                         timeout: Optional[float] = None,
                         max_attempts: int = 3,
+                        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                        retry_backoff_cap: float = DEFAULT_RETRY_BACKOFF_CAP,
                         task: Callable[..., Any] = _replicate_task,
                         jobs: Optional[int] = None,
                         recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
                         start_method: str = "spawn",
+                        backend: Optional[Any] = None,
+                        hosts: Optional[Any] = None,
+                        min_agents: int = 1,
+                        local_fallback: bool = True,
+                        fabric_options: Optional[Dict[str, Any]] = None,
+                        cache: Optional[Any] = None,
+                        cache_dir: Optional[str] = None,
+                        cache_strict: bool = False,
                         ) -> SweepResult:
-    """Crash-safe replicated sweep on a persistent worker pool.
+    """Crash-safe replicated sweep on a persistent worker pool — or a
+    distributed fabric of them.
 
     ``jobs`` warm workers (default: cores minus one) pull replicates
     from a shared queue — no per-replicate process spawn. A replicate
     that crashes its worker or exceeds ``timeout`` seconds of wall
     clock is retried — up to ``max_attempts`` total tries, each with a
-    deterministically reseeded configuration — and recorded as failed
-    (not fatal to the sweep) if every attempt dies; only the affected
-    worker is killed and respawned, its siblings keep running. Workers
-    are recycled after ``recycle_after`` tasks to bound leaked memory.
+    deterministically reseeded configuration and a jittered exponential
+    backoff (``retry_backoff`` base seconds, doubling per attempt up to
+    ``retry_backoff_cap``, jitter derived from the retry seed so it is
+    reproducible; ``retry_backoff=0`` restores immediate requeue) — and
+    recorded as failed (not fatal to the sweep) if every attempt dies;
+    only the affected worker is killed and respawned, its siblings keep
+    running. Workers are recycled after ``recycle_after`` tasks to
+    bound leaked memory.
 
     Completed replicates are appended to ``journal_path`` (JSON lines,
     fsynced, single writer, canonical seed order), so re-running the
     same call after an interruption resumes from where the sweep died
     and yields aggregates — and journal bytes — identical to an
     uninterrupted run at any ``jobs``.
+
+    **Distributed execution.** Pass ``hosts`` (``"h1:7071,h2:7071"``,
+    or any iterable of such specs) to dispatch replicates to
+    :mod:`repro.dist` runner agents instead of the local pool; the
+    dispatcher treats each host as a failure domain (re-dispatching
+    in-flight replicates when an agent dies, at the same attempt
+    number) and degrades to the local pool when fewer than
+    ``min_agents`` agents answer (or raises ``AgentUnreachableError``
+    when ``local_fallback=False``). ``fabric_options`` feeds extra
+    keywords to :class:`repro.dist.FabricBackend`; alternatively pass a
+    ready-made ``backend`` object (anything with ``run(specs, *,
+    timeout, on_result)`` delivering results in submission order). The
+    sweep's ``canonical_digest`` is byte-identical across local,
+    1-agent, N-agent, and agent-crash schedules.
+
+    **Result cache.** Pass ``cache_dir`` (or a ready
+    :class:`repro.dist.ResultCache` as ``cache``) to persist completed
+    ``ok`` outcomes content-addressed by ``(config fingerprint, seed)``
+    and fetch them on overlapping re-runs: cache hits are journaled in
+    canonical order exactly like recomputed replicates, so a warm-cache
+    sweep is digest-identical to a cold one. Corrupt entries count as
+    misses unless ``cache_strict`` (then ``CacheCorruptionError``).
 
     ``task(config, seed)`` must be picklable (module-level); it
     defaults to running the simulation and returning its metrics.
@@ -442,6 +515,8 @@ def run_resilient_sweep(config: SimulationConfig,
         raise ValueError("need at least one seed")
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
+    if retry_backoff < 0.0:
+        raise ValueError("retry_backoff must be >= 0")
     if jobs is None:
         jobs = default_jobs()
     chosen = extractors or HEADLINE_METRICS
@@ -457,8 +532,59 @@ def run_resilient_sweep(config: SimulationConfig,
                 "metrics": metric_names})
     resumed = sum(1 for seed in seeds if seed in completed)
 
-    todo = [seed for seed in seeds if seed not in completed]
+    if cache is None and cache_dir is not None:
+        from repro.dist.cache import ResultCache
+        cache = ResultCache(cache_dir, strict=cache_strict)
+
     outcome_by_seed: Dict[int, ReplicateOutcome] = dict(completed)
+    journaled = set(completed)
+
+    cached_hits = 0
+    if cache is not None:
+        for seed in seeds:
+            if seed in outcome_by_seed:
+                continue
+            record = cache.get(fingerprint, seed)
+            if record is None:
+                continue
+            outcome = _outcome_from_cached(record, metric_names)
+            if outcome is None:
+                # Readable entry, but cached under different extractors
+                # (or malformed payload): a plain miss, not corruption.
+                cache.stats.hits -= 1
+                cache.stats.misses += 1
+                continue
+            outcome_by_seed[seed] = outcome
+            cached_hits += 1
+
+    todo = [seed for seed in seeds if seed not in outcome_by_seed]
+
+    emit_cursor = 0
+
+    def _drain() -> None:
+        """Journal the contiguous finished prefix, in canonical seed
+        order, regardless of whether each outcome came from the
+        journal (skip), the cache, or a just-finished task — the
+        single-writer path that keeps warm-cache journal bytes
+        identical to a cold run's."""
+        nonlocal emit_cursor
+        while (emit_cursor < len(seeds)
+               and seeds[emit_cursor] in outcome_by_seed):
+            seed = seeds[emit_cursor]
+            emit_cursor += 1
+            if seed in journaled:
+                continue
+            journaled.add(seed)
+            if journal_path is None:
+                continue
+            outcome = outcome_by_seed[seed]
+            record = {"kind": "replicate", **outcome.canonical_dict()}
+            record["telemetry"] = outcome.telemetry
+            if outcome.bundle_path is not None:
+                record["bundle_path"] = outcome.bundle_path
+            _journal_append(journal_path, record)
+
+    _drain()  # flush any cache-hit prefix before computing
 
     def _args_for(seed: int) -> Callable[[int], tuple]:
         return lambda attempt: (config, _used_seed(fingerprint, seed,
@@ -468,19 +594,35 @@ def run_resilient_sweep(config: SimulationConfig,
         outcome = _outcome_from_result(result, fingerprint, chosen,
                                        metric_names, max_attempts)
         outcome_by_seed[outcome.seed] = outcome
-        if journal_path is not None:
-            record = {"kind": "replicate", **outcome.canonical_dict()}
-            record["telemetry"] = outcome.telemetry
-            if outcome.bundle_path is not None:
-                record["bundle_path"] = outcome.bundle_path
-            _journal_append(journal_path, record)
+        if cache is not None and outcome.ok:
+            cache.put(fingerprint, outcome.seed, outcome.canonical_dict())
+        _drain()
 
     specs = [TaskSpec(key=seed, fn=task, args=_args_for(seed),
-                      max_attempts=max_attempts) for seed in todo]
-    report = run_tasks(specs, jobs=jobs, timeout=timeout,
-                       recycle_after=recycle_after, on_result=_on_result,
-                       start_method=start_method)
+                      max_attempts=max_attempts,
+                      retry_delay=_retry_delay_fn(fingerprint, seed,
+                                                  retry_backoff,
+                                                  retry_backoff_cap))
+             for seed in todo]
+    if backend is None and hosts is not None:
+        from repro.dist.dispatcher import FabricBackend
+        fallback = (LocalPoolBackend(jobs=jobs,
+                                     recycle_after=recycle_after,
+                                     start_method=start_method)
+                    if local_fallback else None)
+        backend = FabricBackend(hosts, min_agents=min_agents,
+                                local_fallback=fallback,
+                                **(fabric_options or {}))
+    if backend is None:
+        report = run_tasks(specs, jobs=jobs, timeout=timeout,
+                           recycle_after=recycle_after,
+                           on_result=_on_result,
+                           start_method=start_method)
+    else:
+        report = backend.run(specs, timeout=timeout, on_result=_on_result)
     sweep_telemetry = report.stats.as_dict()
+    if cache is not None:
+        sweep_telemetry["cache"] = cache.stats.as_dict()
     if journal_path is not None:
         _journal_append(journal_path, {"kind": "summary",
                                        "telemetry": sweep_telemetry})
@@ -491,7 +633,35 @@ def run_resilient_sweep(config: SimulationConfig,
         for name in metric_names}
     return SweepResult(config=config, seeds=seeds,
                        outcomes=tuple(outcomes), metrics=summaries,
-                       resumed=resumed, telemetry=sweep_telemetry)
+                       resumed=resumed, cached=cached_hits,
+                       telemetry=sweep_telemetry)
+
+
+def _outcome_from_cached(record: Any, metric_names: Sequence[str],
+                         ) -> Optional[ReplicateOutcome]:
+    """Rebuild a replicate outcome from a cached canonical dict.
+
+    Returns ``None`` when the entry — though intact — does not match
+    this sweep's metric set or shape (cached by a sweep with different
+    extractors): callers treat that as a plain miss.
+    """
+    if not isinstance(record, dict) or record.get("status") != "ok":
+        return None
+    values = record.get("values")
+    if not isinstance(values, dict) or set(values) != set(metric_names):
+        return None
+    try:
+        return ReplicateOutcome(
+            seed=int(record["seed"]),
+            used_seed=int(record["used_seed"]),
+            attempts=int(record["attempts"]),
+            status="ok",
+            error=record.get("error"),
+            values={name: values.get(name) for name in metric_names},
+            telemetry={"cache": "hit"},
+            degraded=bool(record.get("degraded", False)))
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def _outcome_from_result(result: TaskResult, fingerprint: str,

@@ -77,4 +77,11 @@ def weighted_choice(rng: random.Random, items: Sequence[T],
         acc += w
         if pick < acc:
             return item
+    # Float rounding can push ``pick`` to (or past) the accumulated
+    # total — e.g. subnormal weights — so the scan may fall through.
+    # The fallback must still honour the contract: never return a
+    # zero-weight item.
+    for item, w in zip(reversed(items), reversed(weights)):
+        if w > 0:
+            return item
     return items[-1]

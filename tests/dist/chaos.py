@@ -1,0 +1,135 @@
+"""Network chaos helper: a TCP proxy that misbehaves on command.
+
+``ChaosProxy`` sits between the fabric dispatcher and an agent and
+injects the failure modes the dispatcher must survive:
+
+* ``latency`` — seconds of delay added to every forwarded chunk;
+* ``drop_after_bytes`` — one-shot: after that many total forwarded
+  bytes, both sides are closed *mid-chunk* (so a length-prefixed frame
+  is torn in half — the ``ConnectionClosed`` surface). Subsequent
+  connections pass cleanly, letting reconnect logic be exercised;
+* ``refuse`` — accept-and-slam: every new connection is closed before
+  a byte flows (the unreachable-host surface);
+* ``kill_active()`` — close every live connection pair right now (a
+  host vanishing mid-sweep).
+
+All knobs are plain mutable attributes, safe to flip while traffic is
+flowing. The proxy binds ``127.0.0.1:<ephemeral>``; point the
+dispatcher at ``proxy.port`` instead of the agent's real port.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+
+class ChaosProxy:
+    def __init__(self, upstream_port: int,
+                 upstream_host: str = "127.0.0.1", *,
+                 latency: float = 0.0,
+                 drop_after_bytes: Optional[int] = None,
+                 refuse: bool = False) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.latency = latency
+        self.drop_after_bytes = drop_after_bytes
+        self.refuse = refuse
+        self._forwarded = 0
+        self._lock = threading.Lock()
+        self._active: List[Tuple[socket.socket, socket.socket]] = []
+        self._closing = False
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name=f"chaos-proxy-{self.port}")
+        self._thread.start()
+
+    # -- control ---------------------------------------------------------
+
+    def kill_active(self) -> None:
+        """Hard-close every live connection pair (host death)."""
+        with self._lock:
+            pairs, self._active = self._active, []
+        for pair in pairs:
+            for sock in pair:
+                _close(sock)
+
+    def stop(self) -> None:
+        self._closing = True
+        _close(self._listener)
+        self.kill_active()
+        self._thread.join(5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- data path -------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            if self.refuse:
+                _close(client)
+                continue
+            try:
+                server = socket.create_connection(self.upstream, 5.0)
+            except OSError:
+                _close(client)
+                continue
+            with self._lock:
+                self._active.append((client, server))
+            for src, dst in ((client, server), (server, client)):
+                threading.Thread(target=self._pump, args=(src, dst),
+                                 daemon=True).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                data = src.recv(4096)
+                if not data:
+                    break
+                if self.latency > 0.0:
+                    time.sleep(self.latency)
+                cut_at = None
+                with self._lock:
+                    if self.drop_after_bytes is not None:
+                        before = self._forwarded
+                        self._forwarded += len(data)
+                        if self._forwarded >= self.drop_after_bytes:
+                            cut_at = max(0, self.drop_after_bytes - before)
+                            self.drop_after_bytes = None  # one-shot
+                if cut_at is not None:
+                    # Forward a partial chunk, then tear the wire: the
+                    # receiver sees EOF mid-frame.
+                    if cut_at:
+                        dst.sendall(data[:cut_at])
+                    break
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            _close(src)
+            _close(dst)
+
+
+def _close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,363 @@
+"""Distributed sweep fabric: digest invariance, failover, chaos.
+
+The acceptance bar for the fabric is byte-identical
+``SweepResult.canonical_digest`` across: local pool only, 1 agent,
+2+ agents, an agent killed mid-sweep (in-flight tasks re-dispatched),
+and a warm-cache re-run — with the chaos proxy exercising the
+drop/disconnect paths. The fake tasks live at module level so they
+pickle into agent slot workers (``spawn``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import threading
+import time
+
+import pytest
+
+from repro.dist import (Agent, AgentUnreachableError, FabricBackend,
+                        parse_hosts)
+from repro.experiments.executor import TaskSpec
+from repro.experiments.replicates import journal_digest, run_resilient_sweep
+from repro.experiments.scenarios import smoke_scale
+from repro.names import Algorithm
+from tests.dist.chaos import ChaosProxy
+
+SEEDS = (0, 1, 2, 3, 4, 5)
+
+VALUE = {"value": lambda m: m}
+
+#: Fast-failure fabric knobs so tests never sit out long backoffs.
+FAST_FABRIC = {"heartbeat_interval": 0.2, "connect_timeout": 2.0,
+               "reconnect_base": 0.05, "reconnect_cap": 0.2,
+               "max_reconnects": 2}
+
+
+def _config():
+    return smoke_scale(Algorithm.ALTRUISM)
+
+
+# ---------------------------------------------------------------------
+# Picklable fake tasks
+# ---------------------------------------------------------------------
+
+def task_identity(config, seed):
+    return float(seed)
+
+
+def task_nap(config, seed):
+    time.sleep(0.25)
+    return float(seed)
+
+
+def task_crash_small_seeds(config, seed):
+    """Hard-crashes the worker on original seeds; retry seeds are huge."""
+    if seed < 1000:
+        os._exit(13)
+    return float(seed)
+
+
+def task_always_crash(config, seed):
+    os._exit(13)
+
+
+def task_hang_on_seed_two(config, seed):
+    if seed == 2:
+        time.sleep(60.0)
+    return float(seed)
+
+
+def sqrt_task(x):
+    return math.sqrt(x)
+
+
+def nap_value(x):
+    time.sleep(0.5)
+    return x
+
+
+def boom_with_bundle(path):
+    raise RuntimeError(f"invariant violated [bundle: {path}]")
+
+
+# ---------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------
+
+@contextlib.contextmanager
+def agents(n=1, slots=2):
+    started = [Agent(slots=slots, heartbeat_interval=0.2)
+               for _ in range(n)]
+    hosts = ",".join(f"127.0.0.1:{agent.start()}" for agent in started)
+    try:
+        yield started, hosts
+    finally:
+        for agent in started:
+            agent.stop()
+
+
+def _sweep(seeds=SEEDS, **over):
+    kwargs = dict(extractors=VALUE, task=task_identity, jobs=2,
+                  timeout=60.0, max_attempts=3, retry_backoff=0.0)
+    kwargs.update(over)
+    return run_resilient_sweep(_config(), seeds, **kwargs)
+
+
+# ---------------------------------------------------------------------
+# Digest equivalence — the fabric acceptance bar
+# ---------------------------------------------------------------------
+
+class TestDigestEquivalence:
+    def test_one_agent_matches_local(self):
+        local = _sweep()
+        with agents(1) as (_started, hosts):
+            remote = _sweep(hosts=hosts, fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert remote.telemetry["fallback_tasks"] == 0
+        ran_on = {o.telemetry.get("host") for o in remote.outcomes}
+        assert ran_on == {parse_hosts(hosts)[0].label}
+
+    def test_two_agents_match_local(self):
+        local = _sweep()
+        with agents(2) as (_started, hosts):
+            remote = _sweep(hosts=hosts, fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert remote.telemetry["fallback_tasks"] == 0
+
+    def test_agent_killed_mid_sweep_matches_local(self):
+        seeds = tuple(range(8))
+        local = _sweep(seeds=seeds, task=task_nap)
+        with agents(2, slots=1) as (started, hosts):
+            killer = threading.Timer(0.45, started[0].stop)
+            killer.start()
+            try:
+                remote = _sweep(seeds=seeds, task=task_nap, hosts=hosts,
+                                fabric_options=FAST_FABRIC)
+            finally:
+                killer.cancel()
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert all(o.ok for o in remote.outcomes)
+
+    def test_crash_retry_parity(self):
+        seeds = (1, 2, 3)
+        local = _sweep(seeds=seeds, task=task_crash_small_seeds)
+        with agents(1) as (_started, hosts):
+            remote = _sweep(seeds=seeds, task=task_crash_small_seeds,
+                            hosts=hosts, fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        # Worker crashes consumed an attempt on the fabric exactly as
+        # they do locally: every replicate needed its retry seed.
+        assert [o.attempts for o in remote.outcomes] == [2, 2, 2]
+        assert all(o.used_seed >= 1000 for o in remote.outcomes)
+
+    def test_exhausted_attempts_error_parity(self):
+        seeds = (1, 2)
+        local = _sweep(seeds=seeds, task=task_always_crash, max_attempts=1)
+        with agents(1) as (_started, hosts):
+            remote = _sweep(seeds=seeds, task=task_always_crash,
+                            max_attempts=1, hosts=hosts,
+                            fabric_options=FAST_FABRIC)
+        # Error strings are digest material: the agent must phrase a
+        # worker death byte-identically to the local pool.
+        assert ([o.error for o in remote.outcomes]
+                == [o.error for o in local.outcomes])
+        assert "worker process died (exit code 13)" in remote.outcomes[0].error
+        assert remote.canonical_digest() == local.canonical_digest()
+
+    def test_timeout_parity(self):
+        seeds = (1, 2, 3)
+        local = _sweep(seeds=seeds, task=task_hang_on_seed_two, timeout=1.0)
+        with agents(1) as (_started, hosts):
+            remote = _sweep(seeds=seeds, task=task_hang_on_seed_two,
+                            timeout=1.0, hosts=hosts,
+                            fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert all(o.ok for o in remote.outcomes)
+        assert remote.outcomes[1].attempts == 2  # timed out once
+
+
+class TestResultCache:
+    def test_warm_cache_rerun_is_digest_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = _sweep(cache_dir=cache_dir,
+                      journal_path=str(tmp_path / "cold.jsonl"))
+        warm = _sweep(cache_dir=cache_dir,
+                      journal_path=str(tmp_path / "warm.jsonl"))
+        assert warm.canonical_digest() == cold.canonical_digest()
+        assert warm.cached == len(SEEDS)
+        assert warm.telemetry["cache"]["hits"] == len(SEEDS)
+        assert (journal_digest(str(tmp_path / "warm.jsonl"))
+                == journal_digest(str(tmp_path / "cold.jsonl")))
+
+    def test_partial_cache_interleaves_in_canonical_order(self, tmp_path):
+        """Cache hits at seeds 0/2/4 interleave with computed 1/3/5 —
+        the journal must still come out in canonical seed order."""
+        cache_dir = str(tmp_path / "cache")
+        _sweep(seeds=(0, 2, 4), cache_dir=cache_dir)
+        full_cold = _sweep(journal_path=str(tmp_path / "cold.jsonl"))
+        mixed = _sweep(cache_dir=cache_dir,
+                       journal_path=str(tmp_path / "mixed.jsonl"))
+        assert mixed.cached == 3
+        assert mixed.canonical_digest() == full_cold.canonical_digest()
+        assert (journal_digest(str(tmp_path / "mixed.jsonl"))
+                == journal_digest(str(tmp_path / "cold.jsonl")))
+
+    def test_cache_with_agents(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        local = _sweep(cache_dir=cache_dir)
+        with agents(1) as (_started, hosts):
+            warm = _sweep(cache_dir=cache_dir, hosts=hosts,
+                          fabric_options=FAST_FABRIC)
+        assert warm.cached == len(SEEDS)
+        assert warm.canonical_digest() == local.canonical_digest()
+
+
+# ---------------------------------------------------------------------
+# Failover mechanics
+# ---------------------------------------------------------------------
+
+class TestFailover:
+    def test_redispatch_preserves_attempt_number(self):
+        """A host death is not the task's fault: re-dispatched tasks
+        keep their attempt number (else the retry seed — and the sweep
+        digest — would depend on which host died)."""
+        agent = Agent(slots=1, heartbeat_interval=0.2)
+        port = agent.start()
+        specs = [TaskSpec(key=i, fn=nap_value,
+                          args=(lambda attempt, i=i: (i,)),
+                          max_attempts=3) for i in range(3)]
+        backend = FabricBackend(f"127.0.0.1:{port}", **FAST_FABRIC)
+        killer = threading.Timer(0.25, agent.stop)
+        killer.start()
+        try:
+            report = backend.run(specs, timeout=30.0)
+        finally:
+            killer.cancel()
+            agent.stop()
+        assert [r.status for r in report.results] == ["ok"] * 3
+        assert [r.attempts for r in report.results] == [1, 1, 1]
+        assert report.stats.redispatches >= 1
+        assert report.stats.fallback_tasks >= 1
+
+    def test_unreachable_host_degrades_to_local(self):
+        local = _sweep()
+        # Nothing listens on port 1: connection refused immediately.
+        remote = _sweep(hosts="127.0.0.1:1", fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert remote.telemetry["fallback_tasks"] == len(SEEDS)
+        assert remote.telemetry["connect_failures"] >= 1
+
+    def test_no_fallback_raises_agent_unreachable(self):
+        with pytest.raises(AgentUnreachableError) as excinfo:
+            _sweep(hosts="127.0.0.1:1", local_fallback=False,
+                   fabric_options=FAST_FABRIC)
+        assert excinfo.value.reachable == 0
+        assert "127.0.0.1:1" in excinfo.value.hosts
+
+    def test_agent_serves_consecutive_sweeps(self):
+        with agents(1) as (_started, hosts):
+            first = _sweep(hosts=hosts, fabric_options=FAST_FABRIC)
+            second = _sweep(hosts=hosts, fabric_options=FAST_FABRIC)
+        assert first.canonical_digest() == second.canonical_digest()
+        assert first.telemetry["fallback_tasks"] == 0
+        assert second.telemetry["fallback_tasks"] == 0
+
+    def test_min_agents_gate_falls_back_whole(self):
+        with agents(1) as (_started, hosts):
+            result = _sweep(hosts=hosts + ",127.0.0.1:1", min_agents=2,
+                            fabric_options=FAST_FABRIC)
+        assert result.telemetry["fallback_tasks"] == len(SEEDS)
+        assert result.canonical_digest() == _sweep().canonical_digest()
+
+
+# ---------------------------------------------------------------------
+# Chaos: latency, torn frames, refused connections
+# ---------------------------------------------------------------------
+
+class TestChaos:
+    def test_latency_is_tolerated(self):
+        local = _sweep()
+        with agents(1) as (_started, hosts):
+            port = parse_hosts(hosts)[0].port
+            with ChaosProxy(port, latency=0.02) as proxy:
+                remote = _sweep(hosts=f"127.0.0.1:{proxy.port}",
+                                fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert remote.telemetry["fallback_tasks"] == 0
+
+    def test_mid_message_disconnect_recovers(self):
+        """The proxy tears the wire mid-frame after ~2KB; the
+        dispatcher must treat it as a host death, reconnect, and land
+        on the same digest."""
+        local = _sweep()
+        with agents(1) as (_started, hosts):
+            port = parse_hosts(hosts)[0].port
+            with ChaosProxy(port, drop_after_bytes=2000) as proxy:
+                remote = _sweep(hosts=f"127.0.0.1:{proxy.port}",
+                                fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert all(o.ok for o in remote.outcomes)
+
+    def test_refused_connections_fall_back(self):
+        local = _sweep()
+        with agents(1) as (_started, hosts):
+            port = parse_hosts(hosts)[0].port
+            with ChaosProxy(port, refuse=True) as proxy:
+                remote = _sweep(hosts=f"127.0.0.1:{proxy.port}",
+                                fabric_options=FAST_FABRIC)
+        assert remote.canonical_digest() == local.canonical_digest()
+        assert remote.telemetry["fallback_tasks"] == len(SEEDS)
+
+    def test_kill_active_mid_sweep_recovers(self):
+        local = _sweep(task=task_nap)
+        with agents(1) as (_started, hosts):
+            port = parse_hosts(hosts)[0].port
+            with ChaosProxy(port) as proxy:
+                killer = threading.Timer(0.4, proxy.kill_active)
+                killer.start()
+                try:
+                    remote = _sweep(task=task_nap,
+                                    hosts=f"127.0.0.1:{proxy.port}",
+                                    fabric_options=FAST_FABRIC)
+                finally:
+                    killer.cancel()
+        assert remote.canonical_digest() == local.canonical_digest()
+
+
+# ---------------------------------------------------------------------
+# Crash-forensics bundles ship home
+# ---------------------------------------------------------------------
+
+class TestBundleShipping:
+    def test_error_bundle_lands_locally(self, tmp_path):
+        remote_bundle = tmp_path / "remote" / "bundle-seed7.json"
+        remote_bundle.parent.mkdir()
+        remote_bundle.write_text('{"violation": "conservation"}')
+        landed_dir = tmp_path / "landed"
+        agent = Agent(slots=1, heartbeat_interval=0.2)
+        port = agent.start()
+        try:
+            backend = FabricBackend(f"127.0.0.1:{port}",
+                                    bundle_dir=str(landed_dir),
+                                    **FAST_FABRIC)
+            spec = TaskSpec(
+                key=0, fn=boom_with_bundle,
+                args=(lambda attempt, p=str(remote_bundle): (p,)),
+                max_attempts=1)
+            report = backend.run([spec], timeout=30.0)
+        finally:
+            agent.stop()
+        result = report.results[0]
+        assert result.status == "failed"
+        assert report.stats.bundles_shipped == 1
+        # The error's bundle pointer was rewritten to the local copy.
+        assert str(remote_bundle) not in result.error
+        landed = [os.path.join(str(landed_dir), name)
+                  for name in os.listdir(str(landed_dir))]
+        assert len(landed) == 1
+        assert landed[0] in result.error
+        with open(landed[0], "r", encoding="utf-8") as handle:
+            assert handle.read() == '{"violation": "conservation"}'

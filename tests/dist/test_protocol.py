@@ -1,0 +1,138 @@
+"""Wire-protocol tests: framing, tearing, and deterministic backoff."""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.dist import protocol
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = _pair()
+        try:
+            protocol.send_msg(a, {"t": "hello", "version": 1, "blob": b"x"})
+            message = protocol.recv_msg(b)
+            assert message == {"t": "hello", "version": 1, "blob": b"x"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = _pair()
+        try:
+            for i in range(20):
+                protocol.send_msg(a, {"t": "n", "i": i})
+            got = [protocol.recv_msg(b)["i"] for _ in range(20)]
+            assert got == list(range(20))
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_raises_connection_closed(self):
+        a, b = _pair()
+        a.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_msg(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises_connection_closed(self):
+        a, b = _pair()
+        payload = pickle.dumps({"t": "x", "data": b"y" * 1000})
+        # Header promises 1000+ bytes; deliver half, then vanish.
+        a.sendall(struct.pack(">I", len(payload)) + payload[: len(payload) // 2])
+        a.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = _pair()
+        a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+        try:
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_frame_rejected(self):
+        a, b = _pair()
+        payload = pickle.dumps([1, 2, 3])
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        try:
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_frame_rejected(self):
+        a, b = _pair()
+        a.sendall(struct.pack(">I", 4) + b"\xff\xff\xff\xff")
+        try:
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestHandshakeHelpers:
+    def test_expect_passes_matching(self):
+        message = {"t": "ready", "slots": 2}
+        assert protocol.expect(message, "ready") is message
+
+    def test_expect_rejects_mismatch(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.expect({"t": "ready"}, "welcome")
+
+    def test_hello_welcome_carry_version(self):
+        assert protocol.hello()["version"] == protocol.PROTOCOL_VERSION
+        assert protocol.welcome(4)["version"] == protocol.PROTOCOL_VERSION
+        assert protocol.welcome(4)["slots"] == 4
+
+
+class TestDeterministicBackoff:
+    def test_jitter_in_unit_interval_and_deterministic(self):
+        values = {protocol.deterministic_jitter(f"host:{i}|1")
+                  for i in range(50)}
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(values) > 40  # spread, not clumped
+        assert (protocol.deterministic_jitter("x")
+                == protocol.deterministic_jitter("x"))
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        base, cap = 0.5, 4.0
+        raw = [protocol.backoff_delay(f, base=base, cap=cap, token="t")
+               / (1.0 + protocol.deterministic_jitter("t"))
+               for f in range(1, 8)]
+        assert raw[0] == pytest.approx(base)
+        assert raw[1] == pytest.approx(base * 2)
+        assert raw[-1] == pytest.approx(cap)
+        assert all(b <= cap + 1e-9 for b in raw)
+
+    def test_backoff_bounds(self):
+        for failures in range(1, 10):
+            delay = protocol.backoff_delay(
+                failures, base=0.25, cap=10.0,
+                token=f"agent|{failures}")
+            assert 0.25 <= delay <= 20.0
+
+    def test_zero_failures_zero_delay(self):
+        assert protocol.backoff_delay(0, base=1.0, cap=9.0, token="t") == 0.0

@@ -183,8 +183,34 @@ class TestRecyclingAndTelemetry:
         assert telemetry.worker == 0
         assert telemetry.wall_s >= 0
         assert telemetry.queue_wait_s >= 0
+        assert telemetry.attempts == 1
+        assert telemetry.last_error is None
+        assert telemetry.host is None
         assert set(telemetry.as_dict()) == {"worker", "wall_s",
-                                            "queue_wait_s", "result_bytes"}
+                                            "queue_wait_s", "result_bytes",
+                                            "attempts", "last_error",
+                                            "host"}
+
+    def test_telemetry_records_attempts_and_last_error(self):
+        # A retried-then-succeeded task must be distinguishable in
+        # journals/dashboards: the ok-message telemetry carries the
+        # attempt count and the reason the earlier attempt failed.
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (1 if a == 1 else 1001,)),
+                        max_attempts=2)
+        report = run_tasks([spec], jobs=1)
+        result = report.results[0]
+        assert result.ok
+        assert result.telemetry.attempts == 2
+        assert "worker process died" in result.telemetry.last_error
+
+    def test_failed_telemetry_carries_final_error(self):
+        spec = TaskSpec(key=0, fn=boom, args=(5,), max_attempts=2)
+        report = run_tasks([spec], jobs=1)
+        result = report.results[0]
+        assert not result.ok
+        assert result.telemetry.attempts == 2
+        assert "bad 5" in result.telemetry.last_error
 
     def test_result_bytes_sized_in_worker(self):
         # The result pipe now reports the pickled payload size — the
@@ -231,6 +257,52 @@ class TestRespawnStormBreaker:
         assert all(r.ok for r in report.results)
         assert report.stats.worker_crashes == 2
 
+    def test_boundary_one_fewer_than_limit_does_not_trip(self):
+        # Exactly limit-1 consecutive cold deaths followed by a success:
+        # the breaker must stay closed — it trips at the limit, not
+        # before it.
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (0 if a <= 2 else 1000,)),
+                        max_attempts=3)
+        report = run_tasks([spec], jobs=1, crash_storm_limit=3)
+        result = report.results[0]
+        assert result.ok
+        assert result.attempts == 3
+        assert report.stats.worker_crashes == 2
+
+    def test_boundary_exactly_limit_trips(self):
+        # The same workload with the limit lowered by one: the second
+        # cold death is now the limit-th and must raise.
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (0 if a <= 2 else 1000,)),
+                        max_attempts=3)
+        with pytest.raises(RespawnStormError) as excinfo:
+            run_tasks([spec], jobs=1, crash_storm_limit=2)
+        assert excinfo.value.deaths == 2
+        assert excinfo.value.last_exitcode == 3
+
+    def test_timeout_kill_interleaved_with_crash_on_same_slot(self):
+        # jobs=1: a deliberate timeout kill and a genuine crash land on
+        # successive incarnations of the same worker slot. Only the
+        # crash is a cold death — if the timeout kill counted too, the
+        # breaker (limit 2) would trip here.
+        specs = [
+            TaskSpec(key="hang", fn=sleep_if_two,
+                     args=(lambda a: (2 if a == 1 else 1,)),
+                     max_attempts=2),
+            TaskSpec(key="crash", fn=exit_if_small,
+                     args=(lambda a: (0 if a == 1 else 1000,)),
+                     max_attempts=2),
+        ]
+        report = run_tasks(specs, jobs=1, timeout=1.0, crash_storm_limit=2)
+        by_key = {r.key: r for r in report.results}
+        assert by_key["hang"].ok and by_key["hang"].attempts == 2
+        assert by_key["crash"].ok and by_key["crash"].attempts == 2
+        assert report.stats.timeouts == 1
+        assert report.stats.worker_crashes == 1
+        assert "timeout after 1.0s" in by_key["hang"].telemetry.last_error
+        assert "worker process died" in by_key["crash"].telemetry.last_error
+
     def test_breaker_disabled_with_none(self):
         specs = [TaskSpec(key=0, fn=exit_always, args=(0,), max_attempts=3)]
         report = run_tasks(specs, jobs=1, crash_storm_limit=None)
@@ -241,3 +313,48 @@ class TestRespawnStormBreaker:
         with pytest.raises(ValueError):
             run_tasks([TaskSpec(key=0, fn=square, args=(0,))],
                       crash_storm_limit=0)
+
+
+class TestRetryBackoff:
+    def test_retry_delay_holds_failed_task_back(self):
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (0 if a == 1 else 1000,)),
+                        max_attempts=2,
+                        retry_delay=lambda a: 0.3)
+        start = time.perf_counter()
+        report = run_tasks([spec], jobs=1)
+        elapsed = time.perf_counter() - start
+        result = report.results[0]
+        assert result.ok and result.attempts == 2
+        assert report.stats.retry_backoff_s == pytest.approx(0.3)
+        assert elapsed >= 0.3
+
+    def test_negative_delay_clamped_to_zero(self):
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (0 if a == 1 else 1000,)),
+                        max_attempts=2,
+                        retry_delay=lambda a: -5.0)
+        report = run_tasks([spec], jobs=1)
+        assert report.results[0].ok
+        assert report.stats.retry_backoff_s == 0.0
+
+    def test_no_delay_by_default(self):
+        spec = TaskSpec(key=0, fn=exit_if_small,
+                        args=(lambda a: (0 if a == 1 else 1000,)),
+                        max_attempts=2)
+        report = run_tasks([spec], jobs=1)
+        assert report.results[0].ok
+        assert report.stats.retry_backoff_s == 0.0
+        assert report.stats.as_dict()["retry_backoff_s"] == 0.0
+
+    def test_siblings_drain_during_backoff(self):
+        # The delay holds back only the failed task; the lone worker
+        # keeps draining the queue meanwhile.
+        specs = [TaskSpec(key="retry", fn=exit_if_small,
+                          args=(lambda a: (0 if a == 1 else 1000,)),
+                          max_attempts=2,
+                          retry_delay=lambda a: 0.4)]
+        specs += [TaskSpec(key=i, fn=square, args=(i,)) for i in range(3)]
+        report = run_tasks(specs, jobs=1)
+        assert all(r.ok for r in report.results)
+        assert report.stats.retry_backoff_s == pytest.approx(0.4)

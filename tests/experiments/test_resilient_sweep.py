@@ -140,6 +140,54 @@ class TestRetryAndFailure:
         assert "timeout" in by_seed[2].error
 
 
+class TestRetryBackoff:
+    """Backoff shapes *when* retries run, never *what* they produce."""
+
+    def test_backoff_invisible_in_digest(self, tmp_path):
+        path_plain = str(tmp_path / "nobackoff.jsonl")
+        path_delayed = str(tmp_path / "backoff.jsonl")
+        plain = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_crash_small_seeds,
+                                    max_attempts=2, retry_backoff=0.0,
+                                    journal_path=path_plain)
+        delayed = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                      task=task_crash_small_seeds,
+                                      max_attempts=2, retry_backoff=0.05,
+                                      journal_path=path_delayed)
+        assert plain.canonical_digest() == delayed.canonical_digest()
+        assert journal_digest(path_plain) == journal_digest(path_delayed)
+
+    def test_backoff_seconds_accounted(self):
+        sweep = run_resilient_sweep(_config(), SEEDS, VALUE,
+                                    task=task_crash_small_seeds,
+                                    max_attempts=2, retry_backoff=0.05)
+        assert sweep.telemetry["retry_backoff_s"] > 0.0
+
+    def test_jitter_deterministic_and_bounded(self):
+        from repro.experiments.replicates import (
+            _config_fingerprint,
+            _retry_delay_fn,
+        )
+        fingerprint = _config_fingerprint(_config())
+        delay = _retry_delay_fn(fingerprint, 7, 0.25, 30.0)
+        # Attempt 1 is not a retry and never waits.
+        assert delay(1) == 0.0
+        # Deterministic: same (fingerprint, seed, attempt) -> same delay.
+        assert delay(2) == delay(2)
+        # Exponential base with jitter in [0, 1): base*2^(k-2) .. 2x that.
+        assert 0.25 <= delay(2) < 0.5
+        assert 0.5 <= delay(3) < 1.0
+        # The exponential term is capped (jitter may still ride on top).
+        assert delay(50) <= 60.0
+        # Different seeds jitter differently (with overwhelming odds).
+        other = _retry_delay_fn(fingerprint, 8, 0.25, 30.0)
+        assert delay(2) != other(2)
+
+    def test_backoff_disabled_returns_no_delay_fn(self):
+        from repro.experiments.replicates import _retry_delay_fn
+        assert _retry_delay_fn("fp", 1, 0.0, 30.0) is None
+
+
 class TestJournal:
     def test_journal_written_and_resumed(self, tmp_path):
         path = str(tmp_path / "sweep.jsonl")

@@ -1,0 +1,161 @@
+"""Loopback two-agent smoke for the distributed sweep fabric.
+
+Spawns two ``python -m repro agent`` subprocesses on the loopback
+interface, runs the same sweep three ways — local pool only, two
+agents, two agents with one SIGKILLed mid-run — and asserts the
+canonical aggregate digest and journal digest are byte-identical
+across all three. This is the CI-facing end-to-end check that host
+failover does not leak into anything deterministic.
+
+Usage::
+
+    PYTHONPATH=src python tools/dist_smoke.py --artifacts dist-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.replicates import (  # noqa: E402
+    journal_digest,
+    run_resilient_sweep,
+)
+from repro.experiments.scenarios import smoke_scale  # noqa: E402
+from repro.names import Algorithm  # noqa: E402
+
+_LISTENING_RE = re.compile(r"agent: listening on \S+:(\d+)")
+_AGENT_SPAWN_TIMEOUT_S = 30.0
+
+
+def _spawn_agent(slots: int) -> tuple[subprocess.Popen, int]:
+    """Start an agent subprocess and parse its bound port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "agent",
+         "--bind", "127.0.0.1", "--port", "0",
+         "--slots", str(slots), "--heartbeat", "0.5"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    deadline = time.monotonic() + _AGENT_SPAWN_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _LISTENING_RE.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("agent subprocess never reported a listening port")
+
+
+def _stop_agent(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="replicates per sweep (default 8)")
+    parser.add_argument("--artifacts", default="dist-smoke",
+                        help="directory for journals and bundles")
+    args = parser.parse_args()
+
+    os.makedirs(args.artifacts, exist_ok=True)
+    config = smoke_scale(Algorithm.ALTRUISM)
+    seeds = range(1, args.seeds + 1)
+    fabric = {"heartbeat_interval": 0.5, "connect_timeout": 5.0,
+              "reconnect_base": 0.1, "reconnect_cap": 0.5,
+              "max_reconnects": 2,
+              "bundle_dir": os.path.join(args.artifacts, "crash-bundles")}
+
+    def sweep(label, **overrides):
+        journal = os.path.join(args.artifacts, f"{label}.jsonl")
+        if os.path.exists(journal):
+            os.remove(journal)
+        start = time.perf_counter()
+        result = run_resilient_sweep(
+            config, seeds, jobs=2, timeout=120.0, max_attempts=2,
+            journal_path=journal, **overrides)
+        wall = time.perf_counter() - start
+        print(f"{label}: digest={result.canonical_digest()[:16]} "
+              f"failed={result.n_failed} wall={wall:.1f}s")
+        return result, journal_digest(journal), wall
+
+    print("== baseline: local pool only ==", flush=True)
+    local, local_journal, local_wall = sweep("local")
+
+    agents = []
+    try:
+        for _ in range(2):
+            agents.append(_spawn_agent(slots=2))
+        hosts = ",".join(f"127.0.0.1:{port}" for _proc, port in agents)
+        print(f"== two agents: {hosts} ==", flush=True)
+        remote, remote_journal, _ = sweep(
+            "two-agents", hosts=hosts, fabric_options=dict(fabric))
+
+        print("== two agents, one SIGKILLed mid-sweep ==", flush=True)
+        victim = agents[0][0]
+        kill_delay = max(0.2, local_wall * 0.4)
+        killer = threading.Timer(
+            kill_delay, lambda: victim.send_signal(signal.SIGKILL))
+        killer.start()
+        try:
+            chaos, chaos_journal, _ = sweep(
+                "agent-killed", hosts=hosts, fabric_options=dict(fabric))
+        finally:
+            killer.cancel()
+        print(f"failover stats: "
+              f"redispatches={chaos.telemetry.get('redispatches')} "
+              f"agents_lost={chaos.telemetry.get('agents_lost')} "
+              f"fallback={chaos.telemetry.get('fallback_tasks')}")
+    finally:
+        for proc, _port in agents:
+            _stop_agent(proc)
+
+    failures = []
+    if remote.canonical_digest() != local.canonical_digest():
+        failures.append("two-agent digest != local digest")
+    if chaos.canonical_digest() != local.canonical_digest():
+        failures.append("agent-killed digest != local digest")
+    if remote_journal != local_journal:
+        failures.append("two-agent journal digest != local journal digest")
+    if chaos_journal != local_journal:
+        failures.append("agent-killed journal digest != local journal "
+                        "digest")
+    if local.n_failed:
+        failures.append(f"baseline sweep had {local.n_failed} failed "
+                        f"replicates")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    # Keep the default bundle dir out of artifacts unless populated.
+    bundles = os.path.join(args.artifacts, "crash-bundles")
+    if os.path.isdir(bundles) and not os.listdir(bundles):
+        shutil.rmtree(bundles)
+    print("OK: digests identical across local / two agents / "
+          "agent-killed runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
