@@ -36,6 +36,7 @@ from typing import Dict, Optional
 from repro.names import ALL_ALGORITHMS
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import Simulation
+from repro.sim.vector import VectorSimulation
 
 __all__ = ["hotpath_config", "run_bench", "main"]
 
@@ -43,7 +44,8 @@ __all__ = ["hotpath_config", "run_bench", "main"]
 def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
                    rounds: int, seed: int,
                    guards: str = "off",
-                   obs: str = "off") -> SimulationConfig:
+                   obs: str = "off",
+                   backend: str = "object") -> SimulationConfig:
     """The timed scenario: a pure flash crowd at the given scale."""
     config = SimulationConfig(
         algorithm=algorithm,
@@ -52,6 +54,7 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
         max_rounds=rounds,
         neighbor_count=40,
         seed=seed,
+        backend=backend,
     )
     if guards != "off":
         # A wide window: the timed run is capped mid-download, which a
@@ -70,7 +73,8 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
 
 def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
     """Build one simulation (untimed) and time its event/round loop."""
-    sim = Simulation(config)
+    engine = VectorSimulation if config.backend == "vector" else Simulation
+    sim = engine(config)
     start = time.perf_counter()
     sim.run()
     elapsed = time.perf_counter() - start
@@ -84,7 +88,7 @@ def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
 
 def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
               baseline: Optional[dict] = None, guards: str = "off",
-              obs: str = "off") -> dict:
+              obs: str = "off", backend: str = "object") -> dict:
     """Time every algorithm once; attach speedups vs. ``baseline``."""
     result = {
         "benchmark": "hotpath_round_loop",
@@ -94,6 +98,7 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
         "seed": seed,
         "guards": guards,
         "obs": obs,
+        "backend": backend,
         "python": platform.python_version(),
         "algorithms": {},
     }
@@ -101,7 +106,7 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
     for algorithm in ALL_ALGORITHMS:
         entry = _time_round_loop(
             hotpath_config(algorithm, n_users, n_pieces, rounds, seed,
-                           guards=guards, obs=obs))
+                           guards=guards, obs=obs, backend=backend))
         total += entry["seconds"]
         result["algorithms"][algorithm.value] = entry
         print(f"{algorithm.value:12s} {entry['seconds']:8.3f}s "
@@ -160,11 +165,22 @@ def main(argv=None) -> int:
                              "(trace + every-round sampling + profiling); "
                              "compare against an un-traced run to measure "
                              "its overhead")
+    parser.add_argument("--backend", choices=["object", "vector"],
+                        default="object",
+                        help="round-loop engine to time; 'vector' is the "
+                             "struct-of-arrays fast path (digest-identical "
+                             "to 'object'; incompatible with --guards/"
+                             "--trace)")
     parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
     if args.quick:
         args.users, args.pieces, args.rounds = 60, 32, 15
+    if args.backend == "vector" and (args.guards != "off"
+                                     or args.obs != "off"):
+        parser.error("--backend vector does not support --guards/--trace "
+                     "(the vector engine has no guard or observability "
+                     "hooks; benchmark those on the object backend)")
 
     baseline = None
     if args.baseline:
@@ -172,7 +188,8 @@ def main(argv=None) -> int:
             baseline = json.load(fh)
 
     result = run_bench(args.users, args.pieces, args.rounds, args.seed,
-                       baseline=baseline, guards=args.guards, obs=args.obs)
+                       baseline=baseline, guards=args.guards, obs=args.obs,
+                       backend=args.backend)
     with open(args.output, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,415 @@
+"""Batched per-round decision kernels for the vector backend.
+
+Each kernel re-expresses one strategy's ``on_round`` over the
+struct-of-arrays state of
+:class:`repro.sim.vector.VectorSimulation`: candidate discovery is a
+masked array query done once per turn (then repaired in place after
+each send), while the *decision* sequence — every ``random()`` draw,
+every ``choice``, every ``shuffle``, in order — matches the object
+strategy exactly. That draw-for-draw equivalence is what makes the
+two backends produce byte-identical metrics digests (see
+``tests/integration/test_seed_equivalence.py``); comments below flag
+each place where a strategy's control flow forces (or forbids) an RNG
+draw. Uniform picks use the engine's inlined ``_randbelow`` (the same
+draw sequence as ``rng.choice``) so the drawn index can repair the
+pool without a search.
+
+A kernel is called as ``kernel(sim, s, rng)`` with the simulation, the
+acting peer's slot, and that peer's private strategy stream. Kernels
+for ledger-based strategies read the per-slot pairwise ledgers
+(``sim.rcv_d`` / ``sim.upl_d`` dicts, ``sim.D`` deficit matrix);
+:data:`RECEIVED_ALGORITHMS` / :data:`DEFICIT_ALGORITHMS` /
+:data:`RECEIPT_ALGORITHMS` tell the engine which ledgers a run needs
+so the others are never maintained.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet
+
+import numpy as np
+
+from repro.names import Algorithm
+from repro.sim.rng import weighted_choice
+# No cycle: vector.py defers its kernel import into __init__.
+from repro.sim.vector import _shuffle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.vector import VectorSimulation
+
+__all__ = ["KERNELS", "DEFICIT_ALGORITHMS", "RECEIVED_ALGORITHMS",
+           "RECEIPT_ALGORITHMS", "run_spray", "run_reciprocity",
+           "run_fairtorrent", "run_bittorrent", "run_propshare",
+           "run_reputation", "run_tchain", "run_freerider"]
+
+#: Algorithms whose kernels read the all-time received-from ledger.
+RECEIVED_ALGORITHMS: FrozenSet[Algorithm] = frozenset({
+    Algorithm.RECIPROCITY, Algorithm.BITTORRENT, Algorithm.PROPSHARE,
+})
+
+#: Algorithms that need the pairwise sent-minus-received deficit.
+DEFICIT_ALGORITHMS: FrozenSet[Algorithm] = frozenset({
+    Algorithm.FAIRTORRENT,
+})
+
+#: Algorithms that additionally need the last-round receipt window
+#: (``peer.received_last_round`` in the object engine).
+RECEIPT_ALGORITHMS: FrozenSet[Algorithm] = frozenset({
+    Algorithm.BITTORRENT, Algorithm.PROPSHARE,
+})
+
+
+def run_spray(sim: "VectorSimulation", s: int, rng: random.Random) -> None:
+    """Seeder / Altruism: full capacity to uniformly random needy peers."""
+    budget = sim.budgets[s]
+    if sim.cnt[s] == 0 or not budget.can_send():
+        # With nothing to offer the needy pool is empty, so the object
+        # strategy bails on its first ``_send_random`` without drawing.
+        return
+    needy = sim.begin_turn(s).needy
+    grb = rng.getrandbits
+    while budget.can_send():
+        n = len(needy)
+        if n == 0:
+            return
+        # rng.choice(pool), inlined to keep the drawn index.
+        k = n.bit_length()
+        j = grb(k)
+        while j >= n:
+            j = grb(k)
+        if not sim._plain_send(s, needy[j], j):
+            return
+
+
+def run_reciprocity(sim: "VectorSimulation", s: int,
+                    rng: random.Random) -> None:
+    """Pure direct reciprocity: repay the largest creditor. No RNG.
+
+    The engine maintains ``sim.cred[s]`` — counterparties whose
+    received-from exceeds uploaded-to — incrementally on every send,
+    so a turn only scans that (small) set for view membership and
+    interest instead of running the full needy-pool query. The
+    strategy draws no randomness, so skipping discovery entirely on
+    creditor-less turns is draw-equivalent.
+    """
+    budget = sim.budgets[s]
+    if sim.cnt[s] == 0 or not budget.can_send():
+        return
+    cred = sim.cred[s]
+    if not cred:
+        return
+    vs = sim.vset.get(sim.ids[s])
+    if not vs:
+        return
+    members = sim.members
+    rcv = sim.rcv_d[s]
+    held = sim.held
+    usable_s = sim.usable[s]
+    while budget.can_send():
+        # max by (received, -pid) over creditors that are in view,
+        # active, and needy — the object strategy's exact key.
+        best_pid = -1
+        best_r = -1
+        for pid in cred:
+            if pid in vs and held[members[pid]] & usable_s != usable_s:
+                r = rcv[pid]
+                if r > best_r or (r == best_r and pid < best_pid):
+                    best_r = r
+                    best_pid = pid
+        if best_pid < 0:
+            return
+        if not sim._plain_send(s, best_pid):
+            return
+
+
+def run_fairtorrent(sim: "VectorSimulation", s: int,
+                    rng: random.Random) -> None:
+    """Serve the neighbor we owe the most (lowest deficit).
+
+    One numpy gather over the needy pool finds the minimum deficit
+    and its (ascending) tie list. Each send bumps only its target's
+    deficit — the target leaves the minimum level either way — so the
+    tie list shrinks by exactly the served peer and remains the
+    object strategy's tie list until it drains; only then can the
+    minimum move (it never decreases mid-turn), which a rescan of the
+    repaired pool picks up.
+    """
+    budget = sim.budgets[s]
+    if sim.cnt[s] == 0 or not budget.can_send():
+        return
+    turn = sim.begin_turn(s)
+    drow = sim.D[s]
+    slot_np = sim.slot_np
+    grb = rng.getrandbits
+    while True:
+        needy = turn.needy
+        if not needy:
+            return
+        arr = np.array(needy, dtype=np.int64)
+        d = drow[slot_np[arr]]
+        ties = arr[d == d.min()].tolist()
+        while ties:
+            n = len(ties)
+            if n == 1:
+                j = 0
+                tid = ties[0]
+            else:
+                # Tie at the minimum: uniform pick, one draw —
+                # identical to ``rng.choice`` over the object
+                # strategy's tie list (same membership, same order).
+                k = n.bit_length()
+                j = grb(k)
+                while j >= n:
+                    j = grb(k)
+                tid = ties[j]
+            if not sim._plain_send(s, tid):
+                return
+            ties.pop(j)
+            if not budget.can_send():
+                return
+
+
+def run_bittorrent(sim: "VectorSimulation", s: int,
+                   rng: random.Random) -> None:
+    """Tit-for-tat toward last round's top contributors, plus optimism."""
+    budget = sim.budgets[s]
+    b0 = budget.available()
+    if b0 == 0:
+        return
+    alpha = sim.params.alpha_bt
+    random_ = rng.random
+    if sim.cnt[s] == 0:
+        # Empty-handed round: every slot draws its optimism coin; a
+        # hit fails ``_send_random`` (empty pool) and returns, a miss
+        # idles through the empty unchoke set. The strategy's budget
+        # never decreases, so its mid-loop budget check cannot trip.
+        for _ in range(b0):
+            if random_() < alpha:
+                return
+        return
+    # The needy pool is built lazily: tit-for-tat slots only probe
+    # their (at most n_bt) unchoked targets directly.
+    turn = sim.begin_turn_lazy(s)
+    members = sim.members
+    held = sim.held
+    usable_s = sim.usable[s]
+    lr = sim.last_rcv[s]
+    unchoked: list = []
+    if lr:
+        # Last round's contributors that are still in view and needy,
+        # ascending — the same list as filtering the full needy pool
+        # by receipt, built from the (much smaller) receipt window.
+        vs = sim.vset.get(sim.ids[s]) or ()
+        cand = []
+        for pid in sorted(lr):
+            if (lr[pid] > 0 and pid in vs
+                    and held[members[pid]] & usable_s != usable_s):
+                cand.append(pid)
+        cand.sort(key=lambda pid: (-lr[pid], pid))
+        unchoked = cand[:sim.params.n_bt]
+    grb = rng.getrandbits
+    for _ in range(b0):
+        if not budget.can_send():
+            return
+        if random_() < alpha:
+            # Optimistic unchoke: anyone needy, newcomers included.
+            needy = turn.needy
+            if needy is None:
+                needy = sim.ensure_needy(turn)
+            n = len(needy)
+            if n == 0:
+                return
+            k = n.bit_length()
+            j = grb(k)
+            while j >= n:
+                j = grb(k)
+            if not sim._plain_send(s, needy[j], j):
+                return
+            continue
+        # Tit-for-tat: round-robin the unchoke set, pruning targets we
+        # can no longer serve, rotating the served one to the back.
+        sent_index = None
+        for idx, target in enumerate(unchoked):
+            if target in members and sim._plain_send(s, target):
+                sent_index = idx
+                break
+        if sent_index is not None:
+            unchoked = unchoked[sent_index + 1:] + [unchoked[sent_index]]
+            continue
+        # Fall back to a random all-time contributor (result ignored;
+        # an empty pool draws nothing).
+        needy = turn.needy
+        if needy is None:
+            needy = sim.ensure_needy(turn)
+        if needy:
+            arr = np.array(needy, dtype=np.int64)
+            past = arr[sim.R[s, sim.slot_np[arr]] > 0].tolist()
+            if past:
+                n = len(past)
+                k = n.bit_length()
+                j = grb(k)
+                while j >= n:
+                    j = grb(k)
+                sim._plain_send(s, past[j])
+
+
+def run_propshare(sim: "VectorSimulation", s: int,
+                  rng: random.Random) -> None:
+    """Contribution-proportional reciprocity plus optimism."""
+    budget = sim.budgets[s]
+    b0 = budget.available()
+    if b0 == 0:
+        return
+    alpha = sim.params.alpha_bt
+    random_ = rng.random
+    if sim.cnt[s] == 0:
+        # Same empty-handed draw pattern as BitTorrent: an optimism
+        # hit returns (empty pool), a miss finds no contributor
+        # weights and idles the slot.
+        for _ in range(b0):
+            if random_() < alpha:
+                return
+        return
+    needy = sim.begin_turn(s).needy
+    grb = rng.getrandbits
+    for _ in range(b0):
+        if not budget.can_send():
+            return
+        if random_() < alpha:
+            n = len(needy)
+            if n == 0:
+                return
+            k = n.bit_length()
+            j = grb(k)
+            while j >= n:
+                j = grb(k)
+            if not sim._plain_send(s, needy[j], j):
+                return
+            continue
+        lr = sim.last_rcv[s]
+        weights: Dict[int, int] = {}
+        if lr:
+            for pid, amt in lr.items():
+                if amt > 0:
+                    i = bisect_left(needy, pid)
+                    if i < len(needy) and needy[i] == pid:
+                        weights[pid] = amt
+        if not weights and needy:
+            # Quiet last round: weight by all-time contributions.
+            arr = np.array(needy, dtype=np.int64)
+            amts = sim.R[s, sim.slot_np[arr]]
+            for pid, amt in zip(arr.tolist(), amts.tolist()):
+                if amt > 0:
+                    weights[pid] = amt
+        if not weights:
+            continue  # reciprocal slot idles
+        targets = sorted(weights)
+        target = weighted_choice(rng, targets,
+                                 [float(weights[t]) for t in targets])
+        sim._plain_send(s, target)
+
+
+def run_reputation(sim: "VectorSimulation", s: int,
+                   rng: random.Random) -> None:
+    """Reputation-weighted uploads plus an altruism fraction."""
+    budget = sim.budgets[s]
+    attempts = budget.available()
+    if attempts == 0 or sim.cnt[s] == 0:
+        # No pieces: the object strategy returns on its first empty
+        # candidate list, before any draw.
+        return
+    needy = sim.begin_turn(s).needy
+    alpha = sim.params.alpha_r
+    rep = sim.rep
+    grb = rng.getrandbits
+    for _ in range(attempts):
+        if not budget.can_send():
+            return
+        n = len(needy)
+        if n == 0:
+            return
+        if rng.random() < alpha:
+            k = n.bit_length()
+            j = grb(k)
+            while j >= n:
+                j = grb(k)
+            if not sim._plain_send(s, needy[j], j):
+                return
+        else:
+            weights = [rep[pid] for pid in needy]
+            total = 0.0
+            for w in weights:
+                total += w
+            if total <= 0:
+                continue  # reserved share unusable: all zero-rep
+            target = weighted_choice(rng, needy, weights)
+            if not sim._plain_send(s, target):
+                return
+
+
+def run_tchain(sim: "VectorSimulation", s: int, rng: random.Random) -> None:
+    """Fulfil pending obligations, then seed encrypted pieces."""
+    budget = sim.budgets[s]
+    pend = sim.pend[s]
+    if pend:
+        # Oldest obligations first, piece id as tiebreak — the same
+        # order ``ctx.pending_obligations()`` yields. Snapshot before
+        # fulfilling: fulfilment mutates the dict.
+        for piece, _entry in sorted(pend.items(),
+                                    key=lambda kv: (kv[1][2], kv[0])):
+            if not budget.can_send():
+                return
+            sim.tchain_fulfill(s, piece)
+    if not budget.can_send():
+        return
+    # Seeding-phase candidates, computed once: a successful seed can
+    # only change the *seeded target's* eligibility (its pending set
+    # and possibly — under collusion — its piece set), so the list is
+    # repaired per send instead of re-queried per send.
+    elig = sim.tchain_elig(s)
+    grb = rng.getrandbits
+    members = sim.members
+    held = sim.held
+    usable_s = sim.usable[s]
+    while budget.can_send():
+        candidates = elig.copy()
+        _shuffle(candidates, grb)
+        for tid in candidates:
+            if sim.tchain_seed(s, tid):
+                ts = members.get(tid)
+                if (ts is None or held[ts] & usable_s == usable_s
+                        or sim._blacklisted(ts)):
+                    i = bisect_left(elig, tid)
+                    if i < len(elig) and elig[i] == tid:
+                        elig.pop(i)
+                break
+        else:
+            return  # no candidate accepted a seed
+
+
+def run_freerider(sim: "VectorSimulation", s: int,
+                  rng: random.Random) -> None:
+    """Free-rider: never uploads; optionally false-praises a colluder."""
+    attack = sim.attack
+    if not attack.false_praise:
+        return
+    members = sim.members
+    colluders = [pid for pid in sorted(sim.colluders[s]) if pid in members]
+    if not colluders:
+        return
+    beneficiary = rng.choice(colluders)
+    sim.rep[beneficiary] += attack.fake_praise_amount
+    sim.fake_reported += attack.fake_praise_amount
+
+
+KERNELS: Dict[Algorithm, Callable] = {
+    Algorithm.RECIPROCITY: run_reciprocity,
+    Algorithm.ALTRUISM: run_spray,
+    Algorithm.REPUTATION: run_reputation,
+    Algorithm.BITTORRENT: run_bittorrent,
+    Algorithm.FAIRTORRENT: run_fairtorrent,
+    Algorithm.TCHAIN: run_tchain,
+    Algorithm.PROPSHARE: run_propshare,
+}

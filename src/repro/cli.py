@@ -81,7 +81,8 @@ from repro.names import EXTENDED_ALGORITHMS, Algorithm
 from repro.obs import (SeriesStore, sweep_series_to_chrome_trace,
                        to_chrome_trace, to_jsonl)
 from repro.sim import (FaultConfig, Simulation, SimulationConfig,
-                       targeted_attack_for)
+                       VectorSimulation, targeted_attack_for,
+                       vector_unsupported_reason)
 
 __all__ = ["main", "build_parser"]
 
@@ -129,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arrivals", choices=["flash", "poisson"],
                      default="flash")
     run.add_argument("--max-rounds", type=int, default=600)
+    run.add_argument("--backend", choices=["object", "vector"],
+                     default="object",
+                     help="round-loop engine; 'vector' is the batched "
+                          "struct-of-arrays fast path with byte-identical "
+                          "metrics (instrumented configs fall back to "
+                          "'object' with a note)")
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
@@ -149,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first replicate seed")
     sweep.add_argument("--freeriders", type=float, default=0.0,
                        help="free-rider fraction (targeted attacks applied)")
+    sweep.add_argument("--backend", choices=["object", "vector"],
+                       default="object",
+                       help="round-loop engine used by every replicate; "
+                            "'vector' is digest-identical to 'object' and "
+                            "falls back per-replicate when a config needs "
+                            "the object engine")
     sweep.add_argument("--journal", metavar="PATH",
                        help="checkpoint journal (JSON lines); rerunning "
                             "with the same path resumes the sweep")
@@ -410,11 +423,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
-    # Hold the Simulation instance (rather than run_simulation) so the
-    # observability runtime is still reachable for export afterwards.
-    sim = Simulation(config)
+    if args.backend != "object":
+        config = config.with_backend(args.backend)
+        reason = vector_unsupported_reason(config)
+        if reason is not None:
+            print(f"run: note: vector backend does not support {reason}; "
+                  "using the object engine", file=sys.stderr)
+            config = config.with_backend("object")
+    sim: Optional[Simulation] = None
     try:
-        result = sim.run()
+        if config.backend == "vector":
+            result = VectorSimulation(config).run()
+        else:
+            # Hold the Simulation instance (rather than run_simulation) so
+            # the observability runtime is still reachable for export
+            # afterwards.
+            sim = Simulation(config)
+            result = sim.run()
     except InvariantViolationError as exc:
         print(f"run: invariant violation: {exc}", file=sys.stderr)
         if exc.bundle_path:
@@ -439,8 +464,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{algorithm.display_name}: {args.users} users, "
               f"{args.pieces} pieces, seed {args.seed}")
         _print_summary(result)
-    _export_run_trace(sim, args.trace_out,
-                      label=f"repro run {algorithm.value}", prefix="run")
+    if sim is not None:
+        _export_run_trace(sim, args.trace_out,
+                          label=f"repro run {algorithm.value}", prefix="run")
     if result.metrics.degraded:
         print("run: WARNING: stall watchdog degraded this run "
               "(metrics cover only the rounds before the stall)",
@@ -460,6 +486,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         freerider_fraction=args.freeriders,
         attack=targeted_attack_for(algorithm),
     )
+    config = config.with_backend(args.backend)
     faults = _fault_config(args)
     if faults.enabled:
         config = config.with_faults(faults)

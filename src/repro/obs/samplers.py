@@ -161,12 +161,17 @@ def percentile(values: Iterable[float], q: float) -> float:
     """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
 
     Deterministic and dependency-free; NaN for an empty input.
+    Out-of-range ranks clamp to the extremes (``q <= 0`` is the
+    minimum, ``q >= 100`` the maximum); a NaN ``q`` is a caller bug
+    and raises ``ValueError`` rather than ordering against NaN.
 
     >>> percentile([3.0, 1.0, 2.0, 4.0], 50)
     2.0
     >>> percentile([], 50)
     nan
     """
+    if math.isnan(q):
+        raise ValueError("percentile rank q must not be NaN")
     ordered = sorted(values)
     if not ordered:
         return _NAN

@@ -30,6 +30,7 @@ from repro.sim.faults import FaultConfig, FaultModel  # noqa: F401
 from repro.sim.guards import GuardConfig, InvariantViolation  # noqa: F401
 from repro.sim.metrics import SimulationMetrics, degradation_rows  # noqa: F401
 from repro.sim.runner import Simulation, SimulationResult, run_simulation  # noqa: F401
+from repro.sim.vector import VectorSimulation, vector_unsupported_reason  # noqa: F401
 
 __all__ = [
     "AttackConfig",
@@ -45,9 +46,11 @@ __all__ = [
     "SimulationMetrics",
     "SimulationResult",
     "StrategyParameters",
+    "VectorSimulation",
     "degradation_rows",
     "flash_crowd_arrivals",
     "poisson_arrivals",
     "run_simulation",
     "targeted_attack_for",
+    "vector_unsupported_reason",
 ]

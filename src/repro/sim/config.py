@@ -217,6 +217,13 @@ class SimulationConfig:
     max_rounds: int = 600
     seed: int = 0
     sample_interval: int = 1
+    #: Round-loop implementation: "object" is the per-peer-object
+    #: oracle engine; "vector" is the struct-of-arrays numpy fast path
+    #: (:mod:`repro.sim.vector`). Both produce byte-identical metrics
+    #: digests for every supported configuration, so the backend is
+    #: excluded from ``repr`` — sweep fingerprints, result-cache keys
+    #: and journals are backend-neutral by construction.
+    backend: str = field(repr=False, default="object")
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", Algorithm.parse(self.algorithm))
@@ -263,6 +270,9 @@ class SimulationConfig:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.sample_interval < 1:
             raise ConfigurationError("sample_interval must be >= 1")
+        if self.backend not in ("object", "vector"):
+            raise ConfigurationError(
+                "backend must be 'object' or 'vector'")
         # Cross-field checks: combinations that are individually legal
         # but can only produce a meaningless (or never-ending) run.
         if (self.seeder_capacity == 0.0 and not self.allow_unseeded):
@@ -310,6 +320,10 @@ class SimulationConfig:
     def with_faults(self, faults: FaultConfig) -> "SimulationConfig":
         """Variant running under the given fault-injection layer."""
         return replace(self, faults=faults)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """Variant executed by the given round-loop backend."""
+        return replace(self, backend=backend)
 
     def with_guards(self, mode: str = "cheap",
                     **overrides: Any) -> "SimulationConfig":

@@ -354,6 +354,19 @@ class MetricsCollector:
         if for_freerider:
             self._freerider_received += 1
 
+    def add_transfer_counts(self, total: int, peer: int,
+                            freerider: int) -> None:
+        """Fold in transfer counters accumulated outside the collector.
+
+        The vector backend batches its per-send bookkeeping in local
+        integers and flushes here before every sample and at finalize,
+        which keeps the sampled counter snapshots identical to calling
+        :meth:`record_transfer` / :meth:`record_unlock` per event.
+        """
+        self._total_uploaded += total
+        self._peer_uploaded += peer
+        self._freerider_received += freerider
+
     # ------------------------------------------------------------------
     # Fault events (called by the runner's fault-injection hooks)
     # ------------------------------------------------------------------
@@ -453,21 +466,34 @@ def degradation_rows(runs: Mapping[float, SimulationMetrics],
     """Degradation-vs-loss-rate summary for one algorithm.
 
     ``runs`` maps a configured transfer-loss rate to the metrics of the
-    run executed at that rate (rate 0.0, if present, is the baseline).
-    Returns one row per rate, sorted ascending, with the headline
-    quantities and the slowdown relative to the zero-loss baseline
-    (``nan`` when no baseline or no completions to compare).
+    run executed at that rate (the smallest rate within 1e-12 of zero,
+    if present, is the baseline — sweep configs sometimes carry a tiny
+    float residue instead of an exact 0.0).  Returns one row per rate,
+    sorted ascending, with the headline quantities and the slowdown
+    relative to the zero-loss baseline (``nan`` when no baseline or no
+    completions to compare; ``inf`` when the baseline completed in zero
+    time and the lossy run did not).
     """
-    baseline = runs.get(0.0)
-    base_time = baseline.mean_completion_time() if baseline else math.nan
+    baseline = None
+    for rate in sorted(runs):
+        if abs(rate) <= 1e-12:
+            baseline = runs[rate]
+            break
+    base_time = (baseline.mean_completion_time()
+                 if baseline is not None else math.nan)
     rows: List[Dict[str, float]] = []
     for rate in sorted(runs):
         m = runs[rate]
         mean_time = m.mean_completion_time()
-        if base_time and math.isfinite(base_time) and math.isfinite(mean_time):
-            slowdown = mean_time / base_time
-        else:
+        if not (math.isfinite(base_time) and math.isfinite(mean_time)):
             slowdown = math.nan
+        elif base_time == 0.0:
+            # An all-instant baseline: identical behaviour is no
+            # degradation (1.0); any nonzero completion time is an
+            # unbounded slowdown rather than a division crash.
+            slowdown = 1.0 if mean_time == 0.0 else math.inf
+        else:
+            slowdown = mean_time / base_time
         fairness = m.final_fairness()
         rows.append({
             "loss_rate": rate,

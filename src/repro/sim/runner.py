@@ -17,6 +17,7 @@ consistent.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
@@ -964,5 +965,23 @@ class Simulation:
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Convenience wrapper: build and run one simulation."""
+    """Build and run one simulation on the configured backend.
+
+    ``config.backend == "vector"`` selects the struct-of-arrays round
+    loop (:class:`repro.sim.vector.VectorSimulation`), which produces
+    byte-identical metrics digests to this object engine. Configs the
+    vector engine does not support (fault injection, guards, the obs
+    runtime, per-transfer recording) fall back to the object engine
+    with a :class:`RuntimeWarning` naming the unsupported feature.
+    """
+    if config.backend == "vector":
+        from repro.sim.vector import VectorSimulation, vector_unsupported_reason
+
+        reason = vector_unsupported_reason(config)
+        if reason is None:
+            return VectorSimulation(config).run()
+        warnings.warn(
+            f"vector backend does not support {reason}; "
+            "falling back to the object engine",
+            RuntimeWarning, stacklevel=2)
     return Simulation(config).run()

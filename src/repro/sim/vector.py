@@ -1,0 +1,1165 @@
+"""Struct-of-arrays fast path for the round loop (the ``vector`` backend).
+
+:class:`VectorSimulation` executes the same simulation as
+:class:`repro.sim.runner.Simulation` but stores swarm state in
+contiguous arrays indexed by *slot* (one slot per lineage: seeders
+first, then users in creation order) instead of one Python object per
+peer:
+
+* piece state as integer bitmasks plus a ``(n_slots, n_words)`` numpy
+  ``uint64`` matrix of held-or-pending words, so "which neighbors can
+  I serve" is one batched ``AND``/``any`` over the neighbor rows;
+* pairwise ledgers (uploaded-to / received-from / FairTorrent
+  deficits) as per-slot dicts, maintained only for the algorithms
+  that read them — plus an incrementally-maintained creditor set for
+  reciprocity so its no-RNG turns never touch numpy at all;
+* reputations, budgets, totals, times and attack flags as flat
+  per-slot arrays;
+* T-Chain pending obligations as per-slot dicts mirrored into numpy
+  blacklist columns (pending count, oldest round).
+
+Each uploader turn computes its needy-neighbor pool *once* as a
+batched array query, materializes it as an ascending Python list, and
+repairs it in place after every send (only the send's target can
+change state during the uploader's own turn). The per-algorithm
+decision rules live in :mod:`repro.algorithms.vector_kernels`.
+
+Determinism contract
+--------------------
+The object engine is the oracle. For every supported configuration the
+vector backend consumes the *same named random streams in the same
+order* and produces a byte-identical metrics digest
+(:func:`repro.sim.metrics.metrics_digest`) — enforced per algorithm by
+``tests/integration/test_seed_equivalence.py`` and property-tested by
+the fuzz suite. To keep that guarantee the event engine is bypassed
+rather than re-implemented: rounds fire at exactly ``t = 1.0, 2.0,
+...`` with arrivals delivered in index order before the round whose
+time they do not exceed, which is precisely the order the event queue
+produces (arrival events are scheduled first and carry earlier
+sequence numbers). Hot paths inline ``random.Random``'s
+``_randbelow``/``shuffle`` (see :func:`_randbelow` / :func:`_shuffle`)
+so index draws stay bit-identical to ``rng.choice``/``rng.shuffle``
+while exposing the drawn index for O(1) pool repair.
+
+Unsupported features
+--------------------
+Observation and failure layers that hook the object engine's internals
+are not reimplemented here: fault injection, runtime guards, the
+observability runtime and per-transfer recording all require the
+object backend. :func:`vector_unsupported_reason` reports why a config
+cannot run vectorized; :func:`repro.sim.runner.run_simulation` falls
+back to the object engine (with a ``RuntimeWarning``) in that case.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.names import Algorithm
+from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
+from repro.sim.bandwidth import UploadBudget
+from repro.sim.config import SimulationConfig
+from repro.sim.faults import FaultConfig
+from repro.sim.metrics import MetricsCollector, PeerSummary
+from repro.sim.pieces import AvailabilityMap, bits_to_list, iter_bits
+from repro.sim.rng import RandomStreams
+
+__all__ = ["VectorSimulation", "vector_unsupported_reason"]
+
+#: Sentinel for "no pending obligation" in the oldest-round columns;
+#: must compare greater than every reachable blacklist horizon.
+_NO_PENDING = 1 << 62
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: Views at or below this size run discovery as a plain Python loop
+#: over bigint masks; larger ones (large-view attackers, seeders) use
+#: the numpy word-matrix query.
+_SMALL_VIEW = 96
+
+#: Single-bit uint64 constants so per-send word updates skip a
+#: ``np.uint64(...)`` construction.
+_U64_BITS = [np.uint64(1 << i) for i in range(64)]
+
+
+def _randbelow(getrandbits, n: int) -> int:
+    """``random.Random._randbelow_with_getrandbits``, inlined.
+
+    Bit-identical draw sequence to ``rng.randrange(n)`` /
+    ``rng.choice(seq)`` (which is ``seq[_randbelow(len(seq))]``), with
+    the index exposed so callers can repair list pools in place.
+    """
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+    return r
+
+
+def _shuffle(x: list, getrandbits) -> None:
+    """``random.Random.shuffle``, inlined (draw-identical)."""
+    for i in range(len(x) - 1, 0, -1):
+        n = i + 1
+        k = n.bit_length()
+        j = getrandbits(k)
+        while j >= n:
+            j = getrandbits(k)
+        x[i], x[j] = x[j], x[i]
+
+
+def vector_unsupported_reason(config: SimulationConfig) -> Optional[str]:
+    """Why ``config`` cannot run on the vector backend (None = it can).
+
+    The vector engine covers every algorithm (including propshare),
+    both arrival processes, all attack flags, churn/lingering, both
+    topologies and both piece policies. What it does not implement are
+    the object engine's instrumentation hooks.
+    """
+    if config.faults != FaultConfig():
+        return "fault injection (config.faults)"
+    if config.guards.enabled:
+        return "runtime invariant guards (config.guards)"
+    if config.obs.enabled:
+        return "the observability runtime (config.obs)"
+    if config.record_transfers:
+        return "per-transfer recording (config.record_transfers)"
+    return None
+
+
+class _Turn:
+    """Per-uploader-turn cache of the needy-neighbor pool.
+
+    ``needy`` is the ascending list of view-member ids that need at
+    least one of the uploader's usable pieces — or ``None`` until
+    first use for kernels that may finish a turn without it
+    (BitTorrent's tit-for-tat slots). During one uploader's turn only
+    its *targets* change state, so after each successful send the
+    engine pops the single affected entry (by drawn index when known,
+    by bisection otherwise) instead of recomputing the pool.
+    """
+
+    __slots__ = ("uslot", "needy")
+
+    def __init__(self, uslot: int, needy: Optional[List[int]]) -> None:
+        self.uslot = uslot
+        self.needy = needy
+
+
+class VectorSimulation:
+    """One configured run on the struct-of-arrays backend."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        reason = vector_unsupported_reason(config)
+        if reason is not None:
+            raise ConfigurationError(
+                f"the vector backend does not support {reason}; "
+                "use backend='object'")
+        from repro.algorithms.vector_kernels import (
+            KERNELS, DEFICIT_ALGORITHMS, RECEIVED_ALGORITHMS,
+            RECEIPT_ALGORITHMS, run_freerider, run_spray)
+
+        self.config = config
+        algorithm = config.algorithm
+        self.n_pieces = config.n_pieces
+        self._full_mask = (1 << config.n_pieces) - 1
+        self._n_words = (config.n_pieces + 63) // 64
+        self._n_bytes = self._n_words * 8
+        self.neighbor_count = config.neighbor_count
+        self.max_rounds = config.max_rounds
+        self.sample_interval = config.sample_interval
+        self.attack = config.attack
+        self.params = config.strategy_params
+        self._collusion = config.attack.collusion
+        self._piece_random = config.piece_selection == "random"
+        self._max_pending = config.strategy_params.tchain_max_pending
+        self._patience = config.strategy_params.tchain_obligation_patience
+        self._is_tchain = algorithm is Algorithm.TCHAIN
+        #: Ledgers are only maintained for algorithms that read them;
+        #: everything else skips the per-send dict updates.
+        self._need_rcv = algorithm in RECEIVED_ALGORITHMS
+        self._is_rec = algorithm is Algorithm.RECIPROCITY
+        self._need_dev = algorithm in DEFICIT_ALGORITHMS
+        self._track_rcv = algorithm in RECEIPT_ALGORITHMS
+        #: BitTorrent/PropShare read their all-time received ledger as
+        #: a slot matrix (vectorized fallback scans); Reciprocity keeps
+        #: dicts plus the incremental creditor sets instead.
+        self._use_rmat = self._need_rcv and not self._is_rec
+
+        self.streams = RandomStreams(config.seed)
+        self._views_rng = self.streams.stream("views")
+        self._piece_rng = self.streams.stream("pieces")
+        self._piece_grb = self._piece_rng.getrandbits
+        self._order_rng = self.streams.stream("order")
+        self._tchain_rng = self.streams.stream("tchain")
+        self._tchain_grb = self._tchain_rng.getrandbits
+        self._churn_rng = self.streams.stream("churn")
+        self._linger_rng = self.streams.stream("linger")
+
+        self.collector = MetricsCollector()
+        self.availability = AvailabilityMap(config.n_pieces)
+        self._avail_add = self.availability.add_piece
+        self._rarest = self.availability.rarest_subset
+        self.round_index = 0
+        self.now = 0.0
+        self._finished = False
+        self._arrived = 0
+        self.nboot = 0
+        self.ncomp = 0
+        self.unfinished = config.n_compliant
+        self.fake_reported = 0.0
+        # Transfer counters accumulated locally and flushed to the
+        # collector before every sample (see _flush_counters).
+        self._c_tot = 0
+        self._c_peer = 0
+        self._c_fr = 0
+
+        n_seeders = config.n_seeders
+        self._n_seeders = n_seeders
+        n_slots = n_seeders + config.n_users
+        self.n_slots = n_slots
+
+        # ---- per-slot state (parallel arrays) -----------------------
+        self.usable: List[int] = [0] * n_slots      # usable-piece bitmask
+        self.held: List[int] = [0] * n_slots        # usable | pending
+        self.cnt: List[int] = [0] * n_slots         # usable-piece count
+        self.caps: List[float] = [0.0] * n_slots
+        self.seeder: List[bool] = [False] * n_slots
+        self.free: List[bool] = [False] * n_slots
+        self.largev: List[bool] = [False] * n_slots
+        self.wwint: List[Optional[int]] = [None] * n_slots
+        self.arrival: List[float] = [0.0] * n_slots
+        self.boot: List[Optional[float]] = [None] * n_slots
+        self.comp: List[Optional[float]] = [None] * n_slots
+        self.departed_f: List[bool] = [False] * n_slots
+        self.done: List[bool] = [False] * n_slots
+        self.up: List[int] = [0] * n_slots          # total_uploaded
+        self.down: List[int] = [0] * n_slots        # total_downloaded
+        self.raw: List[int] = [0] * n_slots         # total_received_raw
+        self.budgets: List[UploadBudget] = [None] * n_slots  # type: ignore
+        self.colluders: List[Set[int]] = [set() for _ in range(n_slots)]
+        self.ids: List[int] = [0] * n_slots         # current peer id
+        self.lineage: List[int] = [0] * n_slots
+        self.srng: List[random.Random] = [None] * n_slots  # type: ignore
+        self.kern: List[object] = [None] * n_slots
+        #: Held-or-pending bitmask rows as uint64 words, for batched
+        #: "who needs what I have" queries over neighbor slot arrays.
+        self.W = np.zeros((n_slots, self._n_words), dtype=np.uint64)
+        self._Wf = self.W.reshape(-1)               # flat view, scalar updates
+        #: Usable-only word rows (wp in discovery queries), kept in
+        #: lockstep with ``usable`` so a turn never re-packs a bigint.
+        self.UW = np.zeros((n_slots, self._n_words), dtype=np.uint64)
+        self._UWf = self.UW.reshape(-1)
+        # Preallocated discovery scratch (gather and compare buffers).
+        self._gbuf = np.empty((n_slots, self._n_words), dtype=np.uint64)
+        self._ebuf = np.empty((n_slots, self._n_words), dtype=bool)
+
+        # Pairwise ledgers, algorithm-gated (see class docstring).
+        mk = n_slots
+        self.rcv_d: List[Dict[int, int]] = (
+            [{} for _ in range(mk)]
+            if self._need_rcv and not self._use_rmat else [])
+        #: All-time received ledger as a slot matrix (same whitewash
+        #: semantics as ``D`` below: column zeroed, row kept).
+        self.R = (np.zeros((mk, mk), dtype=np.int32)
+                  if self._use_rmat else None)
+        self._Rf = self.R.reshape(-1) if self.R is not None else None
+        self.upl_d: List[Dict[int, int]] = (
+            [{} for _ in range(mk)] if self._is_rec else [])
+        self.cred: List[Set[int]] = (
+            [set() for _ in range(mk)] if self._is_rec else [])
+        #: FairTorrent pairwise deficit (sent minus received), as a
+        #: slot-by-slot matrix so a turn's min-deficit scan is one
+        #: numpy gather instead of a dict walk. Slot-keying matches
+        #: the object engine's id-keyed ledgers because a peer's own
+        #: ledger survives whitewashing while *others'* balances
+        #: toward its old identity are orphaned — ``_reset_identity``
+        #: zeroes the whitewashed column to reproduce that.
+        self.D = (np.zeros((mk, mk), dtype=np.int32)
+                  if self._need_dev else None)
+        self._Df = self.D.reshape(-1) if self.D is not None else None
+
+        # T-Chain pending obligations: piece -> (uploader_id,
+        # designated_target, created_round), with numpy blacklist
+        # mirrors (count, oldest created round).
+        self.pend: List[Dict[int, Tuple[int, Optional[int], int]]] = (
+            [{} for _ in range(n_slots)])
+        self.poldest: List[int] = [_NO_PENDING] * n_slots
+        self.pcnt_np = np.zeros(n_slots, dtype=np.int32)
+        self.poldest_np = np.full(n_slots, _NO_PENDING, dtype=np.int64)
+        self._pend_nonempty = 0
+
+        # Tit-for-tat receipt windows (bittorrent / propshare only).
+        self.last_rcv: List[Dict[int, int]] = [{} for _ in range(n_slots)]
+        self.this_rcv: List[Dict[int, int]] = [{} for _ in range(n_slots)]
+        self._rcv_dirty: Set[int] = set()
+        self._rcv_last_nonempty: Set[int] = set()
+
+        # ---- identity space -----------------------------------------
+        self._next_id = 0
+        self._id_cap = max(64, n_slots)
+        self.slot_np = np.full(self._id_cap, -1, dtype=np.int64)
+        self.rep: List[float] = []                  # reputation by peer id
+
+        # ---- membership and views (keyed by current peer id) --------
+        self.members: Dict[int, int] = {}           # id -> slot, insertion order
+        self.active: List[int] = []                 # sorted active ids
+        self.vset: Dict[int, Set[int]] = {}
+        self.varr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._static_views: Dict[int, Set[int]] = {}
+        self._turn: Optional[_Turn] = None
+        self._coalition: List[int] = []             # coalition slots
+
+        self._install_topology()
+
+        # ---- population (mirrors Simulation._build_population) ------
+        for index in range(n_seeders):
+            s = index
+            pid = self._allocate_id(s)
+            self.ids[s] = pid
+            self.lineage[s] = pid
+            self.caps[s] = config.seeder_capacity
+            self.seeder[s] = True
+            self.largev[s] = True
+            self.usable[s] = self._full_mask
+            self.held[s] = self._full_mask
+            self.cnt[s] = config.n_pieces
+            self.W[s] = self._mask_words(self._full_mask)
+            self.UW[s] = self.W[s]
+            self.budgets[s] = UploadBudget(config.seeder_capacity)
+            self.srng[s] = self.streams.stream(f"seeder:{index}")
+            self.kern[s] = run_spray
+            self._add_member(s)
+
+        capacities = self._capacity_assignments()
+        if config.arrival_process == "poisson":
+            arrivals = poisson_arrivals(config.n_users, config.arrival_rate,
+                                        self.streams.stream("arrivals"))
+        else:
+            arrivals = flash_crowd_arrivals(config.n_users,
+                                            config.flash_crowd_duration,
+                                            self.streams.stream("arrivals"))
+        self._arrivals = arrivals
+        role_rng = self.streams.stream("roles")
+        freerider_indices = set(
+            role_rng.sample(range(config.n_users), config.n_freeriders))
+
+        kernel = KERNELS[algorithm]
+        for index in range(config.n_users):
+            s = n_seeders + index
+            pid = self._allocate_id(s)
+            self.ids[s] = pid
+            self.lineage[s] = pid
+            self.caps[s] = capacities[index]
+            self.arrival[s] = arrivals[index]
+            self.budgets[s] = UploadBudget(capacities[index])
+            self.srng[s] = self.streams.stream(f"strategy:{pid}")
+            if index in freerider_indices:
+                self.free[s] = True
+                self.largev[s] = config.attack.large_view
+                self.wwint[s] = config.attack.whitewash_interval
+                self._coalition.append(s)
+                self.kern[s] = run_freerider
+            else:
+                self.kern[s] = kernel
+        self._sync_coalition()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _install_topology(self) -> None:
+        topology = self.config.view_topology
+        if topology == "random":
+            return
+        import networkx as nx
+
+        n = self.config.n_users
+        k = max(2, min(self.config.neighbor_count, n - 1))
+        if k % 2:
+            k -= 1  # watts_strogatz needs an even degree
+        rewire = 0.0 if topology == "ring" else 0.1
+        graph = nx.watts_strogatz_graph(
+            n, k, rewire, seed=self.streams.stream("topology").randint(
+                0, 2**31 - 1))
+        first_user_id = self.config.n_seeders
+        self._static_views = {
+            first_user_id + node: {first_user_id + other
+                                   for other in graph.neighbors(node)}
+            for node in graph.nodes
+        }
+
+    def _capacity_assignments(self) -> List[float]:
+        cfg = self.config
+        counts = [int(cls.fraction * cfg.n_users)
+                  for cls in cfg.capacity_classes]
+        shortfall = cfg.n_users - sum(counts)
+        order = sorted(range(len(counts)),
+                       key=lambda i: -cfg.capacity_classes[i].fraction)
+        for i in range(shortfall):
+            counts[order[i % len(order)]] += 1
+        capacities: List[float] = []
+        for cls, count in zip(cfg.capacity_classes, counts):
+            capacities.extend([cls.capacity] * count)
+        self.streams.stream("capacity").shuffle(capacities)
+        return capacities
+
+    def _allocate_id(self, slot: int) -> int:
+        pid = self._next_id
+        self._next_id += 1
+        self.rep.append(0.0)
+        if pid >= self._id_cap:
+            self._grow_id_space()
+        self.slot_np[pid] = slot
+        return pid
+
+    def _grow_id_space(self) -> None:
+        new_cap = self._id_cap * 2
+        grown = np.full(new_cap, -1, dtype=np.int64)
+        grown[:self._id_cap] = self.slot_np
+        self.slot_np = grown
+        self._id_cap = new_cap
+
+    # ------------------------------------------------------------------
+    # Views and membership (mirrors Swarm)
+    # ------------------------------------------------------------------
+    def _mask_words(self, mask: int) -> np.ndarray:
+        return np.frombuffer(mask.to_bytes(self._n_bytes, "little"),
+                             dtype="<u8")
+
+    def _feas_sel(self, u: int, slots: np.ndarray, n: int) -> np.ndarray:
+        """Boolean mask over ``slots``: who needs ≥1 usable piece of ``u``.
+
+        A target is needy iff ``usable_u & ~held_t != 0``, i.e. its
+        held-words ANDed with the uploader's usable-words differ from
+        the usable-words somewhere. Runs through preallocated scratch
+        so the hot query allocates only its (n,) result.
+        """
+        g = self._gbuf[:n]
+        np.take(self.W, slots, axis=0, out=g, mode="clip")
+        wp = self.UW[u]
+        np.bitwise_and(g, wp, out=g)
+        ne = self._ebuf[:n]
+        np.not_equal(g, wp, out=ne)
+        return np.logical_or.reduce(ne, axis=1)
+
+    def _add_member(self, s: int) -> None:
+        pid = self.ids[s]
+        self.members[pid] = s
+        insort(self.active, pid)
+        for piece in iter_bits(self.usable[s]):
+            self.availability.add_piece(piece)
+        self._build_view(s)
+
+    def _build_view(self, s: int) -> None:
+        pid = self.ids[s]
+        others = [q for q in self.members if q != pid]
+        if self.largev[s]:
+            chosen = others
+        elif pid in self._static_views:
+            wanted = self._static_views[pid]
+            chosen = [q for q in others if q in wanted]
+        else:
+            k = min(self.neighbor_count, len(others))
+            chosen = self._views_rng.sample(others, k) if k else []
+        for q in chosen:
+            self._connect(pid, q)
+        # Existing large-view attackers connect to every newcomer too.
+        largev = self.largev
+        for q, os_ in self.members.items():
+            if largev[os_] and q != pid:
+                self._connect(pid, q)
+
+    def _connect(self, a: int, b: int) -> None:
+        va = self.vset.get(a)
+        if va is None:
+            va = self.vset[a] = set()
+        if b not in va:
+            va.add(b)
+            self.varr.pop(a, None)
+        vb = self.vset.get(b)
+        if vb is None:
+            vb = self.vset[b] = set()
+        if a not in vb:
+            vb.add(a)
+            self.varr.pop(b, None)
+
+    def _disconnect_all(self, pid: int) -> None:
+        for nb in self.vset.pop(pid, set()):
+            self.vset[nb].discard(pid)
+            self.varr.pop(nb, None)
+        self.varr.pop(pid, None)
+
+    def _view(self, pid: int) -> Tuple[np.ndarray, np.ndarray, list, list]:
+        """Sorted view-member ids and slots, as arrays and as lists.
+
+        Lazily rebuilt after view changes. Small views run discovery
+        as a plain bigint loop over the lists (cheaper than numpy
+        dispatch below ``_SMALL_VIEW`` members); large views — the
+        seeders' large-view attackers' — use the array form.
+        """
+        hit = self.varr.get(pid)
+        if hit is None:
+            vs = self.vset.get(pid)
+            if not vs:
+                hit = (_EMPTY_IDS, _EMPTY_IDS, [], [])
+            else:
+                ids = np.array(sorted(vs), dtype=np.int64)
+                slots = self.slot_np[ids]
+                hit = (ids, slots, ids.tolist(), slots.tolist())
+            self.varr[pid] = hit
+        return hit
+
+    def _remove_member(self, pid: int) -> None:
+        s = self.members.pop(pid)
+        self.active.pop(bisect_left(self.active, pid))
+        for piece in iter_bits(self.usable[s]):
+            self.availability.remove_piece(piece)
+        self._disconnect_all(pid)
+
+    def _reset_identity(self, s: int) -> None:
+        """Whitewash: fresh id, same slot (mirrors Swarm.reset_identity)."""
+        old = self.ids[s]
+        del self.members[old]
+        self.active.pop(bisect_left(self.active, old))
+        self._disconnect_all(old)
+        self.rep[old] = 0.0
+        if self.D is not None:
+            # Others' balances pointed at the discarded identity; the
+            # whitewasher's own ledger (row ``s``) survives, exactly
+            # as id-keyed dicts would orphan the old column entries.
+            self.D[:, s] = 0
+        if self.R is not None:
+            self.R[:, s] = 0
+        new = self._allocate_id(s)
+        self.ids[s] = new
+        self.members[new] = s
+        insort(self.active, new)
+        self._build_view(s)
+
+    def _sync_coalition(self) -> None:
+        if not (self.attack.collusion or self.attack.false_praise):
+            return
+        ids = {self.ids[s] for s in self._coalition if not self.departed_f[s]}
+        for s in self._coalition:
+            self.colluders[s] = ids - {self.ids[s]}
+
+    # ------------------------------------------------------------------
+    # Needy queries
+    # ------------------------------------------------------------------
+    def _needy_list(self, u: int) -> List[int]:
+        """Ascending needy view-member ids for uploader ``u``."""
+        ids, slots, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return []
+        if n > _SMALL_VIEW:
+            return ids[self._feas_sel(u, slots, n)].tolist()
+        uw = self.usable[u]
+        held = self.held
+        # Interest test without the bigint invert: the target lacks
+        # one of u's usable pieces iff held & usable != usable.
+        return [p for p, t in zip(vids, vslots) if held[t] & uw != uw]
+
+    def begin_turn(self, u: int) -> _Turn:
+        """Compute the uploader's needy pool once for this turn."""
+        turn = _Turn(u, self._needy_list(u))
+        self._turn = turn
+        return turn
+
+    def begin_turn_lazy(self, u: int) -> _Turn:
+        """A turn whose needy pool is built on first use."""
+        turn = _Turn(u, None)
+        self._turn = turn
+        return turn
+
+    def ensure_needy(self, turn: _Turn) -> List[int]:
+        needy = self._needy_list(turn.uslot)
+        turn.needy = needy
+        return needy
+
+    # ------------------------------------------------------------------
+    # Transfer primitives (mirror runner.transfer_plain and friends)
+    # ------------------------------------------------------------------
+    def _choose_piece(self, candidate_mask: int) -> Optional[int]:
+        """``rarest_first`` / random policy, draw-identical, inlined."""
+        if not candidate_mask:
+            return None
+        if self._piece_random:
+            lst = bits_to_list(candidate_mask)
+            n = len(lst)
+            grb = self._piece_grb
+            k = n.bit_length()
+            r = grb(k)
+            while r >= n:
+                r = grb(k)
+            return lst[r]
+        tie = self._rarest(candidate_mask)
+        if not tie:
+            return None
+        if tie & (tie - 1) == 0:  # single bit: unique rarest piece
+            return tie.bit_length() - 1
+        lst = bits_to_list(tie)
+        n = len(lst)
+        grb = self._piece_grb
+        k = n.bit_length()
+        r = grb(k)
+        while r >= n:
+            r = grb(k)
+        return lst[r]
+
+    def _add_usable(self, s: int, piece: int) -> None:
+        bit = 1 << piece
+        self.usable[s] |= bit
+        self.held[s] |= bit
+        self.cnt[s] += 1
+        idx = s * self._n_words + (piece >> 6)
+        b = _U64_BITS[piece & 63]
+        self._Wf[idx] |= b
+        self._UWf[idx] |= b
+        self._avail_add(piece)
+
+    def _mark_done(self, s: int) -> None:
+        if not self.done[s]:
+            self.done[s] = True
+            if not self.free[s] and not self.seeder[s]:
+                self.unfinished -= 1
+
+    def _piece_gained(self, s: int) -> None:
+        if self.boot[s] is None and self.cnt[s] >= 1:
+            self.boot[s] = self.now
+            self.nboot += 1
+        if self.cnt[s] == self.n_pieces and self.comp[s] is None:
+            self.comp[s] = self.now
+            self.ncomp += 1
+            self._mark_done(s)
+
+    def _plain_send(self, u: int, target_id: int,
+                    j: Optional[int] = None) -> bool:
+        """Send one usable piece; mirrors ``Simulation.transfer_plain``.
+
+        ``j``, when given, is the target's index in the current turn's
+        needy pool (the caller drew it), making pool repair O(1).
+
+        Callers always gate on ``budget.can_send()`` immediately
+        before calling (the object strategies do the same), so the
+        budget check is not repeated here.
+        """
+        ts = self.members.get(target_id)
+        if ts is None or self.seeder[ts] or self.cnt[ts] == self.n_pieces:
+            return False
+        uid = self.ids[u]
+        if target_id == uid:
+            return False
+        cand = self.usable[u] & ~self.held[ts]
+        piece = self._choose_piece(cand)
+        if piece is None:
+            return False
+        # budget.consume(), inlined: the caller's can_send() gate
+        # already established one whole credit.
+        b = self.budgets[u]
+        b._credits_num -= b._den
+        b.total_consumed += 1
+        self.up[u] += 1
+        from_seeder = self.seeder[u]
+        if not from_seeder:
+            self.rep[uid] += 1.0
+        if self._use_rmat:
+            self._Rf[ts * self.n_slots + u] += 1
+        elif self._need_rcv:
+            d = self.rcv_d[ts]
+            nv = d.get(uid, 0) + 1
+            d[uid] = nv
+            if self._is_rec:
+                if nv > self.upl_d[ts].get(uid, 0):
+                    self.cred[ts].add(uid)
+                du = self.upl_d[u]
+                nu = du.get(target_id, 0) + 1
+                du[target_id] = nu
+                if nu >= self.rcv_d[u].get(target_id, 0):
+                    self.cred[u].discard(target_id)
+        if self._need_dev:
+            # FairTorrent deficit = sent - received, both directions.
+            ns = self.n_slots
+            df = self._Df
+            df[u * ns + ts] += 1
+            df[ts * ns + u] -= 1
+        if self._track_rcv:
+            d = self.this_rcv[ts]
+            d[uid] = d.get(uid, 0) + 1
+            self._rcv_dirty.add(ts)
+        self.raw[ts] += 1
+        self.down[ts] += 1
+        # _add_usable, inlined.
+        bit = 1 << piece
+        self.usable[ts] |= bit
+        self.held[ts] |= bit
+        cnt = self.cnt[ts] + 1
+        self.cnt[ts] = cnt
+        idx = ts * self._n_words + (piece >> 6)
+        b = _U64_BITS[piece & 63]
+        self._Wf[idx] |= b
+        self._UWf[idx] |= b
+        self._avail_add(piece)
+        # record_transfer, batched (flushed before every sample).
+        self._c_tot += 1
+        if not from_seeder:
+            self._c_peer += 1
+            if self.free[ts]:
+                self._c_fr += 1
+        # _piece_gained, inlined.
+        if self.boot[ts] is None:
+            self.boot[ts] = self.now
+            self.nboot += 1
+        if cnt == self.n_pieces and self.comp[ts] is None:
+            self.comp[ts] = self.now
+            self.ncomp += 1
+            self._mark_done(ts)
+        # Repair the turn's needy pool: only the target changed state.
+        # Post-send interest is the pre-send candidate mask minus the
+        # piece just delivered, so the target leaves iff it was the
+        # last candidate.
+        turn = self._turn
+        if turn is not None and turn.uslot == u:
+            needy = turn.needy
+            if needy is not None and cand == bit:
+                if j is None:
+                    j = bisect_left(needy, target_id)
+                    if j < len(needy) and needy[j] == target_id:
+                        needy.pop(j)
+                else:
+                    needy.pop(j)
+        return True
+
+    # ------------------------------------------------------------------
+    # T-Chain mechanics (mirror the runner's tchain_* family)
+    # ------------------------------------------------------------------
+    def _blacklisted(self, ts: int) -> bool:
+        if len(self.pend[ts]) >= self._max_pending:
+            return True
+        return self.poldest[ts] <= self.round_index - self._patience
+
+    def _add_pending(self, ts: int, piece: int, uploader_id: int,
+                     designated: Optional[int]) -> None:
+        pd = self.pend[ts]
+        if not pd:
+            self._pend_nonempty += 1
+        created = self.round_index
+        pd[piece] = (uploader_id, designated, created)
+        self.held[ts] |= 1 << piece
+        self._Wf[ts * self._n_words + (piece >> 6)] |= _U64_BITS[piece & 63]
+        self.pcnt_np[ts] += 1
+        if created < self.poldest[ts]:
+            self.poldest[ts] = created
+            self.poldest_np[ts] = created
+
+    def _pop_pending(self, s: int, piece: int) -> Tuple[int, Optional[int], int]:
+        pd = self.pend[s]
+        entry = pd.pop(piece)
+        if not pd:
+            self._pend_nonempty -= 1
+        self.pcnt_np[s] -= 1
+        if entry[2] == self.poldest[s]:
+            oldest = min((e[2] for e in pd.values()), default=_NO_PENDING)
+            self.poldest[s] = oldest
+            self.poldest_np[s] = oldest
+        return entry
+
+    def _drop_pending(self, s: int, piece: int) -> None:
+        self._pop_pending(s, piece)
+        self.held[s] &= ~(1 << piece)
+        self._Wf[s * self._n_words + (piece >> 6)] &= ~_U64_BITS[piece & 63]
+
+    def _unlock(self, s: int, piece: int) -> None:
+        """Key released: pending piece becomes usable (runner._unlock)."""
+        self._pop_pending(s, piece)
+        # The held bit (and its W mirror) stays set; only usable gains.
+        self.usable[s] |= 1 << piece
+        self._UWf[s * self._n_words + (piece >> 6)] |= _U64_BITS[piece & 63]
+        self.cnt[s] += 1
+        self._avail_add(piece)
+        self.down[s] += 1
+        if self.free[s]:
+            self._c_fr += 1  # record_unlock, batched
+        self._piece_gained(s)
+
+    def _choose_designated(self, u: int, target_id: int,
+                           piece: int) -> Optional[int]:
+        ids, slots, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return None
+        if n > _SMALL_VIEW:
+            pb = _U64_BITS[piece & 63]
+            ok = (self.W[slots, piece >> 6] & pb) == 0
+            options = ids[ok]
+            options = options[options != target_id]
+            m = options.size
+            if m == 0:
+                return None
+            return int(options[_randbelow(self._tchain_grb, m)])
+        held = self.held
+        options_l = [p for p, t in zip(vids, vslots)
+                     if not (held[t] >> piece) & 1 and p != target_id]
+        m = len(options_l)
+        if m == 0:
+            return None
+        return options_l[_randbelow(self._tchain_grb, m)]
+
+    def _deliver_encrypted(self, u: int, ts: int, piece: int,
+                           from_seeder: bool) -> None:
+        """Shared body of runner._tchain_deliver / _forward_encrypted.
+
+        Every caller gates on ``can_send()`` first, so the budget
+        consume is inlined unchecked like ``_plain_send``'s.
+        """
+        b = self.budgets[u]
+        b._credits_num -= b._den
+        b.total_consumed += 1
+        uid = self.ids[u]
+        self.up[u] += 1
+        if not from_seeder:
+            self.rep[uid] += 1.0
+        self.raw[ts] += 1
+        designated: Optional[int] = None
+        if not (self.usable[ts] & ~self.held[u]):
+            # The sender needs nothing the target has: designate a
+            # third user for indirect reciprocity.
+            designated = self._choose_designated(u, self.ids[ts], piece)
+        # record_transfer(usable=False), batched.
+        self._c_tot += 1
+        if not from_seeder:
+            self._c_peer += 1
+        colluding = (self._collusion and self.free[ts]
+                     and designated is not None
+                     and designated in self.colluders[ts])
+        if colluding:
+            self._add_usable(ts, piece)
+            self.down[ts] += 1
+            self._c_fr += 1  # record_unlock(for_freerider=True), batched
+            self._piece_gained(ts)
+        else:
+            self._add_pending(ts, piece, uid, designated)
+            if self.boot[ts] is None:
+                self.boot[ts] = self.now
+                self.nboot += 1
+
+    def tchain_seed(self, u: int, target_id: int) -> bool:
+        budget = self.budgets[u]
+        if not budget.can_send():
+            return False
+        ts = self.members.get(target_id)
+        if ts is None or self.seeder[ts] or self.cnt[ts] == self.n_pieces:
+            return False
+        if target_id == self.ids[u]:
+            return False
+        if self._blacklisted(ts):
+            return False
+        piece = self._choose_piece(self.usable[u] & ~self.held[ts])
+        if piece is None:
+            return False
+        self._deliver_encrypted(u, ts, piece, from_seeder=self.seeder[u])
+        return True
+
+    def tchain_elig(self, u: int) -> List[int]:
+        """Seeding-phase candidates: needy, non-blacklisted view members.
+
+        Identical to the discovery inside ``runner.tchain_seed_random``;
+        the T-Chain kernel computes it once per turn and repairs the
+        single seeded target after each successful seed (a seed mutates
+        no other peer's eligibility).
+        """
+        ids, slots, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return []
+        if n > _SMALL_VIEW:
+            sel = self._feas_sel(u, slots, n)
+            sel &= self.pcnt_np[slots] < self._max_pending
+            sel &= self.poldest_np[slots] > (self.round_index - self._patience)
+            return ids[sel].tolist()
+        uw = self.usable[u]
+        held = self.held
+        pend = self.pend
+        maxp = self._max_pending
+        horizon = self.round_index - self._patience
+        poldest = self.poldest
+        return [p for p, t in zip(vids, vslots)
+                if held[t] & uw != uw and len(pend[t]) < maxp
+                and poldest[t] > horizon]
+
+    def tchain_seed_random(self, u: int, rng: random.Random) -> bool:
+        """One encrypted seed to a shuffled needy candidate (uncached
+        mirror of ``runner.tchain_seed_random``; fulfil path 3 uses the
+        same shape inline)."""
+        candidates = self.tchain_elig(u)
+        _shuffle(candidates, rng.getrandbits)
+        for target_id in candidates:
+            if self.tchain_seed(u, target_id):
+                return True
+        return False
+
+    def _forward_target(self, u: int, uploader_id: int,
+                        designated: Optional[int],
+                        piece: int) -> Optional[int]:
+        if designated is not None:
+            ds = self.members.get(designated)
+            if (ds is not None and not (self.held[ds] >> piece) & 1
+                    and not self._blacklisted(ds)):
+                return designated
+        ids, slots, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return None
+        if n > _SMALL_VIEW:
+            pb = _U64_BITS[piece & 63]
+            ok = (self.W[slots, piece >> 6] & pb) == 0
+            ok &= self.pcnt_np[slots] < self._max_pending
+            ok &= self.poldest_np[slots] > (self.round_index - self._patience)
+            options = ids[ok]
+            options = options[options != uploader_id]
+            m = options.size
+            if m == 0:
+                return None
+            return int(options[_randbelow(self._tchain_grb, m)])
+        held = self.held
+        pend = self.pend
+        maxp = self._max_pending
+        horizon = self.round_index - self._patience
+        poldest = self.poldest
+        options_l = [p for p, t in zip(vids, vslots)
+                     if not (held[t] >> piece) & 1
+                     and len(pend[t]) < maxp and poldest[t] > horizon
+                     and p != uploader_id]
+        m = len(options_l)
+        if m == 0:
+            return None
+        return options_l[_randbelow(self._tchain_grb, m)]
+
+    def tchain_fulfill(self, u: int, piece: int) -> bool:
+        """Reciprocate for one pending piece (runner.tchain_fulfill)."""
+        entry = self.pend[u].get(piece)
+        if entry is None:
+            return False
+        budget = self.budgets[u]
+        if not budget.can_send():
+            return False
+        uploader_id, designated, _created = entry
+        us = self.members.get(uploader_id)
+        if us is None:
+            # Key holder left: the encrypted data is worthless.
+            self._drop_pending(u, piece)
+            return False
+
+        # (1) Direct reciprocity.
+        if (self.cnt[us] < self.n_pieces
+                and self.usable[u] & ~self.held[us]):
+            if self._plain_send(u, uploader_id):
+                self._unlock(u, piece)
+                return True
+            if not budget.can_send():
+                return False
+
+        # (2) Forward the received piece (indirect reciprocity).
+        forward_id = self._forward_target(u, uploader_id, designated, piece)
+        if forward_id is not None:
+            self._deliver_encrypted(u, self.members[forward_id], piece,
+                                    from_seeder=False)
+            self._unlock(u, piece)
+            return True
+
+        # (3) Generalised indirect reciprocity: any other piece,
+        # still encrypted, to any needy non-uploader neighbor.
+        if self.cnt[u] > 0:
+            candidates = [pid for pid in self._needy_list(u)
+                          if pid != uploader_id]
+            _shuffle(candidates, self._tchain_grb)
+            for pid in candidates:
+                if self.tchain_seed(u, pid):
+                    self._unlock(u, piece)
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Round phases (mirror Simulation._on_round)
+    # ------------------------------------------------------------------
+    def _on_arrival(self, index: int) -> None:
+        self._add_member(self._n_seeders + index)
+        self._arrived += 1
+
+    def _on_round(self) -> None:
+        self.round_index += 1
+        active = list(self.active)
+        _shuffle(active, self._order_rng.getrandbits)
+        members = self.members
+        budgets = self.budgets
+        kern = self.kern
+        srng = self.srng
+        for pid in active:
+            s = members.get(pid)
+            if s is None:
+                continue  # departed earlier this round (unreachable here)
+            budgets[s].new_round()
+            kern[s](self, s, srng[s])
+            self._turn = None
+        if self._track_rcv:
+            self._roll_receipts()
+        self._process_departures()
+        self._process_churn()
+        self._process_whitewashing()
+        if self.round_index % self.sample_interval == 0:
+            self._sample()
+        if self._all_done() or self.round_index >= self.max_rounds:
+            self._finished = True
+
+    def _roll_receipts(self) -> None:
+        """Mirror of ``peer.end_round()`` over every active peer."""
+        dirty = self._rcv_dirty
+        for s in self._rcv_last_nonempty - dirty:
+            self.last_rcv[s] = {}
+        for s in dirty:
+            self.last_rcv[s] = self.this_rcv[s]
+            self.this_rcv[s] = {}
+        self._rcv_last_nonempty = dirty
+        self._rcv_dirty = set()
+
+    def _drop_orphaned(self, departed_id: int) -> None:
+        """Keys held by a departed uploader are lost: drop those pieces."""
+        if self._pend_nonempty == 0:
+            return
+        for pid, s in list(self.members.items()):
+            pd = self.pend[s]
+            if not pd:
+                continue
+            orphaned = [piece for piece, e in pd.items()
+                        if e[0] == departed_id]
+            for piece in orphaned:
+                self._drop_pending(s, piece)
+            if orphaned:
+                self.collector.record_orphaned_obligations(len(orphaned))
+
+    def _process_departures(self) -> None:
+        linger = self.config.seed_linger_rate
+        for pid in list(self.members):
+            s = self.members[pid]
+            if self.seeder[s] or self.cnt[s] < self.n_pieces:
+                continue
+            if self.comp[s] is None:
+                self.comp[s] = self.now
+                self.ncomp += 1
+                self._mark_done(s)
+            if linger is not None and self._linger_rng.random() >= linger:
+                continue  # stays one more round as a lingering seed
+            self.departed_f[s] = True
+            self._remove_member(pid)
+            self._drop_orphaned(pid)
+
+    def _process_churn(self) -> None:
+        rate = self.config.abort_rate
+        if rate <= 0.0:
+            return
+        for pid in list(self.members):
+            s = self.members[pid]
+            if self.seeder[s] or self.cnt[s] == self.n_pieces:
+                continue
+            if self._churn_rng.random() < rate:
+                self.departed_f[s] = True
+                self._mark_done(s)
+                self._remove_member(pid)
+                self._drop_orphaned(pid)
+
+    def _process_whitewashing(self) -> None:
+        interval = self.attack.whitewash_interval
+        if interval is None:
+            return
+        reset_any = False
+        r = self.round_index
+        for pid in list(self.members):
+            s = self.members[pid]
+            if self.free[s] and self.wwint[s] and r % self.wwint[s] == 0:
+                self._reset_identity(s)
+                reset_any = True
+        if reset_any:
+            self._sync_coalition()
+
+    def _all_done(self) -> bool:
+        return self._arrived >= self.config.n_users and self.unfinished == 0
+
+    def _flush_counters(self) -> None:
+        if self._c_tot or self._c_fr:
+            self.collector.add_transfer_counts(self._c_tot, self._c_peer,
+                                               self._c_fr)
+            self._c_tot = self._c_peer = self._c_fr = 0
+
+    def _sample(self) -> None:
+        self._flush_counters()
+        ud_ratios: List[float] = []
+        du_ratios: List[float] = []
+        count = 0
+        members = self.members
+        for pid in self.active:
+            s = members[pid]
+            if self.seeder[s]:
+                continue
+            count += 1
+            if self.free[s]:
+                continue
+            down = self.down[s]
+            upl = self.up[s]
+            if down > 0:
+                ud_ratios.append(upl / down)
+            if upl > 0:
+                du_ratios.append(down / upl)
+        fairness_ud = (sum(ud_ratios) / len(ud_ratios)
+                       if ud_ratios else None)
+        fairness_du = (sum(du_ratios) / len(du_ratios)
+                       if du_ratios else None)
+        self.collector.sample(
+            time=self.now,
+            active_peers=count,
+            arrived=self._arrived,
+            population=self.config.n_users,
+            bootstrapped=self.nboot,
+            completed=self.ncomp,
+            fairness_ud=fairness_ud,
+            fairness_du=fairness_du,
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _summaries(self) -> List[PeerSummary]:
+        return [PeerSummary(
+            peer_id=self.ids[s],
+            lineage_id=self.lineage[s],
+            capacity=self.caps[s],
+            is_freerider=self.free[s],
+            arrival_time=self.arrival[s],
+            bootstrap_time=self.boot[s],
+            completion_time=self.comp[s],
+            uploaded=self.up[s],
+            downloaded=self.down[s],
+        ) for s in range(self._n_seeders, self.n_slots)]
+
+    def run(self):
+        """Execute the run to completion; returns a SimulationResult."""
+        from repro.sim.runner import SimulationResult
+
+        arrivals = self._arrivals
+        n_arrivals = len(arrivals)
+        i = 0
+        while not self._finished:
+            t = float(self.round_index + 1)
+            while i < n_arrivals and arrivals[i] <= t:
+                self._on_arrival(i)
+                i += 1
+            self.now = t
+            self._on_round()
+        self._flush_counters()
+        raw = sum(self.raw[s] for s in range(self._n_seeders, self.n_slots))
+        metrics = self.collector.finalize(self._summaries(),
+                                          self.round_index, raw)
+        return SimulationResult(config=self.config, metrics=metrics)

@@ -98,6 +98,21 @@ def test_determinism_for_arbitrary_configs(config):
     assert first.completion_times() == second.completion_times()
     assert first.susceptibility() == second.susceptibility()
 
+_BACKEND_EXAMPLES = int(os.environ.get("BACKEND_FUZZ_EXAMPLES", "15"))
+
+
+@settings(max_examples=_BACKEND_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sim_configs())
+def test_vector_backend_digest_parity_for_arbitrary_configs(config):
+    """The struct-of-arrays backend must be byte-identical to the
+    object engine for every configuration it supports — arbitrary
+    algorithm, attack mix, capacities, and arrival process."""
+    object_metrics = run_simulation(config).metrics
+    vector_metrics = run_simulation(config.with_backend("vector")).metrics
+    assert metrics_digest(object_metrics) == metrics_digest(vector_metrics)
+
+
 # Guard fuzz: arbitrary configurations must produce ZERO invariant
 # violations under full guards, and guards must never perturb the
 # physics (identical digests with and without them). CI's quick mode

@@ -74,6 +74,30 @@ class TestSeedPinnedDigests:
         assert first == second == PINNED_DIGESTS[Algorithm.RECIPROCITY]
 
 
+class TestVectorBackendParity:
+    """The struct-of-arrays backend is an alternative *engine*, not an
+    alternative *model*: for every supported configuration it must
+    reproduce the object engine's metrics byte-for-byte.  Pinning the
+    vector backend against the same pre-rewrite digests makes the two
+    engines mutually checking oracles."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS,
+                             ids=[a.value for a in ALL_ALGORITHMS])
+    def test_vector_backend_matches_pinned_digest(self, algorithm):
+        config = equivalence_config(algorithm).with_backend("vector")
+        metrics = run_simulation(config).metrics
+        assert metrics_digest(metrics) == PINNED_DIGESTS[algorithm]
+
+    def test_propshare_backends_agree(self):
+        # Propshare has no pinned digest (it is the seventh, extension
+        # algorithm), so compare the two engines against each other.
+        config = equivalence_config(Algorithm.PROPSHARE)
+        object_digest = metrics_digest(run_simulation(config).metrics)
+        vector_digest = metrics_digest(
+            run_simulation(config.with_backend("vector")).metrics)
+        assert object_digest == vector_digest
+
+
 class TestGuardsPreserveDigests:
     """Guards are observation-only: the pinned digests must survive
     running every check every round (the strictest mode there is)."""

@@ -109,6 +109,21 @@ class TestPercentile:
         assert percentile([7.0], 25) == 7.0
         assert percentile([7.0], 90) == 7.0
 
+    def test_out_of_range_ranks_clamp_to_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, -5) == 1.0
+        assert percentile(values, 150) == 5.0
+        assert percentile([7.0], -5) == 7.0
+        assert percentile([7.0], 150) == 7.0
+
+    def test_nan_rank_raises(self):
+        # Previously surfaced as a cryptic "cannot convert float NaN to
+        # integer" from math.ceil deep inside; now rejected up front.
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, 2.0], math.nan)
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([], math.nan)
+
 
 class TestEntropy:
     def test_uniform_distribution(self):

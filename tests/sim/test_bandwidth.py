@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -90,3 +92,48 @@ class TestBurstCap:
                 budget.consume()
         assert budget.total_consumed <= capacity * rounds + max(
             2.0 * capacity, 1.0)
+
+
+class TestExactAccrual:
+    """The integer-scaled accumulator versus an exact ``Fraction``
+    oracle — the regression class for the old float+epsilon accrual,
+    which minted a piece early for capacities like 1/3."""
+
+    def test_one_third_capacity_does_not_mint_early(self):
+        # float(1/3) < 1/3 exactly, so three rounds of accrual sum to
+        # just under 1.0; the old `credits + 1e-9 >= 1` check minted a
+        # piece at round 3 anyway.  Exact arithmetic sends the first
+        # piece at round 4, where the burst cap (max(2c, 1) = 1) clamps
+        # credits to exactly 1 and the spend resets them to 0 — so the
+        # whole cycle repeats with period 4.
+        budget = UploadBudget(1.0 / 3.0)
+        sends = []
+        for round_no in range(1, 13):
+            budget.new_round()
+            while budget.can_send():
+                budget.consume()
+                sends.append(round_no)
+        assert sends == [4, 8, 12]
+
+    @given(st.floats(min_value=0.01, max_value=8.0), st.integers(1, 80))
+    @settings(max_examples=60)
+    def test_matches_fraction_oracle(self, capacity, rounds):
+        """Greedy draining matches a from-scratch Fraction simulation
+        of the same contract (accrue, cap at max(2c, 1), floor)."""
+        budget = UploadBudget(capacity)
+        exact_capacity = Fraction(*float(capacity).as_integer_ratio())
+        cap = max(2 * exact_capacity, Fraction(1))
+        credits = Fraction(0)
+        consumed = 0
+        for _ in range(rounds):
+            new_round_avail = budget.new_round()
+            credits = min(credits + exact_capacity, cap)
+            assert new_round_avail == credits // 1
+            assert budget.available() == credits // 1
+            while budget.can_send():
+                budget.consume()
+                credits -= 1
+                consumed += 1
+            assert credits < 1
+            assert not budget.can_send()
+        assert budget.total_consumed == consumed

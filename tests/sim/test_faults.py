@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import replace
 
@@ -11,7 +12,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.scenarios import smoke_scale, with_freeriders
 from repro.names import Algorithm
 from repro.sim import FaultConfig, FaultModel, run_simulation
-from repro.sim.metrics import degradation_rows
+from repro.sim.metrics import FaultCounters, degradation_rows
 
 
 def _run(algorithm=Algorithm.BITTORRENT, seed=7, faults=None, **overrides):
@@ -215,6 +216,64 @@ class TestDegradationRows:
         assert rows[0]["slowdown"] == 1.0
         assert rows[1]["slowdown"] > 1.0
         assert rows[1]["transfers_lost"] > 0
+
+
+class _StubMetrics:
+    """Just enough surface for ``degradation_rows``: the headline
+    accessors plus an all-zero fault block."""
+
+    def __init__(self, mean_time):
+        self._mean_time = mean_time
+        self.faults = FaultCounters()
+
+    def mean_completion_time(self):
+        return self._mean_time
+
+    def observed_loss_rate(self):
+        return 0.0
+
+    def completion_fraction(self):
+        return 1.0
+
+    def final_fairness(self):
+        return None
+
+
+class TestDegradationRowsEdgeCases:
+    """Regressions for the exact-0.0 baseline lookup, the truthiness
+    baseline test, and the zero-time baseline division."""
+
+    def test_float_residue_rate_still_found_as_baseline(self):
+        # A sweep that computed its rates arithmetically can carry a
+        # tiny residue instead of an exact 0.0; the old `runs.get(0.0)`
+        # missed it and every slowdown came out NaN.
+        runs = {5e-17: _StubMetrics(10.0), 0.2: _StubMetrics(25.0)}
+        rows = degradation_rows(runs)
+        assert rows[0]["slowdown"] == 1.0
+        assert rows[1]["slowdown"] == 2.5
+
+    def test_negative_zero_rate_is_baseline(self):
+        runs = {-0.0: _StubMetrics(8.0), 0.1: _StubMetrics(16.0)}
+        assert [r["slowdown"] for r in degradation_rows(runs)] == [1.0, 2.0]
+
+    def test_zero_baseline_time_yields_one_and_inf(self):
+        # base_time == 0.0 is falsy: the old guard treated a legitimate
+        # all-instant baseline as "no baseline" and emitted NaN.
+        runs = {0.0: _StubMetrics(0.0), 0.3: _StubMetrics(4.0)}
+        rows = degradation_rows(runs)
+        assert rows[0]["slowdown"] == 1.0
+        assert rows[1]["slowdown"] == math.inf
+
+    def test_no_baseline_rate_gives_nan(self):
+        runs = {0.1: _StubMetrics(10.0), 0.2: _StubMetrics(20.0)}
+        assert all(math.isnan(r["slowdown"])
+                   for r in degradation_rows(runs))
+
+    def test_nan_mean_time_gives_nan_row(self):
+        runs = {0.0: _StubMetrics(10.0), 0.4: _StubMetrics(math.nan)}
+        rows = degradation_rows(runs)
+        assert rows[0]["slowdown"] == 1.0
+        assert math.isnan(rows[1]["slowdown"])
 
 
 class TestFaultsUnderAttack:

@@ -1,0 +1,140 @@
+"""Backend selection, fallback, and vector/object digest parity.
+
+The pinned-digest and fuzz parity checks live in
+``tests/integration``; this file covers the plumbing around the
+vector backend — config validation and serialisation, the
+``run_simulation`` dispatch with its object-engine fallback, and
+parity on the specific feature axes (arrival process, topology,
+piece policy, whitewashing, lingering seeds) that the equivalence
+config does not vary.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.names import Algorithm
+from repro.sim import (FaultConfig, SimulationConfig, VectorSimulation,
+                       targeted_attack_for, vector_unsupported_reason)
+from repro.sim.metrics import metrics_digest
+from repro.sim.runner import run_simulation
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        algorithm=Algorithm.TCHAIN,
+        n_users=30,
+        n_pieces=16,
+        max_rounds=80,
+        neighbor_count=8,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfigPlumbing:
+    def test_default_backend_is_object(self):
+        assert small_config().backend == "object"
+
+    def test_with_backend_returns_variant(self):
+        config = small_config()
+        vector = config.with_backend("vector")
+        assert vector.backend == "vector"
+        assert config.backend == "object"
+        assert vector.with_backend("object") == config
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config(backend="gpu")
+
+    def test_repr_excludes_backend(self):
+        """Sweep fingerprints and cache keys are ``repr(config)``; the
+        backend is an execution detail with identical results, so it
+        must not change a config's identity."""
+        config = small_config()
+        assert repr(config) == repr(config.with_backend("vector"))
+        assert "backend" not in repr(config)
+
+    def test_to_dict_roundtrip_preserves_backend(self):
+        config = small_config().with_backend("vector")
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt.backend == "vector"
+        assert rebuilt == config
+
+
+class TestDispatchAndFallback:
+    def test_vector_backend_runs_vector_engine(self):
+        config = small_config().with_backend("vector")
+        assert vector_unsupported_reason(config) is None
+        result = run_simulation(config)
+        assert result.metrics.rounds_run > 0
+
+    @pytest.mark.parametrize("unsupported, fragment", [
+        (dict(faults=FaultConfig(transfer_loss_rate=0.1)), "fault"),
+        (dict(record_transfers=True), "per-transfer"),
+    ])
+    def test_unsupported_config_warns_and_falls_back(self, unsupported,
+                                                     fragment):
+        config = replace(small_config(), **unsupported)
+        assert fragment in vector_unsupported_reason(config)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            fallback = run_simulation(config.with_backend("vector"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reference = run_simulation(config)
+        assert (metrics_digest(fallback.metrics)
+                == metrics_digest(reference.metrics))
+
+    def test_guarded_config_reports_reason(self):
+        config = small_config().with_guards("cheap")
+        assert "guards" in vector_unsupported_reason(config)
+
+    def test_obs_config_reports_reason(self):
+        config = small_config().with_obs(trace=True)
+        assert "observability" in vector_unsupported_reason(config)
+
+    def test_object_backend_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_simulation(small_config())
+
+
+def _parity(config: SimulationConfig) -> None:
+    object_digest = metrics_digest(run_simulation(config).metrics)
+    vector_digest = metrics_digest(
+        VectorSimulation(config.with_backend("vector")).run().metrics)
+    assert object_digest == vector_digest
+
+
+class TestFeatureAxisParity:
+    """One digest-parity case per config axis the integration suite's
+    equivalence config holds fixed."""
+
+    def test_poisson_arrivals(self):
+        _parity(small_config(arrival_process="poisson", arrival_rate=4.0))
+
+    @pytest.mark.parametrize("topology", ["ring", "smallworld"])
+    def test_view_topologies(self, topology):
+        _parity(small_config(view_topology=topology))
+
+    def test_random_piece_selection(self):
+        _parity(small_config(piece_selection="random"))
+
+    def test_whitewashing_freeriders(self):
+        _parity(small_config(
+            freerider_fraction=0.3,
+            attack=replace(targeted_attack_for(Algorithm.TCHAIN),
+                           whitewash_interval=15)))
+
+    def test_lingering_seeds(self):
+        _parity(small_config(seed_linger_rate=0.5))
+
+    def test_propshare_algorithm(self):
+        _parity(small_config(algorithm=Algorithm.PROPSHARE,
+                             freerider_fraction=0.2,
+                             attack=targeted_attack_for(Algorithm.PROPSHARE)))
