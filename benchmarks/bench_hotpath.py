@@ -36,7 +36,7 @@ from typing import Dict, Optional
 from repro.names import ALL_ALGORITHMS
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import Simulation
-from repro.sim.vector import VectorSimulation
+from repro.sim.vector import VectorFastSimulation, VectorSimulation
 
 __all__ = ["hotpath_config", "run_bench", "main"]
 
@@ -71,10 +71,16 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
     return config
 
 
+_ENGINES = {
+    "object": Simulation,
+    "vector": VectorSimulation,
+    "vector-fast": VectorFastSimulation,
+}
+
+
 def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
     """Build one simulation (untimed) and time its event/round loop."""
-    engine = VectorSimulation if config.backend == "vector" else Simulation
-    sim = engine(config)
+    sim = _ENGINES[config.backend](config)
     start = time.perf_counter()
     sim.run()
     elapsed = time.perf_counter() - start
@@ -165,20 +171,24 @@ def main(argv=None) -> int:
                              "(trace + every-round sampling + profiling); "
                              "compare against an un-traced run to measure "
                              "its overhead")
-    parser.add_argument("--backend", choices=["object", "vector"],
+    parser.add_argument("--backend",
+                        choices=["object", "vector", "vector-fast"],
                         default="object",
                         help="round-loop engine to time; 'vector' is the "
                              "struct-of-arrays fast path (digest-identical "
-                             "to 'object'; incompatible with --guards/"
-                             "--trace)")
+                             "to 'object'), 'vector-fast' the batched-"
+                             "sampling fast-v1 lineage (distributionally "
+                             "equivalent only); both are incompatible with "
+                             "--guards/--trace")
     parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
     if args.quick:
         args.users, args.pieces, args.rounds = 60, 32, 15
-    if args.backend == "vector" and (args.guards != "off"
+    if args.backend != "object" and (args.guards != "off"
                                      or args.obs != "off"):
-        parser.error("--backend vector does not support --guards/--trace "
+        parser.error("--backend vector/vector-fast does not support "
+                     "--guards/--trace "
                      "(the vector engine has no guard or observability "
                      "hooks; benchmark those on the object backend)")
 

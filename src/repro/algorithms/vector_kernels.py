@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Callable, Dict, FrozenSet
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List
 
 import numpy as np
 
@@ -39,10 +39,13 @@ from repro.sim.vector import _shuffle
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.vector import VectorSimulation
 
-__all__ = ["KERNELS", "DEFICIT_ALGORITHMS", "RECEIVED_ALGORITHMS",
-           "RECEIPT_ALGORITHMS", "run_spray", "run_reciprocity",
-           "run_fairtorrent", "run_bittorrent", "run_propshare",
-           "run_reputation", "run_tchain", "run_freerider"]
+__all__ = ["KERNELS", "FAST_KERNELS", "DEFICIT_ALGORITHMS",
+           "RECEIVED_ALGORITHMS", "RECEIPT_ALGORITHMS", "run_spray",
+           "run_reciprocity", "run_fairtorrent", "run_bittorrent",
+           "run_propshare", "run_reputation", "run_tchain",
+           "run_freerider", "run_spray_fast", "run_fairtorrent_fast",
+           "run_bittorrent_fast", "run_propshare_fast",
+           "run_reputation_fast", "run_tchain_fast"]
 
 #: Algorithms whose kernels read the all-time received-from ledger.
 RECEIVED_ALGORITHMS: FrozenSet[Algorithm] = frozenset({
@@ -230,16 +233,22 @@ def run_bittorrent(sim: "VectorSimulation", s: int,
             continue
         # Tit-for-tat: round-robin the unchoke set, pruning targets we
         # can no longer serve, rotating the served one to the back.
+        # Each attempt is budget-gated like the object engine's
+        # ``_valid_target``: a *lost* send consumes the credit, after
+        # which the remaining probes must fail without drawing.
         sent_index = None
         for idx, target in enumerate(unchoked):
-            if target in members and sim._plain_send(s, target):
+            if (target in members and budget.can_send()
+                    and sim._plain_send(s, target)):
                 sent_index = idx
                 break
         if sent_index is not None:
             unchoked = unchoked[sent_index + 1:] + [unchoked[sent_index]]
             continue
         # Fall back to a random all-time contributor (result ignored;
-        # an empty pool draws nothing).
+        # an empty pool draws nothing). The choice is drawn even when
+        # a lost tit-for-tat probe just spent the budget — the object
+        # strategy's ``_send_random`` draws before its send fails.
         needy = turn.needy
         if needy is None:
             needy = sim.ensure_needy(turn)
@@ -252,7 +261,8 @@ def run_bittorrent(sim: "VectorSimulation", s: int,
                 j = grb(k)
                 while j >= n:
                     j = grb(k)
-                sim._plain_send(s, past[j])
+                if budget.can_send():
+                    sim._plain_send(s, past[j])
 
 
 def run_propshare(sim: "VectorSimulation", s: int,
@@ -412,4 +422,466 @@ KERNELS: Dict[Algorithm, Callable] = {
     Algorithm.FAIRTORRENT: run_fairtorrent,
     Algorithm.TCHAIN: run_tchain,
     Algorithm.PROPSHARE: run_propshare,
+}
+
+
+# ----------------------------------------------------------------------
+# Fast-lineage kernels (the ``vector-fast`` backend)
+# ----------------------------------------------------------------------
+# Same decision *policies* as the kernels above, freed from the
+# draw-for-draw parity contract: uniform picks come from the engine's
+# buffered PCG64 sampler (``sim._fs``), and bookkeeping the object
+# strategies force purely for draw alignment (full shuffles, per-send
+# rescans, recomputed weight vectors) is batched or made lazy. These
+# run only under ``digest_lineage="fast-v1"``; their distributional
+# equivalence to the object engine is enforced by
+# ``tests/integration/test_distributional_parity.py``.
+
+
+def _weighted_pick(x: float, pool: List[int], weights: List[float]) -> int:
+    """Index into ``pool`` for cumulative-weight position ``x``.
+
+    Same scan as :func:`repro.sim.rng.weighted_choice`, with the unit
+    draw supplied by the caller (pre-scaled by the weight total) and
+    the *last positive weight* as the float-rounding fall-through.
+    """
+    acc = 0.0
+    for i, w in enumerate(weights):
+        if w > 0.0:
+            acc += w
+            if x < acc:
+                return i
+    for i in range(len(weights) - 1, -1, -1):
+        if weights[i] > 0.0:
+            return i
+    return 0
+
+
+def run_spray_fast(sim: "VectorSimulation", s: int,
+                   rng: random.Random) -> None:
+    """Seeder / Altruism spray, drawing targets from the fast sampler.
+
+    The fast engine's needy pool is a maybe-stale superset of *slots*
+    (see ``VectorFastSimulation._pool_for``): each drawn candidate is
+    validated with one bigint interest test and evicted on staleness.
+    Rejection sampling from a superset is exactly uniform over the
+    true needy pool, so the spray distribution is unchanged.
+    """
+    budget = sim.budgets[s]
+    if sim.cnt[s] == 0 or not budget.can_send():
+        return
+    needy = sim.begin_turn(s).needy
+    out = sim._pout[s]
+    ids = sim.ids
+    held = sim.held
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    uw = sim.usable[s]
+    den = budget._den
+    rb = sim._fs.randbelow
+    send = sim._plain_send
+    while True:
+        n = len(needy)
+        if n == 0:
+            return
+        j = rb(n) if n > 1 else 0
+        t = needy[j]
+        if held[t] & uw != uw:
+            if not send(s, ids[t], j):
+                return
+            if budget._credits_num < den:
+                return
+        else:
+            needy[j] = needy[n - 1]
+            needy.pop()
+            if cnt[t] != npieces:
+                out.append(t)
+
+
+def run_fairtorrent_fast(sim: "VectorSimulation", s: int,
+                         rng: random.Random) -> None:
+    """FairTorrent min-deficit serving on the fast sampler.
+
+    Same gather-and-drain structure as the parity kernel (bucketing
+    the whole pool by level up front costs more than the occasional
+    re-gather: drains are rare because a turn's budget is small). The
+    tie pick is drawn from the buffered sampler with a swap-pop
+    instead of the parity kernel's order-preserving ``pop(j)``.
+    """
+    budget = sim.budgets[s]
+    if sim.cnt[s] == 0 or not budget.can_send():
+        return
+    needy = sim.begin_turn(s).needy
+    out = sim._pout[s]
+    ids = sim.ids
+    held = sim.held
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    uw = sim.usable[s]
+    drow = sim.D[s]
+    den = budget._den
+    rb = sim._fs.randbelow
+    send = sim._plain_send
+    while True:
+        if not needy:
+            return
+        arr = np.array(needy, dtype=np.int64)
+        d = drow[arr]
+        ties = arr[d == d.min()].tolist()
+        while ties:
+            n = len(ties)
+            j = rb(n) if n > 1 else 0
+            t = ties[j]
+            ties[j] = ties[-1]
+            ties.pop()
+            if held[t] & uw == uw:
+                # Stale superset entry: evict; the remaining ties are
+                # still the minimum level of the remaining pool.
+                k = needy.index(t)
+                needy[k] = needy[-1]
+                needy.pop()
+                if cnt[t] != npieces:
+                    out.append(t)
+                continue
+            if not send(s, ids[t]):
+                return
+            if budget._credits_num < den:
+                return
+
+
+def run_bittorrent_fast(sim: "VectorSimulation", s: int,
+                        rng: random.Random) -> None:
+    """Tit-for-tat plus optimism, coins and picks from the fast sampler."""
+    budget = sim.budgets[s]
+    b0 = budget.available()
+    if b0 == 0:
+        return
+    alpha = sim.params.alpha_bt
+    fs = sim._fs
+    if sim.cnt[s] == 0:
+        # Empty-handed: nothing can be sent whichever way the coins
+        # land, so skip the per-slot coin flips entirely (the draws
+        # exist only for parity replay).
+        return
+    turn = sim.begin_turn_lazy(s)
+    members = sim.members
+    held = sim.held
+    usable_s = sim.usable[s]
+    lr = sim.last_rcv[s]
+    unchoked: list = []
+    if lr:
+        vs = sim.vset.get(sim.ids[s]) or ()
+        cand = []
+        # No pre-sort needed: the (-amount, pid) key is a total order,
+        # so the final sort is insertion-order independent.
+        for pid, amt in lr.items():
+            if (amt > 0 and pid in vs
+                    and held[members[pid]] & usable_s != usable_s):
+                cand.append(pid)
+        cand.sort(key=lambda pid: (-lr[pid], pid))
+        unchoked = cand[:sim.params.n_bt]
+    rb = fs.randbelow
+    send = sim._plain_send
+    out = sim._pout[s]
+    ids = sim.ids
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    den = budget._den
+    left = b0
+    past: list = None  # per-turn contributor cache for the fallback
+    while left > 0:
+        left -= 1
+        if budget._credits_num < den:
+            return
+        if fs.random() < alpha:
+            needy = turn.needy
+            if needy is None:
+                needy = sim.ensure_needy(turn)
+            while True:
+                n = len(needy)
+                if n == 0:
+                    return
+                j = rb(n) if n > 1 else 0
+                t = needy[j]
+                if held[t] & usable_s != usable_s:
+                    if not send(s, ids[t], j):
+                        return
+                    break
+                needy[j] = needy[n - 1]
+                needy.pop()
+                if cnt[t] != npieces:
+                    out.append(t)
+            continue
+        sent_index = None
+        # Budget is known >= den here (checked at the top of the
+        # iteration; failed sends consume nothing), so membership is
+        # the only gate before the send attempt.
+        for idx, target in enumerate(unchoked):
+            if target in members and send(s, target):
+                sent_index = idx
+                break
+        if sent_index is not None:
+            unchoked = unchoked[sent_index + 1:] + [unchoked[sent_index]]
+            continue
+        # Fallback: a random all-time contributor among the needy.
+        # The contributor set is fixed within the turn (the uploader
+        # receives nothing during its own slots), so it is built once
+        # and revalidated per draw — rejection keeps the pick uniform
+        # over the still-interesting contributors.
+        needy = turn.needy
+        if needy is None:
+            needy = sim.ensure_needy(turn)
+        if past is None:
+            base = s * sim.n_slots
+            Rf = sim._Rf
+            past = [t for t in needy if Rf[base + t] > 0]
+        while past:
+            n = len(past)
+            j = rb(n) if n > 1 else 0
+            t = past[j]
+            if held[t] & usable_s != usable_s:
+                send(s, ids[t])
+                break
+            past[j] = past[n - 1]
+            past.pop()
+            try:
+                k = needy.index(t)
+            except ValueError:
+                # Already repaired out of the needy pool by an
+                # earlier send this turn.
+                continue
+            needy[k] = needy[-1]
+            needy.pop()
+            if cnt[t] != npieces:
+                out.append(t)
+
+
+def run_propshare_fast(sim: "VectorSimulation", s: int,
+                       rng: random.Random) -> None:
+    """Contribution-proportional reciprocity on the fast sampler."""
+    budget = sim.budgets[s]
+    b0 = budget.available()
+    if b0 == 0:
+        return
+    alpha = sim.params.alpha_bt
+    fs = sim._fs
+    if sim.cnt[s] == 0:
+        return  # nothing to send; skip the parity-only coin flips
+    needy = sim.begin_turn(s).needy
+    out = sim._pout[s]
+    members = sim.members
+    ids = sim.ids
+    held = sim.held
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    uw = sim.usable[s]
+    vs = sim.vset.get(sim.ids[s]) or ()
+    den = budget._den
+    rb = fs.randbelow
+    send = sim._plain_send
+    left = b0
+    while left > 0:
+        left -= 1
+        if budget._credits_num < den:
+            return
+        if fs.random() < alpha:
+            while True:
+                n = len(needy)
+                if n == 0:
+                    return
+                j = rb(n) if n > 1 else 0
+                t = needy[j]
+                if held[t] & uw != uw:
+                    if not send(s, ids[t], j):
+                        return
+                    break
+                needy[j] = needy[n - 1]
+                needy.pop()
+                if cnt[t] != npieces:
+                    out.append(t)
+            continue
+        # Reciprocal slot: weight by last-round (then all-time)
+        # contribution. Candidates are interest-tested directly —
+        # equivalent to the parity kernel's membership check against
+        # its per-turn needy pool, which the superset pool replaces.
+        lr = sim.last_rcv[s]
+        weights: Dict[int, int] = {}
+        if lr:
+            for pid, amt in lr.items():
+                if amt > 0 and pid in vs:
+                    ts = members.get(pid)
+                    if ts is not None and held[ts] & uw != uw:
+                        weights[pid] = amt
+        if not weights and needy:
+            arr = np.array(needy, dtype=np.int64)
+            amts = sim.R[s, arr]
+            for t, amt in zip(arr.tolist(), amts.tolist()):
+                if amt > 0 and held[t] & uw != uw:
+                    weights[ids[t]] = amt
+        if not weights:
+            continue  # reciprocal slot idles
+        targets = sorted(weights)
+        wlist = [float(weights[t]) for t in targets]
+        total = 0.0
+        for w in wlist:
+            total += w
+        send(s, targets[_weighted_pick(fs.random() * total, targets, wlist)])
+
+
+def run_reputation_fast(sim: "VectorSimulation", s: int,
+                        rng: random.Random) -> None:
+    """Reputation-weighted uploads with a turn-cached weight vector.
+
+    Targets' reputations cannot change during the uploader's own turn
+    (only the uploader earns reputation from its sends), so the weight
+    vector is computed once and rebuilt only when the needy pool
+    shrinks — the parity kernel rebuilds it on every reciprocal send.
+    """
+    budget = sim.budgets[s]
+    attempts = budget.available()
+    if attempts == 0 or sim.cnt[s] == 0:
+        return
+    needy = sim.begin_turn(s).needy
+    out = sim._pout[s]
+    ids = sim.ids
+    held = sim.held
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    uw = sim.usable[s]
+    alpha = sim.params.alpha_r
+    rep = sim.rep
+    fs = sim._fs
+    den = budget._den
+    rb = fs.randbelow
+    send = sim._plain_send
+    weights: List[float] = []
+    total = 0.0
+    stale = True
+
+    def evict(i: int, t: int) -> None:
+        # Swap-pop keeps ``weights`` index-aligned with the pool.
+        needy[i] = needy[-1]
+        needy.pop()
+        if cnt[t] != npieces:
+            out.append(t)
+        if not stale and len(weights) == len(needy) + 1:
+            nonlocal total
+            total -= weights[i]
+            weights[i] = weights[-1]
+            weights.pop()
+
+    left = attempts
+    while left > 0:
+        left -= 1
+        if budget._credits_num < den:
+            return
+        if fs.random() < alpha:
+            while True:
+                n = len(needy)
+                if n == 0:
+                    return
+                j = rb(n) if n > 1 else 0
+                t = needy[j]
+                if held[t] & uw != uw:
+                    break
+                evict(j, t)
+            if not send(s, ids[t], j):
+                return
+            stale = stale or len(needy) != n
+        else:
+            n = len(needy)
+            if n == 0:
+                return
+            if stale or len(weights) != n:
+                weights = [rep[ids[t]] for t in needy]
+                total = 0.0
+                for w in weights:
+                    total += w
+                stale = False
+            while True:
+                if total <= 0:
+                    break  # reserved share unusable: all zero-rep
+                n = len(needy)
+                if n == 0:
+                    return
+                i = _weighted_pick(fs.random() * total, needy, weights)
+                t = needy[i]
+                if held[t] & uw != uw:
+                    if not send(s, ids[t], i):
+                        return
+                    if len(needy) != n:
+                        # The served target left the pool (swap-pop):
+                        # drop its weight to stay aligned.
+                        total -= weights[i]
+                        weights[i] = weights[-1]
+                        weights.pop()
+                    break
+                evict(i, t)
+
+
+def run_tchain_fast(sim: "VectorSimulation", s: int,
+                    rng: random.Random) -> None:
+    """T-Chain with lazy candidate draws in the seeding phase.
+
+    The parity kernel rescans the view for eligibility (interest and
+    no blacklist) and fully shuffles the result before *every* send.
+    Here the persistent interest pool replaces the scan, a partial
+    Fisher-Yates over a copy replaces the full shuffle (one draw per
+    candidate actually probed), and blacklisting is tested per probe
+    by ``tchain_seed`` itself. The eligible members occupy uniformly
+    random relative positions in a uniform permutation of the
+    superset, so the accepted-target distribution is exactly the
+    parity kernel's.
+    """
+    budget = sim.budgets[s]
+    pend = sim.pend[s]
+    if pend:
+        for piece, _entry in sorted(pend.items(),
+                                    key=lambda kv: (kv[1][2], kv[0])):
+            if not budget.can_send():
+                return
+            sim.tchain_fulfill(s, piece)
+    if not budget.can_send():
+        return
+    needy = sim.begin_turn(s).needy
+    out = sim._pout[s]
+    rb = sim._fs.randbelow
+    ids = sim.ids
+    held = sim.held
+    cnt = sim.cnt
+    npieces = sim.n_pieces
+    uw = sim.usable[s]
+    den = budget._den
+    seed = sim.tchain_seed
+    while budget._credits_num >= den:
+        cand = needy.copy()
+        m = len(cand)
+        accepted = False
+        while m:
+            j = rb(m) if m > 1 else 0
+            t = cand[j]
+            m -= 1
+            cand[j] = cand[m]
+            if held[t] & uw == uw:
+                k = needy.index(t)
+                needy[k] = needy[-1]
+                needy.pop()
+                if cnt[t] != npieces:
+                    out.append(t)
+                continue
+            if seed(s, ids[t]):
+                accepted = True
+                break
+        if not accepted:
+            return
+
+
+FAST_KERNELS: Dict[Algorithm, Callable] = {
+    Algorithm.RECIPROCITY: run_reciprocity,  # draws no randomness
+    Algorithm.ALTRUISM: run_spray_fast,
+    Algorithm.REPUTATION: run_reputation_fast,
+    Algorithm.BITTORRENT: run_bittorrent_fast,
+    Algorithm.FAIRTORRENT: run_fairtorrent_fast,
+    Algorithm.TCHAIN: run_tchain_fast,
+    Algorithm.PROPSHARE: run_propshare_fast,
 }

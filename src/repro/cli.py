@@ -130,12 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arrivals", choices=["flash", "poisson"],
                      default="flash")
     run.add_argument("--max-rounds", type=int, default=600)
-    run.add_argument("--backend", choices=["object", "vector"],
+    run.add_argument("--backend", choices=["object", "vector", "vector-fast"],
                      default="object",
                      help="round-loop engine; 'vector' is the batched "
                           "struct-of-arrays fast path with byte-identical "
-                          "metrics (instrumented configs fall back to "
-                          "'object' with a note)")
+                          "metrics, 'vector-fast' its batched-sampling "
+                          "fast-v1 lineage (distributionally equivalent, "
+                          "not draw-exact); instrumented configs fall back "
+                          "to 'object' with a note")
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
@@ -156,12 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first replicate seed")
     sweep.add_argument("--freeriders", type=float, default=0.0,
                        help="free-rider fraction (targeted attacks applied)")
-    sweep.add_argument("--backend", choices=["object", "vector"],
+    sweep.add_argument("--backend",
+                       choices=["object", "vector", "vector-fast"],
                        default="object",
                        help="round-loop engine used by every replicate; "
-                            "'vector' is digest-identical to 'object' and "
-                            "falls back per-replicate when a config needs "
-                            "the object engine")
+                            "'vector' is digest-identical to 'object', "
+                            "'vector-fast' trades draw-parity for speed "
+                            "(fast-v1 lineage, separate journal/cache "
+                            "identity); both fall back per-replicate when "
+                            "a config needs the object engine")
     sweep.add_argument("--journal", metavar="PATH",
                        help="checkpoint journal (JSON lines); rerunning "
                             "with the same path resumes the sweep")
@@ -432,7 +437,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config = config.with_backend("object")
     sim: Optional[Simulation] = None
     try:
-        if config.backend == "vector":
+        if config.backend == "vector-fast":
+            from repro.sim.vector import VectorFastSimulation
+            result = VectorFastSimulation(config).run()
+        elif config.backend == "vector":
             result = VectorSimulation(config).run()
         else:
             # Hold the Simulation instance (rather than run_simulation) so
@@ -605,6 +613,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for summary in result.metrics.values():
         print(f"{summary.name:28s} {summary.mean:12.4f} "
               f"{summary.std:10.4f} {summary.n:3d} {summary.n_missing:4d}")
+    if result.n_backend_downgraded:
+        print(f"sweep: note: {result.n_backend_downgraded} replicate(s) "
+              f"fell back from the '{args.backend}' backend to the object "
+              "engine (unsupported config axis); results are exact but "
+              "without the vector speedup", file=sys.stderr)
     if result.n_failed:
         return 1
     if result.n_degraded:

@@ -54,6 +54,7 @@ def summary_dict(result: SimulationResult) -> Dict[str, Any]:
         "susceptibility": metrics.susceptibility(),
         "total_uploaded": metrics.total_uploaded,
         "peer_uploaded": metrics.peer_uploaded,
+        "digest_lineage": metrics.digest_lineage,
     }
 
 

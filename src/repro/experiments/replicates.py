@@ -187,6 +187,13 @@ class ReplicateOutcome:
     ``bundle_path`` links to the crash-forensics bundle the guards
     wrote (violation, stall, or exception); it is machine-local, so —
     like telemetry — it is journaled but digest-excluded.
+
+    ``digest_lineage`` records which determinism contract produced the
+    values (``"parity-v1"`` for the draw-exact object/vector engines,
+    ``"fast-v1"`` for the batched-sampling backend — see
+    :attr:`repro.sim.metrics.SimulationMetrics.digest_lineage`). It is
+    deterministic, journaled, and part of the canonical digest:
+    fast-lineage results can never silently stand in for parity ones.
     """
 
     seed: int
@@ -198,6 +205,7 @@ class ReplicateOutcome:
     telemetry: Optional[Dict[str, Any]] = None
     degraded: bool = False
     bundle_path: Optional[str] = None
+    digest_lineage: str = "parity-v1"
 
     @property
     def ok(self) -> bool:
@@ -214,6 +222,7 @@ class ReplicateOutcome:
             "error": self.error,
             "values": dict(self.values),
             "degraded": self.degraded,
+            "digest_lineage": self.digest_lineage,
         }
 
 
@@ -245,6 +254,17 @@ class SweepResult:
     def n_degraded(self) -> int:
         """Replicates the watchdog finalized early (partial metrics)."""
         return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def n_backend_downgraded(self) -> int:
+        """Replicates whose run fell back from the requested vector
+        backend to the object engine (unsupported config axis). The
+        results are still exact — the fallback is telemetry, not part
+        of the determinism digest — but a sweep that silently ran 30
+        object-engine replicates is not the performance the caller
+        asked for, so the CLI surfaces this count."""
+        return sum(1 for o in self.outcomes
+                   if (o.telemetry or {}).get("backend_downgraded"))
 
     def to_rows(self) -> List[Dict[str, float]]:
         return [{
@@ -306,8 +326,21 @@ def _used_seed(fingerprint: str, seed: int, attempt: int) -> int:
 
 
 def _config_fingerprint(config: SimulationConfig) -> str:
-    """Stable identity of a configuration for journal validation."""
-    return repr(config)
+    """Stable identity of a configuration for journal validation.
+
+    ``repr(config)`` deliberately excludes the backend (object and
+    vector are digest-identical, so they share journals and cache
+    entries), but the fast lineage is *not* interchangeable with the
+    parity one — its replicates draw from a different RNG contract.
+    Non-parity lineages are therefore marked into the fingerprint, so
+    a fast sweep can never resume from (or be served cached results
+    of) a parity sweep, and vice versa.
+    """
+    base = repr(config)
+    lineage = config.digest_lineage
+    if lineage != "parity-v1":
+        return f"{base}<digest_lineage={lineage}>"
+    return base
 
 
 def _journal_append(path: str, record: Dict[str, Any]) -> None:
@@ -370,6 +403,9 @@ def _journal_load(path: str, fingerprint: str,
                 telemetry=record.get("telemetry"),
                 degraded=bool(record.get("degraded", False)),
                 bundle_path=record.get("bundle_path"),
+                # Journals written before lineages existed are all
+                # parity runs — the fast backend postdates the field.
+                digest_lineage=record.get("digest_lineage", "parity-v1"),
             )
     return completed
 
@@ -592,7 +628,8 @@ def run_resilient_sweep(config: SimulationConfig,
 
     def _on_result(result: TaskResult) -> None:
         outcome = _outcome_from_result(result, fingerprint, chosen,
-                                       metric_names, max_attempts)
+                                       metric_names, max_attempts,
+                                       lineage=config.digest_lineage)
         outcome_by_seed[outcome.seed] = outcome
         if cache is not None and outcome.ok:
             cache.put(fingerprint, outcome.seed, outcome.canonical_dict())
@@ -659,7 +696,8 @@ def _outcome_from_cached(record: Any, metric_names: Sequence[str],
             error=record.get("error"),
             values={name: values.get(name) for name in metric_names},
             telemetry={"cache": "hit"},
-            degraded=bool(record.get("degraded", False)))
+            degraded=bool(record.get("degraded", False)),
+            digest_lineage=record.get("digest_lineage", "parity-v1"))
     except (KeyError, TypeError, ValueError):
         return None
 
@@ -667,7 +705,8 @@ def _outcome_from_cached(record: Any, metric_names: Sequence[str],
 def _outcome_from_result(result: TaskResult, fingerprint: str,
                          extractors: Dict[str, Callable],
                          metric_names: Sequence[str],
-                         max_attempts: int) -> ReplicateOutcome:
+                         max_attempts: int,
+                         lineage: str = "parity-v1") -> ReplicateOutcome:
     """Turn an engine task result into a journaled replicate outcome."""
     seed = result.key
     telemetry = result.telemetry.as_dict()
@@ -680,6 +719,11 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
         obs_payload = getattr(result.value, "obs", None)
         if obs_payload is not None:
             telemetry["obs"] = obs_payload
+        # A vector(-fast) request that fell back to the object engine
+        # is exact but slow; surface it so sweeps can report how many
+        # replicates actually ran on the requested backend.
+        if getattr(result.value, "backend_downgraded", False):
+            telemetry["backend_downgraded"] = True
         values = {name: extract(result.value)
                   for name, extract in extractors.items()}
         return ReplicateOutcome(
@@ -688,7 +732,9 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
             attempts=result.attempts, status="ok", error=None,
             values=values, telemetry=telemetry,
             degraded=bool(getattr(result.value, "degraded", False)),
-            bundle_path=getattr(result.value, "bundle_path", None))
+            bundle_path=getattr(result.value, "bundle_path", None),
+            digest_lineage=getattr(result.value, "digest_lineage",
+                                   "parity-v1"))
     error = (f"{result.error} "
              f"(attempt {result.attempts}/{max_attempts})")
     # Guard failures embed their forensics bundle in the message
@@ -700,4 +746,5 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
         status="failed", error=error,
         values={name: None for name in metric_names},
         telemetry=telemetry,
-        bundle_path=match.group(1) if match else None)
+        bundle_path=match.group(1) if match else None,
+        digest_lineage=lineage)

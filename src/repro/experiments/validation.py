@@ -13,11 +13,21 @@ this module makes that comparison a first-class, repeatable artifact:
   ranks the mechanisms the same way the simulator does;
 * :func:`ranking_agreement` — Kendall-style pairwise agreement between
   two rankings, the summary statistic we report.
+
+It also hosts the *engine-equivalence* statistics used by the
+fast-lineage distributional-parity suite
+(``tests/integration/test_distributional_parity.py``): a dependency-
+free two-sample Kolmogorov-Smirnov test (:func:`ks_two_sample`),
+normal-approximation confidence intervals
+(:func:`confidence_interval`, :func:`intervals_overlap`), and the
+combined :func:`distributional_equivalence` verdict that decides
+whether two backends' samples are statistically indistinguishable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import bootstrapping as boot
 from repro.names import ALL_ALGORITHMS, Algorithm
@@ -30,6 +40,11 @@ __all__ = [
     "mean_empirical_bootstrap_probability",
     "bootstrap_model_vs_simulation",
     "ranking_agreement",
+    "ks_statistic",
+    "ks_two_sample",
+    "confidence_interval",
+    "intervals_overlap",
+    "distributional_equivalence",
 ]
 
 
@@ -124,6 +139,136 @@ def bootstrap_model_vs_simulation(
             "predicted_p_b": predicted,
         })
     return rows
+
+
+# ----------------------------------------------------------------------
+# Engine-equivalence statistics (fast-lineage distributional parity)
+# ----------------------------------------------------------------------
+
+#: Two-sided z value for a 95% normal interval.
+_Z95 = 1.959963984540054
+
+
+def _finite(values: Iterable[float]) -> List[float]:
+    return [float(v) for v in values
+            if v is not None and math.isfinite(v)]
+
+
+def ks_statistic(sample_a: Sequence[float],
+                 sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``D``.
+
+    The maximum vertical distance between the two empirical CDFs.
+    Non-finite values (``nan``, ``inf`` — e.g. completion times of
+    peers that never finished) are dropped first; an empty sample
+    after filtering raises ``ValueError`` rather than returning a
+    meaningless 0.
+    """
+    a = sorted(_finite(sample_a))
+    b = sorted(_finite(sample_b))
+    if not a or not b:
+        raise ValueError("ks_statistic needs at least one finite value "
+                         "in each sample")
+    na, nb = len(a), len(b)
+    i = j = 0
+    d = 0.0
+    while i < na and j < nb:
+        # Advance both walks past every copy of the smaller value
+        # before measuring: evaluating mid-tie would report a phantom
+        # gap between two identical (or tie-sharing) samples.
+        x = a[i] if a[i] <= b[j] else b[j]
+        while i < na and a[i] == x:
+            i += 1
+        while j < nb and b[j] == x:
+            j += 1
+        gap = abs(i / na - j / nb)
+        if gap > d:
+            d = gap
+    return d
+
+
+def ks_two_sample(sample_a: Sequence[float],
+                  sample_b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sample KS test: ``(D, p)`` with the asymptotic p-value.
+
+    Uses the classic Kolmogorov asymptotic distribution with the
+    Stephens small-sample correction
+    ``lambda = (sqrt(en) + 0.12 + 0.11/sqrt(en)) * D`` and its
+    alternating-series tail — the same approximation scipy's
+    ``ks_2samp(mode="asymp")`` evaluates, implemented here so the
+    equivalence suite has no scipy dependency. The p-value is clamped
+    to [0, 1].
+    """
+    d = ks_statistic(sample_a, sample_b)
+    na = len(_finite(sample_a))
+    nb = len(_finite(sample_b))
+    en = math.sqrt(na * nb / (na + nb))
+    lam = (en + 0.12 + 0.11 / en) * d
+    if lam <= 0.0:
+        return d, 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    p = 2.0 * total
+    return d, min(1.0, max(0.0, p))
+
+
+def confidence_interval(values: Sequence[float],
+                        z: float = _Z95) -> Tuple[float, float]:
+    """Normal-approximation CI ``mean ± z * std / sqrt(n)``.
+
+    Non-finite values are dropped; an empty sample raises
+    ``ValueError``. A single value yields a degenerate (point)
+    interval.
+    """
+    finite = _finite(values)
+    if not finite:
+        raise ValueError("confidence_interval needs at least one finite "
+                         "value")
+    n = len(finite)
+    mean = sum(finite) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in finite) / (n - 1)
+        half = z * math.sqrt(var) / math.sqrt(n)
+    else:
+        half = 0.0
+    return mean - half, mean + half
+
+
+def intervals_overlap(interval_a: Tuple[float, float],
+                      interval_b: Tuple[float, float]) -> bool:
+    """Whether two closed intervals share at least one point."""
+    (lo_a, hi_a), (lo_b, hi_b) = interval_a, interval_b
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+def distributional_equivalence(sample_a: Sequence[float],
+                               sample_b: Sequence[float],
+                               alpha: float = 0.01) -> Dict[str, object]:
+    """Combined two-backend equivalence verdict.
+
+    Runs the KS test and the CI-overlap check on the two samples and
+    returns a row with ``d``, ``p``, both intervals, and the booleans
+    the parity suite asserts: ``ks_pass`` (``p > alpha`` — the
+    distributions are not detectably different) and ``ci_overlap``.
+    ``alpha`` defaults to 0.01: the suite runs one test per algorithm
+    per metric, so a loose 0.05 would false-alarm roughly once per
+    seven-algorithm sweep-of-sweeps.
+    """
+    d, p = ks_two_sample(sample_a, sample_b)
+    ci_a = confidence_interval(sample_a)
+    ci_b = confidence_interval(sample_b)
+    return {
+        "d": d,
+        "p": p,
+        "ci_a": ci_a,
+        "ci_b": ci_b,
+        "ks_pass": p > alpha,
+        "ci_overlap": intervals_overlap(ci_a, ci_b),
+    }
 
 
 def ranking_agreement(scores_a: Sequence[float],

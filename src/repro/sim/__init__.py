@@ -30,7 +30,11 @@ from repro.sim.faults import FaultConfig, FaultModel  # noqa: F401
 from repro.sim.guards import GuardConfig, InvariantViolation  # noqa: F401
 from repro.sim.metrics import SimulationMetrics, degradation_rows  # noqa: F401
 from repro.sim.runner import Simulation, SimulationResult, run_simulation  # noqa: F401
-from repro.sim.vector import VectorSimulation, vector_unsupported_reason  # noqa: F401
+from repro.sim.vector import (  # noqa: F401
+    VectorFastSimulation,
+    VectorSimulation,
+    vector_unsupported_reason,
+)
 
 __all__ = [
     "AttackConfig",
@@ -46,6 +50,7 @@ __all__ = [
     "SimulationMetrics",
     "SimulationResult",
     "StrategyParameters",
+    "VectorFastSimulation",
     "VectorSimulation",
     "degradation_rows",
     "flash_crowd_arrivals",

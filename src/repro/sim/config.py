@@ -219,10 +219,15 @@ class SimulationConfig:
     sample_interval: int = 1
     #: Round-loop implementation: "object" is the per-peer-object
     #: oracle engine; "vector" is the struct-of-arrays numpy fast path
-    #: (:mod:`repro.sim.vector`). Both produce byte-identical metrics
-    #: digests for every supported configuration, so the backend is
-    #: excluded from ``repr`` — sweep fingerprints, result-cache keys
-    #: and journals are backend-neutral by construction.
+    #: (:mod:`repro.sim.vector`) that replays the object engine's
+    #: draws for byte-identical metrics digests; "vector-fast" is the
+    #: batched-sampling engine that draws from its own PCG64 stream
+    #: and promises *distributional* equivalence only (digest lineage
+    #: ``fast-v1``). The backend is excluded from ``repr`` — sweep
+    #: fingerprints, result-cache keys and journals are backend-neutral
+    #: for the byte-parity engines, and :func:`digest_lineage` is what
+    #: keys the fast lineage apart (see
+    #: ``repro.experiments.replicates._config_fingerprint``).
     backend: str = field(repr=False, default="object")
 
     def __post_init__(self) -> None:
@@ -270,9 +275,9 @@ class SimulationConfig:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.sample_interval < 1:
             raise ConfigurationError("sample_interval must be >= 1")
-        if self.backend not in ("object", "vector"):
+        if self.backend not in ("object", "vector", "vector-fast"):
             raise ConfigurationError(
-                "backend must be 'object' or 'vector'")
+                "backend must be 'object', 'vector', or 'vector-fast'")
         # Cross-field checks: combinations that are individually legal
         # but can only produce a meaningless (or never-ending) run.
         if (self.seeder_capacity == 0.0 and not self.allow_unseeded):
@@ -293,6 +298,19 @@ class SimulationConfig:
                 f"flash_crowd_duration={self.flash_crowd_duration} exceeds "
                 f"max_rounds={self.max_rounds}: part of the flash crowd "
                 "would never arrive before the run is cut off")
+
+    @property
+    def digest_lineage(self) -> str:
+        """Which determinism contract this config's backend promises.
+
+        ``"parity-v1"`` — byte-identical metrics digests across the
+        object and vector engines (the original contract). ``"fast-v1"``
+        — the batched-sampling engine: same seeded determinism, but
+        digests are only comparable to other fast-v1 runs; against
+        parity-v1 the guarantee is distributional (KS/CI-overlap, see
+        ``tests/integration/test_distributional_parity.py``).
+        """
+        return "fast-v1" if self.backend == "vector-fast" else "parity-v1"
 
     @property
     def n_freeriders(self) -> int:

@@ -184,6 +184,20 @@ class SimulationMetrics:
     #: itself — excluded from :func:`metrics_digest` like the guard
     #: fields above, and journaled digest-free by sweeps.
     obs: Optional[Dict[str, object]] = None
+    #: Which determinism contract produced these numbers. ``parity-v1``
+    #: engines (object, vector) are byte-identical to each other;
+    #: ``fast-v1`` (vector-fast) draws from its own PCG64 stream and is
+    #: only *distributionally* equivalent. Provenance, not physics —
+    #: excluded from :func:`metrics_digest` (a digest already only
+    #: means anything within one lineage), but journaled and cached so
+    #: fast-lineage results can never masquerade as parity results.
+    digest_lineage: str = "parity-v1"
+    #: Set by :func:`repro.sim.runner.run_simulation` when a vector
+    #: backend request silently fell back to the object engine for an
+    #: unsupported config — holds the human-readable reason. Execution
+    #: provenance like ``obs``: digest-excluded, surfaced through sweep
+    #: telemetry so the downgrade is visible outside worker processes.
+    backend_downgraded: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Efficiency

@@ -46,7 +46,12 @@ def iter_bits(mask: int) -> Iterator[int]:
 
 
 def bits_to_list(mask: int) -> List[int]:
-    """The set-bit indices of ``mask`` as an ascending list."""
+    """The set-bit indices of ``mask`` as an ascending list.
+
+    ``list(iter_bits(...))`` on purpose: the C-level list construction
+    from the generator measures faster than both an inline bit-walk
+    and a byte-table walk for the sparse masks the simulator sees.
+    """
     return list(iter_bits(mask))
 
 

@@ -969,19 +969,32 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
 
     ``config.backend == "vector"`` selects the struct-of-arrays round
     loop (:class:`repro.sim.vector.VectorSimulation`), which produces
-    byte-identical metrics digests to this object engine. Configs the
-    vector engine does not support (fault injection, guards, the obs
-    runtime, per-transfer recording) fall back to the object engine
-    with a :class:`RuntimeWarning` naming the unsupported feature.
+    byte-identical metrics digests to this object engine;
+    ``"vector-fast"`` selects its batched-sampling subclass
+    (:class:`repro.sim.vector.VectorFastSimulation`), which is only
+    *distributionally* equivalent and stamps
+    ``metrics.digest_lineage = "fast-v1"``. Configs neither vector
+    engine supports (peer crashes, delayed reports, obligation expiry,
+    guards, the obs runtime, per-transfer recording) fall back to the
+    object engine with a :class:`RuntimeWarning` naming the
+    unsupported feature; the fallback reason is also recorded on
+    ``metrics.backend_downgraded`` so sweeps can surface downgrades
+    that happen inside worker processes.
     """
-    if config.backend == "vector":
-        from repro.sim.vector import VectorSimulation, vector_unsupported_reason
+    if config.backend in ("vector", "vector-fast"):
+        from repro.sim.vector import (VectorFastSimulation, VectorSimulation,
+                                      vector_unsupported_reason)
 
         reason = vector_unsupported_reason(config)
         if reason is None:
-            return VectorSimulation(config).run()
+            engine = (VectorFastSimulation if config.backend == "vector-fast"
+                      else VectorSimulation)
+            return engine(config).run()
         warnings.warn(
             f"vector backend does not support {reason}; "
             "falling back to the object engine",
             RuntimeWarning, stacklevel=2)
+        result = Simulation(config).run()
+        result.metrics.backend_downgraded = reason
+        return result
     return Simulation(config).run()

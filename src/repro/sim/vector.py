@@ -41,21 +41,33 @@ sequence numbers). Hot paths inline ``random.Random``'s
 so index draws stay bit-identical to ``rng.choice``/``rng.shuffle``
 while exposing the drawn index for O(1) pool repair.
 
+Fault injection
+---------------
+Transfer loss and seeder outages are implemented natively with
+draw-exact parity: the loss coin is flipped on the shared "faults"
+stream at exactly the points the object engine flips it (after the
+budget consume of every send primitive), and seeder outages are
+processed at the top of each round in seeder-slot order — so sweeps
+with ``degradation_rows`` over those axes run vectorized.
+
 Unsupported features
 --------------------
 Observation and failure layers that hook the object engine's internals
-are not reimplemented here: fault injection, runtime guards, the
-observability runtime and per-transfer recording all require the
-object backend. :func:`vector_unsupported_reason` reports why a config
-cannot run vectorized; :func:`repro.sim.runner.run_simulation` falls
-back to the object engine (with a ``RuntimeWarning``) in that case.
+are not reimplemented here: peer crashes, delayed reputation reports,
+obligation expiry, runtime guards, the observability runtime and
+per-transfer recording all require the object backend.
+:func:`vector_unsupported_reason` reports why a config cannot run
+vectorized; :func:`repro.sim.runner.run_simulation` falls back to the
+object engine (with a ``RuntimeWarning``) in that case.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+from array import array
 from bisect import bisect_left, insort
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -64,12 +76,13 @@ from repro.names import Algorithm
 from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
 from repro.sim.bandwidth import UploadBudget
 from repro.sim.config import SimulationConfig
-from repro.sim.faults import FaultConfig
+from repro.sim.faults import FaultModel
 from repro.sim.metrics import MetricsCollector, PeerSummary
 from repro.sim.pieces import AvailabilityMap, bits_to_list, iter_bits
 from repro.sim.rng import RandomStreams
 
-__all__ = ["VectorSimulation", "vector_unsupported_reason"]
+__all__ = ["VectorSimulation", "VectorFastSimulation",
+           "vector_unsupported_reason"]
 
 #: Sentinel for "no pending obligation" in the oldest-round columns;
 #: must compare greater than every reachable blacklist horizon.
@@ -117,11 +130,18 @@ def vector_unsupported_reason(config: SimulationConfig) -> Optional[str]:
 
     The vector engine covers every algorithm (including propshare),
     both arrival processes, all attack flags, churn/lingering, both
-    topologies and both piece policies. What it does not implement are
-    the object engine's instrumentation hooks.
+    topologies, both piece policies, and the transfer-loss /
+    seeder-outage fault axes. What it does not implement are the
+    remaining fault layers and the object engine's instrumentation
+    hooks.
     """
-    if config.faults != FaultConfig():
-        return "fault injection (config.faults)"
+    faults = config.faults
+    if faults.crash_hazard > 0.0:
+        return "peer-crash fault injection (faults.crash_hazard)"
+    if faults.report_delay_rounds > 0:
+        return "delayed reputation reports (faults.report_delay_rounds)"
+    if faults.obligation_expiry_rounds is not None:
+        return "obligation expiry (faults.obligation_expiry_rounds)"
     if config.guards.enabled:
         return "runtime invariant guards (config.guards)"
     if config.obs.enabled:
@@ -153,6 +173,10 @@ class _Turn:
 class VectorSimulation:
     """One configured run on the struct-of-arrays backend."""
 
+    #: Determinism contract stamped onto the metrics (see
+    #: ``SimulationMetrics.digest_lineage``); the fast engine overrides.
+    digest_lineage = "parity-v1"
+
     def __init__(self, config: SimulationConfig) -> None:
         reason = vector_unsupported_reason(config)
         if reason is not None:
@@ -160,9 +184,9 @@ class VectorSimulation:
                 f"the vector backend does not support {reason}; "
                 "use backend='object'")
         from repro.algorithms.vector_kernels import (
-            KERNELS, DEFICIT_ALGORITHMS, RECEIVED_ALGORITHMS,
-            RECEIPT_ALGORITHMS, run_freerider, run_spray)
+            DEFICIT_ALGORITHMS, RECEIVED_ALGORITHMS, RECEIPT_ALGORITHMS)
 
+        kernels, run_spray, run_freerider = self._select_kernels()
         self.config = config
         algorithm = config.algorithm
         self.n_pieces = config.n_pieces
@@ -199,6 +223,15 @@ class VectorSimulation:
         self._tchain_grb = self._tchain_rng.getrandbits
         self._churn_rng = self.streams.stream("churn")
         self._linger_rng = self.streams.stream("linger")
+        #: Fault injection: same substream as the object engine, drawn
+        #: at the same points (see the module docstring), so faulted
+        #: runs stay digest-identical across backends.
+        self.faults = FaultModel(config.faults, self.streams.stream("faults"))
+        self._loss_on = config.faults.transfer_loss_rate > 0.0
+        self._outage_on = config.faults.seeder_outage_rate > 0.0
+        #: (receiver lineage, piece) pairs whose delivery was lost —
+        #: cleared (and counted as a retry) when a later send lands.
+        self._lost: Set[Tuple[int, int]] = set()
 
         self.collector = MetricsCollector()
         self.availability = AvailabilityMap(config.n_pieces)
@@ -237,6 +270,9 @@ class VectorSimulation:
         self.comp: List[Optional[float]] = [None] * n_slots
         self.departed_f: List[bool] = [False] * n_slots
         self.done: List[bool] = [False] * n_slots
+        #: Transient-outage horizon (only seeders ever set it; the
+        #: object engine checks every peer, so keep the full array).
+        self.offline_until: List[int] = [0] * n_slots
         self.up: List[int] = [0] * n_slots          # total_uploaded
         self.down: List[int] = [0] * n_slots        # total_downloaded
         self.raw: List[int] = [0] * n_slots         # total_received_raw
@@ -248,12 +284,18 @@ class VectorSimulation:
         self.kern: List[object] = [None] * n_slots
         #: Held-or-pending bitmask rows as uint64 words, for batched
         #: "who needs what I have" queries over neighbor slot arrays.
-        self.W = np.zeros((n_slots, self._n_words), dtype=np.uint64)
-        self._Wf = self.W.reshape(-1)               # flat view, scalar updates
+        #: The backing store is an ``array.array`` with the numpy
+        #: matrix as a shared-memory view: per-send scalar updates go
+        #: through the array (~3x faster than numpy scalar indexing)
+        #: while batched reads stay vectorized — no sync step needed.
+        self._Wf = array("Q", bytes(8 * n_slots * self._n_words))
+        self.W = np.frombuffer(self._Wf, dtype=np.uint64).reshape(
+            n_slots, self._n_words)
         #: Usable-only word rows (wp in discovery queries), kept in
         #: lockstep with ``usable`` so a turn never re-packs a bigint.
-        self.UW = np.zeros((n_slots, self._n_words), dtype=np.uint64)
-        self._UWf = self.UW.reshape(-1)
+        self._UWf = array("Q", bytes(8 * n_slots * self._n_words))
+        self.UW = np.frombuffer(self._UWf, dtype=np.uint64).reshape(
+            n_slots, self._n_words)
         # Preallocated discovery scratch (gather and compare buffers).
         self._gbuf = np.empty((n_slots, self._n_words), dtype=np.uint64)
         self._ebuf = np.empty((n_slots, self._n_words), dtype=bool)
@@ -264,10 +306,12 @@ class VectorSimulation:
             [{} for _ in range(mk)]
             if self._need_rcv and not self._use_rmat else [])
         #: All-time received ledger as a slot matrix (same whitewash
-        #: semantics as ``D`` below: column zeroed, row kept).
-        self.R = (np.zeros((mk, mk), dtype=np.int32)
+        #: semantics as ``D`` below: column zeroed, row kept);
+        #: array-backed like ``W`` for cheap per-send increments.
+        self._Rf = (array("i", bytes(4 * mk * mk))
+                    if self._use_rmat else None)
+        self.R = (np.frombuffer(self._Rf, dtype=np.int32).reshape(mk, mk)
                   if self._use_rmat else None)
-        self._Rf = self.R.reshape(-1) if self.R is not None else None
         self.upl_d: List[Dict[int, int]] = (
             [{} for _ in range(mk)] if self._is_rec else [])
         self.cred: List[Set[int]] = (
@@ -279,9 +323,10 @@ class VectorSimulation:
         #: ledger survives whitewashing while *others'* balances
         #: toward its old identity are orphaned — ``_reset_identity``
         #: zeroes the whitewashed column to reproduce that.
-        self.D = (np.zeros((mk, mk), dtype=np.int32)
+        self._Df = (array("i", bytes(4 * mk * mk))
+                    if self._need_dev else None)
+        self.D = (np.frombuffer(self._Df, dtype=np.int32).reshape(mk, mk)
                   if self._need_dev else None)
-        self._Df = self.D.reshape(-1) if self.D is not None else None
 
         # T-Chain pending obligations: piece -> (uploader_id,
         # designated_target, created_round), with numpy blacklist
@@ -289,8 +334,10 @@ class VectorSimulation:
         self.pend: List[Dict[int, Tuple[int, Optional[int], int]]] = (
             [{} for _ in range(n_slots)])
         self.poldest: List[int] = [_NO_PENDING] * n_slots
-        self.pcnt_np = np.zeros(n_slots, dtype=np.int32)
-        self.poldest_np = np.full(n_slots, _NO_PENDING, dtype=np.int64)
+        self._pcnt = array("i", bytes(4 * n_slots))
+        self.pcnt_np = np.frombuffer(self._pcnt, dtype=np.int32)
+        self._poldest_arr = array("q", [_NO_PENDING]) * n_slots
+        self.poldest_np = np.frombuffer(self._poldest_arr, dtype=np.int64)
         self._pend_nonempty = 0
 
         # Tit-for-tat receipt windows (bittorrent / propshare only).
@@ -348,7 +395,7 @@ class VectorSimulation:
         freerider_indices = set(
             role_rng.sample(range(config.n_users), config.n_freeriders))
 
-        kernel = KERNELS[algorithm]
+        kernel = kernels[algorithm]
         for index in range(config.n_users):
             s = n_seeders + index
             pid = self._allocate_id(s)
@@ -371,6 +418,14 @@ class VectorSimulation:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _select_kernels(self):
+        """(kernel table, seeder kernel, freerider kernel) for this
+        engine; the fast lineage overrides this with its batched
+        variants."""
+        from repro.algorithms.vector_kernels import (
+            KERNELS, run_freerider, run_spray)
+        return KERNELS, run_spray, run_freerider
+
     def _install_topology(self) -> None:
         topology = self.config.view_topology
         if topology == "random":
@@ -617,9 +672,9 @@ class VectorSimulation:
         self.held[s] |= bit
         self.cnt[s] += 1
         idx = s * self._n_words + (piece >> 6)
-        b = _U64_BITS[piece & 63]
-        self._Wf[idx] |= b
-        self._UWf[idx] |= b
+        pb = 1 << (piece & 63)
+        self._Wf[idx] |= pb
+        self._UWf[idx] |= pb
         self._avail_add(piece)
 
     def _mark_done(self, s: int) -> None:
@@ -663,6 +718,12 @@ class VectorSimulation:
         b = self.budgets[u]
         b._credits_num -= b._den
         b.total_consumed += 1
+        # Fault hook (runner._transfer_lost): the budget is spent but
+        # nothing is delivered, no ledgers move, no reputation earned.
+        if self._loss_on and self.faults.transfer_lost():
+            self.collector.record_lost_transfer()
+            self._lost.add((self.lineage[ts], piece))
+            return False
         self.up[u] += 1
         from_seeder = self.seeder[u]
         if not from_seeder:
@@ -700,10 +761,16 @@ class VectorSimulation:
         cnt = self.cnt[ts] + 1
         self.cnt[ts] = cnt
         idx = ts * self._n_words + (piece >> 6)
-        b = _U64_BITS[piece & 63]
-        self._Wf[idx] |= b
-        self._UWf[idx] |= b
+        pb = 1 << (piece & 63)
+        self._Wf[idx] |= pb
+        self._UWf[idx] |= pb
         self._avail_add(piece)
+        # _note_delivery: a landing send recovers a previous loss.
+        if self._lost:
+            key = (self.lineage[ts], piece)
+            if key in self._lost:
+                self._lost.discard(key)
+                self.collector.record_retried_transfer()
         # record_transfer, batched (flushed before every sample).
         self._c_tot += 1
         if not from_seeder:
@@ -750,41 +817,56 @@ class VectorSimulation:
         created = self.round_index
         pd[piece] = (uploader_id, designated, created)
         self.held[ts] |= 1 << piece
-        self._Wf[ts * self._n_words + (piece >> 6)] |= _U64_BITS[piece & 63]
-        self.pcnt_np[ts] += 1
+        self._Wf[ts * self._n_words + (piece >> 6)] |= 1 << (piece & 63)
+        self._pcnt[ts] += 1
         if created < self.poldest[ts]:
             self.poldest[ts] = created
-            self.poldest_np[ts] = created
+            self._poldest_arr[ts] = created
 
     def _pop_pending(self, s: int, piece: int) -> Tuple[int, Optional[int], int]:
         pd = self.pend[s]
         entry = pd.pop(piece)
         if not pd:
             self._pend_nonempty -= 1
-        self.pcnt_np[s] -= 1
+        self._pcnt[s] -= 1
         if entry[2] == self.poldest[s]:
             oldest = min((e[2] for e in pd.values()), default=_NO_PENDING)
             self.poldest[s] = oldest
-            self.poldest_np[s] = oldest
+            self._poldest_arr[s] = oldest
         return entry
 
     def _drop_pending(self, s: int, piece: int) -> None:
         self._pop_pending(s, piece)
         self.held[s] &= ~(1 << piece)
-        self._Wf[s * self._n_words + (piece >> 6)] &= ~_U64_BITS[piece & 63]
+        self._Wf[s * self._n_words + (piece >> 6)] &= ~(1 << (piece & 63))
 
     def _unlock(self, s: int, piece: int) -> None:
         """Key released: pending piece becomes usable (runner._unlock)."""
         self._pop_pending(s, piece)
         # The held bit (and its W mirror) stays set; only usable gains.
         self.usable[s] |= 1 << piece
-        self._UWf[s * self._n_words + (piece >> 6)] |= _U64_BITS[piece & 63]
+        self._UWf[s * self._n_words + (piece >> 6)] |= 1 << (piece & 63)
         self.cnt[s] += 1
         self._avail_add(piece)
         self.down[s] += 1
         if self.free[s]:
             self._c_fr += 1  # record_unlock, batched
         self._piece_gained(s)
+
+    def _tchain_draw(self, m: int) -> int:
+        """One index draw on the tchain stream (fast lineage overrides)."""
+        return _randbelow(self._tchain_grb, m)
+
+    def _shuffled_candidates(self, candidates: List[int]) -> Iterable[int]:
+        """``candidates`` in uniform-random order.
+
+        The parity engine must shuffle eagerly (the object strategy
+        draws the full shuffle whether or not the loop consumes it);
+        the fast lineage overrides this with a lazy partial
+        Fisher-Yates that only draws indices actually consumed.
+        """
+        _shuffle(candidates, self._tchain_grb)
+        return candidates
 
     def _choose_designated(self, u: int, target_id: int,
                            piece: int) -> Optional[int]:
@@ -800,30 +882,41 @@ class VectorSimulation:
             m = options.size
             if m == 0:
                 return None
-            return int(options[_randbelow(self._tchain_grb, m)])
+            return int(options[self._tchain_draw(m)])
         held = self.held
         options_l = [p for p, t in zip(vids, vslots)
                      if not (held[t] >> piece) & 1 and p != target_id]
         m = len(options_l)
         if m == 0:
             return None
-        return options_l[_randbelow(self._tchain_grb, m)]
+        return options_l[self._tchain_draw(m)]
 
     def _deliver_encrypted(self, u: int, ts: int, piece: int,
-                           from_seeder: bool) -> None:
+                           from_seeder: bool) -> bool:
         """Shared body of runner._tchain_deliver / _forward_encrypted.
 
         Every caller gates on ``can_send()`` first, so the budget
-        consume is inlined unchecked like ``_plain_send``'s.
+        consume is inlined unchecked like ``_plain_send``'s. Returns
+        False when fault injection drops the send (budget spent, no
+        obligation created) — exactly the object engine's contract.
         """
         b = self.budgets[u]
         b._credits_num -= b._den
         b.total_consumed += 1
+        if self._loss_on and self.faults.transfer_lost():
+            self.collector.record_lost_transfer()
+            self._lost.add((self.lineage[ts], piece))
+            return False
         uid = self.ids[u]
         self.up[u] += 1
         if not from_seeder:
             self.rep[uid] += 1.0
         self.raw[ts] += 1
+        if self._lost:
+            key = (self.lineage[ts], piece)
+            if key in self._lost:
+                self._lost.discard(key)
+                self.collector.record_retried_transfer()
         designated: Optional[int] = None
         if not (self.usable[ts] & ~self.held[u]):
             # The sender needs nothing the target has: designate a
@@ -846,6 +939,7 @@ class VectorSimulation:
             if self.boot[ts] is None:
                 self.boot[ts] = self.now
                 self.nboot += 1
+        return True
 
     def tchain_seed(self, u: int, target_id: int) -> bool:
         budget = self.budgets[u]
@@ -861,8 +955,8 @@ class VectorSimulation:
         piece = self._choose_piece(self.usable[u] & ~self.held[ts])
         if piece is None:
             return False
-        self._deliver_encrypted(u, ts, piece, from_seeder=self.seeder[u])
-        return True
+        return self._deliver_encrypted(u, ts, piece,
+                                       from_seeder=self.seeder[u])
 
     def tchain_elig(self, u: int) -> List[int]:
         """Seeding-phase candidates: needy, non-blacklisted view members.
@@ -924,7 +1018,7 @@ class VectorSimulation:
             m = options.size
             if m == 0:
                 return None
-            return int(options[_randbelow(self._tchain_grb, m)])
+            return int(options[self._tchain_draw(m)])
         held = self.held
         pend = self.pend
         maxp = self._max_pending
@@ -937,7 +1031,7 @@ class VectorSimulation:
         m = len(options_l)
         if m == 0:
             return None
-        return options_l[_randbelow(self._tchain_grb, m)]
+        return options_l[self._tchain_draw(m)]
 
     def tchain_fulfill(self, u: int, piece: int) -> bool:
         """Reciprocate for one pending piece (runner.tchain_fulfill)."""
@@ -963,21 +1057,23 @@ class VectorSimulation:
             if not budget.can_send():
                 return False
 
-        # (2) Forward the received piece (indirect reciprocity).
+        # (2) Forward the received piece (indirect reciprocity). A lost
+        # forward spends the budget but leaves the key locked, and —
+        # like runner.tchain_fulfill — does *not* fall through to (3).
         forward_id = self._forward_target(u, uploader_id, designated, piece)
         if forward_id is not None:
-            self._deliver_encrypted(u, self.members[forward_id], piece,
-                                    from_seeder=False)
-            self._unlock(u, piece)
-            return True
+            if self._deliver_encrypted(u, self.members[forward_id], piece,
+                                       from_seeder=False):
+                self._unlock(u, piece)
+                return True
+            return False
 
         # (3) Generalised indirect reciprocity: any other piece,
         # still encrypted, to any needy non-uploader neighbor.
         if self.cnt[u] > 0:
             candidates = [pid for pid in self._needy_list(u)
                           if pid != uploader_id]
-            _shuffle(candidates, self._tchain_grb)
-            for pid in candidates:
+            for pid in self._shuffled_candidates(candidates):
                 if self.tchain_seed(u, pid):
                     self._unlock(u, piece)
                     return True
@@ -990,18 +1086,29 @@ class VectorSimulation:
         self._add_member(self._n_seeders + index)
         self._arrived += 1
 
+    def _shuffle_active(self, active: List[int]) -> List[int]:
+        """Per-round turn order (draw-identical to the object engine);
+        the fast lineage overrides this with a batched permutation."""
+        _shuffle(active, self._order_rng.getrandbits)
+        return active
+
     def _on_round(self) -> None:
         self.round_index += 1
-        active = list(self.active)
-        _shuffle(active, self._order_rng.getrandbits)
+        self._process_seeder_outages()
+        active = self._shuffle_active(list(self.active))
         members = self.members
         budgets = self.budgets
         kern = self.kern
         srng = self.srng
+        check_off = self._outage_on
+        offline_until = self.offline_until
+        r = self.round_index
         for pid in active:
             s = members.get(pid)
             if s is None:
                 continue  # departed earlier this round (unreachable here)
+            if check_off and offline_until[s] > r:
+                continue  # transient outage: no credit, no sends
             budgets[s].new_round()
             kern[s](self, s, srng[s])
             self._turn = None
@@ -1014,6 +1121,24 @@ class VectorSimulation:
             self._sample()
         if self._all_done() or self.round_index >= self.max_rounds:
             self._finished = True
+
+    def _process_seeder_outages(self) -> None:
+        """Transient seeder failures (runner._process_seeder_outages):
+        offline seeders keep pieces and views but earn no budget."""
+        if not self._outage_on:
+            return
+        duration = self.config.faults.seeder_outage_duration
+        r = self.round_index
+        offline_until = self.offline_until
+        collector = self.collector
+        for s in range(self._n_seeders):
+            if offline_until[s] > r:
+                collector.record_seeder_downtime()
+                continue
+            if self.faults.seeder_fails():
+                offline_until[s] = r + duration
+                collector.record_seeder_outage()
+                collector.record_seeder_downtime()
 
     def _roll_receipts(self) -> None:
         """Mirror of ``peer.end_round()`` over every active peer."""
@@ -1146,20 +1271,768 @@ class VectorSimulation:
 
     def run(self):
         """Execute the run to completion; returns a SimulationResult."""
+        import gc
+
         from repro.sim.runner import SimulationResult
 
         arrivals = self._arrivals
         n_arrivals = len(arrivals)
         i = 0
-        while not self._finished:
-            t = float(self.round_index + 1)
-            while i < n_arrivals and arrivals[i] <= t:
-                self._on_arrival(i)
-                i += 1
-            self.now = t
-            self._on_round()
+        # The round loop allocates heavily (pools, tie lists, pending
+        # tuples) but keeps almost nothing cyclic; generational GC
+        # passes are pure overhead here, so pause collection for the
+        # loop when it was on.
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            while not self._finished:
+                t = float(self.round_index + 1)
+                while i < n_arrivals and arrivals[i] <= t:
+                    self._on_arrival(i)
+                    i += 1
+                self.now = t
+                self._on_round()
+        finally:
+            if resume_gc:
+                gc.enable()
         self._flush_counters()
         raw = sum(self.raw[s] for s in range(self._n_seeders, self.n_slots))
         metrics = self.collector.finalize(self._summaries(),
                                           self.round_index, raw)
+        metrics.digest_lineage = self.digest_lineage
         return SimulationResult(config=self.config, metrics=metrics)
+
+
+#: Draws refilled per batch by :class:`_FastSampler`. Big enough to
+#: amortize the Generator call, small enough that an average run still
+#: consumes most of its final buffer.
+_FS_BUF = 4096
+
+
+class _FastSampler:
+    """Buffered uniform draws from a PCG64 ``numpy.random.Generator``.
+
+    The fast lineage's replacement for per-draw Mersenne calls: 64-bit
+    integers and unit doubles are generated ``_FS_BUF`` at a time and
+    handed out from plain Python lists, so the per-draw cost is a list
+    index instead of a ``random.Random`` method call. ``randbelow``
+    maps a 64-bit word onto ``[0, n)`` by modulo; the bias is
+    ``n / 2**64`` — under 1e-13 for any reachable pool size, far below
+    what any distributional test can resolve (and explicitly outside
+    the parity-v1 contract: this sampler only ever runs under the
+    ``fast-v1`` digest lineage).
+
+    The stream is seeded from ``sha256(f"{seed}:fast-v1")`` so it is
+    decoupled from every named Mersenne stream — population setup
+    (arrivals, capacities, roles, views, topology) stays on the
+    Mersenne streams and therefore identical per seed across all three
+    backends; only in-round decision draws come from here.
+    """
+
+    __slots__ = ("_gen", "_ints", "_ipos", "_flts", "_fpos")
+
+    def __init__(self, seed: int) -> None:
+        derived = int.from_bytes(
+            hashlib.sha256(f"{seed}:fast-v1".encode()).digest()[:8], "big")
+        self._gen = np.random.Generator(np.random.PCG64(derived))
+        self._ints: List[int] = []
+        self._ipos = 0
+        self._flts: List[float] = []
+        self._fpos = 0
+
+    def randbelow(self, n: int) -> int:
+        """Uniform index in ``[0, n)`` (modulo map, see class doc)."""
+        pos = self._ipos
+        ints = self._ints
+        if pos == len(ints):
+            ints = self._ints = self._gen.integers(
+                0, 1 << 64, size=_FS_BUF, dtype=np.uint64).tolist()
+            pos = 0
+        self._ipos = pos + 1
+        return ints[pos] % n
+
+    def random(self) -> float:
+        """Uniform double in ``[0, 1)``."""
+        pos = self._fpos
+        flts = self._flts
+        if pos == len(flts):
+            flts = self._flts = self._gen.random(_FS_BUF).tolist()
+            pos = 0
+        self._fpos = pos + 1
+        return flts[pos]
+
+    def shuffle(self, x: list) -> None:
+        """Permute ``x`` in place via one batched ``permutation`` call."""
+        if len(x) > 1:
+            x[:] = [x[i] for i in self._gen.permutation(len(x)).tolist()]
+
+
+class VectorFastSimulation(VectorSimulation):
+    """The ``vector-fast`` backend: batched sampling, fast-v1 lineage.
+
+    Same struct-of-arrays state, round phases, transfer primitives and
+    fault injection as :class:`VectorSimulation` — the overrides below
+    swap only *where randomness comes from* and *how much of it is
+    drawn*:
+
+    * in-round decision draws (piece picks, candidate choices,
+      optimism coins, turn-order shuffles) come from one buffered
+      PCG64 stream (:class:`_FastSampler`) instead of replaying the
+      object engine's Mersenne streams draw-for-draw;
+    * kernels use the batched variants in
+      :mod:`repro.algorithms.vector_kernels` (``FAST_KERNELS``), which
+      drop draw-parity bookkeeping: T-Chain seeds via a lazy partial
+      Fisher-Yates instead of a full shuffle per send, FairTorrent
+      buckets its deficit levels once per turn, Reputation caches its
+      weight vector across sends.
+
+    Results are *distributionally* equivalent to the object engine
+    (enforced by ``tests/integration/test_distributional_parity.py``)
+    but not digest-identical; metrics are stamped
+    ``digest_lineage="fast-v1"`` so they can never be mistaken for
+    parity results. Population setup still runs on the named Mersenne
+    streams, so a given seed produces the same peers, capacities,
+    roles, arrival times and topology on every backend. Low-frequency
+    draws (churn, lingering, whitewash views, fault coins) also stay
+    on their Mersenne streams — they are off the hot path and keeping
+    them shared narrows the behavioural diff to the decision kernels.
+    """
+
+    digest_lineage = "fast-v1"
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._fs = _FastSampler(config.seed)
+        super().__init__(config)
+        n_slots = self.n_slots
+        # Persistent needy pools (see _pool_for): per-uploader lists of
+        # maybe-stale needy member ids, the ids last observed satisfied,
+        # the usable mask the split was computed under, and the view
+        # tuple it was built from (identity doubles as a view version:
+        # every connect/disconnect pops ``varr``, so a changed view is
+        # a changed tuple).
+        self._pl: List[Optional[List[int]]] = [None] * n_slots
+        self._pout: List[Optional[List[int]]] = [None] * n_slots
+        self._puw: List[int] = [0] * n_slots
+        self._pview: List[Optional[tuple]] = [None] * n_slots
+        # Rescan short-circuit state: the evicted-list length at the
+        # last rescan and the AND of the evictees' held masks as of
+        # then. held only grows, so if that (stale-low) AND still
+        # covers the current usable set, no evictee can have become
+        # interesting — the rescan is skipped. Any eviction since
+        # (detected by the length) invalidates the pair.
+        self._plen: List[int] = [0] * n_slots
+        self._pand: List[int] = [-1] * n_slots
+        # Reverse pending index for _drop_orphaned: uploader id -> the
+        # slots it has ever delivered an encrypted piece to. A superset
+        # (never decremented — resolved entries just go stale), popped
+        # wholesale when the uploader departs.
+        self._pend_by_up: Dict[int, set] = {}
+        self._install_fast_paths()
+
+    def _select_kernels(self):
+        from repro.algorithms.vector_kernels import (
+            FAST_KERNELS, run_freerider, run_spray_fast)
+        return FAST_KERNELS, run_spray_fast, run_freerider
+
+    def _shuffle_active(self, active: List[int]) -> List[int]:
+        self._fs.shuffle(active)
+        return active
+
+    def _tchain_draw(self, m: int) -> int:
+        return self._fs.randbelow(m)
+
+    def _choose_designated(self, u: int, target_id: int,
+                           piece: int) -> Optional[int]:
+        # Rejection sampling: drawing uniformly from the whole view
+        # and retrying on invalid candidates is exactly uniform over
+        # the valid subset, without materialising it. A bounded probe
+        # budget guards the low-acceptance tail (late game, when most
+        # of the view already holds the piece); the fallback scan is
+        # the parity engine's exact enumeration.
+        _, _, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return None
+        rb = self._fs.randbelow
+        held = self.held
+        for _ in range(8):
+            j = rb(n) if n > 1 else 0
+            p = vids[j]
+            if not (held[vslots[j]] >> piece) & 1 and p != target_id:
+                return p
+        options = [p for p, t in zip(vids, vslots)
+                   if not (held[t] >> piece) & 1 and p != target_id]
+        m = len(options)
+        if m == 0:
+            return None
+        return options[rb(m) if m > 1 else 0]
+
+    def _forward_target(self, u: int, uploader_id: int,
+                        designated: Optional[int],
+                        piece: int) -> Optional[int]:
+        if designated is not None:
+            ds = self.members.get(designated)
+            if (ds is not None and not (self.held[ds] >> piece) & 1
+                    and not self._blacklisted(ds)):
+                return designated
+        _, _, vids, vslots = self._view(self.ids[u])
+        n = len(vids)
+        if n == 0:
+            return None
+        rb = self._fs.randbelow
+        held = self.held
+        pend = self.pend
+        maxp = self._max_pending
+        horizon = self.round_index - self._patience
+        poldest = self.poldest
+        for _ in range(8):
+            j = rb(n) if n > 1 else 0
+            p = vids[j]
+            t = vslots[j]
+            if (not (held[t] >> piece) & 1 and len(pend[t]) < maxp
+                    and poldest[t] > horizon and p != uploader_id):
+                return p
+        options = [p for p, t in zip(vids, vslots)
+                   if not (held[t] >> piece) & 1
+                   and len(pend[t]) < maxp and poldest[t] > horizon
+                   and p != uploader_id]
+        m = len(options)
+        if m == 0:
+            return None
+        return options[rb(m) if m > 1 else 0]
+
+    def _shuffled_candidates(self, candidates: List[int]) -> Iterable[int]:
+        # Lazy partial Fisher-Yates: each consumed element costs one
+        # buffered draw; abandoning the iteration early (the common
+        # case — the first willing candidate accepts) draws nothing
+        # for the rest of the pool.
+        rb = self._fs.randbelow
+        n = len(candidates)
+        while n:
+            j = rb(n) if n > 1 else 0
+            n -= 1
+            candidates[j], candidates[n] = candidates[n], candidates[j]
+            yield candidates[n]
+
+    # ------------------------------------------------------------------
+    # Cached needy pools
+    # ------------------------------------------------------------------
+    # The parity engine rebuilds the needy pool from the view on every
+    # turn (the object strategies do the same scan). Here each
+    # uploader keeps its pool across turns as a *superset* of the true
+    # needy set: members can only leave it by becoming satisfied, and
+    # kernels validate each drawn candidate with one bigint test,
+    # evicting stale entries into ``_pout``. Rejection sampling from a
+    # superset with per-draw validation is exactly uniform over the
+    # true pool, so the policy distribution is unchanged. Re-entry
+    # happens only when the uploader's usable set grows (interest is
+    # monotone in it): ``_pool_for`` rescans the evicted list whenever
+    # the usable snapshot moved. View changes (arrival, churn,
+    # whitewash, departure) invalidate the whole split via the view
+    # tuple identity. Pools are swap-pop mutated and therefore
+    # unordered — every fast kernel draws by index or by weight, never
+    # by position, so order does not matter.
+    def _pool_for(self, u: int) -> List[int]:
+        """The uploader's pool, stored as *slots* (no id indirection:
+        a slot outlives the ids that pass through it, and a slot
+        reassignment always changes the view and rebuilds the pool)."""
+        hit = self._view(self.ids[u])
+        uw = self.usable[u]
+        if self._pview[u] is not hit:
+            held = self.held
+            cnt = self.cnt
+            npieces = self.n_pieces
+            pool: List[int] = []
+            out: List[int] = []
+            pand = -1
+            for t in hit[3]:
+                h = held[t]
+                if h & uw != uw:
+                    pool.append(t)
+                elif cnt[t] != npieces:
+                    # Completed members are dropped outright: cnt is
+                    # monotone per slot, so they can never rejoin.
+                    out.append(t)
+                    pand &= h
+            self._pl[u] = pool
+            self._pout[u] = out
+            self._plen[u] = len(out)
+            self._pand[u] = pand
+            self._puw[u] = uw
+            self._pview[u] = hit
+            return pool
+        if self._puw[u] != uw:
+            pool = self._pl[u]
+            out = self._pout[u]
+            if out and not (len(out) == self._plen[u]
+                            and self._pand[u] & uw == uw):
+                held = self.held
+                keep: List[int] = []
+                pand = -1
+                for t in out:
+                    h = held[t]
+                    if h & uw != uw:
+                        pool.append(t)
+                    else:
+                        keep.append(t)
+                        pand &= h
+                out[:] = keep
+                self._plen[u] = len(keep)
+                self._pand[u] = pand
+            self._puw[u] = uw
+        return self._pl[u]
+
+    def _needy_list(self, u: int) -> List[int]:
+        # Always the bigint listcomp, never ``_feas_sel``: the fast
+        # engine does not maintain the W/UW numpy mirrors (see
+        # _install_fast_paths), so the numpy dispatch would read
+        # stale rows.
+        _, _, vids, vslots = self._view(self.ids[u])
+        uw = self.usable[u]
+        held = self.held
+        return [p for p, t in zip(vids, vslots) if held[t] & uw != uw]
+
+    def begin_turn(self, u: int) -> _Turn:
+        turn = _Turn(u, self._pool_for(u))
+        self._turn = turn
+        return turn
+
+    def ensure_needy(self, turn: _Turn) -> List[int]:
+        needy = self._pool_for(turn.uslot)
+        turn.needy = needy
+        return needy
+
+    def _avail_shift_mask(self, mask: int, delta: int) -> None:
+        """Move every piece in ``mask`` up or down one availability
+        level — per-*level* bigint transfers instead of the base
+        engine's per-piece ``add_piece``/``remove_piece`` calls. The
+        ``moved`` accumulator keeps a piece from being shifted twice
+        when its destination level comes up later in the scan."""
+        am = self.availability
+        counts = am._counts
+        buckets = am._buckets
+        levels = am._levels
+        moved = 0
+        for level in levels[:]:
+            hit = buckets[level] & mask & ~moved
+            if not hit:
+                continue
+            moved |= hit
+            remaining = buckets[level] & ~hit
+            if remaining:
+                buckets[level] = remaining
+            else:
+                del buckets[level]
+                levels.pop(bisect_left(levels, level))
+            new = level + delta
+            if new in buckets:
+                buckets[new] |= hit
+            else:
+                buckets[new] = hit
+                insort(levels, new)
+            for p in bits_to_list(hit):
+                counts[p] = new
+
+    def _add_member(self, s: int) -> None:
+        pid = self.ids[s]
+        self.members[pid] = s
+        insort(self.active, pid)
+        if self.usable[s]:
+            self._avail_shift_mask(self.usable[s], 1)
+        self._build_view(s)
+
+    def _remove_member(self, pid: int) -> None:
+        s = self.members.pop(pid)
+        self.active.pop(bisect_left(self.active, pid))
+        if self.usable[s]:
+            self._avail_shift_mask(self.usable[s], -1)
+        self._disconnect_all(pid)
+
+    def _drop_orphaned(self, departed_id: int) -> None:
+        # The base engine scans every member's pending dict; here the
+        # reverse index narrows the scan to the slots the departed
+        # uploader ever delivered to. Stale index entries (resolved or
+        # departed targets) fall out via the membership and pending
+        # checks — the result set is identical to the full scan's.
+        slots = self._pend_by_up.pop(departed_id, None)
+        if slots is None or self._pend_nonempty == 0:
+            return
+        members = self.members
+        ids = self.ids
+        pend = self.pend
+        for s in slots:
+            if members.get(ids[s]) != s:
+                continue
+            pd = pend[s]
+            if not pd:
+                continue
+            orphaned = [piece for piece, e in pd.items()
+                        if e[0] == departed_id]
+            for piece in orphaned:
+                self._drop_pending(s, piece)
+            if orphaned:
+                self.collector.record_orphaned_obligations(len(orphaned))
+
+    # ------------------------------------------------------------------
+    # Specialised hot paths
+    # ------------------------------------------------------------------
+    def _install_fast_paths(self) -> None:
+        """Shadow the shared transfer primitives with closures.
+
+        The fast lineage has no draw-parity contract to honour, so its
+        send/unlock/deliver paths can bind every piece of hot engine
+        state into closure cells (one ``LOAD_DEREF`` instead of two
+        dict lookups per access) and inline the availability-map and
+        piece-choice bodies. Only state the engine *rebinds* during a
+        run (``_turn``, ``now``, the batched metric counters, the
+        receipt dirty-set) is read through ``sim`` — everything
+        captured below is mutated in place, never replaced.
+
+        These paths also skip the W/UW/pcnt/poldest numpy mirrors
+        entirely: their only readers are the ``_feas_sel`` /
+        ``pcnt_np`` / ``poldest_np`` large-view branches, which this
+        class never reaches (``_needy_list``, ``_choose_designated``
+        and ``_forward_target`` are overridden with bigint paths, and
+        the fast kernels never call ``tchain_elig``). The bigint
+        columns and the ``pend`` / ``poldest`` structures stay exact.
+        """
+        sim = self
+        members = self.members
+        ids = self.ids
+        seeder = self.seeder
+        free = self.free
+        usable = self.usable
+        held = self.held
+        cnt = self.cnt
+        budgets = self.budgets
+        rep = self.rep
+        up = self.up
+        raw = self.raw
+        down = self.down
+        boot = self.boot
+        comp = self.comp
+        done = self.done
+        Rf = self._Rf
+        Df = self._Df
+        npieces = self.n_pieces
+        ns = self.n_slots
+        use_rmat = self._use_rmat
+        need_rcv = self._need_rcv
+        is_rec = self._is_rec
+        need_dev = self._need_dev
+        track = self._track_rcv
+        this_rcv = self.this_rcv
+        rcv_d = self.rcv_d
+        upl_d = self.upl_d
+        cred = self.cred
+        lineage = self.lineage
+        lost = self._lost
+        loss_on = self._loss_on
+        faults = self.faults
+        collector = self.collector
+        counts = self.availability._counts
+        buckets = self.availability._buckets
+        levels = self.availability._levels
+        piece_random = self._piece_random
+        rb = self._fs.randbelow
+        pout = self._pout
+        pbu = self._pend_by_up
+        pend = self.pend
+        poldest = self.poldest
+
+        def choose(cand: int) -> Optional[int]:
+            if not cand:
+                return None
+            if piece_random:
+                lst = bits_to_list(cand)
+                return lst[rb(len(lst))]
+            # Hybrid rarest-first: the level scan costs one bigint AND
+            # per availability level probed, and probes grow as the
+            # candidate set shrinks (the rare pieces are the ones the
+            # target already has). Sparse sets go the other way round
+            # — enumerate the candidates and min-scan their counts.
+            if cand.bit_count() <= 32:
+                bc = 1 << 30
+                ties: List[int] = []
+                for p in bits_to_list(cand):
+                    c = counts[p]
+                    if c < bc:
+                        bc = c
+                        ties = [p]
+                    elif c == bc:
+                        ties.append(p)
+                return ties[rb(len(ties))] if len(ties) > 1 else ties[0]
+            tie = 0
+            for level in levels:
+                tie = buckets[level] & cand
+                if tie:
+                    break
+            if not tie:
+                return None
+            if tie & (tie - 1):
+                lst = bits_to_list(tie)
+                return lst[rb(len(lst))]
+            return tie.bit_length() - 1
+
+        def avail_add(piece: int, bit: int) -> None:
+            old = counts[piece]
+            new = old + 1
+            counts[piece] = new
+            remaining = buckets[old] & ~bit
+            if remaining:
+                buckets[old] = remaining
+            else:
+                del buckets[old]
+                levels.pop(bisect_left(levels, old))
+            if new in buckets:
+                buckets[new] |= bit
+            else:
+                buckets[new] = bit
+                insort(levels, new)
+
+        def piece_gained(ts: int, c: int) -> None:
+            if boot[ts] is None:
+                boot[ts] = sim.now
+                sim.nboot += 1
+            if c == npieces and comp[ts] is None:
+                comp[ts] = sim.now
+                sim.ncomp += 1
+                if not done[ts]:
+                    done[ts] = True
+                    if not free[ts] and not seeder[ts]:
+                        sim.unfinished -= 1
+
+        def fast_send(u: int, target_id: int,
+                      j: Optional[int] = None) -> bool:
+            ts = members.get(target_id)
+            if ts is None or seeder[ts]:
+                return False
+            c = cnt[ts]
+            if c == npieces:
+                return False
+            uid = ids[u]
+            if target_id == uid:
+                return False
+            cand = usable[u] & ~held[ts]
+            if not cand:
+                return False
+            # Piece choice, inlined (same body as ``choose``).
+            if piece_random:
+                lst = bits_to_list(cand)
+                piece = lst[rb(len(lst))] if len(lst) > 1 else lst[0]
+            elif cand.bit_count() <= 32:
+                bc = 1 << 30
+                ties = []
+                for p in bits_to_list(cand):
+                    ac = counts[p]
+                    if ac < bc:
+                        bc = ac
+                        ties = [p]
+                    elif ac == bc:
+                        ties.append(p)
+                piece = ties[rb(len(ties))] if len(ties) > 1 else ties[0]
+            else:
+                tie = 0
+                for level in levels:
+                    tie = buckets[level] & cand
+                    if tie:
+                        break
+                if tie & (tie - 1):
+                    lst = bits_to_list(tie)
+                    piece = lst[rb(len(lst))]
+                elif tie:
+                    piece = tie.bit_length() - 1
+                else:
+                    return False
+            b = budgets[u]
+            b._credits_num -= b._den
+            b.total_consumed += 1
+            if loss_on and faults.transfer_lost():
+                collector.record_lost_transfer()
+                lost.add((lineage[ts], piece))
+                return False
+            up[u] += 1
+            from_seeder = seeder[u]
+            if not from_seeder:
+                rep[uid] += 1.0
+            if use_rmat:
+                Rf[ts * ns + u] += 1
+            elif need_rcv:
+                d = rcv_d[ts]
+                nv = d.get(uid, 0) + 1
+                d[uid] = nv
+                if is_rec:
+                    if nv > upl_d[ts].get(uid, 0):
+                        cred[ts].add(uid)
+                    du = upl_d[u]
+                    nu = du.get(target_id, 0) + 1
+                    du[target_id] = nu
+                    if nu >= rcv_d[u].get(target_id, 0):
+                        cred[u].discard(target_id)
+            if need_dev:
+                Df[u * ns + ts] += 1
+                Df[ts * ns + u] -= 1
+            if track:
+                d = this_rcv[ts]
+                d[uid] = d.get(uid, 0) + 1
+                sim._rcv_dirty.add(ts)
+            raw[ts] += 1
+            down[ts] += 1
+            bit = 1 << piece
+            usable[ts] |= bit
+            held[ts] |= bit
+            c += 1
+            cnt[ts] = c
+            # Availability map, inlined (same body as ``avail_add``).
+            old = counts[piece]
+            new = old + 1
+            counts[piece] = new
+            remaining = buckets[old] & ~bit
+            if remaining:
+                buckets[old] = remaining
+            else:
+                del buckets[old]
+                levels.pop(bisect_left(levels, old))
+            if new in buckets:
+                buckets[new] |= bit
+            else:
+                buckets[new] = bit
+                insort(levels, new)
+            if lost:
+                key = (lineage[ts], piece)
+                if key in lost:
+                    lost.discard(key)
+                    collector.record_retried_transfer()
+            sim._c_tot += 1
+            if not from_seeder:
+                sim._c_peer += 1
+                if free[ts]:
+                    sim._c_fr += 1
+            # piece_gained, inlined.
+            if boot[ts] is None:
+                boot[ts] = sim.now
+                sim.nboot += 1
+            if c == npieces and comp[ts] is None:
+                comp[ts] = sim.now
+                sim.ncomp += 1
+                if not done[ts]:
+                    done[ts] = True
+                    if not free[ts] and not seeder[ts]:
+                        sim.unfinished -= 1
+            # Pool repair: the target leaves the pool iff the piece
+            # just sent was its last interesting one; it goes to the
+            # evicted list so a usable-set change can re-admit it —
+            # unless it just completed, in which case it never can.
+            turn = sim._turn
+            if turn is not None and turn.uslot == u:
+                needy = turn.needy
+                if needy is not None and cand == bit:
+                    if j is None:
+                        try:
+                            j = needy.index(ts)
+                        except ValueError:
+                            j = None
+                    if j is not None:
+                        needy[j] = needy[-1]
+                        needy.pop()
+                        if c != npieces:
+                            pout[u].append(ts)
+            return True
+
+        def fast_unlock(s: int, piece: int) -> None:
+            pd = pend[s]
+            entry = pd.pop(piece)
+            if not pd:
+                sim._pend_nonempty -= 1
+            if entry[2] == poldest[s]:
+                poldest[s] = min((e[2] for e in pd.values()),
+                                 default=_NO_PENDING)
+            bit = 1 << piece
+            usable[s] |= bit
+            c = cnt[s] + 1
+            cnt[s] = c
+            avail_add(piece, bit)
+            down[s] += 1
+            if free[s]:
+                sim._c_fr += 1  # record_unlock, batched
+            piece_gained(s, c)
+
+        def fast_deliver(u: int, ts: int, piece: int,
+                         from_seeder: bool) -> bool:
+            b = budgets[u]
+            b._credits_num -= b._den
+            b.total_consumed += 1
+            if loss_on and faults.transfer_lost():
+                collector.record_lost_transfer()
+                lost.add((lineage[ts], piece))
+                return False
+            uid = ids[u]
+            up[u] += 1
+            if not from_seeder:
+                rep[uid] += 1.0
+            raw[ts] += 1
+            if lost:
+                key = (lineage[ts], piece)
+                if key in lost:
+                    lost.discard(key)
+                    collector.record_retried_transfer()
+            designated: Optional[int] = None
+            if not (usable[ts] & ~held[u]):
+                designated = sim._choose_designated(u, ids[ts], piece)
+            sim._c_tot += 1
+            if not from_seeder:
+                sim._c_peer += 1
+            if (sim._collusion and free[ts] and designated is not None
+                    and designated in sim.colluders[ts]):
+                sim._add_usable(ts, piece)
+                down[ts] += 1
+                sim._c_fr += 1
+                sim._piece_gained(ts)
+            else:
+                # _add_pending, inlined.
+                pd = pend[ts]
+                if not pd:
+                    sim._pend_nonempty += 1
+                created = sim.round_index
+                pd[piece] = (uid, designated, created)
+                held[ts] |= 1 << piece
+                ups = pbu.get(uid)
+                if ups is None:
+                    pbu[uid] = {ts}
+                else:
+                    ups.add(ts)
+                if created < poldest[ts]:
+                    poldest[ts] = created
+                if boot[ts] is None:
+                    boot[ts] = sim.now
+                    sim.nboot += 1
+            return True
+
+        maxp = self._max_pending
+        patience = self._patience
+
+        def fast_tchain_seed(u: int, target_id: int) -> bool:
+            # Base tchain_seed with the budget probe, blacklist test
+            # and delivery call flattened into one frame.
+            b = budgets[u]
+            if b._credits_num < b._den:
+                return False
+            ts = members.get(target_id)
+            if ts is None or seeder[ts] or cnt[ts] == npieces:
+                return False
+            if target_id == ids[u]:
+                return False
+            if (len(pend[ts]) >= maxp
+                    or poldest[ts] <= sim.round_index - patience):
+                return False
+            piece = choose(usable[u] & ~held[ts])
+            if piece is None:
+                return False
+            return fast_deliver(u, ts, piece, seeder[u])
+
+        self._choose_piece = choose
+        self._plain_send = fast_send
+        self._unlock = fast_unlock
+        self._deliver_encrypted = fast_deliver
+        self.tchain_seed = fast_tchain_seed

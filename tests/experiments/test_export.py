@@ -40,6 +40,7 @@ class TestSummary:
         assert summary["n_users"] == result.config.n_users
         assert summary["completion_fraction"] == pytest.approx(1.0)
         assert summary["rounds_run"] > 0
+        assert summary["digest_lineage"] == "parity-v1"
 
     def test_infinities_become_none(self, stalled):
         summary = summary_dict(stalled)

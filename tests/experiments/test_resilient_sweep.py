@@ -393,6 +393,42 @@ class TestOutcome:
         assert rows[0]["n_missing"] == 2
         assert rows[0]["n"] == 2
 
+    def test_lineage_defaults_to_parity_and_round_trips(self, tmp_path):
+        outcome = ReplicateOutcome(1, 1, 1, "ok", None, {"v": 1.0})
+        assert outcome.digest_lineage == "parity-v1"
+        assert outcome.canonical_dict()["digest_lineage"] == "parity-v1"
+        # Old journals predate the field: loading them must default to
+        # the parity lineage, not crash or mislabel.
+        path = str(tmp_path / "sweep.jsonl")
+        sweep = run_resilient_sweep(_config(), (1,), VALUE,
+                                    task=task_identity, journal_path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        stripped = []
+        for record in records:
+            record.pop("digest_lineage", None)
+            stripped.append(json.dumps(record))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(stripped) + "\n")
+        resumed = run_resilient_sweep(_config(), (1,), VALUE,
+                                      task=task_identity,
+                                      journal_path=path)
+        assert resumed.resumed == 1
+        assert resumed.outcomes[0].digest_lineage == "parity-v1"
+        assert sweep.outcomes[0].digest_lineage == "parity-v1"
+
+    def test_n_backend_downgraded_counts_telemetry_flags(self):
+        plain = ReplicateOutcome(1, 1, 1, "ok", None, {"v": 1.0})
+        flagged = ReplicateOutcome(2, 2, 1, "ok", None, {"v": 1.0},
+                                   telemetry={"backend_downgraded": True})
+        sweep = run_resilient_sweep(_config(), (1, 2), VALUE,
+                                    task=task_identity)
+        assert sweep.n_backend_downgraded == 0
+        forged = type(sweep)(config=sweep.config, seeds=sweep.seeds,
+                             outcomes=(plain, flagged),
+                             metrics=sweep.metrics, resumed=0)
+        assert forged.n_backend_downgraded == 1
+
 
 class TestDegradedRuns:
     """Watchdog-degraded replicates flow through the sweep machinery."""

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import math
+import random
+
 import pytest
 
 from repro.experiments import validation
@@ -72,6 +75,99 @@ class TestRankingAgreement:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             validation.ranking_agreement([1], [1, 2])
+
+
+class TestKolmogorovSmirnov:
+    def test_identical_samples_zero_distance(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert validation.ks_statistic(sample, sample) == 0.0
+        d, p = validation.ks_two_sample(sample, sample)
+        assert d == 0.0 and p == 1.0
+
+    def test_disjoint_samples_full_distance(self):
+        assert validation.ks_statistic([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_hand_computed_distance(self):
+        # CDF of a jumps to 1 at 2; CDF of b is still 0.5 there.
+        assert validation.ks_statistic([1, 2], [1, 3]) == pytest.approx(0.5)
+
+    def test_same_distribution_accepted(self):
+        rng = random.Random(7)
+        a = [rng.gauss(10.0, 2.0) for _ in range(400)]
+        b = [rng.gauss(10.0, 2.0) for _ in range(400)]
+        d, p = validation.ks_two_sample(a, b)
+        assert p > 0.05, (d, p)
+
+    def test_shifted_distribution_rejected(self):
+        rng = random.Random(7)
+        a = [rng.gauss(10.0, 2.0) for _ in range(400)]
+        b = [rng.gauss(12.0, 2.0) for _ in range(400)]
+        d, p = validation.ks_two_sample(a, b)
+        assert p < 0.001, (d, p)
+
+    def test_non_finite_values_dropped(self):
+        a = [1.0, 2.0, math.inf, math.nan, 3.0]
+        assert validation.ks_statistic(a, [1.0, 2.0, 3.0]) == 0.0
+
+    def test_empty_after_filtering_raises(self):
+        with pytest.raises(ValueError):
+            validation.ks_statistic([math.inf, math.nan], [1.0])
+        with pytest.raises(ValueError):
+            validation.ks_statistic([1.0], [])
+
+    def test_short_samples_are_forgiving(self):
+        # With 3 points a side, even a visible shift should not reach
+        # significance — the asymptotic tail must not blow up at tiny n.
+        _, p = validation.ks_two_sample([1.0, 2.0, 3.0], [2.0, 3.0, 4.0])
+        assert 0.0 <= p <= 1.0
+        assert p > 0.05
+
+
+class TestConfidenceInterval:
+    def test_point_interval_for_single_value(self):
+        assert validation.confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_hand_computed_interval(self):
+        lo, hi = validation.confidence_interval([1.0, 2.0, 3.0])
+        # mean 2, sample std 1, half-width 1.96/sqrt(3).
+        half = 1.959963984540054 / math.sqrt(3)
+        assert lo == pytest.approx(2.0 - half)
+        assert hi == pytest.approx(2.0 + half)
+
+    def test_non_finite_dropped_and_empty_raises(self):
+        assert validation.confidence_interval(
+            [5.0, math.nan, math.inf]) == (5.0, 5.0)
+        with pytest.raises(ValueError):
+            validation.confidence_interval([math.nan])
+
+    def test_overlap_logic(self):
+        assert validation.intervals_overlap((0.0, 1.0), (1.0, 2.0))
+        assert validation.intervals_overlap((0.0, 3.0), (1.0, 2.0))
+        assert not validation.intervals_overlap((0.0, 1.0), (1.1, 2.0))
+
+
+class TestDistributionalEquivalence:
+    def test_same_distribution_passes(self):
+        rng = random.Random(3)
+        a = [rng.gauss(8.0, 1.5) for _ in range(200)]
+        b = [rng.gauss(8.0, 1.5) for _ in range(200)]
+        verdict = validation.distributional_equivalence(a, b)
+        assert verdict["ks_pass"] and verdict["ci_overlap"]
+
+    def test_shifted_distribution_fails_both_gates(self):
+        rng = random.Random(3)
+        a = [rng.gauss(8.0, 0.5) for _ in range(200)]
+        b = [rng.gauss(10.0, 0.5) for _ in range(200)]
+        verdict = validation.distributional_equivalence(a, b)
+        assert not verdict["ks_pass"]
+        assert not verdict["ci_overlap"]
+
+    def test_verdict_reports_ingredients(self):
+        verdict = validation.distributional_equivalence(
+            [1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert verdict["d"] == 0.0
+        assert verdict["p"] == 1.0
+        assert verdict["ci_a"] == verdict["ci_b"]
 
 
 class TestModelVsSimulation:

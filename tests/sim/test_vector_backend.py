@@ -75,7 +75,8 @@ class TestDispatchAndFallback:
         assert result.metrics.rounds_run > 0
 
     @pytest.mark.parametrize("unsupported, fragment", [
-        (dict(faults=FaultConfig(transfer_loss_rate=0.1)), "fault"),
+        (dict(faults=FaultConfig(crash_hazard=0.05)), "crash"),
+        (dict(faults=FaultConfig(report_delay_rounds=2)), "delayed"),
         (dict(record_transfers=True), "per-transfer"),
     ])
     def test_unsupported_config_warns_and_falls_back(self, unsupported,
@@ -133,6 +134,17 @@ class TestFeatureAxisParity:
 
     def test_lingering_seeds(self):
         _parity(small_config(seed_linger_rate=0.5))
+
+    def test_transfer_loss_faults(self):
+        _parity(small_config(faults=FaultConfig(transfer_loss_rate=0.3)))
+
+    def test_seeder_outage_faults(self):
+        _parity(small_config(faults=FaultConfig(seeder_outage_rate=0.5,
+                                                seeder_outage_duration=3)))
+
+    def test_combined_faults(self):
+        _parity(small_config(faults=FaultConfig(transfer_loss_rate=0.2,
+                                                seeder_outage_rate=0.3)))
 
     def test_propshare_algorithm(self):
         _parity(small_config(algorithm=Algorithm.PROPSHARE,
