@@ -13,12 +13,20 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # CI smoke
     PYTHONPATH=src python benchmarks/bench_hotpath.py \
         --baseline BENCH_hotpath.baseline.json                    # + speedups
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --faults    # fault layer
 
 The output JSON records, per algorithm, the wall-clock seconds for the
 timed window, the rounds executed, and the derived rounds/second. When
 ``--baseline`` points at an earlier output file the per-algorithm and
 aggregate speedups are computed and embedded, which is how the >= 3x
 acceptance gate of the bitset/cached-neighbor rewrite is checked.
+
+``--faults`` switches to the fault-layer overhead variant: the same
+flash crowd with every fault axis active at representative rates,
+timed once per backend (object, vector, vector-fast) in a single
+invocation and written to ``BENCH_hotpath.faults.json``. Divided by
+the matching entries in the clean per-backend files (same scale, same
+seed) this gives the per-engine cost of the five fault processes.
 
 Not a pytest benchmark on purpose: CI runs it as a plain script (quick
 mode) and archives the JSON artifact, so the file can never rot.
@@ -27,6 +35,7 @@ mode) and archives the JSON artifact, so the file can never rot.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import platform
 import sys
@@ -35,17 +44,32 @@ from typing import Dict, Optional
 
 from repro.names import ALL_ALGORITHMS
 from repro.sim.config import SimulationConfig
+from repro.sim.faults import FaultConfig
 from repro.sim.runner import Simulation
 from repro.sim.vector import VectorFastSimulation, VectorSimulation
 
-__all__ = ["hotpath_config", "run_bench", "main"]
+__all__ = ["hotpath_config", "run_bench", "run_faults_bench", "main",
+           "FAULT_SCENARIO"]
+
+#: The representative all-axes scenario the ``--faults`` variant
+#: times: every fault process active at rates that demonstrably fire
+#: at bench scale without collapsing the swarm mid-window.
+FAULT_SCENARIO = FaultConfig(
+    transfer_loss_rate=0.1,
+    crash_hazard=0.002,
+    seeder_outage_rate=0.05,
+    seeder_outage_duration=3,
+    report_delay_rounds=2,
+    obligation_expiry_rounds=12,
+)
 
 
 def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
                    rounds: int, seed: int,
                    guards: str = "off",
                    obs: str = "off",
-                   backend: str = "object") -> SimulationConfig:
+                   backend: str = "object",
+                   faults: Optional[FaultConfig] = None) -> SimulationConfig:
     """The timed scenario: a pure flash crowd at the given scale."""
     config = SimulationConfig(
         algorithm=algorithm,
@@ -56,6 +80,8 @@ def hotpath_config(algorithm: str, n_users: int, n_pieces: int,
         seed=seed,
         backend=backend,
     )
+    if faults is not None:
+        config = config.with_faults(faults)
     if guards != "off":
         # A wide window: the timed run is capped mid-download, which a
         # short-windowed watchdog would misread as a stall.
@@ -94,7 +120,8 @@ def _time_round_loop(config: SimulationConfig) -> Dict[str, float]:
 
 def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
               baseline: Optional[dict] = None, guards: str = "off",
-              obs: str = "off", backend: str = "object") -> dict:
+              obs: str = "off", backend: str = "object",
+              faults: Optional[FaultConfig] = None) -> dict:
     """Time every algorithm once; attach speedups vs. ``baseline``."""
     result = {
         "benchmark": "hotpath_round_loop",
@@ -112,7 +139,8 @@ def run_bench(n_users: int, n_pieces: int, rounds: int, seed: int,
     for algorithm in ALL_ALGORITHMS:
         entry = _time_round_loop(
             hotpath_config(algorithm, n_users, n_pieces, rounds, seed,
-                           guards=guards, obs=obs, backend=backend))
+                           guards=guards, obs=obs, backend=backend,
+                           faults=faults))
         total += entry["seconds"]
         result["algorithms"][algorithm.value] = entry
         print(f"{algorithm.value:12s} {entry['seconds']:8.3f}s "
@@ -149,6 +177,34 @@ def _attach_speedups(result: dict, baseline: dict) -> None:
               f"(speedup vs baseline: {result['speedup_total']:.2f}x)")
 
 
+def run_faults_bench(n_users: int, n_pieces: int, rounds: int,
+                     seed: int) -> dict:
+    """The ``--faults`` variant: every backend, all fault axes on.
+
+    One document with a per-backend section keeps the three engines'
+    timings side by side — the fault layer costs different things on
+    each (per-transfer coin flips on the draw-exact engines, batched
+    geometric gaps on vector-fast), so the overhead is per backend by
+    construction.
+    """
+    doc = {
+        "benchmark": "hotpath_round_loop_faults",
+        "n_users": n_users,
+        "n_pieces": n_pieces,
+        "rounds_cap": rounds,
+        "seed": seed,
+        "python": platform.python_version(),
+        "faults": dataclasses.asdict(FAULT_SCENARIO),
+        "backends": {},
+    }
+    for backend in ("object", "vector", "vector-fast"):
+        print(f"--- backend: {backend} (faults on) ---", flush=True)
+        doc["backends"][backend] = run_bench(
+            n_users, n_pieces, rounds, seed, backend=backend,
+            faults=FAULT_SCENARIO)
+    return doc
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -180,7 +236,16 @@ def main(argv=None) -> int:
                              "sampling fast-v1 lineage (distributionally "
                              "equivalent only); both are incompatible with "
                              "--guards/--trace")
-    parser.add_argument("--output", type=str, default="BENCH_hotpath.json")
+    parser.add_argument("--faults", action="store_true",
+                        help="time the fault-layer overhead variant: all "
+                             "five fault axes active at representative "
+                             "rates, run once per backend (object, vector, "
+                             "vector-fast) into a single per-backend JSON; "
+                             "ignores --backend and is incompatible with "
+                             "--guards/--trace/--baseline")
+    parser.add_argument("--output", type=str, default=None,
+                        help="output JSON path (default BENCH_hotpath.json, "
+                             "or BENCH_hotpath.faults.json with --faults)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -191,6 +256,23 @@ def main(argv=None) -> int:
                      "--guards/--trace "
                      "(the vector engine has no guard or observability "
                      "hooks; benchmark those on the object backend)")
+    if args.faults and (args.guards != "off" or args.obs != "off"
+                        or args.baseline):
+        parser.error("--faults times the bare fault layer on every "
+                     "backend; combine it with --guards/--trace/--baseline "
+                     "on the object backend via separate runs instead")
+    if args.output is None:
+        args.output = ("BENCH_hotpath.faults.json" if args.faults
+                       else "BENCH_hotpath.json")
+
+    if args.faults:
+        result = run_faults_bench(args.users, args.pieces, args.rounds,
+                                  args.seed)
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+        return 0
 
     baseline = None
     if args.baseline:

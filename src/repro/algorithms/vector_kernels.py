@@ -14,6 +14,14 @@ draw. Uniform picks use the engine's inlined ``_randbelow`` (the same
 draw sequence as ``rng.choice``) so the drawn index can repair the
 pool without a search.
 
+Kernels are fault-agnostic: transfer loss, seeder outages, crashes,
+delayed reports, and obligation expiry all happen in the engine's
+round phases and send paths, never here. The one interaction worth
+naming is delayed reports — kernels read ``sim.rep`` directly, and
+under ``report_delay_rounds`` that board is *stale by design* (both
+engines flush queued reports at the same round boundary, so staleness
+is part of the shared draw sequence, not a divergence).
+
 A kernel is called as ``kernel(sim, s, rng)`` with the simulation, the
 acting peer's slot, and that peer's private strategy stream. Kernels
 for ledger-based strategies read the per-slot pairwise ledgers

@@ -137,7 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "metrics, 'vector-fast' its batched-sampling "
                           "fast-v1 lineage (distributionally equivalent, "
                           "not draw-exact); instrumented configs fall back "
-                          "to 'object' with a note")
+                          "to 'object' per --backend-fallback")
+    run.add_argument("--backend-fallback", choices=["warn", "error", "silent"],
+                     default="warn",
+                     help="when the chosen backend cannot run this config: "
+                          "'warn' falls back to the object engine with a "
+                          "notice, 'silent' falls back quietly, 'error' "
+                          "refuses to run (exit 2)")
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
@@ -166,7 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "'vector-fast' trades draw-parity for speed "
                             "(fast-v1 lineage, separate journal/cache "
                             "identity); both fall back per-replicate when "
-                            "a config needs the object engine")
+                            "a config needs the object engine, per "
+                            "--backend-fallback")
+    sweep.add_argument("--backend-fallback",
+                       choices=["warn", "error", "silent"],
+                       default="warn",
+                       help="when the chosen backend cannot run this "
+                            "config: 'warn' falls back to the object "
+                            "engine with a notice, 'silent' falls back "
+                            "quietly, 'error' refuses to run (exit 2)")
     sweep.add_argument("--journal", metavar="PATH",
                        help="checkpoint journal (JSON lines); rerunning "
                             "with the same path resumes the sweep")
@@ -428,12 +442,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
+    downgrade_reason: Optional[str] = None
     if args.backend != "object":
         config = config.with_backend(args.backend)
+        config = config.with_backend_fallback(args.backend_fallback)
         reason = vector_unsupported_reason(config)
         if reason is not None:
-            print(f"run: note: vector backend does not support {reason}; "
-                  "using the object engine", file=sys.stderr)
+            if args.backend_fallback == "error":
+                print(f"run: the '{args.backend}' backend does not support "
+                      f"{reason} and --backend-fallback error forbids the "
+                      "object-engine fallback", file=sys.stderr)
+                return 2
+            if args.backend_fallback == "warn":
+                print(f"run: note: this run fell back from the "
+                      f"'{args.backend}' backend to the object engine "
+                      f"({reason}); results are exact but without the "
+                      "vector speedup", file=sys.stderr)
+            downgrade_reason = reason
             config = config.with_backend("object")
     sim: Optional[Simulation] = None
     try:
@@ -460,6 +485,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run: crash bundle written to {exc.bundle_path}",
                   file=sys.stderr)
         return 3
+    if downgrade_reason is not None:
+        # The run executed on the object engine after the pre-check
+        # swap; stamp the reason so exported JSON records the downgrade
+        # exactly like an in-worker fallback would.
+        result.metrics.backend_downgraded = downgrade_reason
     if args.json:
         payload = result_to_json(result)
         if args.json == "-":
@@ -495,6 +525,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         attack=targeted_attack_for(algorithm),
     )
     config = config.with_backend(args.backend)
+    config = config.with_backend_fallback(args.backend_fallback)
     faults = _fault_config(args)
     if faults.enabled:
         config = config.with_faults(faults)
@@ -504,6 +535,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
+    if args.backend != "object" and args.backend_fallback == "error":
+        # The config is uniform across replicates, so every one would
+        # raise in its worker; refuse up front with a clear message.
+        reason = vector_unsupported_reason(config)
+        if reason is not None:
+            print(f"sweep: the '{args.backend}' backend does not support "
+                  f"{reason} and --backend-fallback error forbids the "
+                  "object-engine fallback", file=sys.stderr)
+            return 2
     if args.replicates < 1:
         print("sweep: --replicates must be >= 1", file=sys.stderr)
         return 2
@@ -559,6 +599,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         status = outcome.status
         if outcome.degraded:
             status += " (degraded: stall watchdog fired)"
+        if (outcome.telemetry or {}).get("backend_downgraded"):
+            status += " [backend downgraded]"
         if outcome.attempts > 1:
             status += f" after {outcome.attempts} attempts"
         timing = ""
@@ -613,7 +655,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for summary in result.metrics.values():
         print(f"{summary.name:28s} {summary.mean:12.4f} "
               f"{summary.std:10.4f} {summary.n:3d} {summary.n_missing:4d}")
-    if result.n_backend_downgraded:
+    if result.n_backend_downgraded and args.backend_fallback != "silent":
         print(f"sweep: note: {result.n_backend_downgraded} replicate(s) "
               f"fell back from the '{args.backend}' backend to the object "
               "engine (unsupported config axis); results are exact but "

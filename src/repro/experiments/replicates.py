@@ -720,10 +720,12 @@ def _outcome_from_result(result: TaskResult, fingerprint: str,
         if obs_payload is not None:
             telemetry["obs"] = obs_payload
         # A vector(-fast) request that fell back to the object engine
-        # is exact but slow; surface it so sweeps can report how many
-        # replicates actually ran on the requested backend.
-        if getattr(result.value, "backend_downgraded", False):
-            telemetry["backend_downgraded"] = True
+        # is exact but slow; carry the reason so sweeps can report how
+        # many replicates actually ran on the requested backend (and
+        # why they did not).
+        downgraded = getattr(result.value, "backend_downgraded", None)
+        if downgraded:
+            telemetry["backend_downgraded"] = downgraded
         values = {name: extract(result.value)
                   for name, extract in extractors.items()}
         return ReplicateOutcome(

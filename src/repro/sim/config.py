@@ -229,6 +229,17 @@ class SimulationConfig:
     #: keys the fast lineage apart (see
     #: ``repro.experiments.replicates._config_fingerprint``).
     backend: str = field(repr=False, default="object")
+    #: What to do when the chosen backend cannot run this config (see
+    #: :func:`repro.sim.vector.vector_unsupported_reason`): ``"warn"``
+    #: falls back to the object engine with a ``RuntimeWarning``,
+    #: ``"silent"`` falls back quietly, ``"error"`` raises
+    #: :class:`repro.errors.BackendFallbackError`. Fallback runs are
+    #: draw-exact either way (the object engine is the oracle) and are
+    #: flagged in ``SimulationMetrics.backend_downgraded``; the policy
+    #: only controls how loudly the lost speedup is reported, so it is
+    #: excluded from ``repr`` (fingerprints/cache keys) like
+    #: ``backend`` itself.
+    backend_fallback: str = field(repr=False, default="warn")
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", Algorithm.parse(self.algorithm))
@@ -278,6 +289,9 @@ class SimulationConfig:
         if self.backend not in ("object", "vector", "vector-fast"):
             raise ConfigurationError(
                 "backend must be 'object', 'vector', or 'vector-fast'")
+        if self.backend_fallback not in ("warn", "error", "silent"):
+            raise ConfigurationError(
+                "backend_fallback must be 'warn', 'error', or 'silent'")
         # Cross-field checks: combinations that are individually legal
         # but can only produce a meaningless (or never-ending) run.
         if (self.seeder_capacity == 0.0 and not self.allow_unseeded):
@@ -342,6 +356,10 @@ class SimulationConfig:
     def with_backend(self, backend: str) -> "SimulationConfig":
         """Variant executed by the given round-loop backend."""
         return replace(self, backend=backend)
+
+    def with_backend_fallback(self, policy: str) -> "SimulationConfig":
+        """Variant with the given backend-downgrade policy."""
+        return replace(self, backend_fallback=policy)
 
     def with_guards(self, mode: str = "cheap",
                     **overrides: Any) -> "SimulationConfig":

@@ -78,11 +78,16 @@ class FaultConfig:
     obligation_expiry_rounds: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for name in ("transfer_loss_rate", "crash_hazard",
-                     "seeder_outage_rate"):
+        # Loss and outage rates are legitimate at exactly 1.0 (stress
+        # runs: every transfer lost, a seeder that fails every round);
+        # a crash hazard of 1.0 would wipe every downloader on round
+        # one, which can only be a configuration mistake.
+        for name in ("transfer_loss_rate", "seeder_outage_rate"):
             value = getattr(self, name)
-            if not 0.0 <= value < 1.0:
-                raise ConfigurationError(f"{name} must lie in [0, 1)")
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1]")
+        if not 0.0 <= self.crash_hazard < 1.0:
+            raise ConfigurationError("crash_hazard must lie in [0, 1)")
         if self.seeder_outage_duration < 1:
             raise ConfigurationError("seeder_outage_duration must be >= 1")
         if self.report_delay_rounds < 0:

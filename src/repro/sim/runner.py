@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.errors import InvariantViolationError, SimulationStalled
+from repro.errors import (BackendFallbackError, InvariantViolationError,
+                          SimulationStalled)
 from repro.names import Algorithm
 from repro.obs.runtime import ObsRuntime
 from repro.sim.arrivals import flash_crowd_arrivals, poisson_arrivals
@@ -974,10 +975,13 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     (:class:`repro.sim.vector.VectorFastSimulation`), which is only
     *distributionally* equivalent and stamps
     ``metrics.digest_lineage = "fast-v1"``. Configs neither vector
-    engine supports (peer crashes, delayed reports, obligation expiry,
-    guards, the obs runtime, per-transfer recording) fall back to the
-    object engine with a :class:`RuntimeWarning` naming the
-    unsupported feature; the fallback reason is also recorded on
+    engine supports (guards, the obs runtime, per-transfer recording)
+    are handled per ``config.backend_fallback``: ``"warn"`` (default)
+    falls back to the object engine with a :class:`RuntimeWarning`
+    naming the unsupported feature, ``"silent"`` falls back without
+    the warning, and ``"error"`` raises
+    :class:`repro.errors.BackendFallbackError` instead of running.
+    Either fallback records the reason on
     ``metrics.backend_downgraded`` so sweeps can surface downgrades
     that happen inside worker processes.
     """
@@ -990,10 +994,16 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
             engine = (VectorFastSimulation if config.backend == "vector-fast"
                       else VectorSimulation)
             return engine(config).run()
-        warnings.warn(
-            f"vector backend does not support {reason}; "
-            "falling back to the object engine",
-            RuntimeWarning, stacklevel=2)
+        if config.backend_fallback == "error":
+            raise BackendFallbackError(
+                f"the '{config.backend}' backend does not support {reason} "
+                "and backend_fallback='error' forbids the object-engine "
+                "fallback; use backend='object' or relax the policy")
+        if config.backend_fallback == "warn":
+            warnings.warn(
+                f"vector backend does not support {reason}; "
+                "falling back to the object engine",
+                RuntimeWarning, stacklevel=2)
         result = Simulation(config).run()
         result.metrics.backend_downgraded = reason
         return result

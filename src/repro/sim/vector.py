@@ -43,31 +43,40 @@ while exposing the drawn index for O(1) pool repair.
 
 Fault injection
 ---------------
-Transfer loss and seeder outages are implemented natively with
-draw-exact parity: the loss coin is flipped on the shared "faults"
-stream at exactly the points the object engine flips it (after the
-budget consume of every send primitive), and seeder outages are
-processed at the top of each round in seeder-slot order — so sweeps
-with ``degradation_rows`` over those axes run vectorized.
+All five fault axes run natively with draw-exact parity: the loss
+coin is flipped on the shared "faults" stream at exactly the points
+the object engine flips it (after the budget consume of every send
+primitive); seeder outages are processed at the top of each round in
+seeder-slot order; crash coins are drawn per incomplete member —
+member-insertion order, after churn — with the same array teardown
+churn uses plus the fault tally and coalition shrink; delayed
+reputation reports are queued by lineage id and flushed (or dropped
+and counted) at the top of the next due round; and obligation expiry
+scans the pending-piece dicts behind a per-slot oldest-round
+short-circuit. Sweeps with ``degradation_rows`` over any fault axis
+therefore run vectorized.
 
 Unsupported features
 --------------------
-Observation and failure layers that hook the object engine's internals
-are not reimplemented here: peer crashes, delayed reputation reports,
-obligation expiry, runtime guards, the observability runtime and
+Observation layers that hook the object engine's internals are not
+reimplemented here: runtime guards, the observability runtime and
 per-transfer recording all require the object backend.
 :func:`vector_unsupported_reason` reports why a config cannot run
-vectorized; :func:`repro.sim.runner.run_simulation` falls back to the
-object engine (with a ``RuntimeWarning``) in that case.
+vectorized; :func:`repro.sim.runner.run_simulation` applies the
+config's ``backend_fallback`` policy ("warn" falls back to the object
+engine with a ``RuntimeWarning``, "silent" falls back quietly,
+"error" raises) in that case.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from array import array
 from bisect import bisect_left, insort
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -130,18 +139,9 @@ def vector_unsupported_reason(config: SimulationConfig) -> Optional[str]:
 
     The vector engine covers every algorithm (including propshare),
     both arrival processes, all attack flags, churn/lingering, both
-    topologies, both piece policies, and the transfer-loss /
-    seeder-outage fault axes. What it does not implement are the
-    remaining fault layers and the object engine's instrumentation
-    hooks.
+    topologies, both piece policies, and all five fault axes. What it
+    does not implement are the object engine's instrumentation hooks.
     """
-    faults = config.faults
-    if faults.crash_hazard > 0.0:
-        return "peer-crash fault injection (faults.crash_hazard)"
-    if faults.report_delay_rounds > 0:
-        return "delayed reputation reports (faults.report_delay_rounds)"
-    if faults.obligation_expiry_rounds is not None:
-        return "obligation expiry (faults.obligation_expiry_rounds)"
     if config.guards.enabled:
         return "runtime invariant guards (config.guards)"
     if config.obs.enabled:
@@ -229,6 +229,14 @@ class VectorSimulation:
         self.faults = FaultModel(config.faults, self.streams.stream("faults"))
         self._loss_on = config.faults.transfer_loss_rate > 0.0
         self._outage_on = config.faults.seeder_outage_rate > 0.0
+        self._crash_on = config.faults.crash_hazard > 0.0
+        self._delay_rounds = config.faults.report_delay_rounds
+        self._delay_on = self._delay_rounds > 0
+        #: Delayed reputation reports: (due round, uploader lineage,
+        #: amount), appended in report order so the due rounds are
+        #: monotone — a deque pop from the left flushes them.
+        self._delayed_reports: Deque[Tuple[int, int, float]] = deque()
+        self._expiry = config.faults.obligation_expiry_rounds
         #: (receiver lineage, piece) pairs whose delivery was lost —
         #: cleared (and counted as a retry) when a later send lands.
         self._lost: Set[Tuple[int, int]] = set()
@@ -414,6 +422,12 @@ class VectorSimulation:
             else:
                 self.kern[s] = kernel
         self._sync_coalition()
+        #: Lineage id -> slot: lineages are assigned once per slot and
+        #: never reassigned, so this map is immutable after population.
+        #: Delayed reports resolve through it exactly like the object
+        #: engine's ``_peers_by_lineage`` (whitewashed peers keep their
+        #: slot, so reports land on the *current* identity).
+        self._lineage_slot = {self.lineage[s]: s for s in range(n_slots)}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -727,7 +741,15 @@ class VectorSimulation:
         self.up[u] += 1
         from_seeder = self.seeder[u]
         if not from_seeder:
-            self.rep[uid] += 1.0
+            # _report_upload, inlined: delayed reports queue by the
+            # uploader's lineage and land (or drop) at flush time.
+            if self._delay_on:
+                self._delayed_reports.append(
+                    (self.round_index + self._delay_rounds,
+                     self.lineage[u], 1.0))
+                self.collector.record_delayed_report()
+            else:
+                self.rep[uid] += 1.0
         if self._use_rmat:
             self._Rf[ts * self.n_slots + u] += 1
         elif self._need_rcv:
@@ -910,7 +932,13 @@ class VectorSimulation:
         uid = self.ids[u]
         self.up[u] += 1
         if not from_seeder:
-            self.rep[uid] += 1.0
+            if self._delay_on:
+                self._delayed_reports.append(
+                    (self.round_index + self._delay_rounds,
+                     self.lineage[u], 1.0))
+                self.collector.record_delayed_report()
+            else:
+                self.rep[uid] += 1.0
         self.raw[ts] += 1
         if self._lost:
             key = (self.lineage[ts], piece)
@@ -1094,6 +1122,8 @@ class VectorSimulation:
 
     def _on_round(self) -> None:
         self.round_index += 1
+        if self._delayed_reports:
+            self._flush_due_reports()
         self._process_seeder_outages()
         active = self._shuffle_active(list(self.active))
         members = self.members
@@ -1116,6 +1146,8 @@ class VectorSimulation:
             self._roll_receipts()
         self._process_departures()
         self._process_churn()
+        self._process_crashes()
+        self._expire_obligations()
         self._process_whitewashing()
         if self.round_index % self.sample_interval == 0:
             self._sample()
@@ -1195,6 +1227,74 @@ class VectorSimulation:
                 self._mark_done(s)
                 self._remove_member(pid)
                 self._drop_orphaned(pid)
+
+    def _process_crashes(self) -> None:
+        """Permanent mid-download failures (runner._process_crashes).
+
+        Crash coins are flipped on the faults stream per incomplete
+        member in insertion order — the same order the object engine
+        walks ``swarm.peers`` — with the churn teardown plus the fault
+        tally; crashed colluders shrink the coalition. The fast
+        lineage overrides this with batched geometric sampling.
+        """
+        if not self._crash_on:
+            return
+        coalition_hit = False
+        members = self.members
+        for pid in list(members):
+            s = members[pid]
+            if self.seeder[s] or self.cnt[s] == self.n_pieces:
+                continue
+            if self.faults.peer_crashes():
+                self.departed_f[s] = True
+                self._mark_done(s)
+                self._remove_member(pid)
+                self._drop_orphaned(pid)
+                self.collector.record_crash()
+                coalition_hit = coalition_hit or self.free[s]
+        if coalition_hit:
+            self._sync_coalition()
+
+    def _expire_obligations(self) -> None:
+        """Key timeout (runner._expire_obligations): drop pending
+        pieces older than the expiry horizon. The per-slot oldest
+        pending round short-circuits slots with nothing stale, so the
+        scan only touches dicts that actually expire something."""
+        expiry = self._expiry
+        if expiry is None or self._pend_nonempty == 0:
+            return
+        horizon = self.round_index - expiry
+        poldest = self.poldest
+        members = self.members
+        for pid in list(members):
+            s = members[pid]
+            if poldest[s] > horizon:
+                continue
+            pd = self.pend[s]
+            stale = [piece for piece, e in pd.items() if e[2] <= horizon]
+            for piece in stale:
+                self._drop_pending(s, piece)
+            if stale:
+                self.collector.record_expired_obligations(len(stale))
+
+    def _flush_due_reports(self) -> None:
+        """Deliver delayed reputation reports that have come due.
+
+        Mirrors ``runner._flush_due_reports``: reports resolve through
+        the lineage to the *current* peer id (so whitewashed lineages
+        credit the live identity), and reports whose lineage departed
+        or crashed are discarded and counted."""
+        reports = self._delayed_reports
+        r = self.round_index
+        lineage_slot = self._lineage_slot
+        departed_f = self.departed_f
+        while reports and reports[0][0] <= r:
+            _due, lineage_id, amount = reports.popleft()
+            s = lineage_slot[lineage_id]
+            if departed_f[s]:
+                self.collector.record_dropped_report()
+                continue
+            self.rep[self.ids[s]] += amount
 
     def _process_whitewashing(self) -> None:
         interval = self.attack.whitewash_interval
@@ -1394,9 +1494,14 @@ class VectorFastSimulation(VectorSimulation):
     parity results. Population setup still runs on the named Mersenne
     streams, so a given seed produces the same peers, capacities,
     roles, arrival times and topology on every backend. Low-frequency
-    draws (churn, lingering, whitewash views, fault coins) also stay
-    on their Mersenne streams — they are off the hot path and keeping
-    them shared narrows the behavioural diff to the decision kernels.
+    draws (churn, lingering, whitewash views, loss/outage fault coins)
+    also stay on their Mersenne streams — they are off the hot path
+    and keeping them shared narrows the behavioural diff to the
+    decision kernels. Per-round crash hazards are the exception: a
+    per-member Bernoulli walk is O(members) every round, so this class
+    replaces it with batched geometric gap sampling on the fast stream
+    (O(crashes) draws; same Binomial crash pattern, enforced
+    distributionally by the fault-parity suite).
     """
 
     digest_lineage = "fast-v1"
@@ -1441,6 +1546,53 @@ class VectorFastSimulation(VectorSimulation):
 
     def _tchain_draw(self, m: int) -> int:
         return self._fs.randbelow(m)
+
+    def _process_crashes(self) -> None:
+        # Geometric gap sampling over the candidate list: the skip to
+        # the next crash is Geometric(hazard), so a round costs
+        # O(crashes) draws instead of O(members) coins while the
+        # per-candidate crash probability stays exactly ``hazard``.
+        if not self._crash_on:
+            return
+        members = self.members
+        seeder = self.seeder
+        cnt = self.cnt
+        npieces = self.n_pieces
+        candidates = [pid for pid, s in members.items()
+                      if not seeder[s] and cnt[s] != npieces]
+        n = len(candidates)
+        if n == 0:
+            return
+        hazard = self.config.faults.crash_hazard
+        log_skip = math.log1p(-hazard)
+        rnd = self._fs.random
+        coalition_hit = False
+        i = 0
+        while True:
+            u = 1.0 - rnd()
+            i += int(math.log(u) / log_skip)
+            if i >= n:
+                break
+            pid = candidates[i]
+            s = members[pid]
+            self.departed_f[s] = True
+            self._mark_done(s)
+            self._remove_member(pid)
+            self._drop_orphaned(pid)
+            self.collector.record_crash()
+            coalition_hit = coalition_hit or self.free[s]
+            i += 1
+        if coalition_hit:
+            self._sync_coalition()
+
+    def _expire_obligations(self) -> None:
+        # Expiry shrinks ``held`` without a view change — the one
+        # mutation the cached needy pools' "held only grows" rescan
+        # shortcut cannot see — so any expiry invalidates every pool.
+        before = self.collector.faults.obligations_expired
+        super()._expire_obligations()
+        if self.collector.faults.obligations_expired != before:
+            self._pview[:] = [None] * self.n_slots
 
     def _choose_designated(self, u: int, target_id: int,
                            piece: int) -> Optional[int]:
@@ -1729,6 +1881,9 @@ class VectorFastSimulation(VectorSimulation):
         lineage = self.lineage
         lost = self._lost
         loss_on = self._loss_on
+        delay_on = self._delay_on
+        delay_rounds = self._delay_rounds
+        delayed_reports = self._delayed_reports
         faults = self.faults
         collector = self.collector
         counts = self.availability._counts
@@ -1855,7 +2010,12 @@ class VectorFastSimulation(VectorSimulation):
             up[u] += 1
             from_seeder = seeder[u]
             if not from_seeder:
-                rep[uid] += 1.0
+                if delay_on:
+                    delayed_reports.append(
+                        (sim.round_index + delay_rounds, lineage[u], 1.0))
+                    collector.record_delayed_report()
+                else:
+                    rep[uid] += 1.0
             if use_rmat:
                 Rf[ts * ns + u] += 1
             elif need_rcv:
@@ -1970,7 +2130,12 @@ class VectorFastSimulation(VectorSimulation):
             uid = ids[u]
             up[u] += 1
             if not from_seeder:
-                rep[uid] += 1.0
+                if delay_on:
+                    delayed_reports.append(
+                        (sim.round_index + delay_rounds, lineage[u], 1.0))
+                    collector.record_delayed_report()
+                else:
+                    rep[uid] += 1.0
             raw[ts] += 1
             if lost:
                 key = (lineage[ts], piece)

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.names import ALL_ALGORITHMS, Algorithm
+from repro.names import ALL_ALGORITHMS, EXTENDED_ALGORITHMS, Algorithm
 from repro.sim.config import SimulationConfig, targeted_attack_for
+from repro.sim.faults import FaultConfig
 from repro.sim.metrics import metrics_digest
 from repro.sim.runner import run_simulation
 
@@ -96,6 +97,65 @@ class TestVectorBackendParity:
         vector_digest = metrics_digest(
             run_simulation(config.with_backend("vector")).metrics)
         assert object_digest == vector_digest
+
+
+#: One entry per fault axis (individually), plus all five at once.
+#: Rates are high enough that every axis demonstrably fires at this
+#: scale (crashes, dropped reports, expired obligations all nonzero
+#: for at least some mechanisms) without collapsing the swarm.
+FAULT_AXES = {
+    "loss": FaultConfig(transfer_loss_rate=0.15),
+    "crashes": FaultConfig(crash_hazard=0.004),
+    "outages": FaultConfig(seeder_outage_rate=0.2,
+                           seeder_outage_duration=4),
+    "delayed-reports": FaultConfig(report_delay_rounds=3),
+    "expiry": FaultConfig(transfer_loss_rate=0.15,
+                          obligation_expiry_rounds=6),
+    "combined": FaultConfig(transfer_loss_rate=0.1, crash_hazard=0.003,
+                            seeder_outage_rate=0.1,
+                            seeder_outage_duration=3,
+                            report_delay_rounds=2,
+                            obligation_expiry_rounds=8),
+}
+
+
+def faulted_config(algorithm: Algorithm, faults: FaultConfig,
+                   ) -> SimulationConfig:
+    """A lighter sibling of ``equivalence_config`` (faulted runs go
+    through extra per-round phases, and this matrix is 7 mechanisms
+    by 6 axes by 2 engines)."""
+    return SimulationConfig(
+        algorithm=algorithm,
+        n_users=40,
+        n_pieces=24,
+        max_rounds=160,
+        freerider_fraction=0.2,
+        attack=targeted_attack_for(algorithm),
+        neighbor_count=12,
+        seed=7,
+        faults=faults,
+    )
+
+
+class TestFaultAxisParity:
+    """PR 9 tentpole contract: every fault axis — individually and all
+    combined — runs on ``backend="vector"`` with metrics (including
+    the fault counters the digest covers) byte-identical to the object
+    engine, across all seven mechanisms."""
+
+    @pytest.mark.parametrize("axis", list(FAULT_AXES),
+                             ids=list(FAULT_AXES))
+    @pytest.mark.parametrize("algorithm", EXTENDED_ALGORITHMS,
+                             ids=[a.value for a in EXTENDED_ALGORITHMS])
+    def test_object_and_vector_agree_under_faults(self, algorithm, axis):
+        config = faulted_config(algorithm, FAULT_AXES[axis])
+        object_result = run_simulation(config)
+        vector_result = run_simulation(config.with_backend("vector"))
+        assert vector_result.metrics.backend_downgraded is None
+        assert (metrics_digest(object_result.metrics)
+                == metrics_digest(vector_result.metrics))
+        assert (object_result.metrics.faults
+                == vector_result.metrics.faults)
 
 
 class TestGuardsPreserveDigests:

@@ -31,10 +31,23 @@ class TestFaultConfig:
 
     @pytest.mark.parametrize("field", ["transfer_loss_rate", "crash_hazard",
                                        "seeder_outage_rate"])
-    @pytest.mark.parametrize("value", [-0.1, 1.0, 1.5])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
     def test_rates_must_lie_in_unit_interval(self, field, value):
         with pytest.raises(ConfigurationError):
             FaultConfig(**{field: value})
+
+    @pytest.mark.parametrize("field", ["transfer_loss_rate",
+                                       "seeder_outage_rate"])
+    def test_loss_and_outage_rates_legal_at_one(self, field):
+        """Stress runs legitimately pin these to exactly 1.0: every
+        transfer lost, a seeder that fails every round."""
+        assert getattr(FaultConfig(**{field: 1.0}), field) == 1.0
+
+    def test_crash_hazard_rejects_one(self):
+        """hazard=1.0 would wipe every downloader on round one — only
+        ever a configuration mistake, so it stays excluded."""
+        with pytest.raises(ConfigurationError):
+            FaultConfig(crash_hazard=1.0)
 
     def test_outage_duration_positive(self):
         with pytest.raises(ConfigurationError):

@@ -16,7 +16,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import BackendFallbackError, ConfigurationError
 from repro.names import Algorithm
 from repro.sim import (FaultConfig, SimulationConfig, VectorSimulation,
                        targeted_attack_for, vector_unsupported_reason)
@@ -75,8 +75,6 @@ class TestDispatchAndFallback:
         assert result.metrics.rounds_run > 0
 
     @pytest.mark.parametrize("unsupported, fragment", [
-        (dict(faults=FaultConfig(crash_hazard=0.05)), "crash"),
-        (dict(faults=FaultConfig(report_delay_rounds=2)), "delayed"),
         (dict(record_transfers=True), "per-transfer"),
     ])
     def test_unsupported_config_warns_and_falls_back(self, unsupported,
@@ -90,6 +88,22 @@ class TestDispatchAndFallback:
             reference = run_simulation(config)
         assert (metrics_digest(fallback.metrics)
                 == metrics_digest(reference.metrics))
+        assert fallback.metrics.backend_downgraded == (
+            vector_unsupported_reason(config))
+
+    @pytest.mark.parametrize("faults", [
+        FaultConfig(crash_hazard=0.05),
+        FaultConfig(report_delay_rounds=2),
+        FaultConfig(obligation_expiry_rounds=5),
+    ])
+    def test_all_fault_axes_supported_on_vector(self, faults):
+        """PR 9: no fault axis forces the object-engine fallback."""
+        config = small_config(faults=faults)
+        assert vector_unsupported_reason(config) is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_simulation(config.with_backend("vector"))
+        assert result.metrics.backend_downgraded is None
 
     def test_guarded_config_reports_reason(self):
         config = small_config().with_guards("cheap")
@@ -103,6 +117,55 @@ class TestDispatchAndFallback:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             run_simulation(small_config())
+
+
+class TestBackendFallbackPolicy:
+    """The explicit backend_fallback policy on unsupported configs."""
+
+    def _unsupported(self, **extra):
+        return small_config(record_transfers=True, **extra).with_backend(
+            "vector")
+
+    def test_default_policy_is_warn(self):
+        assert small_config().backend_fallback == "warn"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config(backend_fallback="loud")
+
+    def test_repr_excludes_policy(self):
+        config = small_config()
+        assert repr(config) == repr(config.with_backend_fallback("silent"))
+
+    def test_error_policy_raises(self):
+        config = self._unsupported().with_backend_fallback("error")
+        with pytest.raises(BackendFallbackError, match="per-transfer"):
+            run_simulation(config)
+
+    def test_silent_policy_falls_back_quietly(self):
+        config = self._unsupported().with_backend_fallback("silent")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_simulation(config)
+        assert result.metrics.backend_downgraded is not None
+
+    def test_warn_policy_warns_and_records_reason(self):
+        config = self._unsupported().with_backend_fallback("warn")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            result = run_simulation(config)
+        assert "per-transfer" in result.metrics.backend_downgraded
+
+    def test_error_policy_is_inert_on_supported_configs(self):
+        config = small_config(
+            faults=FaultConfig(crash_hazard=0.02)).with_backend(
+            "vector").with_backend_fallback("error")
+        result = run_simulation(config)
+        assert result.metrics.backend_downgraded is None
+
+    def test_to_dict_roundtrip_preserves_policy(self):
+        config = small_config().with_backend_fallback("error")
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt.backend_fallback == "error"
 
 
 def _parity(config: SimulationConfig) -> None:
@@ -145,6 +208,31 @@ class TestFeatureAxisParity:
     def test_combined_faults(self):
         _parity(small_config(faults=FaultConfig(transfer_loss_rate=0.2,
                                                 seeder_outage_rate=0.3)))
+
+    def test_crash_faults(self):
+        _parity(small_config(faults=FaultConfig(crash_hazard=0.01)))
+
+    def test_delayed_report_faults(self):
+        _parity(small_config(faults=FaultConfig(report_delay_rounds=3)))
+
+    def test_obligation_expiry_faults(self):
+        _parity(small_config(faults=FaultConfig(transfer_loss_rate=0.2,
+                                                obligation_expiry_rounds=4)))
+
+    def test_all_fault_axes_combined(self):
+        _parity(small_config(faults=FaultConfig(
+            transfer_loss_rate=0.15, crash_hazard=0.005,
+            seeder_outage_rate=0.2, seeder_outage_duration=3,
+            report_delay_rounds=2, obligation_expiry_rounds=6)))
+
+    def test_crashes_under_whitewashing_and_delay(self):
+        """Delayed reports must survive identity resets: the lineage
+        queue credits the *current* id, and crashed lineages drop."""
+        _parity(small_config(
+            freerider_fraction=0.3,
+            attack=replace(targeted_attack_for(Algorithm.TCHAIN),
+                           whitewash_interval=15),
+            faults=FaultConfig(crash_hazard=0.01, report_delay_rounds=4)))
 
     def test_propshare_algorithm(self):
         _parity(small_config(algorithm=Algorithm.PROPSHARE,
