@@ -71,7 +71,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.errors import (ConfigurationError, InvariantViolationError,
-                          SimulationStalled)
+                          SimulationError, SimulationStalled)
 from repro.experiments import figures, report, scenarios, tables
 from repro.experiments.executor import DEFAULT_RECYCLE_AFTER
 from repro.experiments.export import result_to_json, summary_dict
@@ -144,6 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "'warn' falls back to the object engine with a "
                           "notice, 'silent' falls back quietly, 'error' "
                           "refuses to run (exit 2)")
+    hybrid = run.add_argument_group(
+        "population-scale hybrid (repro.sim.hybrid, docs/SCALING.md)")
+    hybrid.add_argument("--population", type=int, default=None,
+                        help="simulate this many users as a fluid/"
+                             "event-driven hybrid: --users becomes the "
+                             "per-subswarm sample size and results are "
+                             "scaled up by shard weight (hybrid-v1 "
+                             "lineage)")
+    hybrid.add_argument("--subswarms", type=int, default=None, metavar="K",
+                        help="number of sampled event-driven subswarms "
+                             "(default 8; requires --population)")
+    hybrid.add_argument("--coupling-interval", type=int, default=None,
+                        metavar="ROUNDS",
+                        help="rounds between fluid<->event couplings "
+                             "(default 25; requires --population)")
+    hybrid.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for concurrent subswarms "
+                             "(default: run them sequentially in-process; "
+                             "results are identical for any value)")
     run.add_argument("--json", metavar="PATH",
                      help="write full result JSON to PATH ('-' for stdout)")
     _add_fault_arguments(run)
@@ -201,6 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base of the jittered exponential backoff "
                             "between retry attempts (default "
                             f"{DEFAULT_RETRY_BACKOFF}; 0 disables)")
+    sweep_hybrid = sweep.add_argument_group(
+        "population-scale hybrid (repro.sim.hybrid, docs/SCALING.md)")
+    sweep_hybrid.add_argument("--population", type=int, default=None,
+                              help="run every replicate as a fluid/"
+                                   "event-driven hybrid at this "
+                                   "population (the scale's n_users "
+                                   "becomes the subswarm size; hybrid-v1 "
+                                   "lineage keys the journal/cache)")
+    sweep_hybrid.add_argument("--subswarms", type=int, default=None,
+                              metavar="K",
+                              help="sampled subswarms per replicate "
+                                   "(default 8; requires --population)")
+    sweep_hybrid.add_argument("--coupling-interval", type=int, default=None,
+                              metavar="ROUNDS",
+                              help="rounds between fluid<->event couplings "
+                                   "(default 25; requires --population)")
     dist = sweep.add_argument_group(
         "distributed execution (repro.dist)")
     dist.add_argument("--hosts", action="append", default=None,
@@ -442,6 +477,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
+    for flag, value in (("--subswarms", args.subswarms),
+                        ("--coupling-interval", args.coupling_interval),
+                        ("--jobs", args.jobs)):
+        if value is not None and args.population is None:
+            print(f"run: {flag} requires --population", file=sys.stderr)
+            return 2
+    if args.population is not None:
+        try:
+            config = config.with_population(
+                args.population, n_subswarms=args.subswarms,
+                coupling_interval=args.coupling_interval)
+        except ConfigurationError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
     downgrade_reason: Optional[str] = None
     if args.backend != "object":
         config = config.with_backend(args.backend)
@@ -462,7 +511,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config = config.with_backend("object")
     sim: Optional[Simulation] = None
     try:
-        if config.backend == "vector-fast":
+        if config.population is not None:
+            from repro.sim.hybrid import run_hybrid_simulation
+            result = run_hybrid_simulation(config, jobs=args.jobs)
+        elif config.backend == "vector-fast":
             from repro.sim.vector import VectorFastSimulation
             result = VectorFastSimulation(config).run()
         elif config.backend == "vector":
@@ -485,6 +537,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run: crash bundle written to {exc.bundle_path}",
                   file=sys.stderr)
         return 3
+    except SimulationError as exc:
+        # Hybrid-engine failures: a subswarm died in its worker, or the
+        # population-conservation ledger refused to balance.
+        print(f"run: {exc}", file=sys.stderr)
+        return 3
     if downgrade_reason is not None:
         # The run executed on the object engine after the pre-check
         # swap; stamp the reason so exported JSON records the downgrade
@@ -499,12 +556,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 handle.write(payload)
             print(f"wrote {args.json}")
     else:
-        print(f"{algorithm.display_name}: {args.users} users, "
-              f"{args.pieces} pieces, seed {args.seed}")
+        if config.population is not None:
+            metrics = result.metrics
+            print(f"{algorithm.display_name}: population "
+                  f"{metrics.population} as {metrics.n_subswarms} subswarms "
+                  f"x {metrics.subswarm_size} users (shard weight "
+                  f"{metrics.shard_weight:g}), seed {args.seed}")
+        else:
+            print(f"{algorithm.display_name}: {args.users} users, "
+                  f"{args.pieces} pieces, seed {args.seed}")
         _print_summary(result)
+        if config.population is not None:
+            metrics = result.metrics
+            print(f"  {'population_completed':24s} "
+                  f"{metrics.population_completed():.0f}")
+            print(f"  {'fluid_residual':24s} {metrics.fluid_residual:.4f}")
     if sim is not None:
         _export_run_trace(sim, args.trace_out,
                           label=f"repro run {algorithm.value}", prefix="run")
+    elif args.trace_out and config.population is not None:
+        print("run: note: --trace-out has no per-event trace in hybrid "
+              "mode; coupling-boundary series are exported in --json "
+              "output (metrics.obs.series)", file=sys.stderr)
     if result.metrics.degraded:
         print("run: WARNING: stall watchdog degraded this run "
               "(metrics cover only the rounds before the stall)",
@@ -535,6 +608,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
+    for flag, value in (("--subswarms", args.subswarms),
+                        ("--coupling-interval", args.coupling_interval)):
+        if value is not None and args.population is None:
+            print(f"sweep: {flag} requires --population", file=sys.stderr)
+            return 2
+    if args.population is not None:
+        try:
+            config = config.with_population(
+                args.population, n_subswarms=args.subswarms,
+                coupling_interval=args.coupling_interval)
+        except ConfigurationError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
     if args.backend != "object" and args.backend_fallback == "error":
         # The config is uniform across replicates, so every one would
         # raise in its worker; refuse up front with a clear message.

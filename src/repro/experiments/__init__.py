@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401
     ablations,
     export,
     figures,
+    hybrid_validation,
     replicates,
     report,
     scenarios,
@@ -34,6 +35,7 @@ __all__ = [
     "ablations",
     "export",
     "figures",
+    "hybrid_validation",
     "replicates",
     "report",
     "scenarios",

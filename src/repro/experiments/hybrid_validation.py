@@ -1,0 +1,263 @@
+"""Shape-contract validation of the fluid/event-driven hybrid engine.
+
+The hybrid (:mod:`repro.sim.hybrid`, docs/SCALING.md) promises that a
+population of ``P`` users simulated as ``K`` sampled subswarms is
+*statistically exchangeable* with a full event-driven run of ``P``
+users — the EXPERIMENTS.md shape contract, checked per mechanism:
+
+* **Completion times** — two-sample KS on the pooled per-peer
+  download durations, hybrid vs. reference, must not detect a
+  difference (``p > alpha``), and the replicate-level mean-completion
+  CIs must overlap.
+* **Fairness** — the CIs of the final ``u/d`` fairness across seeds
+  must overlap.
+* **Completion fraction** — CIs must overlap (this is the signal that
+  remains for mechanisms like pure reciprocity where *nobody*
+  completes at the probed scale and the KS test is vacuous).
+* **Mechanism ordering** — ranking mechanisms by mean completion time
+  must agree between hybrid and reference
+  (:func:`repro.experiments.validation.ranking_agreement`).
+
+Validation runs the hybrid in *full-sampling* mode (``K * m == P``,
+shard weight 1) so sampling error cannot hide behind scale-up error:
+what is measured is exactly the cost of partitioning a ``P``-swarm
+into ``K`` independent subswarms plus the coupling approximation.
+The reference is :func:`repro.sim.hybrid.reference_config` — same
+per-capita seed bandwidth *and* seeder topology.
+
+Statistical power is controlled, not maximised: pooled KS samples are
+thinned to a quantile skeleton of at most ``max_pooled`` points per
+side (:func:`quantile_skeleton`). Pooling every peer across every
+seed would push n past 10^4, where the KS test resolves sub-percent
+physical differences (subswarm view density, round discretisation)
+that the shape contract deliberately tolerates; the skeleton keeps
+the distributional comparison while bounding sensitivity at a level
+chosen to catch mechanism-scale disagreement (a few percent of the
+CDF), independent of how many seeds the caller throws at the suite.
+
+Used by ``tests/integration/test_hybrid_parity.py`` and the CI
+hybrid-smoke step (``--population`` runs validated against a full
+reference, see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.names import EXTENDED_ALGORITHMS, Algorithm
+from repro.sim.config import SimulationConfig
+from repro.sim.hybrid import reference_config
+from repro.sim.runner import run_simulation
+from repro.experiments.validation import (
+    confidence_interval,
+    distributional_equivalence,
+    intervals_overlap,
+    ranking_agreement,
+)
+
+__all__ = [
+    "MechanismVerdict",
+    "HybridValidationReport",
+    "quantile_skeleton",
+    "validation_config",
+    "validate_mechanism",
+    "validate_hybrid_engine",
+]
+
+
+def validation_config(algorithm: Algorithm, *, population: int = 1000,
+                      n_subswarms: int = 4, seed: int = 0,
+                      backend: str = "vector-fast") -> SimulationConfig:
+    """The canonical full-sampling validation geometry.
+
+    ``population / n_subswarms`` users per shard, paper-shaped file
+    (64 pieces) and neighbor view (40), per-capita infrastructure
+    seed bandwidth ``8 / 250`` pieces/round/user. Subswarm size must
+    stay >= ~250: below that the subswarm's own finite-size effects
+    (a 40-neighbor view covering a third of the swarm, coarser seeder
+    granularity) become measurable against a 1k reference — see
+    docs/SCALING.md's validation section.
+    """
+    if population % n_subswarms:
+        raise ValueError("population must divide evenly into subswarms "
+                         "for full-sampling validation")
+    m = population // n_subswarms
+    return SimulationConfig(
+        algorithm, n_users=m, n_pieces=64, neighbor_count=40,
+        max_rounds=600, flash_crowd_duration=10.0,
+        seeder_capacity=8.0 * (m / 250.0), seed=seed, backend=backend,
+    ).with_population(population, n_subswarms=n_subswarms,
+                      coupling_interval=25)
+
+
+def quantile_skeleton(values: Sequence[float], cap: int) -> List[float]:
+    """Deterministically thin ``values`` to at most ``cap`` points.
+
+    Sorts and keeps an evenly spaced subsequence — the empirical
+    quantile skeleton — so the thinned sample traces the same CDF
+    with bounded n. Thinning is the suite's power control (module
+    docstring); it never fabricates values.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    if n <= cap:
+        return ordered
+    step = n / cap
+    return [ordered[min(n - 1, int(i * step))] for i in range(cap)]
+
+
+@dataclass(frozen=True)
+class MechanismVerdict:
+    """Shape-contract outcome for one mechanism.
+
+    ``completion`` is the :func:`distributional_equivalence` row on
+    the thinned pooled completion times, or ``None`` when either side
+    recorded no completions (the KS test is then vacuous and the
+    completion-fraction CI carries the signal alone).
+    ``hybrid_mean_completion`` / ``reference_mean_completion`` are
+    ``inf`` for a side with no completions, mirroring
+    ``SimulationMetrics.mean_completion_time``.
+    """
+
+    algorithm: Algorithm
+    n_seeds: int
+    completion: Optional[Dict[str, object]]
+    mean_completion_ci_overlap: Optional[bool]
+    fairness_ci_overlap: Optional[bool]
+    completion_fraction_ci_overlap: bool
+    hybrid_mean_completion: float
+    reference_mean_completion: float
+
+    @property
+    def passed(self) -> bool:
+        if self.completion is not None:
+            if not (self.completion["ks_pass"] and self.completion["ci_overlap"]):
+                return False
+        if self.mean_completion_ci_overlap is False:
+            return False
+        if self.fairness_ci_overlap is False:
+            return False
+        return self.completion_fraction_ci_overlap
+
+    def as_dict(self) -> Dict[str, object]:
+        row = asdict(self)
+        row["algorithm"] = self.algorithm.value
+        row["passed"] = self.passed
+        return row
+
+
+@dataclass(frozen=True)
+class HybridValidationReport:
+    """The full sweep-of-mechanisms verdict.
+
+    ``ranking_agreement`` covers the mechanisms that completed on both
+    sides (ordering among never-completing mechanisms is undefined —
+    both sides agree they are off the scale).
+    """
+
+    verdicts: Tuple[MechanismVerdict, ...]
+    ranking_agreement: float
+
+    @property
+    def passed(self) -> bool:
+        return (all(v.passed for v in self.verdicts)
+                and self.ranking_agreement >= 0.95)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "ranking_agreement": self.ranking_agreement,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+
+def validate_mechanism(config: SimulationConfig, seeds: Iterable[int],
+                       *, alpha: float = 0.01, max_pooled: int = 1000,
+                       ) -> MechanismVerdict:
+    """Run hybrid and reference across ``seeds`` and judge the contract.
+
+    ``config`` must be a hybrid config (``population`` set); the
+    reference is derived per :func:`repro.sim.hybrid.reference_config`
+    and both sides share each seed.
+    """
+    seeds = list(seeds)
+    ref = reference_config(config)
+    hyb_pool: List[float] = []
+    ref_pool: List[float] = []
+    hyb_means: List[float] = []
+    ref_means: List[float] = []
+    hyb_fair: List[float] = []
+    ref_fair: List[float] = []
+    hyb_cf: List[float] = []
+    ref_cf: List[float] = []
+    for seed in seeds:
+        hm = run_simulation(config.with_seed(seed)).metrics
+        rm = run_simulation(ref.with_seed(seed)).metrics
+        hyb_pool += hm.completion_times()
+        ref_pool += rm.completion_times()
+        hyb_means.append(hm.mean_completion_time())
+        ref_means.append(rm.mean_completion_time())
+        if hm.final_fairness() is not None:
+            hyb_fair.append(hm.final_fairness())
+        if rm.final_fairness() is not None:
+            ref_fair.append(rm.final_fairness())
+        hyb_cf.append(hm.completion_fraction())
+        ref_cf.append(rm.completion_fraction())
+
+    completion = None
+    mean_ci_overlap: Optional[bool] = None
+    if hyb_pool and ref_pool:
+        completion = distributional_equivalence(
+            quantile_skeleton(hyb_pool, max_pooled),
+            quantile_skeleton(ref_pool, max_pooled), alpha=alpha)
+        finite_h = [v for v in hyb_means if v != float("inf")]
+        finite_r = [v for v in ref_means if v != float("inf")]
+        if finite_h and finite_r:
+            mean_ci_overlap = intervals_overlap(
+                confidence_interval(finite_h), confidence_interval(finite_r))
+    fairness_overlap: Optional[bool] = None
+    if hyb_fair and ref_fair:
+        fairness_overlap = intervals_overlap(
+            confidence_interval(hyb_fair), confidence_interval(ref_fair))
+    cf_overlap = intervals_overlap(
+        confidence_interval(hyb_cf), confidence_interval(ref_cf))
+
+    def _mean(pool: List[float]) -> float:
+        return sum(pool) / len(pool) if pool else float("inf")
+
+    return MechanismVerdict(
+        algorithm=config.algorithm,
+        n_seeds=len(seeds),
+        completion=completion,
+        mean_completion_ci_overlap=mean_ci_overlap,
+        fairness_ci_overlap=fairness_overlap,
+        completion_fraction_ci_overlap=cf_overlap,
+        hybrid_mean_completion=_mean(hyb_pool),
+        reference_mean_completion=_mean(ref_pool),
+    )
+
+
+def validate_hybrid_engine(algorithms: Sequence[Algorithm] = EXTENDED_ALGORITHMS,
+                           seeds: Iterable[int] = range(5),
+                           *, population: int = 1000, n_subswarms: int = 4,
+                           alpha: float = 0.01, max_pooled: int = 1000,
+                           backend: str = "vector-fast",
+                           ) -> HybridValidationReport:
+    """The full shape-contract suite: every mechanism, one report."""
+    seeds = list(seeds)
+    verdicts = tuple(
+        validate_mechanism(
+            validation_config(alg, population=population,
+                              n_subswarms=n_subswarms, backend=backend),
+            seeds, alpha=alpha, max_pooled=max_pooled)
+        for alg in algorithms)
+    ranked = [(v.hybrid_mean_completion, v.reference_mean_completion)
+              for v in verdicts
+              if v.hybrid_mean_completion != float("inf")
+              and v.reference_mean_completion != float("inf")]
+    agreement = (ranking_agreement([h for h, _ in ranked],
+                                   [r for _, r in ranked])
+                 if len(ranked) >= 2 else 1.0)
+    return HybridValidationReport(verdicts=verdicts,
+                                  ranking_agreement=agreement)

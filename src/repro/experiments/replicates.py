@@ -335,9 +335,22 @@ def _config_fingerprint(config: SimulationConfig) -> str:
     Non-parity lineages are therefore marked into the fingerprint, so
     a fast sweep can never resume from (or be served cached results
     of) a parity sweep, and vice versa.
+
+    Hybrid runs (``config.population`` set) additionally append their
+    shard plan *and* the subswarm backend: population, subswarm count,
+    and coupling interval all change the physics, and unlike plain
+    runs the two shard backends are not interchangeable inside one
+    hybrid journal (a parity-backend hybrid and a fast-backend hybrid
+    produce different hybrid-v1 digests).
     """
     base = repr(config)
     lineage = config.digest_lineage
+    if config.population is not None:
+        return (f"{base}<digest_lineage={lineage}>"
+                f"<hybrid population={config.population} "
+                f"n_subswarms={config.n_subswarms} "
+                f"coupling_interval={config.coupling_interval} "
+                f"backend={config.backend}>")
     if lineage != "parity-v1":
         return f"{base}<digest_lineage={lineage}>"
     return base

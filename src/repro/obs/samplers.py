@@ -29,7 +29,7 @@ import math
 from array import array
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
-__all__ = ["SeriesStore", "percentile", "entropy"]
+__all__ = ["SeriesStore", "hybrid_coupling_store", "percentile", "entropy"]
 
 _NAN = float("nan")
 
@@ -155,6 +155,41 @@ class SeriesStore:
             latest = f"{values[-1]:.4g}" if values else "-"
             lines.append(f"{name.ljust(label_width)}  {spark}  {latest}")
         return "\n".join(lines)
+
+
+def hybrid_coupling_store(rows: Sequence[object]) -> "SeriesStore":
+    """Aggregate gauges at the hybrid engine's coupling boundaries.
+
+    Builds a :class:`SeriesStore` from the conservation ledger of a
+    fluid/event-driven hybrid run (``repro.sim.hybrid.CouplingRow``
+    objects): population-scale masses (``pop_*``), the measured
+    effectiveness fed back into the fluid layer, the fairness gauge,
+    the independently integrated fluid trajectory (``fluid_*``), and
+    the per-boundary cross-check residual. The store lands in
+    ``HybridMetrics.obs["series"]`` in compact form, so the sweep
+    telemetry and ``--trace-out`` machinery journal coupling gauges
+    exactly like per-round obs series (docs/OBSERVABILITY.md,
+    docs/SCALING.md).
+    """
+    store = SeriesStore()
+    for row in rows:
+        gauges = {
+            "pop_arrived": row.arrived,
+            "pop_active": row.active,
+            "pop_seeds": row.seeds,
+            "pop_departed": row.departed,
+            "pop_completed": row.completed,
+            "pop_bootstrapped": row.bootstrapped,
+            "pop_unarrived": row.unarrived,
+            "coupling_effectiveness": row.effectiveness,
+            "fluid_downloaders": row.fluid_downloaders,
+            "fluid_seeds": row.fluid_seeds,
+            "fluid_residual": row.residual,
+        }
+        if row.fairness_ud is not None:
+            gauges["fairness_ud"] = row.fairness_ud
+        store.append(int(row.time), gauges)
+    return store
 
 
 def percentile(values: Iterable[float], q: float) -> float:

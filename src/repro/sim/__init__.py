@@ -28,6 +28,15 @@ from repro.sim.config import (  # noqa: F401
 from repro.sim.engine import EventEngine  # noqa: F401
 from repro.sim.faults import FaultConfig, FaultModel  # noqa: F401
 from repro.sim.guards import GuardConfig, InvariantViolation  # noqa: F401
+from repro.sim.hybrid import (  # noqa: F401
+    CouplingRow,
+    HybridMetrics,
+    ShardPlan,
+    hybrid_digest,
+    reference_config,
+    run_hybrid_simulation,
+    shard_plan,
+)
 from repro.sim.metrics import SimulationMetrics, degradation_rows  # noqa: F401
 from repro.sim.runner import Simulation, SimulationResult, run_simulation  # noqa: F401
 from repro.sim.vector import (  # noqa: F401
@@ -39,12 +48,15 @@ from repro.sim.vector import (  # noqa: F401
 __all__ = [
     "AttackConfig",
     "CapacityClass",
+    "CouplingRow",
     "EventEngine",
     "FaultConfig",
     "FaultModel",
     "GuardConfig",
+    "HybridMetrics",
     "InvariantViolation",
     "ObsConfig",
+    "ShardPlan",
     "Simulation",
     "SimulationConfig",
     "SimulationMetrics",
@@ -54,8 +66,12 @@ __all__ = [
     "VectorSimulation",
     "degradation_rows",
     "flash_crowd_arrivals",
+    "hybrid_digest",
     "poisson_arrivals",
+    "reference_config",
+    "run_hybrid_simulation",
     "run_simulation",
+    "shard_plan",
     "targeted_attack_for",
     "vector_unsupported_reason",
 ]

@@ -240,6 +240,26 @@ class SimulationConfig:
     #: excluded from ``repr`` (fingerprints/cache keys) like
     #: ``backend`` itself.
     backend_fallback: str = field(repr=False, default="warn")
+    #: Fluid/event-driven hybrid mode (:mod:`repro.sim.hybrid`,
+    #: docs/SCALING.md). ``None`` (default) runs the configured swarm
+    #: directly. A positive integer requests a *population* of that
+    #: many users simulated as ``n_subswarms`` sampled event-driven
+    #: subswarms of ``n_users`` peers each, coupled through the fluid
+    #: aggregate and scaled back up by shard weight
+    #: (``population / (n_subswarms * n_users)``). Excluded from
+    #: ``repr`` so plain-run fingerprints stay byte-stable; hybrid
+    #: identity is carried by ``digest_lineage == "hybrid-v1"`` plus
+    #: the explicit hybrid tag ``_config_fingerprint`` appends.
+    population: Optional[int] = field(repr=False, default=None)
+    #: Number of sampled subswarms (K) in hybrid mode; ignored when
+    #: ``population`` is None.
+    n_subswarms: int = field(repr=False, default=8)
+    #: Rounds between fluid<->event-driven exchanges in hybrid mode:
+    #: the granularity at which subswarm aggregates (piece
+    #: availability, seeder share, credit distribution) are folded
+    #: into the fluid reservoir and the conservation ledger is
+    #: checked. Ignored when ``population`` is None.
+    coupling_interval: int = field(repr=False, default=25)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", Algorithm.parse(self.algorithm))
@@ -292,6 +312,27 @@ class SimulationConfig:
         if self.backend_fallback not in ("warn", "error", "silent"):
             raise ConfigurationError(
                 "backend_fallback must be 'warn', 'error', or 'silent'")
+        if self.n_subswarms < 1:
+            raise ConfigurationError("n_subswarms must be >= 1")
+        if self.coupling_interval < 1:
+            raise ConfigurationError("coupling_interval must be >= 1")
+        if self.population is not None:
+            if self.population < self.n_subswarms * self.n_users:
+                raise ConfigurationError(
+                    f"population={self.population} is smaller than the "
+                    f"sampled mass ({self.n_subswarms} subswarms x "
+                    f"{self.n_users} users): shard weights would fall "
+                    "below 1. Lower n_subswarms or n_users, or raise "
+                    "the population")
+            if self.arrival_process != "flash":
+                raise ConfigurationError(
+                    "hybrid mode models the flash-crowd workload; "
+                    "arrival_process must be 'flash' when population "
+                    "is set")
+            if self.record_transfers:
+                raise ConfigurationError(
+                    "record_transfers is unsupported in hybrid mode "
+                    "(per-transfer logs do not survive shard scaling)")
         # Cross-field checks: combinations that are individually legal
         # but can only produce a meaningless (or never-ending) run.
         if (self.seeder_capacity == 0.0 and not self.allow_unseeded):
@@ -323,7 +364,15 @@ class SimulationConfig:
         digests are only comparable to other fast-v1 runs; against
         parity-v1 the guarantee is distributional (KS/CI-overlap, see
         ``tests/integration/test_distributional_parity.py``).
+        ``"hybrid-v1"`` — population-scale fluid/event-driven hybrid
+        runs (``population`` set): deterministic for a given config
+        and seed across any ``--jobs`` count, but only comparable to
+        other hybrid-v1 runs of the same shard plan; against full
+        event-driven runs the guarantee is the EXPERIMENTS.md shape
+        contract (``tests/integration/test_hybrid_parity.py``).
         """
+        if self.population is not None:
+            return "hybrid-v1"
         return "fast-v1" if self.backend == "vector-fast" else "parity-v1"
 
     @property
@@ -360,6 +409,20 @@ class SimulationConfig:
     def with_backend_fallback(self, policy: str) -> "SimulationConfig":
         """Variant with the given backend-downgrade policy."""
         return replace(self, backend_fallback=policy)
+
+    def with_population(self, population: Optional[int],
+                        n_subswarms: Optional[int] = None,
+                        coupling_interval: Optional[int] = None,
+                        ) -> "SimulationConfig":
+        """Variant run as a fluid/event-driven hybrid at ``population``
+        scale (``None`` switches back to a plain run). ``n_users``
+        becomes the per-subswarm sample size; see docs/SCALING.md."""
+        overrides: Dict[str, Any] = {"population": population}
+        if n_subswarms is not None:
+            overrides["n_subswarms"] = n_subswarms
+        if coupling_interval is not None:
+            overrides["coupling_interval"] = coupling_interval
+        return replace(self, **overrides)
 
     def with_guards(self, mode: str = "cheap",
                     **overrides: Any) -> "SimulationConfig":

@@ -984,7 +984,17 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     Either fallback records the reason on
     ``metrics.backend_downgraded`` so sweeps can surface downgrades
     that happen inside worker processes.
+
+    Configs with ``population`` set dispatch to the fluid/event-driven
+    hybrid engine (:func:`repro.sim.hybrid.run_hybrid_simulation`,
+    docs/SCALING.md): subswarms run sequentially in-process here —
+    pass ``jobs`` to that function directly (or use the CLI's
+    ``--jobs``) for executor fan-out.
     """
+    if config.population is not None:
+        from repro.sim.hybrid import run_hybrid_simulation
+
+        return run_hybrid_simulation(config)
     if config.backend in ("vector", "vector-fast"):
         from repro.sim.vector import (VectorFastSimulation, VectorSimulation,
                                       vector_unsupported_reason)

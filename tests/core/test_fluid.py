@@ -28,7 +28,16 @@ class TestValidation:
         with pytest.raises(ModelParameterError):
             params(effectiveness=1.5)
         with pytest.raises(ModelParameterError):
-            params(seed_departure_rate=0.0)
+            params(seed_departure_rate=-1.0)
+        with pytest.raises(ModelParameterError):
+            params(seed_departure_rate=float("nan"))
+
+    def test_gamma_zero_and_inf_are_legal(self):
+        """The closed interval [0, inf]: seeds-never-leave and
+        depart-on-completion are both modellable (docs/SCALING.md)."""
+        assert params(seed_departure_rate=0.0).seed_departure_rate == 0.0
+        assert params(seed_departure_rate=float("inf")).seed_departure_rate \
+            == float("inf")
 
     def test_simulation_rejects_bad_grid(self):
         with pytest.raises(ModelParameterError):
@@ -97,6 +106,154 @@ class TestTransient:
         assert trajectory[-1].downloaders < 1e-3
         xs = [s.downloaders for s in trajectory]
         assert all(a >= b - 1e-9 for a, b in zip(xs, xs[1:]))
+
+
+class TestGammaZero:
+    """Seeds that never leave: the gamma = 0 corner the hybrid's
+    coupling exposes (a shard whose completed peers all linger)."""
+
+    def test_steady_state_demand_constrained(self):
+        """Unbounded lingering supply: x* = lam / (c + theta), y -> inf."""
+        p = params(arrival_rate=6.0, download_cap=3.0, abort_rate=1.0,
+                   seed_departure_rate=0.0)
+        state = fluid.steady_state(p)
+        assert state.downloaders == pytest.approx(6.0 / (3.0 + 1.0))
+        assert state.seeds == float("inf")
+
+    def test_steady_state_no_cap(self):
+        p = params(arrival_rate=6.0, download_cap=float("inf"),
+                   seed_departure_rate=0.0)
+        state = fluid.steady_state(p)
+        assert state.downloaders == 0.0
+        assert state.seeds == float("inf")
+
+    def test_mean_download_time_is_cap_limited(self):
+        p = params(arrival_rate=6.0, download_cap=3.0,
+                   seed_departure_rate=0.0)
+        assert fluid.mean_download_time(p) == pytest.approx(1.0 / 3.0)
+        p_nocap = params(arrival_rate=6.0, download_cap=float("inf"),
+                         seed_departure_rate=0.0)
+        assert fluid.mean_download_time(p_nocap) == 0.0
+
+    def test_euler_pins_the_closed_form(self):
+        """Long-horizon Euler at gamma = 0: x converges to the
+        demand-constrained closed form while y grows ~linearly at the
+        completion rate (lam - theta x*)."""
+        p = params(arrival_rate=6.0, download_cap=3.0, abort_rate=0.5,
+                   seed_departure_rate=0.0)
+        trajectory = fluid.simulate_fluid(p, t_end=400.0, dt=0.01)
+        limit = fluid.steady_state(p)
+        final = trajectory[-1]
+        assert final.downloaders == pytest.approx(limit.downloaders,
+                                                  rel=0.02)
+        # y has no equilibrium: its tail slope is the completion rate.
+        t1, t2 = trajectory[-2001], trajectory[-1]
+        slope = (t2.seeds - t1.seeds) / (t2.time - t1.time)
+        completed = p.arrival_rate - p.abort_rate * limit.downloaders
+        assert slope == pytest.approx(completed, rel=0.02)
+
+    def test_gamma_inf_keeps_no_lingering_mass(self):
+        p = params(arrival_rate=4.0, download_cap=float("inf"),
+                   seed_departure_rate=float("inf"))
+        trajectory = fluid.simulate_fluid_schedule(p, t_end=50.0, dt=0.01,
+                                                   y0=1.0, seed_floor=1.0)
+        assert all(s.seeds == 0.0 for s in trajectory[1:])
+        # Steady state matches: y = 0, supply comes from eta x alone.
+        state = fluid.steady_state(p)
+        assert state.seeds == 0.0
+        assert state.downloaders == pytest.approx(4.0 / 1.0)  # lam/(mu eta)
+
+
+class TestPostFlashDecay:
+    """lambda = 0 tails: the linear-ODE closed form vs. Euler."""
+
+    def euler(self, p, x0, y0, t, dt=0.0005):
+        return fluid.simulate_fluid(p, t_end=t, dt=dt, x0=x0, y0=y0)[-1]
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.4, 2.0])
+    def test_matrix_exponential_matches_euler(self, gamma):
+        p = params(arrival_rate=0.0, upload_rate=0.7, effectiveness=0.6,
+                   download_cap=float("inf"), seed_departure_rate=gamma,
+                   abort_rate=0.1)
+        for t in (0.25, 0.75, 1.5):
+            x, y = fluid.post_flash_decay(p, x0=80.0, y0=3.0, t=t)
+            ref = self.euler(p, 80.0, 3.0, t)
+            # The linear form holds while downloaders remain: confirm
+            # the reference trajectory never clamped at x = 0.
+            assert ref.downloaders > 1.0
+            assert x == pytest.approx(ref.downloaders, rel=0.01, abs=1e-6)
+            assert y == pytest.approx(ref.seeds, rel=0.01, abs=1e-6)
+
+    def test_instant_departure_scalar_decay(self):
+        p = params(arrival_rate=0.0, upload_rate=1.0, effectiveness=0.5,
+                   download_cap=float("inf"),
+                   seed_departure_rate=float("inf"), abort_rate=0.25)
+        x, y = fluid.post_flash_decay(p, x0=10.0, y0=0.0, t=2.0)
+        assert y == 0.0
+        import math
+        assert x == pytest.approx(10.0 * math.exp(-(0.25 + 0.5) * 2.0))
+
+    def test_rejects_out_of_scope_parameters(self):
+        with pytest.raises(ModelParameterError):
+            fluid.post_flash_decay(params(arrival_rate=1.0), 1.0, 1.0, 1.0)
+        with pytest.raises(ModelParameterError):
+            fluid.post_flash_decay(params(arrival_rate=0.0,
+                                          download_cap=3.0), 1.0, 1.0, 1.0)
+        p = params(arrival_rate=0.0, download_cap=float("inf"))
+        with pytest.raises(ModelParameterError):
+            fluid.post_flash_decay(p, 1.0, 1.0, -1.0)
+
+
+class TestSchedules:
+    def test_flash_crowd_rate_shape(self):
+        lam = fluid.flash_crowd_rate(1000.0, 10.0)
+        assert lam(0.0) == 100.0
+        assert lam(9.999) == 100.0
+        assert lam(10.0) == 0.0
+        with pytest.raises(ModelParameterError):
+            fluid.flash_crowd_rate(1000.0, 0.0)
+
+    def test_stepwise_schedule(self):
+        eta = fluid.stepwise([0.0, 10.0, 20.0], [0.2, 0.5, 0.9])
+        assert eta(-5.0) == 0.2
+        assert eta(0.0) == 0.2
+        assert eta(10.0) == 0.5
+        assert eta(19.9) == 0.5
+        assert eta(25.0) == 0.9
+        with pytest.raises(ModelParameterError):
+            fluid.stepwise([10.0, 0.0], [0.1, 0.2])
+        with pytest.raises(ModelParameterError):
+            fluid.stepwise([], [])
+
+    def test_schedule_integration_conserves_the_crowd(self):
+        """Integrating the non-stationary flash lambda(t) injects
+        exactly the population (the conservation identity the hybrid's
+        ledger is built on): arrivals = integral of lambda dt."""
+        p = params(arrival_rate=0.0, upload_rate=1e-9,
+                   download_cap=float("inf"), abort_rate=0.0,
+                   seed_departure_rate=1.0)
+        # Negligible upload rate: nobody completes, so x(t_end) is the
+        # integral of the arrival schedule.
+        lam = fluid.flash_crowd_rate(500.0, 10.0)
+        trajectory = fluid.simulate_fluid_schedule(
+            p, t_end=20.0, dt=0.001, x0=0.0, y0=0.0, arrival_rate=lam)
+        assert trajectory[-1].downloaders == pytest.approx(500.0, rel=1e-3)
+
+    def test_stepwise_effectiveness_feedback_speeds_completion(self):
+        p = params(arrival_rate=0.0, upload_rate=1.0,
+                   download_cap=float("inf"), seed_departure_rate=1.0)
+        slow = fluid.simulate_fluid_schedule(
+            p, t_end=4.0, dt=0.01, x0=50.0, y0=1.0, effectiveness=0.1)
+        fast = fluid.simulate_fluid_schedule(
+            p, t_end=4.0, dt=0.01, x0=50.0, y0=1.0,
+            effectiveness=fluid.stepwise([0.0, 2.0], [0.1, 0.9]))
+        assert fast[-1].downloaders < slow[-1].downloaders
+
+    def test_simulate_fluid_matches_schedule_with_constants(self):
+        p = params()
+        a = fluid.simulate_fluid(p, t_end=5.0, dt=0.01)
+        b = fluid.simulate_fluid_schedule(p, t_end=5.0, dt=0.01)
+        assert a == b
 
 
 class TestBridge:

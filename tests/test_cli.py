@@ -290,3 +290,76 @@ class TestObservabilityCli:
         meta = [r for r in records if r["ph"] == "M"]
         assert len(meta) == 2  # one Perfetto process per seed
         assert any(r["ph"] == "C" for r in records)
+
+
+class TestHybridCli:
+    """--population/--subswarms plumbing on run and sweep."""
+
+    HYBRID_ARGS = ["--users", "60", "--pieces", "24", "--max-rounds", "250",
+                   "--backend", "vector-fast", "--population", "1200",
+                   "--subswarms", "4", "--seed", "3"]
+
+    def test_run_hybrid_prints_population_summary(self, capsys):
+        code = main(["run", "--algorithm", "tchain"] + self.HYBRID_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "population 1200 as 4 subswarms x 60 users" in out
+        assert "shard weight 5" in out
+        assert "hybrid-v1" in out
+        assert "population_completed" in out
+        assert "fluid_residual" in out
+
+    def test_run_hybrid_json(self, capsys):
+        code = main(["run", "--algorithm", "tchain"] + self.HYBRID_ARGS
+                    + ["--json", "-"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["digest_lineage"] == "hybrid-v1"
+
+    def test_subswarms_requires_population(self, capsys):
+        code = main(["run", "--algorithm", "tchain", "--subswarms", "4"])
+        assert code == 2
+        assert "--subswarms requires --population" in capsys.readouterr().err
+
+    def test_jobs_requires_population(self, capsys):
+        code = main(["run", "--algorithm", "tchain", "--jobs", "2"])
+        assert code == 2
+        assert "--jobs requires --population" in capsys.readouterr().err
+
+    def test_undersized_population_exits_2(self, capsys):
+        code = main(["run", "--algorithm", "tchain", "--users", "100",
+                     "--population", "50"])
+        assert code == 2
+        assert "shard weights" in capsys.readouterr().err
+
+    def test_run_hybrid_downgrade_notice_parity(self, capsys):
+        # A hybrid template that the vector engines cannot run falls
+        # back with the same pre-run notice a plain run gets.
+        code = main(["run", "--algorithm", "tchain"] + self.HYBRID_ARGS
+                    + ["--guards", "cheap"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "fell back" in captured.err
+        assert "hybrid-v1" in captured.out
+
+    def test_sweep_hybrid_smoke(self, capsys):
+        code = main(["sweep", "--algorithm", "tchain", "--scale", "smoke",
+                     "--replicates", "2", "--backend", "vector-fast",
+                     "--population", "480", "--subswarms", "4",
+                     "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_completion_time" in out
+        assert "0 failed" in out
+
+    def test_sweep_subswarms_requires_population(self, capsys):
+        code = main(["sweep", "--algorithm", "tchain", "--scale", "smoke",
+                     "--subswarms", "4"])
+        assert code == 2
+        assert "--subswarms requires --population" in capsys.readouterr().err
+
+    def test_sweep_undersized_population_exits_2(self, capsys):
+        code = main(["sweep", "--algorithm", "tchain", "--scale", "smoke",
+                     "--population", "10"])
+        assert code == 2
+        assert "shard weights" in capsys.readouterr().err

@@ -37,6 +37,7 @@ DOC_PATHS: Tuple[str, ...] = (
     "docs/SIMULATOR.md",
     "docs/OBSERVABILITY.md",
     "docs/ANALYSIS.md",
+    "docs/SCALING.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
